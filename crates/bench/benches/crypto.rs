@@ -1,0 +1,98 @@
+//! Microbenchmarks of the cryptographic substrate.
+//!
+//! These are the numbers behind the `UnitCosts::rust_native` calibration
+//! of the simulator's cost model: PRG (mask) expansion throughput, key
+//! agreement, signatures, Shamir, and AEAD.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dordis_crypto::ed25519::SigningKey;
+use dordis_crypto::ka::KeyPair;
+use dordis_crypto::prg::Prg;
+use dordis_crypto::sha256::sha256;
+use dordis_crypto::{aead, shamir};
+use rand::SeedableRng;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| sha256(d));
+        });
+    }
+    g.finish();
+}
+
+fn bench_mask_expansion(c: &mut Criterion) {
+    // The dominant SecAgg cost: expanding pairwise masks in Z_2^20.
+    let mut g = c.benchmark_group("prg_mask_expand");
+    for elems in [1_000usize, 100_000] {
+        let mut out = vec![0u64; elems];
+        g.throughput(Throughput::Elements(elems as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(elems), &elems, |b, _| {
+            b.iter(|| {
+                Prg::new(&[7u8; 32], b"bench").fill_mod2b(20, &mut out);
+                out[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_x25519(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let a = KeyPair::generate(&mut rng);
+    let b_kp = KeyPair::generate(&mut rng);
+    c.bench_function("x25519_agree", |b| {
+        b.iter(|| a.agree(&b_kp.public));
+    });
+    c.bench_function("x25519_keygen", |b| {
+        b.iter(|| KeyPair::generate(&mut rng).public);
+    });
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let sk = SigningKey::from_seed(&[3u8; 32]);
+    let vk = sk.verifying_key();
+    let msg = b"round 12 consistency check over U3";
+    let sig = sk.sign(msg);
+    c.bench_function("ed25519_sign", |b| b.iter(|| sk.sign(msg)));
+    c.bench_function("ed25519_verify", |b| b.iter(|| vk.verify(msg, &sig)));
+}
+
+fn bench_shamir(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let secret = [9u8; 32];
+    c.bench_function("shamir_share_32B_t50_n100", |b| {
+        b.iter(|| shamir::share(&secret, 50, 100, &mut rng).unwrap());
+    });
+    let shares = shamir::share(&secret, 50, 100, &mut rng).unwrap();
+    c.bench_function("shamir_reconstruct_32B_t50", |b| {
+        b.iter(|| shamir::reconstruct(&shares[..50], 50).unwrap());
+    });
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let key = [5u8; 32];
+    let bundle = vec![0u8; 2048]; // A realistic share bundle.
+    let ct = aead::seal(&key, b"aad", &bundle, &mut rng);
+    c.bench_function("aead_seal_2KiB", |b| {
+        b.iter(|| aead::seal(&key, b"aad", &bundle, &mut rng));
+    });
+    c.bench_function("aead_open_2KiB", |b| {
+        b.iter(|| aead::open(&key, b"aad", &ct).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_mask_expansion,
+    bench_x25519,
+    bench_signatures,
+    bench_shamir,
+    bench_aead
+);
+criterion_main!(benches);

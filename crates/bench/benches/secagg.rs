@@ -1,0 +1,75 @@
+//! Full-protocol benchmarks: complete SecAgg / SecAgg+ rounds in memory,
+//! with and without dropout. These measure this repository's Rust
+//! implementation (the `rust_native` cost regime), complementing the
+//! simulated paper-testbed figures.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dordis_secagg::client::ClientInput;
+use dordis_secagg::driver::{run_round, DropStage, DropoutSchedule, RoundSpec};
+use dordis_secagg::graph::MaskingGraph;
+use dordis_secagg::{ClientId, RoundParams, ThreatModel};
+
+const DIM: usize = 256;
+
+fn spec(n: u32, graph: MaskingGraph, drop: usize) -> RoundSpec {
+    let inputs: BTreeMap<ClientId, ClientInput> = (0..n)
+        .map(|id| {
+            (
+                id,
+                ClientInput {
+                    vector: vec![u64::from(id) % (1 << 16); DIM],
+                    noise_seeds: vec![[id as u8; 32]; 3],
+                },
+            )
+        })
+        .collect();
+    let mut dropout = DropoutSchedule::none();
+    for id in 0..drop as u32 {
+        dropout.drop_at(id, DropStage::BeforeMaskedInput);
+    }
+    RoundSpec {
+        params: RoundParams {
+            round: 1,
+            clients: (0..n).collect(),
+            threshold: (n as usize * 2).div_ceil(3),
+            bit_width: 16,
+            vector_len: DIM,
+            noise_components: 2,
+            threat_model: ThreatModel::SemiHonest,
+            graph,
+        },
+        inputs,
+        dropout,
+        rng_seed: 5,
+    }
+}
+
+fn bench_secagg_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secagg_round");
+    g.sample_size(10);
+    for n in [8u32, 16, 24] {
+        g.bench_with_input(BenchmarkId::new("complete", n), &n, |b, &n| {
+            b.iter(|| run_round(spec(n, MaskingGraph::Complete, 0)).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("harary", n), &n, |b, &n| {
+            b.iter(|| run_round(spec(n, MaskingGraph::harary_for(n as usize), 0)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_secagg_with_dropout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secagg_round_dropout");
+    g.sample_size(10);
+    for drop in [0usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(drop), &drop, |b, &d| {
+            b.iter(|| run_round(spec(16, MaskingGraph::Complete, d)).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_secagg_round, bench_secagg_with_dropout);
+criterion_main!(benches);

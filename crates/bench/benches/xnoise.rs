@@ -1,0 +1,61 @@
+//! XNoise benchmarks: client-side perturbation and server-side excess
+//! removal across dropout outcomes — the cost that §6.3 reports as "up
+//! to 34% overhead, shrinking with dropout".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dordis_xnoise::decomposition::XNoisePlan;
+use dordis_xnoise::enforcement::{derive_component_seeds, perturb, remove_excess};
+
+const DIM: usize = 10_000;
+const BITS: u32 = 20;
+
+fn plan(n: usize, t: usize) -> XNoisePlan {
+    XNoisePlan::new(1000.0, n, t, 0, n / 2 + 1).unwrap()
+}
+
+fn bench_perturb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xnoise_perturb_10k");
+    g.sample_size(10);
+    for t in [4usize, 8, 16] {
+        let p = plan(32, t);
+        let seeds = derive_component_seeds(&[1u8; 32], t);
+        g.bench_with_input(BenchmarkId::new("tolerance", t), &t, |b, _| {
+            b.iter(|| {
+                let mut update = vec![0u64; DIM];
+                perturb(&mut update, &seeds, &p, BITS).unwrap();
+                update[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_removal(c: &mut Criterion) {
+    // Removal work shrinks as dropout grows: fewer components to strip.
+    let mut g = c.benchmark_group("xnoise_remove_10k_t8");
+    g.sample_size(10);
+    let t = 8usize;
+    let n = 32usize;
+    let p = plan(n, t);
+    for dropped in [0usize, 4, 8] {
+        let survivors: Vec<u32> = (dropped as u32..n as u32).collect();
+        let mut removal = Vec::new();
+        for &cid in &survivors {
+            let seeds = derive_component_seeds(&[cid as u8 + 1; 32], t);
+            for k in (dropped + 1)..=t {
+                removal.push((cid, k, seeds[k]));
+            }
+        }
+        g.bench_with_input(BenchmarkId::new("dropped", dropped), &dropped, |b, _| {
+            b.iter(|| {
+                let mut agg = vec![0u64; DIM];
+                remove_excess(&mut agg, &removal, &survivors, &p, BITS).unwrap();
+                agg[0]
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_perturb, bench_removal);
+criterion_main!(benches);

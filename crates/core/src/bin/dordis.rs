@@ -1,0 +1,134 @@
+//! The Dordis command-line driver.
+//!
+//! ```sh
+//! dordis example-config > task.json   # starting-point TaskSpec
+//! dordis train task.json              # run it, print the report
+//! dordis train task.json --json       # machine-readable report
+//! dordis plan 6.0 0.01 150 0.16       # offline noise planning only
+//! ```
+
+use std::process::ExitCode;
+
+use dordis_core::config::TaskSpec;
+use dordis_core::trainer::train;
+use dordis_dp::accountant::Mechanism;
+use dordis_dp::planner::{plan, PlannerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("example-config") => example_config(),
+        Some("train") => train_cmd(&args[1..]),
+        Some("plan") => plan_cmd(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  dordis example-config\n  dordis train <task.json> [--json]\n  \
+                 dordis plan <epsilon> <delta> <rounds> <sample_rate>"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn example_config() -> ExitCode {
+    let spec = TaskSpec::cifar10_like(42);
+    match serde_json::to_string_pretty(&spec) {
+        Ok(json) => {
+            println!("{json}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serialization failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn train_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: dordis train <task.json> [--json]");
+        return ExitCode::FAILURE;
+    };
+    let as_json = args.iter().any(|a| a == "--json");
+    let raw = match std::fs::read_to_string(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec: TaskSpec = match serde_json::from_str(&raw) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid task config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match train(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if as_json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("report serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!("task:            {}", report.task);
+        println!("rounds:          {}", report.rounds_completed);
+        println!("final accuracy:  {:.2}%", report.final_accuracy * 100.0);
+        println!("perplexity:      {:.2}", report.final_perplexity);
+        println!(
+            "privacy spent:   ε = {:.3} of {:.3} (δ = {})",
+            report.epsilon_consumed, spec.privacy.epsilon, spec.privacy.delta
+        );
+        if report.stopped_early {
+            println!("note: stopped early (budget exhausted)");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn plan_cmd(args: &[String]) -> ExitCode {
+    let parse = |i: usize, name: &str| -> Option<f64> {
+        let v = args.get(i)?.parse().ok();
+        if v.is_none() {
+            eprintln!("bad {name}");
+        }
+        v
+    };
+    let (Some(eps), Some(delta), Some(rounds), Some(rate)) = (
+        parse(0, "epsilon"),
+        parse(1, "delta"),
+        parse(2, "rounds"),
+        parse(3, "sample_rate"),
+    ) else {
+        eprintln!("usage: dordis plan <epsilon> <delta> <rounds> <sample_rate>");
+        return ExitCode::FAILURE;
+    };
+    match plan(&PlannerConfig {
+        epsilon: eps,
+        delta,
+        rounds: rounds as u32,
+        sample_rate: rate,
+        mechanism: Mechanism::Gaussian,
+    }) {
+        Ok(p) => {
+            println!(
+                "minimum central noise multiplier z* = {:.4} (realizes ε = {:.4})",
+                p.noise_multiplier, p.realized_epsilon
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! VRF-based verifiable client sampling (paper §7).
+//!
+//! With a plain server-chosen sample, a malicious server can cherry-pick
+//! colluding clients until they exceed the collusion tolerance `T_C`. The
+//! paper's proposed fix: each client evaluates a VRF on the round index
+//! with its own key and *self-selects* when the output falls below a
+//! public threshold. The server (and every other participant) verifies
+//! the VRF proofs, so:
+//!
+//! - the server cannot include a client whose VRF said no (proof check
+//!   fails),
+//! - the server cannot exclude honest low-output clients without honest
+//!   clients noticing their own exclusion,
+//! - since dishonest clients are a small fraction of the population, the
+//!   sampled set contains at most a proportional (small) number of them
+//!   with overwhelming probability — preserving the mild-collusion
+//!   assumption Theorem 2 relies on.
+//!
+//! Over-selection then trimming by VRF output (the paper's "discard
+//! excessive clients based on indiscriminate criteria on their
+//! randomness") yields a fixed sample size.
+
+use dordis_crypto::vrf::{VrfProof, VrfPublicKey, VrfSecretKey};
+use serde::{Deserialize, Serialize};
+
+use crate::DordisError;
+
+/// Public sampling parameters for a round.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Target number of participants.
+    pub target_sample: usize,
+    /// Total population size.
+    pub population: usize,
+    /// Over-selection factor (the threshold admits roughly
+    /// `target_sample * over_selection` clients; trimming brings the
+    /// sample back to the target).
+    pub over_selection: f64,
+}
+
+impl SamplingConfig {
+    /// The self-selection threshold as a 64-bit cutoff on the first 8
+    /// bytes of the VRF output.
+    #[must_use]
+    pub fn threshold(&self) -> u64 {
+        let p = ((self.target_sample as f64 * self.over_selection) / self.population as f64)
+            .clamp(0.0, 1.0);
+        (p * u64::MAX as f64) as u64
+    }
+}
+
+/// A client's claim to participate in a round.
+#[derive(Clone, Debug)]
+pub struct ParticipationClaim {
+    /// Claimant id.
+    pub client: u32,
+    /// Its VRF output for this round.
+    pub output: [u8; 32],
+    /// The proof.
+    pub proof: VrfProof,
+}
+
+/// Round input to the VRF: a domain-separated round index.
+fn round_input(round: u64) -> Vec<u8> {
+    let mut v = b"dordis.sampling.round".to_vec();
+    v.extend_from_slice(&round.to_le_bytes());
+    v
+}
+
+/// First 8 bytes of a VRF output as the selection value.
+fn selection_value(output: &[u8; 32]) -> u64 {
+    u64::from_le_bytes(output[..8].try_into().expect("8 bytes"))
+}
+
+/// Client side: decide participation and produce the claim if selected.
+#[must_use]
+pub fn self_select(
+    sk: &VrfSecretKey,
+    client: u32,
+    round: u64,
+    cfg: &SamplingConfig,
+) -> Option<ParticipationClaim> {
+    let (output, proof) = sk.evaluate(&round_input(round));
+    if selection_value(&output) <= cfg.threshold() {
+        Some(ParticipationClaim {
+            client,
+            output,
+            proof,
+        })
+    } else {
+        None
+    }
+}
+
+/// Verifier side (server or peer): validate claims, reject invalid ones,
+/// and trim to the target size by ascending selection value.
+///
+/// # Errors
+///
+/// Fails if any claim's proof does not verify, if a claimed output does
+/// not match the proof, or if a claimant's value exceeds the threshold
+/// (an invalid self-selection the server should never have accepted).
+pub fn verify_and_trim(
+    claims: &[ParticipationClaim],
+    keys: &dyn Fn(u32) -> Option<VrfPublicKey>,
+    round: u64,
+    cfg: &SamplingConfig,
+) -> Result<Vec<u32>, DordisError> {
+    let input = round_input(round);
+    let mut valid: Vec<(u64, u32)> = Vec::with_capacity(claims.len());
+    for claim in claims {
+        let pk = keys(claim.client).ok_or_else(|| {
+            DordisError::Config(format!("no VRF key registered for client {}", claim.client))
+        })?;
+        let output = pk.verify(&input, &claim.proof).map_err(|e| {
+            DordisError::Config(format!("client {}: bad VRF proof: {e}", claim.client))
+        })?;
+        if output != claim.output {
+            return Err(DordisError::Config(format!(
+                "client {}: output does not match proof",
+                claim.client
+            )));
+        }
+        let value = selection_value(&output);
+        if value > cfg.threshold() {
+            return Err(DordisError::Config(format!(
+                "client {}: not actually selected",
+                claim.client
+            )));
+        }
+        valid.push((value, claim.client));
+    }
+    // Indiscriminate trimming: smallest selection values win.
+    valid.sort_unstable();
+    valid.truncate(cfg.target_sample);
+    Ok(valid.into_iter().map(|(_, c)| c).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_for(id: u32) -> VrfSecretKey {
+        let mut seed = [0u8; 32];
+        seed[..4].copy_from_slice(&id.to_le_bytes());
+        seed[31] = 0xfe;
+        VrfSecretKey::from_seed(&seed)
+    }
+
+    fn cfg() -> SamplingConfig {
+        SamplingConfig {
+            target_sample: 16,
+            population: 100,
+            over_selection: 1.5,
+        }
+    }
+
+    fn registry(id: u32) -> Option<VrfPublicKey> {
+        (id < 100).then(|| key_for(id).public_key())
+    }
+
+    fn claims_for_round(round: u64) -> Vec<ParticipationClaim> {
+        (0..100u32)
+            .filter_map(|id| self_select(&key_for(id), id, round, &cfg()))
+            .collect()
+    }
+
+    #[test]
+    fn selection_rate_matches_threshold() {
+        // Expect ~24 self-selected per round (16 * 1.5) over many rounds.
+        let total: usize = (0..20u64).map(|r| claims_for_round(r).len()).sum();
+        let mean = total as f64 / 20.0;
+        assert!((19.0..29.0).contains(&mean), "mean selected {mean}");
+    }
+
+    #[test]
+    fn verification_accepts_honest_claims_and_trims() {
+        let claims = claims_for_round(7);
+        let sampled = verify_and_trim(&claims, &registry, 7, &cfg()).unwrap();
+        assert!(sampled.len() <= 16);
+        // The sampled set must be a subset of claimants.
+        for id in &sampled {
+            assert!(claims.iter().any(|c| c.client == *id));
+        }
+        // Deterministic.
+        let again = verify_and_trim(&claims, &registry, 7, &cfg()).unwrap();
+        assert_eq!(sampled, again);
+    }
+
+    #[test]
+    fn samples_vary_across_rounds() {
+        let s1 = verify_and_trim(&claims_for_round(1), &registry, 1, &cfg()).unwrap();
+        let s2 = verify_and_trim(&claims_for_round(2), &registry, 2, &cfg()).unwrap();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn forged_claim_rejected() {
+        // A server trying to insert an unselected client must forge a
+        // proof, which fails verification.
+        let mut claims = claims_for_round(3);
+        let outsider = (0..100u32)
+            .find(|&id| self_select(&key_for(id), id, 3, &cfg()).is_none())
+            .expect("someone is unselected");
+        // Reuse another claimant's proof under the outsider's id.
+        let mut forged = claims[0].clone();
+        forged.client = outsider;
+        claims.push(forged);
+        assert!(verify_and_trim(&claims, &registry, 3, &cfg()).is_err());
+    }
+
+    #[test]
+    fn replayed_round_rejected() {
+        // A claim from round 3 cannot be replayed in round 4.
+        let claims3 = claims_for_round(3);
+        let err = verify_and_trim(&claims3, &registry, 4, &cfg());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn tampered_output_rejected() {
+        let mut claims = claims_for_round(5);
+        claims[0].output[0] ^= 1;
+        assert!(verify_and_trim(&claims, &registry, 5, &cfg()).is_err());
+    }
+
+    #[test]
+    fn unknown_client_rejected() {
+        let mut claims = claims_for_round(6);
+        claims[0].client = 1000;
+        assert!(verify_and_trim(&claims, &registry, 6, &cfg()).is_err());
+    }
+
+    #[test]
+    fn dishonest_minority_stays_minority() {
+        // 5% dishonest population: across many rounds, the dishonest
+        // fraction of the sample stays near 5% — they cannot boost their
+        // odds because VRF outputs are fixed by their keys.
+        let dishonest: Vec<u32> = (0..5).collect();
+        let mut dishonest_sampled = 0usize;
+        let mut total_sampled = 0usize;
+        for round in 0..15u64 {
+            let sampled =
+                verify_and_trim(&claims_for_round(round), &registry, round, &cfg()).unwrap();
+            total_sampled += sampled.len();
+            dishonest_sampled += sampled.iter().filter(|c| dishonest.contains(c)).count();
+        }
+        let frac = dishonest_sampled as f64 / total_sampled as f64;
+        assert!(frac < 0.15, "dishonest fraction {frac}");
+    }
+}

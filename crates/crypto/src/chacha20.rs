@@ -1,0 +1,220 @@
+//! RFC 8439 ChaCha20 block function and stream cipher.
+//!
+//! ChaCha20 serves two roles in Dordis: it is the `PRG` that expands 32-byte
+//! seeds into pairwise masks / self-masks / DP noise streams (the dominant
+//! computational cost of secure aggregation), and it is the confidentiality
+//! half of the crate's encrypt-then-MAC [`crate::aead`].
+
+/// ChaCha20 key size in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce size in bytes (IETF variant, 96 bits).
+pub const NONCE_LEN: usize = 12;
+/// ChaCha20 block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+#[must_use]
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+    let initial = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs the ChaCha20 keystream (starting at `counter`) into `data` in place.
+///
+/// Applying the function twice with the same parameters recovers the
+/// original data, so this serves as both encryption and decryption.
+pub fn xor_stream(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32, data: &mut [u8]) {
+    let mut ctr = counter;
+    for chunk in data.chunks_mut(BLOCK_LEN) {
+        let ks = block(key, ctr, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+        ctr = ctr.wrapping_add(1);
+    }
+}
+
+/// A resumable ChaCha20 keystream reader.
+///
+/// Produces an unbounded byte stream determined by `(key, nonce)`; used as
+/// the backing generator for [`crate::prg::Prg`].
+#[derive(Clone)]
+pub struct KeyStream {
+    key: [u8; KEY_LEN],
+    nonce: [u8; NONCE_LEN],
+    counter: u32,
+    buf: [u8; BLOCK_LEN],
+    buf_pos: usize,
+}
+
+impl KeyStream {
+    /// Creates a keystream for `(key, nonce)` starting at block 0.
+    #[must_use]
+    pub fn new(key: [u8; KEY_LEN], nonce: [u8; NONCE_LEN]) -> Self {
+        KeyStream {
+            key,
+            nonce,
+            counter: 0,
+            buf: [0u8; BLOCK_LEN],
+            buf_pos: BLOCK_LEN,
+        }
+    }
+
+    /// Fills `out` with the next keystream bytes.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        for byte in out.iter_mut() {
+            if self.buf_pos == BLOCK_LEN {
+                self.buf = block(&self.key, self.counter, &self.nonce);
+                self.counter = self.counter.wrapping_add(1);
+                self.buf_pos = 0;
+            }
+            *byte = self.buf[self.buf_pos];
+            self.buf_pos += 1;
+        }
+    }
+
+    /// Returns the next keystream `u64` (little-endian).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Returns the next keystream `u32` (little-endian).
+    pub fn next_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.fill(&mut b);
+        u32::from_le_bytes(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc8439_quarter_round_vector() {
+        // RFC 8439 §2.1.1.
+        let mut state = [0u32; 16];
+        state[0] = 0x1111_1111;
+        state[1] = 0x0102_0304;
+        state[2] = 0x9b8d_6f43;
+        state[3] = 0x0123_4567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a_92f4);
+        assert_eq!(state[1], 0xcb1c_f8ce);
+        assert_eq!(state[2], 0x4581_472e);
+        assert_eq!(state[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2: key 00..1f, nonce 000000090000004a00000000, ctr 1.
+        let mut key = [0u8; KEY_LEN];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let out = block(&key, 1, &nonce);
+        let expected_head = [
+            0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd, 0x1f, 0xa3, 0x20,
+            0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0, 0x68, 0x03,
+        ];
+        assert_eq!(&out[..24], &expected_head);
+    }
+
+    #[test]
+    fn xor_stream_roundtrip() {
+        let key = [7u8; KEY_LEN];
+        let nonce = [3u8; NONCE_LEN];
+        let plain: Vec<u8> = (0..300u16).map(|i| (i * 7 % 256) as u8).collect();
+        let mut data = plain.clone();
+        xor_stream(&key, &nonce, 0, &mut data);
+        assert_ne!(data, plain);
+        xor_stream(&key, &nonce, 0, &mut data);
+        assert_eq!(data, plain);
+    }
+
+    #[test]
+    fn keystream_matches_block_sequence() {
+        let key = [9u8; KEY_LEN];
+        let nonce = [1u8; NONCE_LEN];
+        let mut ks = KeyStream::new(key, nonce);
+        let mut got = vec![0u8; 130];
+        ks.fill(&mut got);
+        let mut want = Vec::new();
+        for c in 0..3u32 {
+            want.extend_from_slice(&block(&key, c, &nonce));
+        }
+        assert_eq!(&got[..], &want[..130]);
+    }
+
+    #[test]
+    fn keystream_fill_is_split_invariant() {
+        let key = [5u8; KEY_LEN];
+        let nonce = [2u8; NONCE_LEN];
+        let mut a = KeyStream::new(key, nonce);
+        let mut whole = vec![0u8; 100];
+        a.fill(&mut whole);
+        let mut b = KeyStream::new(key, nonce);
+        let mut parts = vec![0u8; 100];
+        b.fill(&mut parts[..33]);
+        b.fill(&mut parts[33..90]);
+        b.fill(&mut parts[90..]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let key = [1u8; KEY_LEN];
+        let mut a = KeyStream::new(key, [0u8; NONCE_LEN]);
+        let mut b = KeyStream::new(key, [1u8; NONCE_LEN]);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

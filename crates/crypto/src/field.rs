@@ -1,0 +1,394 @@
+//! Arithmetic in GF(2^255 - 19), the base field of curve25519.
+//!
+//! Elements are stored as five 51-bit limbs (`value = Σ limb_i · 2^(51·i)`),
+//! the classic "donna" representation: limb products fit comfortably in
+//! `u128` and the prime's shape lets the carry out of the top limb wrap
+//! around multiplied by 19. Both [`crate::x25519`] and [`crate::ed25519`]
+//! build on this module.
+
+/// Low 51 bits.
+const MASK51: u64 = (1u64 << 51) - 1;
+
+/// An element of GF(2^255 - 19).
+///
+/// Internally limbs may be up to a few bits above 51 between reductions;
+/// all public constructors and operations return values with limbs < 2^52,
+/// which every operation accepts as input.
+#[derive(Clone, Copy, Debug)]
+pub struct Fe(pub(crate) [u64; 5]);
+
+impl Fe {
+    /// The additive identity.
+    pub const ZERO: Fe = Fe([0, 0, 0, 0, 0]);
+    /// The multiplicative identity.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Builds an element from a small integer.
+    #[must_use]
+    pub const fn from_u64(v: u64) -> Fe {
+        Fe([v & MASK51, (v >> 51) & MASK51, 0, 0, 0])
+    }
+
+    /// Decodes 32 little-endian bytes; the top bit (bit 255) is ignored,
+    /// matching RFC 7748 field-element decoding.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut v = 0u64;
+            for j in 0..8 {
+                v |= (bytes[i + j] as u64) << (8 * j);
+            }
+            v
+        };
+        let lo0 = load(0);
+        let lo1 = load(6) >> 3;
+        let lo2 = load(12) >> 6;
+        let lo3 = load(19) >> 1;
+        let lo4 = load(24) >> 12;
+        Fe([
+            lo0 & MASK51,
+            lo1 & MASK51,
+            lo2 & MASK51,
+            lo3 & MASK51,
+            lo4 & MASK51,
+        ])
+    }
+
+    /// Encodes the element canonically as 32 little-endian bytes.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut t = self.reduce_limbs().0;
+        // After reduce_limbs all limbs are < 2^51, so the value is in
+        // [0, 2^255). At most one subtraction of p is needed: the value is
+        // >= p = 2^255 - 19 iff limbs 1..4 are maximal and limb 0 >= 2^51-19.
+        let ge_p = t[1] == MASK51
+            && t[2] == MASK51
+            && t[3] == MASK51
+            && t[4] == MASK51
+            && t[0] >= MASK51 - 18;
+        if ge_p {
+            t[0] -= MASK51 - 18;
+            t[1] = 0;
+            t[2] = 0;
+            t[3] = 0;
+            t[4] = 0;
+        }
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for (i, &limb) in t.iter().enumerate() {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 && idx < 32 {
+                out[idx] = (acc & 0xff) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+            let _ = i;
+        }
+        while idx < 32 {
+            out[idx] = (acc & 0xff) as u8;
+            acc >>= 8;
+            idx += 1;
+        }
+        out
+    }
+
+    /// Propagates carries so that every limb is < 2^51.
+    fn reduce_limbs(self) -> Fe {
+        let mut t = self.0;
+        // Two passes handle any input produced by this module's operations.
+        for _ in 0..2 {
+            let mut carry;
+            carry = t[0] >> 51;
+            t[0] &= MASK51;
+            t[1] += carry;
+            carry = t[1] >> 51;
+            t[1] &= MASK51;
+            t[2] += carry;
+            carry = t[2] >> 51;
+            t[2] &= MASK51;
+            t[3] += carry;
+            carry = t[3] >> 51;
+            t[3] &= MASK51;
+            t[4] += carry;
+            carry = t[4] >> 51;
+            t[4] &= MASK51;
+            t[0] += 19 * carry;
+        }
+        let carry = t[0] >> 51;
+        t[0] &= MASK51;
+        t[1] += carry;
+        Fe(t)
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(self, rhs: Fe) -> Fe {
+        Fe([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+            self.0[4] + rhs.0[4],
+        ])
+        .reduce_limbs()
+    }
+
+    /// Field subtraction.
+    #[must_use]
+    pub fn sub(self, rhs: Fe) -> Fe {
+        // Add 2p (in limb form) before subtracting so limbs stay positive.
+        let two_p0 = 2 * (MASK51 - 18); // 2 * (2^51 - 19)
+        let two_pi = 2 * MASK51; // 2 * (2^51 - 1)
+        Fe([
+            self.0[0] + two_p0 - rhs.0[0],
+            self.0[1] + two_pi - rhs.0[1],
+            self.0[2] + two_pi - rhs.0[2],
+            self.0[3] + two_pi - rhs.0[3],
+            self.0[4] + two_pi - rhs.0[4],
+        ])
+        .reduce_limbs()
+    }
+
+    /// Field negation.
+    #[must_use]
+    pub fn neg(self) -> Fe {
+        Fe::ZERO.sub(self)
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(self, rhs: Fe) -> Fe {
+        let a = &self.0;
+        let b = &rhs.0;
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        let r0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let mut r1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let mut r2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let mut r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let mut r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        // Carry propagation over u128 accumulators.
+        let mut t = [0u64; 5];
+        let mut carry: u128;
+        carry = r0 >> 51;
+        t[0] = (r0 as u64) & MASK51;
+        r1 += carry;
+        carry = r1 >> 51;
+        t[1] = (r1 as u64) & MASK51;
+        r2 += carry;
+        carry = r2 >> 51;
+        t[2] = (r2 as u64) & MASK51;
+        r3 += carry;
+        carry = r3 >> 51;
+        t[3] = (r3 as u64) & MASK51;
+        r4 += carry;
+        carry = r4 >> 51;
+        t[4] = (r4 as u64) & MASK51;
+        t[0] += (carry as u64) * 19;
+        Fe(t).reduce_limbs()
+    }
+
+    /// Field squaring.
+    #[must_use]
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Raises the element to an arbitrary power given as 32 little-endian
+    /// bytes (most-significant bit first internally).
+    #[must_use]
+    pub fn pow_bytes_le(self, exp: &[u8; 32]) -> Fe {
+        let mut result = Fe::ONE;
+        for bit in (0..256).rev() {
+            result = result.square();
+            if (exp[bit / 8] >> (bit % 8)) & 1 == 1 {
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat: `self^(p-2)`.
+    ///
+    /// Returns zero for zero input (callers must handle that case).
+    #[must_use]
+    pub fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21, little-endian bytes.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb; // 0xed - 2
+        exp[31] = 0x7f;
+        self.pow_bytes_le(&exp)
+    }
+
+    /// `self^((p-5)/8)`, used for square-root extraction on the curve.
+    #[must_use]
+    pub fn pow_p58(self) -> Fe {
+        // (p - 5) / 8 = (2^255 - 24) / 8 = 2^252 - 3, little-endian bytes.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfd;
+        exp[31] = 0x0f;
+        self.pow_bytes_le(&exp)
+    }
+
+    /// Returns `sqrt(-1)` in the field (one of the two roots).
+    #[must_use]
+    pub fn sqrt_m1() -> Fe {
+        // 2^((p-1)/4) is a square root of -1 because 2 is a non-square
+        // mod p. (p-1)/4 = (2^255 - 20) / 4 = 2^253 - 5.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfb;
+        exp[31] = 0x1f;
+        Fe::from_u64(2).pow_bytes_le(&exp)
+    }
+
+    /// True if the element is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Canonical equality (comparing reduced encodings).
+    #[must_use]
+    pub fn equals(self, other: Fe) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+
+    /// Returns the low bit of the canonical encoding (the "sign" of x in
+    /// Edwards-point compression).
+    #[must_use]
+    pub fn parity(self) -> u8 {
+        self.to_bytes()[0] & 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fe(v: u64) -> Fe {
+        Fe::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_small() {
+        assert!(fe(5).add(fe(7)).equals(fe(12)));
+        assert!(fe(12).sub(fe(7)).equals(fe(5)));
+        assert!(fe(0).sub(fe(1)).add(fe(1)).equals(Fe::ZERO));
+    }
+
+    #[test]
+    fn mul_small() {
+        assert!(fe(6).mul(fe(7)).equals(fe(42)));
+        assert!(fe(1 << 30)
+            .mul(fe(1 << 30))
+            .equals(Fe([0, 1 << 9, 0, 0, 0])));
+    }
+
+    #[test]
+    fn p_is_zero() {
+        // p = 2^255 - 19 encoded as limbs must reduce to zero.
+        let p = Fe([MASK51 - 18, MASK51, MASK51, MASK51, MASK51]);
+        assert!(p.is_zero());
+        assert_eq!(p.to_bytes(), [0u8; 32]);
+    }
+
+    #[test]
+    fn p_plus_one_is_one() {
+        let p1 = Fe([MASK51 - 17, MASK51, MASK51, MASK51, MASK51]);
+        assert!(p1.equals(Fe::ONE));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut b = [0u8; 32];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = (i as u8).wrapping_mul(37).wrapping_add(1);
+        }
+        b[31] &= 0x7f; // Keep below 2^255 so the encoding is canonical.
+        let x = Fe::from_bytes(&b);
+        assert_eq!(x.to_bytes(), b);
+    }
+
+    #[test]
+    fn inverse_of_two() {
+        let inv2 = fe(2).invert();
+        assert!(inv2.mul(fe(2)).equals(Fe::ONE));
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = Fe::sqrt_m1();
+        assert!(i.square().equals(Fe::ONE.neg()));
+    }
+
+    #[test]
+    fn pow_p58_consistency() {
+        // For v a nonzero square, v^((p-5)/8) * v relates to sqrt(v):
+        // check the standard identity (v^((p-5)/8))^8 * v^3 is v^((p-5)+3)
+        // indirectly via invert: x^(p-2) * x == 1.
+        let x = fe(123_456_789);
+        assert!(x.invert().mul(x).equals(Fe::ONE));
+        let y = x.pow_p58();
+        // y = x^((p-5)/8) => y^8 = x^(p-5) = x^(-4) (Fermat), so y^8*x^4 = 1.
+        let y8 = y.square().square().square();
+        let x4 = x.square().square();
+        assert!(y8.mul(x4).equals(Fe::ONE));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert!(fe(a).add(fe(b)).equals(fe(b).add(fe(a))));
+        }
+
+        #[test]
+        fn prop_mul_commutes(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert!(fe(a).mul(fe(b)).equals(fe(b).mul(fe(a))));
+        }
+
+        #[test]
+        fn prop_distributive(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            let lhs = fe(a).mul(fe(b).add(fe(c)));
+            let rhs = fe(a).mul(fe(b)).add(fe(a).mul(fe(c)));
+            prop_assert!(lhs.equals(rhs));
+        }
+
+        #[test]
+        fn prop_sub_add_roundtrip(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert!(fe(a).sub(fe(b)).add(fe(b)).equals(fe(a)));
+        }
+
+        #[test]
+        fn prop_invert(a in 1u64..) {
+            prop_assert!(fe(a).invert().mul(fe(a)).equals(Fe::ONE));
+        }
+
+        #[test]
+        fn prop_bytes_roundtrip(bytes in any::<[u8; 32]>()) {
+            let mut b = bytes;
+            b[31] &= 0x7f;
+            // Skip the few non-canonical encodings in [p, 2^255).
+            let x = Fe::from_bytes(&b);
+            let rt = Fe::from_bytes(&x.to_bytes());
+            prop_assert!(x.equals(rt));
+        }
+
+        #[test]
+        fn prop_random_field_mul_assoc(a in any::<[u8;32]>(), b in any::<[u8;32]>(), c in any::<[u8;32]>()) {
+            let (mut a, mut b, mut c) = (a, b, c);
+            a[31] &= 0x7f; b[31] &= 0x7f; c[31] &= 0x7f;
+            let (x, y, z) = (Fe::from_bytes(&a), Fe::from_bytes(&b), Fe::from_bytes(&c));
+            prop_assert!(x.mul(y).mul(z).equals(x.mul(y.mul(z))));
+        }
+    }
+}

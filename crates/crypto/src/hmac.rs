@@ -1,0 +1,196 @@
+//! RFC 2104 HMAC-SHA256 and RFC 5869 HKDF.
+//!
+//! HMAC is the message-authentication primitive behind the crate's
+//! encrypt-then-MAC [`crate::aead`] scheme; HKDF derives independent
+//! sub-keys (encryption key, MAC key, per-purpose PRG seeds) from
+//! Diffie–Hellman shared secrets.
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the SHA-256 block size are first hashed, per RFC 2104.
+#[must_use]
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Incremental HMAC-SHA256 context.
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC context keyed with `key`.
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = crate::sha256::sha256(key);
+            key_block[..DIGEST_LEN].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = key_block[i] ^ 0x36;
+            opad[i] = key_block[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            outer_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the 32-byte tag.
+    #[must_use]
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+/// RFC 5869 HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+#[must_use]
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// RFC 5869 HKDF-Expand producing `out.len()` bytes (at most 255 * 32).
+///
+/// # Panics
+///
+/// Panics if more than `255 * 32` output bytes are requested, per the RFC
+/// limit; callers in this crate only ever derive a few keys at once.
+pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * DIGEST_LEN, "HKDF output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    let mut offset = 0usize;
+    while offset < out.len() {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (out.len() - offset).min(DIGEST_LEN);
+        out[offset..offset + take].copy_from_slice(&block[..take]);
+        t = block.to_vec();
+        offset += take;
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-call HKDF (extract + expand).
+#[must_use]
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = hkdf_extract(salt, ikm);
+    let mut out = vec![0u8; len];
+    hkdf_expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc4231_case1() {
+        let key = vec![0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3_long_data() {
+        let key = vec![0xaa; 20];
+        let data = vec![0xdd; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed() {
+        // Keys longer than one block must behave as HMAC(H(key), ...).
+        let long_key = vec![0x42u8; 100];
+        let hashed = crate::sha256::sha256(&long_key);
+        assert_eq!(hmac_sha256(&long_key, b"m"), hmac_sha256(&hashed, b"m"));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut mac = HmacSha256::new(b"key");
+        mac.update(b"part one ");
+        mac.update(b"part two");
+        assert_eq!(mac.finalize(), hmac_sha256(b"key", b"part one part two"));
+    }
+
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = vec![0x0b; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let okm = hkdf(&salt, &ikm, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn hkdf_prefix_property() {
+        // Shorter outputs are prefixes of longer ones for the same inputs.
+        let long = hkdf(b"salt", b"ikm", b"info", 64);
+        let short = hkdf(b"salt", b"ikm", b"info", 16);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    fn hkdf_info_separates_keys() {
+        assert_ne!(
+            hkdf(b"s", b"ikm", b"enc", 32),
+            hkdf(b"s", b"ikm", b"mac", 32)
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Seeded, forkable pseudorandom generator on top of ChaCha20.
+//!
+//! SecAgg and XNoise both derive long pseudorandom vectors from short seeds:
+//! pairwise masks `PRG(s_{u,v})`, self-masks `PRG(b_u)`, and XNoise's
+//! per-component noise streams `PRG(g_{u,k})`. A 32-byte seed plus a domain
+//! string deterministically identifies each stream, so a server that later
+//! learns a seed (directly or via Shamir reconstruction) regenerates exactly
+//! the same vector the client used.
+
+use crate::chacha20::{KeyStream, KEY_LEN, NONCE_LEN};
+use crate::hmac::hkdf;
+
+/// Seed type for all PRG streams (256 bits).
+pub type Seed = [u8; 32];
+
+/// A deterministic pseudorandom stream identified by `(seed, domain)`.
+///
+/// # Examples
+///
+/// ```
+/// use dordis_crypto::prg::Prg;
+///
+/// let mut a = Prg::new(&[42u8; 32], b"mask");
+/// let mut b = Prg::new(&[42u8; 32], b"mask");
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone)]
+pub struct Prg {
+    stream: KeyStream,
+}
+
+impl Prg {
+    /// Creates a PRG for `seed` in the given domain.
+    ///
+    /// Distinct domains yield computationally independent streams for the
+    /// same seed, which lets one seed safely back several vectors (e.g. a
+    /// mask and its consistency check).
+    #[must_use]
+    pub fn new(seed: &Seed, domain: &[u8]) -> Self {
+        // Derive (key, nonce) from the seed so that the raw seed is never
+        // used directly as cipher key material across domains.
+        let okm = hkdf(b"dordis.prg", seed, domain, KEY_LEN + NONCE_LEN);
+        let mut key = [0u8; KEY_LEN];
+        let mut nonce = [0u8; NONCE_LEN];
+        key.copy_from_slice(&okm[..KEY_LEN]);
+        nonce.copy_from_slice(&okm[KEY_LEN..]);
+        Prg {
+            stream: KeyStream::new(key, nonce),
+        }
+    }
+
+    /// Derives a fresh sub-seed; the returned seed is independent of the
+    /// stream output consumed so far.
+    #[must_use]
+    pub fn fork(seed: &Seed, domain: &[u8], index: u64) -> Seed {
+        let mut info = Vec::with_capacity(domain.len() + 8);
+        info.extend_from_slice(domain);
+        info.extend_from_slice(&index.to_le_bytes());
+        let okm = hkdf(b"dordis.prg.fork", seed, &info, 32);
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&okm);
+        out
+    }
+
+    /// Fills `out` with pseudorandom bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        self.stream.fill(out);
+    }
+
+    /// Returns the next pseudorandom `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.stream.next_u64()
+    }
+
+    /// Returns the next pseudorandom `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        self.stream.next_u32()
+    }
+
+    /// Returns a uniform value in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        // Rejection sampling: reject the final partial range so the result
+        // is exactly uniform.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fills `out` with uniform values modulo `2^bits` (masks in `Z_{2^b}`).
+    ///
+    /// This is the mask-expansion primitive of SecAgg: each model-update
+    /// coordinate lives in `Z_{2^b}` and pairwise masks must be uniform
+    /// there so that `p_{u,v} + p_{v,u} = 0 (mod 2^b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `bits > 64`.
+    pub fn fill_mod2b(&mut self, bits: u32, out: &mut [u64]) {
+        assert!(bits >= 1 && bits <= 64, "bits must be in 1..=64");
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        for v in out.iter_mut() {
+            *v = self.next_u64() & mask;
+        }
+    }
+
+    /// Returns a fresh random seed drawn from this stream.
+    pub fn gen_seed(&mut self) -> Seed {
+        let mut s = [0u8; 32];
+        self.fill_bytes(&mut s);
+        s
+    }
+}
+
+/// Generates a random seed from an OS-independent entropy source.
+///
+/// Uses the `rand` crate's thread RNG; suitable for simulation and tests.
+/// Deployments with stronger requirements can substitute entropy and use
+/// [`Prg::fork`] for everything downstream.
+#[must_use]
+pub fn random_seed<R: rand::Rng>(rng: &mut R) -> Seed {
+    let mut s = [0u8; 32];
+    rng.fill(&mut s[..]);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed_and_domain() {
+        let seed = [1u8; 32];
+        let mut a = Prg::new(&seed, b"x");
+        let mut b = Prg::new(&seed, b"x");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn domains_separate_streams() {
+        let seed = [2u8; 32];
+        let mut a = Prg::new(&seed, b"mask");
+        let mut b = Prg::new(&seed, b"noise");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_indexed() {
+        let seed = [3u8; 32];
+        assert_eq!(Prg::fork(&seed, b"d", 0), Prg::fork(&seed, b"d", 0));
+        assert_ne!(Prg::fork(&seed, b"d", 0), Prg::fork(&seed, b"d", 1));
+        assert_ne!(Prg::fork(&seed, b"d", 0), Prg::fork(&seed, b"e", 0));
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut p = Prg::new(&[4u8; 32], b"t");
+        for bound in [1u64, 2, 3, 7, 100, 1 << 20, u64::MAX] {
+            for _ in 0..50 {
+                assert!(p.next_u64_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut p = Prg::new(&[5u8; 32], b"t");
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[p.next_u64_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut p = Prg::new(&[6u8; 32], b"t");
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = p.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((0.47..0.53).contains(&mean), "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn mod2b_respects_bit_width() {
+        let mut p = Prg::new(&[7u8; 32], b"t");
+        let mut out = vec![0u64; 256];
+        p.fill_mod2b(20, &mut out);
+        assert!(out.iter().all(|&v| v < (1 << 20)));
+        // With 256 draws of 20-bit values, the top bits should be exercised.
+        assert!(out.iter().any(|&v| v >= (1 << 19)));
+        let mut out64 = vec![0u64; 8];
+        p.fill_mod2b(64, &mut out64);
+    }
+
+    #[test]
+    fn masks_cancel_mod2b() {
+        // Two parties expanding the same seed produce identical masks, so
+        // (x + m) - m = x in Z_2^b — the core SecAgg cancellation property.
+        let seed = [8u8; 32];
+        let bits = 24u32;
+        let modulus = 1u64 << bits;
+        let mut mu = vec![0u64; 100];
+        Prg::new(&seed, b"pair").fill_mod2b(bits, &mut mu);
+        let mut mv = vec![0u64; 100];
+        Prg::new(&seed, b"pair").fill_mod2b(bits, &mut mv);
+        for (a, b) in mu.iter().zip(mv.iter()) {
+            assert_eq!((a + (modulus - b)) % modulus, 0);
+        }
+    }
+}

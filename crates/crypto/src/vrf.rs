@@ -1,0 +1,267 @@
+//! A verifiable random function (VRF) over edwards25519.
+//!
+//! Dordis §7 proposes VRF-based client sampling to stop a malicious
+//! server from cherry-picking colluding clients: each client evaluates
+//! `VRF(sk, round)` itself, participates iff the output falls below the
+//! sampling threshold, and everyone can verify everyone else's
+//! participation proof.
+//!
+//! The construction is the classic EC-VRF shape:
+//!
+//! - hash-to-curve `H = h2c(input)` (try-and-increment, cofactor-cleared),
+//! - `Γ = x·H` where `x` is the secret scalar, `PK = x·B`,
+//! - a Chaum–Pedersen DLEQ proof that `log_B(PK) = log_H(Γ)`,
+//! - output `β = SHA-256("out" ‖ Γ)`.
+//!
+//! Proofs are non-interactive via Fiat–Shamir. Like the signature module,
+//! this is a from-scratch implementation that is *not* wire-compatible
+//! with RFC 9381, but carries the same uniqueness + pseudorandomness
+//! structure.
+
+use crate::ed25519::{Point, Scalar};
+use crate::hmac::hkdf;
+use crate::sha256::sha256_concat;
+use crate::CryptoError;
+
+/// VRF secret key.
+#[derive(Clone)]
+pub struct VrfSecretKey {
+    scalar: Scalar,
+    public: VrfPublicKey,
+}
+
+/// VRF public key (compressed point).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VrfPublicKey(pub [u8; 32]);
+
+/// A VRF evaluation proof: `(Γ, c, s)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VrfProof {
+    /// The VRF point `Γ = x·H` (compressed).
+    pub gamma: [u8; 32],
+    /// Fiat–Shamir challenge.
+    pub c: [u8; 32],
+    /// Response scalar.
+    pub s: [u8; 32],
+}
+
+impl VrfSecretKey {
+    /// Derives a VRF key from a 32-byte seed.
+    #[must_use]
+    pub fn from_seed(seed: &[u8; 32]) -> VrfSecretKey {
+        let okm = hkdf(b"dordis.vrf.keygen", seed, b"scalar", 64);
+        let mut wide = [0u8; 64];
+        wide.copy_from_slice(&okm);
+        let scalar = Scalar::from_wide_bytes(&wide);
+        let scalar = if scalar.is_zero() {
+            Scalar::ONE
+        } else {
+            scalar
+        };
+        let public = VrfPublicKey(Point::base().mul_scalar(&scalar).compress());
+        VrfSecretKey { scalar, public }
+    }
+
+    /// The corresponding public key.
+    #[must_use]
+    pub fn public_key(&self) -> VrfPublicKey {
+        self.public
+    }
+
+    /// Evaluates the VRF: returns `(output, proof)`.
+    #[must_use]
+    pub fn evaluate(&self, input: &[u8]) -> ([u8; 32], VrfProof) {
+        let h = hash_to_curve(input);
+        let gamma = h.mul_scalar(&self.scalar);
+        // DLEQ proof: k random (derived deterministically), commitments
+        // k·B and k·H, challenge c = H(B, H, PK, Γ, k·B, k·H),
+        // response s = k + c·x.
+        let k = {
+            let mut material = self.scalar.to_bytes().to_vec();
+            material.extend_from_slice(input);
+            let okm = hkdf(b"dordis.vrf.nonce", &material, b"k", 64);
+            let mut wide = [0u8; 64];
+            wide.copy_from_slice(&okm);
+            let k = Scalar::from_wide_bytes(&wide);
+            if k.is_zero() {
+                Scalar::ONE
+            } else {
+                k
+            }
+        };
+        let kb = Point::base().mul_scalar(&k).compress();
+        let kh = h.mul_scalar(&k).compress();
+        let gamma_c = gamma.compress();
+        let c_bytes = challenge(&self.public.0, &h.compress(), &gamma_c, &kb, &kh);
+        let c = Scalar::from_bytes_mod_l(&c_bytes);
+        let s = k.add(c.mul(self.scalar));
+        let output = vrf_output(&gamma_c);
+        (
+            output,
+            VrfProof {
+                gamma: gamma_c,
+                c: c_bytes,
+                s: s.to_bytes(),
+            },
+        )
+    }
+}
+
+impl VrfPublicKey {
+    /// Verifies a proof and returns the VRF output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid points or a non-verifying DLEQ proof.
+    pub fn verify(&self, input: &[u8], proof: &VrfProof) -> Result<[u8; 32], CryptoError> {
+        let pk = Point::decompress(&self.0)?;
+        let gamma = Point::decompress(&proof.gamma)?;
+        let h = hash_to_curve(input);
+        let c = Scalar::from_bytes_mod_l(&proof.c);
+        let s = Scalar::from_canonical_bytes(&proof.s)?;
+        // Recompute commitments: k·B = s·B − c·PK, k·H = s·H − c·Γ.
+        let kb = Point::base()
+            .mul_scalar(&s)
+            .add(&pk.mul_scalar(&c).neg())
+            .compress();
+        let kh = h.mul_scalar(&s).add(&gamma.mul_scalar(&c).neg()).compress();
+        let expected_c = challenge(&self.0, &h.compress(), &proof.gamma, &kb, &kh);
+        if expected_c != proof.c {
+            return Err(CryptoError::BadSignature);
+        }
+        Ok(vrf_output(&proof.gamma))
+    }
+}
+
+/// Try-and-increment hash-to-curve, cofactor-cleared to the prime-order
+/// subgroup.
+fn hash_to_curve(input: &[u8]) -> Point {
+    for ctr in 0u32..=255 {
+        let digest = sha256_concat(&[b"dordis.vrf.h2c", &ctr.to_le_bytes(), input]);
+        if let Ok(p) = Point::decompress(&digest) {
+            // Multiply by the cofactor 8 to land in the prime-order group;
+            // reject if that gives the identity (tiny-order input point).
+            let cleared = p.double().double().double();
+            if !cleared.is_identity() {
+                return cleared;
+            }
+        }
+    }
+    // Statistically unreachable (each attempt succeeds w.p. ~1/2).
+    unreachable!("hash_to_curve failed for all counters");
+}
+
+fn challenge(
+    pk: &[u8; 32],
+    h: &[u8; 32],
+    gamma: &[u8; 32],
+    kb: &[u8; 32],
+    kh: &[u8; 32],
+) -> [u8; 32] {
+    sha256_concat(&[b"dordis.vrf.chal", pk, h, gamma, kb, kh])
+}
+
+fn vrf_output(gamma: &[u8; 32]) -> [u8; 32] {
+    sha256_concat(&[b"dordis.vrf.out", gamma])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_verify_roundtrip() {
+        let sk = VrfSecretKey::from_seed(&[1u8; 32]);
+        let (out, proof) = sk.evaluate(b"round 42");
+        let verified = sk.public_key().verify(b"round 42", &proof).unwrap();
+        assert_eq!(out, verified);
+    }
+
+    #[test]
+    fn output_is_deterministic_and_input_sensitive() {
+        let sk = VrfSecretKey::from_seed(&[2u8; 32]);
+        let (o1, _) = sk.evaluate(b"round 1");
+        let (o1b, _) = sk.evaluate(b"round 1");
+        let (o2, _) = sk.evaluate(b"round 2");
+        assert_eq!(o1, o1b);
+        assert_ne!(o1, o2);
+    }
+
+    #[test]
+    fn different_keys_different_outputs() {
+        let a = VrfSecretKey::from_seed(&[3u8; 32]);
+        let b = VrfSecretKey::from_seed(&[4u8; 32]);
+        assert_ne!(a.evaluate(b"x").0, b.evaluate(b"x").0);
+    }
+
+    #[test]
+    fn wrong_input_rejected() {
+        let sk = VrfSecretKey::from_seed(&[5u8; 32]);
+        let (_, proof) = sk.evaluate(b"round 7");
+        assert!(sk.public_key().verify(b"round 8", &proof).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let a = VrfSecretKey::from_seed(&[6u8; 32]);
+        let b = VrfSecretKey::from_seed(&[7u8; 32]);
+        let (_, proof) = a.evaluate(b"m");
+        assert!(b.public_key().verify(b"m", &proof).is_err());
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let sk = VrfSecretKey::from_seed(&[8u8; 32]);
+        let (_, proof) = sk.evaluate(b"m");
+        let pk = sk.public_key();
+        let mut bad = proof.clone();
+        bad.c[0] ^= 1;
+        assert!(pk.verify(b"m", &bad).is_err());
+        let mut bad = proof.clone();
+        bad.s[0] ^= 1;
+        assert!(pk.verify(b"m", &bad).is_err());
+        let mut bad = proof;
+        bad.gamma[0] ^= 1;
+        assert!(pk.verify(b"m", &bad).is_err());
+    }
+
+    #[test]
+    fn forged_gamma_cannot_verify() {
+        // An adversarial server trying to claim a different output needs a
+        // different Γ, which breaks the DLEQ proof.
+        let sk = VrfSecretKey::from_seed(&[9u8; 32]);
+        let other = VrfSecretKey::from_seed(&[10u8; 32]);
+        let (_, honest) = sk.evaluate(b"m");
+        let (_, theirs) = other.evaluate(b"m");
+        let forged = VrfProof {
+            gamma: theirs.gamma,
+            c: honest.c,
+            s: honest.s,
+        };
+        assert!(sk.public_key().verify(b"m", &forged).is_err());
+    }
+
+    #[test]
+    fn outputs_are_roughly_uniform() {
+        // First byte of outputs over many inputs should spread.
+        let sk = VrfSecretKey::from_seed(&[11u8; 32]);
+        let mut low = 0usize;
+        let n = 200;
+        for i in 0..n {
+            let (out, _) = sk.evaluate(&[i as u8]);
+            if out[0] < 128 {
+                low += 1;
+            }
+        }
+        assert!((60..140).contains(&low), "low-half count {low}");
+    }
+
+    #[test]
+    fn hash_to_curve_points_valid() {
+        for i in 0..10u8 {
+            let p = hash_to_curve(&[i]);
+            assert!(p.on_curve());
+            assert!(!p.is_identity());
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! RFC 7748 x25519 Diffie–Hellman over curve25519.
+//!
+//! This is the `KA` primitive of SecAgg's Figure 5: each client generates a
+//! keypair, advertises the public key through the server, and agrees on a
+//! shared secret with every other client. The Montgomery ladder operates on
+//! u-coordinates only.
+
+use crate::field::Fe;
+
+/// An x25519 secret key (clamped scalar).
+pub type SecretKey = [u8; 32];
+/// An x25519 public key (u-coordinate).
+pub type PublicKey = [u8; 32];
+
+/// The base point u-coordinate (u = 9).
+pub const BASE_POINT: PublicKey = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Clamps a 32-byte scalar per RFC 7748.
+#[must_use]
+pub fn clamp(mut scalar: [u8; 32]) -> [u8; 32] {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+    scalar
+}
+
+/// Conditionally swaps two field elements (data-independent of `swap`).
+fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+    let mask = 0u64.wrapping_sub(swap);
+    for i in 0..5 {
+        let t = mask & (a.0[i] ^ b.0[i]);
+        a.0[i] ^= t;
+        b.0[i] ^= t;
+    }
+}
+
+/// Scalar multiplication on the Montgomery curve: returns `u([scalar] P_u)`.
+///
+/// The scalar is clamped internally, matching the RFC 7748 X25519 function.
+#[must_use]
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*scalar);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+    let a24 = Fe::from_u64(121_665);
+
+    for t in (0..255).rev() {
+        let k_t = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= k_t;
+        cswap(swap, &mut x2, &mut x3);
+        cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(a24.mul(e)));
+    }
+    cswap(swap, &mut x2, &mut x3);
+    cswap(swap, &mut z2, &mut z3);
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// Derives the public key for a secret key.
+#[must_use]
+pub fn public_key(secret: &SecretKey) -> PublicKey {
+    x25519(secret, &BASE_POINT)
+}
+
+/// Computes the raw shared secret between `our_secret` and `their_public`.
+///
+/// Callers should hash the result before use as key material (see
+/// [`crate::ka`]), per standard DH hygiene.
+#[must_use]
+pub fn shared_secret(our_secret: &SecretKey, their_public: &PublicKey) -> [u8; 32] {
+    x25519(our_secret, their_public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        // RFC 7748 §5.2 test vector 1.
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = x25519(&scalar, &u);
+        assert_eq!(
+            hex(&out),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    #[test]
+    fn rfc7748_dh_vectors() {
+        // RFC 7748 §6.1: Alice/Bob DH exchange.
+        let a_sk = unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let b_sk = unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let a_pk = public_key(&a_sk);
+        let b_pk = public_key(&b_sk);
+        assert_eq!(
+            hex(&a_pk),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex(&b_pk),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let k_ab = shared_secret(&a_sk, &b_pk);
+        let k_ba = shared_secret(&b_sk, &a_pk);
+        assert_eq!(k_ab, k_ba);
+        assert_eq!(
+            hex(&k_ab),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn dh_commutes_for_random_keys() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..8 {
+            let mut a = [0u8; 32];
+            let mut b = [0u8; 32];
+            rng.fill(&mut a[..]);
+            rng.fill(&mut b[..]);
+            let ka = shared_secret(&a, &public_key(&b));
+            let kb = shared_secret(&b, &public_key(&a));
+            assert_eq!(ka, kb);
+            assert_ne!(ka, [0u8; 32]);
+        }
+    }
+
+    #[test]
+    fn distinct_secrets_distinct_publics() {
+        let a = [1u8; 32];
+        let b = [2u8; 32];
+        assert_ne!(public_key(&a), public_key(&b));
+    }
+
+    #[test]
+    fn clamping_is_idempotent() {
+        let s = [0xffu8; 32];
+        assert_eq!(clamp(clamp(s)), clamp(s));
+        let c = clamp(s);
+        assert_eq!(c[0] & 7, 0);
+        assert_eq!(c[31] & 0x80, 0);
+        assert_eq!(c[31] & 0x40, 0x40);
+    }
+}

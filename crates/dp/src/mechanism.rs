@@ -1,0 +1,252 @@
+//! Noise samplers: Gaussian, Poisson, and the symmetric Skellam mechanism.
+//!
+//! All samplers draw from a [`Prg`] stream, so a 32-byte seed fully
+//! determines the noise vector. This is what makes XNoise work: a client
+//! adds noise generated from seed `g_{u,k}`, and the server can later
+//! regenerate (and subtract) *exactly* the same vector from the seed alone
+//! (paper §3.1, "decomposition").
+
+use dordis_crypto::prg::{Prg, Seed};
+
+use crate::math::ln_factorial;
+
+/// A Gaussian sampler over a PRG stream (Box–Muller with caching).
+pub struct GaussianSampler {
+    prg: Prg,
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler from a seed and domain string.
+    #[must_use]
+    pub fn new(seed: &Seed, domain: &[u8]) -> Self {
+        GaussianSampler {
+            prg: Prg::new(seed, domain),
+            spare: None,
+        }
+    }
+
+    /// Draws one `N(0, σ²)` sample.
+    pub fn sample(&mut self, sigma: f64) -> f64 {
+        self.standard() * sigma
+    }
+
+    /// Draws one standard normal sample.
+    pub fn standard(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Box–Muller; u1 is kept away from zero to avoid ln(0).
+        let u1 = loop {
+            let u = self.prg.next_f64();
+            if u > 1e-300 {
+                break u;
+            }
+        };
+        let u2 = self.prg.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Fills a vector with `N(0, σ²)` samples.
+    pub fn sample_vec(&mut self, sigma: f64, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.sample(sigma)).collect()
+    }
+}
+
+/// Draws a Poisson(μ) sample from the PRG.
+///
+/// Small means use Knuth's product-of-uniforms method; large means use
+/// Atkinson's logistic-envelope rejection (exact, expected O(1) trials).
+pub fn poisson(prg: &mut Prg, mu: f64) -> u64 {
+    assert!(mu >= 0.0, "Poisson mean must be non-negative");
+    if mu == 0.0 {
+        return 0;
+    }
+    if mu < 30.0 {
+        // Knuth: count multiplications until the product drops below e^-μ.
+        let limit = (-mu).exp();
+        let mut product = 1.0;
+        let mut count = 0u64;
+        loop {
+            product *= prg.next_f64();
+            if product <= limit {
+                return count;
+            }
+            count += 1;
+        }
+    }
+    // Atkinson (1979): rejection from a logistic envelope.
+    let beta = std::f64::consts::PI / (3.0 * mu).sqrt();
+    let alpha = beta * mu;
+    let c = 0.767 - 3.36 / mu;
+    let k = c.ln() - mu - beta.ln();
+    loop {
+        let u1 = prg.next_f64();
+        if u1 <= 0.0 || u1 >= 1.0 {
+            continue;
+        }
+        let x = (alpha - ((1.0 - u1) / u1).ln()) / beta;
+        let n = (x + 0.5).floor();
+        if n < 0.0 {
+            continue;
+        }
+        let u2 = prg.next_f64();
+        if u2 <= 0.0 {
+            continue;
+        }
+        let y = alpha - beta * x;
+        let lhs = y + (u2 / (1.0 + y.exp()).powi(2)).ln();
+        let rhs = k + n * mu.ln() - ln_factorial(n as u64);
+        if lhs <= rhs {
+            return n as u64;
+        }
+    }
+}
+
+/// Draws one symmetric Skellam sample with the given total variance.
+///
+/// `Skellam(μ, μ) = Poisson(μ) - Poisson(μ)` with `μ = variance / 2`; the
+/// result has mean 0 and variance `2μ = variance`. Skellam noise is closed
+/// under summation — the property XNoise's decomposition relies on.
+pub fn skellam(prg: &mut Prg, variance: f64) -> i64 {
+    assert!(variance >= 0.0);
+    if variance == 0.0 {
+        return 0;
+    }
+    let mu = variance / 2.0;
+    poisson(prg, mu) as i64 - poisson(prg, mu) as i64
+}
+
+/// Generates a full Skellam noise vector from a seed.
+///
+/// Each coordinate is an independent `Skellam` draw with the given
+/// per-coordinate variance. Deterministic in `(seed, domain)`: the server
+/// can regenerate the identical vector during XNoise removal.
+#[must_use]
+pub fn skellam_vector(seed: &Seed, domain: &[u8], len: usize, variance: f64) -> Vec<i64> {
+    let mut prg = Prg::new(seed, domain);
+    (0..len).map(|_| skellam(&mut prg, variance)).collect()
+}
+
+/// Generates a full Gaussian noise vector from a seed (continuous analogue
+/// of [`skellam_vector`], used by the continuous-mechanism configurations).
+#[must_use]
+pub fn gaussian_vector(seed: &Seed, domain: &[u8], len: usize, sigma: f64) -> Vec<f64> {
+    let mut s = GaussianSampler::new(seed, domain);
+    s.sample_vec(sigma, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_var(xs: &[f64]) -> (f64, f64) {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut s = GaussianSampler::new(&[1u8; 32], b"test");
+        let xs = s.sample_vec(3.0, 40_000);
+        let (mean, var) = mean_var(&xs);
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn gaussian_deterministic_by_seed() {
+        let a = gaussian_vector(&[2u8; 32], b"n", 100, 1.0);
+        let b = gaussian_vector(&[2u8; 32], b"n", 100, 1.0);
+        assert_eq!(a, b);
+        let c = gaussian_vector(&[3u8; 32], b"n", 100, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_small_mu_moments() {
+        let mut prg = Prg::new(&[4u8; 32], b"p");
+        let xs: Vec<f64> = (0..30_000).map(|_| poisson(&mut prg, 3.5) as f64).collect();
+        let (mean, var) = mean_var(&xs);
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+        assert!((var - 3.5).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_mu_moments() {
+        let mut prg = Prg::new(&[5u8; 32], b"p");
+        let mu = 400.0;
+        let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut prg, mu) as f64).collect();
+        let (mean, var) = mean_var(&xs);
+        assert!((mean - mu).abs() < 2.0, "mean {mean}");
+        assert!((var - mu).abs() < 20.0, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_mu() {
+        let mut prg = Prg::new(&[6u8; 32], b"p");
+        assert_eq!(poisson(&mut prg, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_boundary_between_algorithms() {
+        // Means just below and above the algorithm switch should both be
+        // close to their targets.
+        for &mu in &[29.0, 31.0] {
+            let mut prg = Prg::new(&[7u8; 32], b"p");
+            let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut prg, mu) as f64).collect();
+            let (mean, var) = mean_var(&xs);
+            assert!((mean - mu).abs() < 0.5, "mu={mu} mean={mean}");
+            assert!((var - mu).abs() < 2.5, "mu={mu} var={var}");
+        }
+    }
+
+    #[test]
+    fn skellam_moments() {
+        let mut prg = Prg::new(&[8u8; 32], b"s");
+        let variance = 16.0;
+        let xs: Vec<f64> = (0..30_000)
+            .map(|_| skellam(&mut prg, variance) as f64)
+            .collect();
+        let (mean, var) = mean_var(&xs);
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - variance).abs() < 0.8, "var {var}");
+    }
+
+    #[test]
+    fn skellam_vector_deterministic() {
+        let a = skellam_vector(&[9u8; 32], b"k0", 64, 4.0);
+        let b = skellam_vector(&[9u8; 32], b"k0", 64, 4.0);
+        assert_eq!(a, b);
+        let c = skellam_vector(&[9u8; 32], b"k1", 64, 4.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skellam_sum_variance_is_additive() {
+        // Sum of two independent Skellams with variances v1, v2 has
+        // variance v1 + v2 — the closure property in §3 of the paper.
+        let n = 20_000;
+        let a = skellam_vector(&[10u8; 32], b"a", n, 3.0);
+        let b = skellam_vector(&[11u8; 32], b"b", n, 5.0);
+        let sums: Vec<f64> = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x + y) as f64)
+            .collect();
+        let (mean, var) = mean_var(&sums);
+        assert!(mean.abs() < 0.15, "mean {mean}");
+        assert!((var - 8.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn skellam_zero_variance() {
+        let v = skellam_vector(&[12u8; 32], b"z", 16, 0.0);
+        assert!(v.iter().all(|&x| x == 0));
+    }
+}

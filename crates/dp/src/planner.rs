@@ -1,0 +1,285 @@
+//! Offline noise planning (paper §2.2).
+//!
+//! Given a global privacy budget `(ε_G, δ_G)` that the whole training run
+//! may consume, the planner binary-searches the minimum per-round central
+//! noise multiplier `z∗ = σ∗/Δ₂` such that composing all rounds stays
+//! within budget. "Minimum" matters: any extra noise is pure utility loss,
+//! which is exactly why `Orig`-style under-noising (dropout) or
+//! conservative over-noising (the paper's `ConX` variants) are both bad.
+
+use serde::{Deserialize, Serialize};
+
+use crate::accountant::{Mechanism, RdpAccountant};
+use crate::DpError;
+
+/// Inputs to offline noise planning.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Global privacy budget ε_G.
+    pub epsilon: f64,
+    /// Global privacy budget δ_G.
+    pub delta: f64,
+    /// Total number of training rounds.
+    pub rounds: u32,
+    /// Per-round client sampling probability.
+    pub sample_rate: f64,
+    /// Which mechanism perturbs the aggregate.
+    pub mechanism: Mechanism,
+}
+
+/// The result of offline noise planning.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct NoisePlan {
+    /// Minimum central noise multiplier `z∗ = σ∗ / Δ₂` per round.
+    pub noise_multiplier: f64,
+    /// The ε this plan actually realizes (≤ the budget, nearly tight).
+    pub realized_epsilon: f64,
+}
+
+impl NoisePlan {
+    /// Central noise standard deviation for updates with L2 sensitivity
+    /// (clipping bound) `clip`.
+    #[must_use]
+    pub fn central_sigma(&self, clip: f64) -> f64 {
+        self.noise_multiplier * clip
+    }
+}
+
+/// Plans the minimum per-round noise for the given budget.
+///
+/// # Errors
+///
+/// Returns [`DpError::InfeasibleBudget`] if even enormous noise cannot meet
+/// the budget (e.g. δ ≥ 1 requested indirectly) or
+/// [`DpError::BadParameter`] for out-of-domain inputs.
+pub fn plan(cfg: &PlannerConfig) -> Result<NoisePlan, DpError> {
+    if !(cfg.epsilon > 0.0) {
+        return Err(DpError::BadParameter("epsilon must be positive"));
+    }
+    if !(cfg.delta > 0.0 && cfg.delta < 1.0) {
+        return Err(DpError::BadParameter("delta must be in (0,1)"));
+    }
+    if cfg.rounds == 0 {
+        return Err(DpError::BadParameter("rounds must be positive"));
+    }
+    if !(cfg.sample_rate > 0.0 && cfg.sample_rate <= 1.0) {
+        return Err(DpError::BadParameter("sample_rate must be in (0,1]"));
+    }
+
+    let eps_at = |z: f64| -> f64 {
+        RdpAccountant::project(cfg.mechanism, cfg.sample_rate, z, cfg.rounds, cfg.delta)
+    };
+
+    // Bracket: grow `hi` until the budget is met.
+    let mut lo = 1e-3;
+    let mut hi = 1.0;
+    let mut guard = 0;
+    while eps_at(hi) > cfg.epsilon {
+        hi *= 2.0;
+        guard += 1;
+        if guard > 60 {
+            return Err(DpError::InfeasibleBudget(format!(
+                "ε={} δ={} not reachable even with z={hi}",
+                cfg.epsilon, cfg.delta
+            )));
+        }
+    }
+    if eps_at(lo) <= cfg.epsilon {
+        // Essentially free; return the bracket floor.
+        return Ok(NoisePlan {
+            noise_multiplier: lo,
+            realized_epsilon: eps_at(lo),
+        });
+    }
+    // Binary search: eps_at is monotone decreasing in z.
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if eps_at(mid) > cfg.epsilon {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(NoisePlan {
+        noise_multiplier: hi,
+        realized_epsilon: eps_at(hi),
+    })
+}
+
+/// Plans noise assuming a conservatively *estimated* per-round dropout
+/// rate (the paper's `ConX` baselines, §2.3.1).
+///
+/// If a fraction `est_dropout` of sampled clients is expected to vanish,
+/// each client inflates its share so the *surviving* noise still meets the
+/// plan: the per-client share grows by `1/(1 - est_dropout)`, and when
+/// actual dropout is lower than estimated, the aggregate is over-noised
+/// (utility loss); when higher, the budget is overrun.
+pub fn plan_conservative(
+    cfg: &PlannerConfig,
+    est_dropout: f64,
+) -> Result<ConservativePlan, DpError> {
+    if !(0.0..1.0).contains(&est_dropout) {
+        return Err(DpError::BadParameter("est_dropout must be in [0,1)"));
+    }
+    let base = plan(cfg)?;
+    Ok(ConservativePlan { base, est_dropout })
+}
+
+/// A `ConX`-style plan: the base minimum plan plus a dropout estimate.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ConservativePlan {
+    /// The underlying minimum-noise plan.
+    pub base: NoisePlan,
+    /// The assumed per-round dropout fraction.
+    pub est_dropout: f64,
+}
+
+impl ConservativePlan {
+    /// Per-client noise variance share when `n` clients are sampled,
+    /// inflated for the assumed dropout.
+    #[must_use]
+    pub fn per_client_variance(&self, clip: f64, n: usize) -> f64 {
+        let sigma = self.base.central_sigma(clip);
+        let survivors = ((n as f64) * (1.0 - self.est_dropout)).max(1.0);
+        sigma * sigma / survivors
+    }
+
+    /// The central noise multiplier actually realized when the true
+    /// dropout rate is `actual_dropout`.
+    ///
+    /// Each surviving client contributes variance `z²/(n(1-est))`, so the
+    /// aggregate variance is `z² (1-actual)/(1-est)`: over-noised when the
+    /// estimate was pessimistic, under-noised (privacy overrun) when it
+    /// was optimistic.
+    #[must_use]
+    pub fn realized_multiplier(&self, actual_dropout: f64) -> f64 {
+        let ratio = (1.0 - actual_dropout).max(0.0) / (1.0 - self.est_dropout);
+        self.base.noise_multiplier * ratio.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PlannerConfig {
+        PlannerConfig {
+            epsilon: 6.0,
+            delta: 1e-2,
+            rounds: 150,
+            sample_rate: 0.16,
+            mechanism: Mechanism::Gaussian,
+        }
+    }
+
+    #[test]
+    fn plan_meets_budget_tightly() {
+        let p = plan(&cfg()).unwrap();
+        assert!(p.realized_epsilon <= 6.0);
+        assert!(p.realized_epsilon > 5.9, "got {}", p.realized_epsilon);
+        assert!(p.noise_multiplier > 0.0);
+    }
+
+    #[test]
+    fn smaller_budget_needs_more_noise() {
+        let loose = plan(&cfg()).unwrap();
+        let tight = plan(&PlannerConfig {
+            epsilon: 3.0,
+            ..cfg()
+        })
+        .unwrap();
+        assert!(tight.noise_multiplier > loose.noise_multiplier);
+    }
+
+    #[test]
+    fn more_rounds_need_more_noise() {
+        let short = plan(&cfg()).unwrap();
+        let long = plan(&PlannerConfig {
+            rounds: 600,
+            ..cfg()
+        })
+        .unwrap();
+        assert!(long.noise_multiplier > short.noise_multiplier);
+    }
+
+    #[test]
+    fn lower_sampling_rate_needs_less_noise() {
+        let dense = plan(&cfg()).unwrap();
+        let sparse = plan(&PlannerConfig {
+            sample_rate: 0.02,
+            ..cfg()
+        })
+        .unwrap();
+        assert!(sparse.noise_multiplier < dense.noise_multiplier);
+    }
+
+    #[test]
+    fn skellam_needs_at_least_gaussian_noise() {
+        let g = plan(&cfg()).unwrap();
+        let s = plan(&PlannerConfig {
+            mechanism: Mechanism::Skellam { l1_per_l2: 10.0 },
+            ..cfg()
+        })
+        .unwrap();
+        assert!(s.noise_multiplier >= g.noise_multiplier * 0.999);
+    }
+
+    #[test]
+    fn central_sigma_scales_with_clip() {
+        let p = plan(&cfg()).unwrap();
+        assert!((p.central_sigma(3.0) - 3.0 * p.noise_multiplier).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(plan(&PlannerConfig {
+            epsilon: 0.0,
+            ..cfg()
+        })
+        .is_err());
+        assert!(plan(&PlannerConfig {
+            delta: 0.0,
+            ..cfg()
+        })
+        .is_err());
+        assert!(plan(&PlannerConfig { rounds: 0, ..cfg() }).is_err());
+        assert!(plan(&PlannerConfig {
+            sample_rate: 0.0,
+            ..cfg()
+        })
+        .is_err());
+        assert!(plan(&PlannerConfig {
+            sample_rate: 1.5,
+            ..cfg()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn conservative_plan_inflates_per_client_share() {
+        let base = plan_conservative(&cfg(), 0.0).unwrap();
+        let con5 = plan_conservative(&cfg(), 0.5).unwrap();
+        let n = 16;
+        let v0 = base.per_client_variance(1.0, n);
+        let v5 = con5.per_client_variance(1.0, n);
+        assert!(v5 > v0 * 1.9 && v5 < v0 * 2.1, "v0={v0} v5={v5}");
+    }
+
+    #[test]
+    fn conservative_bad_estimate_rejected() {
+        assert!(plan_conservative(&cfg(), 1.0).is_err());
+        assert!(plan_conservative(&cfg(), -0.1).is_err());
+    }
+
+    #[test]
+    fn conservative_realized_multiplier_cases() {
+        let con5 = plan_conservative(&cfg(), 0.5).unwrap();
+        let z = con5.base.noise_multiplier;
+        // Exactly as estimated: on target.
+        assert!((con5.realized_multiplier(0.5) - z).abs() < 1e-12);
+        // No dropout: over-noised by sqrt(2).
+        assert!((con5.realized_multiplier(0.0) - z * 2f64.sqrt()).abs() < 1e-12);
+        // Worse than estimated: under-noised -> privacy overrun.
+        assert!(con5.realized_multiplier(0.8) < z);
+    }
+}

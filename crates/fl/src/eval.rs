@@ -1,0 +1,101 @@
+//! Model evaluation: accuracy and perplexity.
+
+use crate::data::Dataset;
+use crate::model::Model;
+
+/// Classification accuracy in `[0, 1]`.
+#[must_use]
+pub fn accuracy(model: &dyn Model, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = data
+        .features
+        .iter()
+        .zip(data.labels.iter())
+        .filter(|(x, &y)| model.predict(x) == y)
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// Mean cross-entropy loss.
+#[must_use]
+pub fn mean_loss(model: &dyn Model, data: &Dataset) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = data
+        .features
+        .iter()
+        .zip(data.labels.iter())
+        .map(|(x, &y)| model.loss(x, y) as f64)
+        .sum();
+    total / data.len() as f64
+}
+
+/// Perplexity: `exp(mean cross-entropy)`. The paper reports this for the
+/// Reddit next-word-prediction task (lower is better).
+#[must_use]
+pub fn perplexity(model: &dyn Model, data: &Dataset) -> f64 {
+    mean_loss(model, data).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{synthetic_classification, SyntheticConfig};
+    use crate::model::{Linear, Model};
+
+    #[test]
+    fn untrained_model_near_chance() {
+        let data = synthetic_classification(&SyntheticConfig {
+            samples: 500,
+            dim: 8,
+            classes: 5,
+            noise: 0.5,
+            seed: 3,
+        });
+        let m = Linear::new(8, 5);
+        let acc = accuracy(&m, &data);
+        // Zero-init predicts class 0 always => exactly 1/classes here
+        // (balanced data).
+        assert!((acc - 0.2).abs() < 0.01, "acc {acc}");
+        // Uniform probabilities => perplexity == classes.
+        let ppl = perplexity(&m, &data);
+        assert!((ppl - 5.0).abs() < 0.01, "ppl {ppl}");
+    }
+
+    #[test]
+    fn empty_dataset_is_zero() {
+        let data = Dataset {
+            features: vec![],
+            labels: vec![],
+            num_classes: 3,
+        };
+        let m = Linear::new(4, 3);
+        assert_eq!(accuracy(&m, &data), 0.0);
+        assert_eq!(mean_loss(&m, &data), 0.0);
+    }
+
+    #[test]
+    fn perfect_model_has_low_perplexity() {
+        // Craft a linear model that classifies one-hot inputs perfectly.
+        let mut m = Linear::new(3, 3);
+        let mut p = vec![0.0f32; m.num_params()];
+        for c in 0..3 {
+            p[c * 3 + c] = 20.0; // Strong diagonal.
+        }
+        m.set_params(&p);
+        let data = Dataset {
+            features: vec![
+                vec![1.0, 0.0, 0.0],
+                vec![0.0, 1.0, 0.0],
+                vec![0.0, 0.0, 1.0],
+            ],
+            labels: vec![0, 1, 2],
+            num_classes: 3,
+        };
+        assert_eq!(accuracy(&m, &data), 1.0);
+        assert!(perplexity(&m, &data) < 1.01);
+    }
+}

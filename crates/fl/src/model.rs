@@ -1,0 +1,386 @@
+//! Classification models with manual backpropagation.
+//!
+//! Two trainable architectures cover the paper's utility experiments in
+//! synthetic form: a softmax-regression [`Linear`] model and a one-hidden-
+//! layer ReLU [`Mlp`]. Both expose a flat parameter vector so federated
+//! aggregation, DP encoding, and secure aggregation can treat models as
+//! opaque `Vec<f32>`s — exactly how Dordis treats PyTorch state dicts.
+
+use crate::tensor::{argmax, softmax_inplace};
+
+/// A model trainable by the federated loop.
+pub trait Model: Send {
+    /// Number of scalar parameters.
+    fn num_params(&self) -> usize;
+    /// Copies the flattened parameters out.
+    fn params(&self) -> Vec<f32>;
+    /// Overwrites parameters from a flat slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_params()`.
+    fn set_params(&mut self, params: &[f32]);
+    /// Accumulates the gradient of the mean cross-entropy loss over a
+    /// batch into `grad` (which must be zeroed by the caller) and returns
+    /// the mean loss.
+    fn grad_batch(&self, xs: &[&[f32]], ys: &[usize], grad: &mut [f32]) -> f32;
+    /// Predicts the class of one example.
+    fn predict(&self, x: &[f32]) -> usize;
+    /// Cross-entropy loss of one example.
+    fn loss(&self, x: &[f32], y: usize) -> f32;
+    /// Boxed clone (object-safe).
+    fn clone_box(&self) -> Box<dyn Model>;
+}
+
+/// Softmax regression: `logits = W x + b`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    input_dim: usize,
+    classes: usize,
+    /// Row-major `classes x input_dim` weights followed by `classes` biases.
+    params: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a zero-initialized linear classifier.
+    #[must_use]
+    pub fn new(input_dim: usize, classes: usize) -> Self {
+        Linear {
+            input_dim,
+            classes,
+            params: vec![0.0; classes * input_dim + classes],
+        }
+    }
+
+    fn logits(&self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.input_dim);
+        let mut out = vec![0.0f32; self.classes];
+        for c in 0..self.classes {
+            let row = &self.params[c * self.input_dim..(c + 1) * self.input_dim];
+            let mut acc = self.params[self.classes * self.input_dim + c];
+            for (w, xi) in row.iter().zip(x.iter()) {
+                acc += w * xi;
+            }
+            out[c] = acc;
+        }
+        out
+    }
+
+    fn probs(&self, x: &[f32]) -> Vec<f32> {
+        let mut l = self.logits(x);
+        softmax_inplace(&mut l);
+        l
+    }
+}
+
+impl Model for Linear {
+    fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn params(&self) -> Vec<f32> {
+        self.params.clone()
+    }
+
+    fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.params.len());
+        self.params.copy_from_slice(params);
+    }
+
+    fn grad_batch(&self, xs: &[&[f32]], ys: &[usize], grad: &mut [f32]) -> f32 {
+        assert_eq!(grad.len(), self.params.len());
+        assert_eq!(xs.len(), ys.len());
+        let n = xs.len() as f32;
+        let mut total_loss = 0.0f32;
+        let bias_off = self.classes * self.input_dim;
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let p = self.probs(x);
+            total_loss += -(p[y].max(1e-12)).ln();
+            for c in 0..self.classes {
+                let err = (p[c] - if c == y { 1.0 } else { 0.0 }) / n;
+                let row = &mut grad[c * self.input_dim..(c + 1) * self.input_dim];
+                for (g, xi) in row.iter_mut().zip(x.iter()) {
+                    *g += err * xi;
+                }
+                grad[bias_off + c] += err;
+            }
+        }
+        total_loss / n
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        argmax(&self.logits(x))
+    }
+
+    fn loss(&self, x: &[f32], y: usize) -> f32 {
+        -(self.probs(x)[y].max(1e-12)).ln()
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+/// One-hidden-layer ReLU MLP: `logits = W2 relu(W1 x + b1) + b2`.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    input_dim: usize,
+    hidden: usize,
+    classes: usize,
+    /// Layout: `W1 (hidden x input) || b1 (hidden) || W2 (classes x hidden)
+    /// || b2 (classes)`.
+    params: Vec<f32>,
+}
+
+impl Mlp {
+    /// Creates an MLP with small deterministic He-style initialization.
+    #[must_use]
+    pub fn new(input_dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        let count = hidden * input_dim + hidden + classes * hidden + classes;
+        let mut params = vec![0.0f32; count];
+        // Deterministic xorshift init so experiments are reproducible.
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Map to roughly N(0,1) by averaging uniforms.
+            let u1 = (state >> 11) as f32 / (1u64 << 53) as f32;
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u2 = (state >> 11) as f32 / (1u64 << 53) as f32;
+            (u1 + u2 - 1.0) * 1.732
+        };
+        let w1_scale = (2.0 / input_dim as f32).sqrt();
+        for p in params.iter_mut().take(hidden * input_dim) {
+            *p = next() * w1_scale;
+        }
+        let w2_off = hidden * input_dim + hidden;
+        let w2_scale = (2.0 / hidden as f32).sqrt();
+        for p in params[w2_off..w2_off + classes * hidden].iter_mut() {
+            *p = next() * w2_scale;
+        }
+        Mlp {
+            input_dim,
+            hidden,
+            classes,
+            params,
+        }
+    }
+
+    fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        debug_assert_eq!(x.len(), self.input_dim);
+        let b1_off = self.hidden * self.input_dim;
+        let w2_off = b1_off + self.hidden;
+        let b2_off = w2_off + self.classes * self.hidden;
+        let mut h = vec![0.0f32; self.hidden];
+        for j in 0..self.hidden {
+            let row = &self.params[j * self.input_dim..(j + 1) * self.input_dim];
+            let mut acc = self.params[b1_off + j];
+            for (w, xi) in row.iter().zip(x.iter()) {
+                acc += w * xi;
+            }
+            h[j] = acc.max(0.0);
+        }
+        let mut logits = vec![0.0f32; self.classes];
+        for c in 0..self.classes {
+            let row = &self.params[w2_off + c * self.hidden..w2_off + (c + 1) * self.hidden];
+            let mut acc = self.params[b2_off + c];
+            for (w, hj) in row.iter().zip(h.iter()) {
+                acc += w * hj;
+            }
+            logits[c] = acc;
+        }
+        (h, logits)
+    }
+}
+
+impl Model for Mlp {
+    fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn params(&self) -> Vec<f32> {
+        self.params.clone()
+    }
+
+    fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.params.len());
+        self.params.copy_from_slice(params);
+    }
+
+    fn grad_batch(&self, xs: &[&[f32]], ys: &[usize], grad: &mut [f32]) -> f32 {
+        assert_eq!(grad.len(), self.params.len());
+        let n = xs.len() as f32;
+        let b1_off = self.hidden * self.input_dim;
+        let w2_off = b1_off + self.hidden;
+        let b2_off = w2_off + self.classes * self.hidden;
+        let mut total_loss = 0.0f32;
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let (h, mut probs) = self.forward(x);
+            softmax_inplace(&mut probs);
+            total_loss += -(probs[y].max(1e-12)).ln();
+            // dL/dlogits.
+            let mut dlog = probs;
+            dlog[y] -= 1.0;
+            for d in dlog.iter_mut() {
+                *d /= n;
+            }
+            // W2, b2 grads and dL/dh.
+            let mut dh = vec![0.0f32; self.hidden];
+            for c in 0..self.classes {
+                let row_off = w2_off + c * self.hidden;
+                for j in 0..self.hidden {
+                    grad[row_off + j] += dlog[c] * h[j];
+                    dh[j] += dlog[c] * self.params[row_off + j];
+                }
+                grad[b2_off + c] += dlog[c];
+            }
+            // Through ReLU into W1, b1.
+            for j in 0..self.hidden {
+                if h[j] <= 0.0 {
+                    continue;
+                }
+                let row_off = j * self.input_dim;
+                for (g, xi) in grad[row_off..row_off + self.input_dim]
+                    .iter_mut()
+                    .zip(x.iter())
+                {
+                    *g += dh[j] * xi;
+                }
+                grad[b1_off + j] += dh[j];
+            }
+        }
+        total_loss / n
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        argmax(&self.forward(x).1)
+    }
+
+    fn loss(&self, x: &[f32], y: usize) -> f32 {
+        let (_, mut logits) = self.forward(x);
+        softmax_inplace(&mut logits);
+        -(logits[y].max(1e-12)).ln()
+    }
+
+    fn clone_box(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(model: &dyn Model, x: &[f32], y: usize) {
+        // Compare analytic gradient to central differences at a few
+        // random coordinates.
+        let mut grad = vec![0.0f32; model.num_params()];
+        model.grad_batch(&[x], &[y], &mut grad);
+        let params = model.params();
+        let mut m = model.clone_box();
+        let eps = 1e-3f32;
+        for &i in &[0usize, 1, params.len() / 2, params.len() - 1] {
+            let mut p = params.clone();
+            p[i] += eps;
+            m.set_params(&p);
+            let lp = m.loss(x, y);
+            p[i] -= 2.0 * eps;
+            m.set_params(&p);
+            let lm = m.loss(x, y);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 2e-2,
+                "param {i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn linear_gradient_matches_finite_differences() {
+        let mut m = Linear::new(4, 3);
+        let p: Vec<f32> = (0..m.num_params())
+            .map(|i| (i as f32 * 0.13).sin() * 0.5)
+            .collect();
+        m.set_params(&p);
+        finite_diff_check(&m, &[0.5, -1.0, 0.25, 2.0], 1);
+    }
+
+    #[test]
+    fn mlp_gradient_matches_finite_differences() {
+        let m = Mlp::new(5, 8, 3, 42);
+        finite_diff_check(&m, &[0.5, -1.0, 0.25, 2.0, -0.3], 2);
+    }
+
+    #[test]
+    fn linear_learns_separable_data() {
+        let mut m = Linear::new(2, 2);
+        let data: Vec<(Vec<f32>, usize)> = (0..40)
+            .map(|i| {
+                let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+                (
+                    vec![s * 1.0 + (i as f32) * 0.001, s * 0.5],
+                    usize::from(i % 2 == 1),
+                )
+            })
+            .collect();
+        for _ in 0..200 {
+            let mut grad = vec![0.0f32; m.num_params()];
+            let xs: Vec<&[f32]> = data.iter().map(|(x, _)| x.as_slice()).collect();
+            let ys: Vec<usize> = data.iter().map(|(_, y)| *y).collect();
+            m.grad_batch(&xs, &ys, &mut grad);
+            let mut p = m.params();
+            crate::tensor::axpy(-0.5, &grad, &mut p);
+            m.set_params(&p);
+        }
+        let correct = data.iter().filter(|(x, y)| m.predict(x) == *y).count();
+        assert_eq!(correct, data.len());
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut m = Mlp::new(2, 16, 2, 7);
+        let data: [(&[f32], usize); 4] = [
+            (&[0.0, 0.0], 0),
+            (&[0.0, 1.0], 1),
+            (&[1.0, 0.0], 1),
+            (&[1.0, 1.0], 0),
+        ];
+        for _ in 0..2000 {
+            let mut grad = vec![0.0f32; m.num_params()];
+            let xs: Vec<&[f32]> = data.iter().map(|(x, _)| *x).collect();
+            let ys: Vec<usize> = data.iter().map(|(_, y)| *y).collect();
+            m.grad_batch(&xs, &ys, &mut grad);
+            let mut p = m.params();
+            crate::tensor::axpy(-0.5, &grad, &mut p);
+            m.set_params(&p);
+        }
+        for (x, y) in &data {
+            assert_eq!(m.predict(x), *y, "input {x:?}");
+        }
+    }
+
+    #[test]
+    fn params_roundtrip() {
+        let mut m = Mlp::new(3, 4, 2, 1);
+        let p: Vec<f32> = (0..m.num_params()).map(|i| i as f32).collect();
+        m.set_params(&p);
+        assert_eq!(m.params(), p);
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(Linear::new(10, 4).num_params(), 44);
+        assert_eq!(Mlp::new(10, 8, 4, 0).num_params(), 10 * 8 + 8 + 8 * 4 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn set_params_wrong_len_panics() {
+        let mut m = Linear::new(2, 2);
+        m.set_params(&[0.0]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Optimizers: mini-batch SGD with momentum and AdamW.
+//!
+//! The paper trains FEMNIST/CIFAR with momentum SGD and Reddit with AdamW
+//! (§6.1); both are provided here, operating on flat parameter vectors.
+
+/// A first-order optimizer over a flat parameter vector.
+pub trait Optimizer: Send {
+    /// Applies one step given the gradient, mutating `params`.
+    fn step(&mut self, params: &mut [f32], grad: &[f32]);
+    /// Resets internal state (e.g. between clients sharing an instance).
+    fn reset(&mut self);
+}
+
+/// SGD with classical momentum: `v = m·v + g; p -= lr·v`.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Creates momentum SGD (`momentum = 0` gives plain SGD).
+    #[must_use]
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), grad.len());
+        if self.velocity.len() != params.len() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        for i in 0..params.len() {
+            self.velocity[i] = self.momentum * self.velocity[i] + grad[i];
+            params[i] -= self.lr * self.velocity[i];
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// AdamW (decoupled weight decay).
+pub struct AdamW {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u32,
+}
+
+impl AdamW {
+    /// Creates AdamW with the usual defaults for betas/eps.
+    #[must_use]
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        AdamW {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step(&mut self, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), grad.len());
+        if self.m.len() != params.len() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -=
+                self.lr * (mhat / (vhat.sqrt() + self.eps) + self.weight_decay * params[i]);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(p) = Σ (p_i - target_i)² with the given optimizer.
+    fn converges_on_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let target = [1.0f32, -2.0, 0.5];
+        let mut p = [0.0f32; 3];
+        for _ in 0..steps {
+            let grad: Vec<f32> = p
+                .iter()
+                .zip(target.iter())
+                .map(|(x, t)| 2.0 * (x - t))
+                .collect();
+            opt.step(&mut p, &grad);
+        }
+        p.iter()
+            .zip(target.iter())
+            .map(|(x, t)| (x - t).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let err = converges_on_quadratic(&mut Sgd::new(0.1, 0.0), 200);
+        assert!(err < 1e-3, "err {err}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let plain = converges_on_quadratic(&mut Sgd::new(0.02, 0.0), 60);
+        let momentum = converges_on_quadratic(&mut Sgd::new(0.02, 0.9), 60);
+        assert!(momentum < plain, "momentum {momentum} vs plain {plain}");
+    }
+
+    #[test]
+    fn adamw_converges() {
+        let err = converges_on_quadratic(&mut AdamW::new(0.1, 0.0), 500);
+        assert!(err < 1e-2, "err {err}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        // With zero gradient, AdamW weight decay pulls params toward 0.
+        let mut opt = AdamW::new(0.1, 0.1);
+        let mut p = [10.0f32];
+        for _ in 0..100 {
+            opt.step(&mut p, &[0.0]);
+        }
+        assert!(p[0].abs() < 10.0 * 0.9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        let mut p = [0.0f32];
+        opt.step(&mut p, &[1.0]);
+        opt.reset();
+        let mut q = [0.0f32];
+        opt.step(&mut q, &[1.0]);
+        // Fresh state: the two single steps from zero must agree.
+        assert_eq!(p[0] - p[0], q[0] - q[0]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Pipeline-parallel aggregation (paper §4 and Appendix C).
+//!
+//! Dordis abstracts a distributed-DP round into a sequence of stages with
+//! alternating dominant resources (Table 1), splits the model into `m`
+//! equal chunks, and pipelines the resulting `m` independent
+//! chunk-aggregation tasks. This crate provides:
+//!
+//! - [`schedule`]: the exact makespan recurrence of Appendix C (stage
+//!   chaining, chunk ordering, and FIFO resource exclusivity),
+//! - [`perfmodel`]: the paper's empirical per-stage latency model
+//!   `τ_s(m) = β₁ d/m + β₂ m + β₃` with a least-squares profiler,
+//! - [`planner`]: optimal chunk-count search (enumeration over
+//!   `m ∈ [1, 20]`, as §4.2 prescribes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod perfmodel;
+pub mod planner;
+pub mod schedule;
+
+pub use dordis_sim::cost::Resource;

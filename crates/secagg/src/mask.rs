@@ -1,0 +1,79 @@
+//! Mask expansion and modular vector arithmetic in `Z_{2^b}`.
+
+use dordis_crypto::prg::{Prg, Seed};
+
+/// Expands a pairwise mask vector from an agreed key.
+#[must_use]
+pub fn pairwise_mask(shared_key: &[u8; 32], len: usize, bit_width: u32) -> Vec<u64> {
+    let mut out = vec![0u64; len];
+    Prg::new(shared_key, b"secagg.pairwise").fill_mod2b(bit_width, &mut out);
+    out
+}
+
+/// Expands a client's private self-mask `p_u = PRG(b_u)`.
+#[must_use]
+pub fn self_mask(seed: &Seed, len: usize, bit_width: u32) -> Vec<u64> {
+    let mut out = vec![0u64; len];
+    Prg::new(seed, b"secagg.selfmask").fill_mod2b(bit_width, &mut out);
+    out
+}
+
+/// `acc += sign * mask (mod 2^b)` where `sign` is `+1` or `-1`.
+pub fn add_signed_assign(acc: &mut [u64], mask: &[u64], positive: bool, bit_width: u32) {
+    debug_assert_eq!(acc.len(), mask.len());
+    let ring = ring_mask(bit_width);
+    for (a, &m) in acc.iter_mut().zip(mask.iter()) {
+        let m = if positive { m } else { m.wrapping_neg() };
+        *a = a.wrapping_add(m) & ring;
+    }
+}
+
+/// The ring mask `2^b - 1`.
+#[must_use]
+pub fn ring_mask(bit_width: u32) -> u64 {
+    if bit_width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bit_width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_masks_cancel() {
+        // The defining property: +mask then -mask restores the vector.
+        let key = [7u8; 32];
+        let bits = 20;
+        let mut acc = vec![5u64, 10, 15];
+        let m = pairwise_mask(&key, 3, bits);
+        add_signed_assign(&mut acc, &m, true, bits);
+        add_signed_assign(&mut acc, &m, false, bits);
+        assert_eq!(acc, vec![5, 10, 15]);
+    }
+
+    #[test]
+    fn masks_are_deterministic_and_domain_separated() {
+        let key = [1u8; 32];
+        assert_eq!(pairwise_mask(&key, 8, 20), pairwise_mask(&key, 8, 20));
+        assert_ne!(pairwise_mask(&key, 8, 20), self_mask(&key, 8, 20));
+    }
+
+    #[test]
+    fn masks_respect_bit_width() {
+        let m = pairwise_mask(&[9u8; 32], 64, 12);
+        assert!(m.iter().all(|&x| x < (1 << 12)));
+    }
+
+    #[test]
+    fn signed_add_wraps() {
+        let bits = 8;
+        let mut acc = vec![250u64];
+        add_signed_assign(&mut acc, &[10], true, bits);
+        assert_eq!(acc, vec![4]); // 260 mod 256.
+        add_signed_assign(&mut acc, &[10], false, bits);
+        assert_eq!(acc, vec![250]);
+    }
+}

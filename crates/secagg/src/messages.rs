@@ -1,0 +1,319 @@
+//! Wire messages exchanged between clients and the server.
+//!
+//! Every message knows its serialized size ([`WireSize::wire_bytes`]); the
+//! driver aggregates these into per-stage traffic statistics that feed the
+//! cluster simulator's communication cost model (Figures 2 and 10 of the
+//! paper are driven by exactly these counts).
+
+use dordis_crypto::ed25519::Signature;
+use dordis_crypto::prg::Seed;
+use dordis_crypto::shamir::Share;
+
+use crate::ClientId;
+
+/// Anything with a well-defined on-the-wire size.
+pub trait WireSize {
+    /// Serialized size in bytes.
+    fn wire_bytes(&self) -> u64;
+}
+
+/// Stage 0: a client's advertised key pair (plus identity signature in the
+/// malicious model).
+#[derive(Clone, Debug)]
+pub struct AdvertisedKeys {
+    /// Sender.
+    pub client: ClientId,
+    /// Public key for the AEAD channel (`c^PK`).
+    pub c_pk: [u8; 32],
+    /// Public key for pairwise masking (`s^PK`).
+    pub s_pk: [u8; 32],
+    /// `SIG.sign(d^SK, c_pk ‖ s_pk)` under the malicious model.
+    pub signature: Option<Signature>,
+}
+
+impl WireSize for AdvertisedKeys {
+    fn wire_bytes(&self) -> u64 {
+        4 + 32 + 32 + if self.signature.is_some() { 64 } else { 0 }
+    }
+}
+
+/// Stage 1: an encrypted share bundle addressed from one client to
+/// another, routed through the server.
+#[derive(Clone, Debug)]
+pub struct EncryptedShares {
+    /// Originating client.
+    pub from: ClientId,
+    /// Destination client.
+    pub to: ClientId,
+    /// AEAD ciphertext of the serialized [`ShareBundle`].
+    pub ciphertext: Vec<u8>,
+}
+
+impl WireSize for EncryptedShares {
+    fn wire_bytes(&self) -> u64 {
+        4 + 4 + self.ciphertext.len() as u64
+    }
+}
+
+/// The plaintext carried inside [`EncryptedShares`]: the sender's Shamir
+/// shares destined for one recipient.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShareBundle {
+    /// Redundant addressing checked after decryption (Figure 5 asserts
+    /// `u = u' ∧ v = v'`).
+    pub from: ClientId,
+    /// Redundant addressing.
+    pub to: ClientId,
+    /// Share of the sender's masking secret key `s^SK`.
+    pub sk_share: Share,
+    /// Share of the sender's self-mask seed `b`.
+    pub b_share: Share,
+    /// Shares of the sender's XNoise seeds `g_{u,k}` for `k = 1..=T`.
+    pub seed_shares: Vec<Share>,
+}
+
+impl ShareBundle {
+    /// Serializes to bytes (simple length-prefixed layout).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.from.to_le_bytes());
+        out.extend_from_slice(&self.to.to_le_bytes());
+        encode_share(&mut out, &self.sk_share);
+        encode_share(&mut out, &self.b_share);
+        out.push(self.seed_shares.len() as u8);
+        for s in &self.seed_shares {
+            encode_share(&mut out, s);
+        }
+        out
+    }
+
+    /// Parses the encoding; `None` on malformed input.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<ShareBundle> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            if *pos + n > bytes.len() {
+                return None;
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Some(s)
+        };
+        let from = ClientId::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        let to = ClientId::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+        let sk_share = decode_share(bytes, &mut pos)?;
+        let b_share = decode_share(bytes, &mut pos)?;
+        let count = *take(&mut pos, 1)?.first()? as usize;
+        let mut seed_shares = Vec::with_capacity(count);
+        for _ in 0..count {
+            seed_shares.push(decode_share(bytes, &mut pos)?);
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(ShareBundle {
+            from,
+            to,
+            sk_share,
+            b_share,
+            seed_shares,
+        })
+    }
+}
+
+fn encode_share(out: &mut Vec<u8>, share: &Share) {
+    out.push(share.x);
+    out.push(share.y.len() as u8);
+    out.extend_from_slice(&share.y);
+}
+
+fn decode_share(bytes: &[u8], pos: &mut usize) -> Option<Share> {
+    if *pos + 2 > bytes.len() {
+        return None;
+    }
+    let x = bytes[*pos];
+    let len = bytes[*pos + 1] as usize;
+    *pos += 2;
+    if *pos + len > bytes.len() {
+        return None;
+    }
+    let y = bytes[*pos..*pos + len].to_vec();
+    *pos += len;
+    Some(Share { x, y })
+}
+
+/// Stage 2: the masked, perturbed input vector `y_u`.
+#[derive(Clone, Debug)]
+pub struct MaskedInput {
+    /// Sender.
+    pub client: ClientId,
+    /// Vector in `Z_{2^b}`.
+    pub vector: Vec<u64>,
+    /// Ring bit width, for size accounting.
+    pub bit_width: u32,
+}
+
+impl WireSize for MaskedInput {
+    fn wire_bytes(&self) -> u64 {
+        // Coordinates are packed at b bits each on the wire.
+        4 + (self.vector.len() as u64 * self.bit_width as u64).div_ceil(8)
+    }
+}
+
+/// Stage 3 (malicious only): signature over `round ‖ U3`.
+#[derive(Clone, Debug)]
+pub struct ConsistencySignature {
+    /// Sender.
+    pub client: ClientId,
+    /// `SIG.sign(d^SK, round ‖ U3)`.
+    pub signature: Signature,
+}
+
+impl WireSize for ConsistencySignature {
+    fn wire_bytes(&self) -> u64 {
+        4 + 64
+    }
+}
+
+/// Stage 4: a surviving client's unmasking response.
+#[derive(Clone, Debug)]
+pub struct UnmaskingResponse {
+    /// Sender.
+    pub client: ClientId,
+    /// Shares of `s^SK_v` for dropped clients `v ∈ U2 \ U3`.
+    pub sk_shares: Vec<(ClientId, Share)>,
+    /// Shares of `b_v` for surviving clients `v ∈ U3`.
+    pub b_shares: Vec<(ClientId, Share)>,
+    /// The sender's own noise seeds `g_{u,k}` for the removal range
+    /// `|U \ U3| + 1 ≤ k ≤ T` (1-based component index).
+    pub own_seeds: Vec<(usize, Seed)>,
+}
+
+impl WireSize for UnmaskingResponse {
+    fn wire_bytes(&self) -> u64 {
+        let shares: u64 = self
+            .sk_shares
+            .iter()
+            .chain(self.b_shares.iter())
+            .map(|(_, s)| 4 + 2 + s.y.len() as u64)
+            .sum();
+        4 + shares + self.own_seeds.len() as u64 * (2 + 32)
+    }
+}
+
+/// Stage 5: shares of noise seeds of clients that dropped between masking
+/// and unmasking (`v ∈ U3 \ U5`).
+#[derive(Clone, Debug)]
+pub struct NoiseShareResponse {
+    /// Sender.
+    pub client: ClientId,
+    /// `(owner, component k, share of g_{owner,k})`.
+    pub seed_shares: Vec<(ClientId, usize, Share)>,
+}
+
+impl WireSize for NoiseShareResponse {
+    fn wire_bytes(&self) -> u64 {
+        4 + self
+            .seed_shares
+            .iter()
+            .map(|(_, _, s)| 4 + 2 + 2 + s.y.len() as u64)
+            .sum::<u64>()
+    }
+}
+
+/// A broadcast list of client ids, for size accounting.
+#[derive(Clone, Debug)]
+pub struct IdList(pub Vec<ClientId>);
+
+impl WireSize for IdList {
+    fn wire_bytes(&self) -> u64 {
+        4 + 4 * self.0.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn share(x: u8, len: usize) -> Share {
+        Share { x, y: vec![x; len] }
+    }
+
+    #[test]
+    fn bundle_roundtrip() {
+        let b = ShareBundle {
+            from: 3,
+            to: 9,
+            sk_share: share(4, 32),
+            b_share: share(4, 32),
+            seed_shares: vec![share(4, 32), share(4, 32)],
+        };
+        let enc = b.encode();
+        let dec = ShareBundle::decode(&enc).unwrap();
+        assert_eq!(dec, b);
+    }
+
+    #[test]
+    fn bundle_roundtrip_no_seeds() {
+        let b = ShareBundle {
+            from: 0,
+            to: 1,
+            sk_share: share(1, 32),
+            b_share: share(1, 32),
+            seed_shares: vec![],
+        };
+        assert_eq!(ShareBundle::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn bundle_rejects_truncation_and_trailing() {
+        let b = ShareBundle {
+            from: 1,
+            to: 2,
+            sk_share: share(3, 32),
+            b_share: share(3, 32),
+            seed_shares: vec![share(3, 32)],
+        };
+        let enc = b.encode();
+        for keep in 0..enc.len() {
+            assert!(ShareBundle::decode(&enc[..keep]).is_none(), "len {keep}");
+        }
+        let mut extended = enc.clone();
+        extended.push(0);
+        assert!(ShareBundle::decode(&extended).is_none());
+    }
+
+    #[test]
+    fn masked_input_packs_bits() {
+        let m = MaskedInput {
+            client: 1,
+            vector: vec![0; 1000],
+            bit_width: 20,
+        };
+        // 1000 coords * 20 bits = 2500 bytes + 4 header.
+        assert_eq!(m.wire_bytes(), 2504);
+    }
+
+    #[test]
+    fn advertised_keys_size() {
+        let a = AdvertisedKeys {
+            client: 0,
+            c_pk: [0; 32],
+            s_pk: [0; 32],
+            signature: None,
+        };
+        assert_eq!(a.wire_bytes(), 68);
+    }
+
+    #[test]
+    fn unmasking_response_size_counts_all_fields() {
+        let r = UnmaskingResponse {
+            client: 7,
+            sk_shares: vec![(1, share(2, 32))],
+            b_shares: vec![(2, share(2, 32)), (3, share(2, 32))],
+            own_seeds: vec![(2, [0u8; 32])],
+        };
+        assert_eq!(r.wire_bytes(), 4 + 3 * (4 + 2 + 32) + (2 + 32));
+    }
+}

@@ -1,0 +1,419 @@
+//! The server-side protocol state machine.
+//!
+//! The server is an untrusted router plus aggregator: it never sees an
+//! individual update in the clear, and the state machine is written so a
+//! test can verify the crucial invariant that the server never holds both
+//! `b_u` and `s^SK_u` for the same client (which would let it unmask a
+//! single client's input).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dordis_crypto::ed25519::Signature;
+use dordis_crypto::ka::KeyPair;
+use dordis_crypto::prg::Seed;
+use dordis_crypto::shamir::{self, Share};
+use dordis_crypto::x25519;
+
+use crate::mask;
+use crate::messages::{
+    AdvertisedKeys, ConsistencySignature, EncryptedShares, MaskedInput, NoiseShareResponse,
+    UnmaskingResponse,
+};
+use crate::{share_threshold, ClientId, RoundParams, SecAggError};
+
+/// The result of a completed aggregation round.
+#[derive(Clone, Debug)]
+pub struct RoundOutcome {
+    /// The unmasked sum `Σ_{u ∈ U3} Δ̃_u` in `Z_{2^b}`.
+    pub sum: Vec<u64>,
+    /// Clients whose inputs are in the sum (U3).
+    pub survivors: Vec<ClientId>,
+    /// Sampled clients missing from the sum (`U \ U3`).
+    pub dropped: Vec<ClientId>,
+    /// Every XNoise seed available for excessive-noise removal:
+    /// `(owner ∈ U3, component k, seed g_{owner,k})`.
+    pub removal_seeds: Vec<(ClientId, usize, Seed)>,
+    /// Ring bit width of `sum`.
+    pub bit_width: u32,
+}
+
+/// Server state machine.
+pub struct Server {
+    params: RoundParams,
+    roster: BTreeMap<ClientId, AdvertisedKeys>,
+    /// Routed ciphertext edges (from, to), to know which masks were applied.
+    routed: BTreeSet<(ClientId, ClientId)>,
+    u2: Vec<ClientId>,
+    u3: Vec<ClientId>,
+    u5: Vec<ClientId>,
+    masked: BTreeMap<ClientId, Vec<u64>>,
+    sum: Vec<u64>,
+    /// Reconstructed self-mask seeds (clients in U3).
+    recon_b: BTreeSet<ClientId>,
+    /// Reconstructed masking secret keys (clients in U2 \ U3).
+    recon_sk: BTreeSet<ClientId>,
+    /// Noise seeds revealed directly or reconstructed.
+    removal_seeds: BTreeMap<(ClientId, usize), Seed>,
+    /// Stage-4/5 share pools.
+    sk_share_pool: BTreeMap<ClientId, Vec<Share>>,
+    b_share_pool: BTreeMap<ClientId, Vec<Share>>,
+    seed_share_pool: BTreeMap<(ClientId, usize), Vec<Share>>,
+}
+
+impl Server {
+    /// Creates a server for one round.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation failures.
+    pub fn new(params: RoundParams) -> Result<Self, SecAggError> {
+        params.validate()?;
+        let d = params.vector_len;
+        Ok(Server {
+            params,
+            roster: BTreeMap::new(),
+            routed: BTreeSet::new(),
+            u2: Vec::new(),
+            u3: Vec::new(),
+            u5: Vec::new(),
+            masked: BTreeMap::new(),
+            sum: vec![0u64; d],
+            recon_b: BTreeSet::new(),
+            recon_sk: BTreeSet::new(),
+            removal_seeds: BTreeMap::new(),
+            sk_share_pool: BTreeMap::new(),
+            b_share_pool: BTreeMap::new(),
+            seed_share_pool: BTreeMap::new(),
+        })
+    }
+
+    fn index_of(&self, id: ClientId) -> Option<usize> {
+        self.params.clients.iter().position(|&c| c == id)
+    }
+
+    /// Stage 0: collects advertisements; returns the roster broadcast.
+    pub fn collect_advertisements(
+        &mut self,
+        msgs: Vec<AdvertisedKeys>,
+    ) -> Result<Vec<AdvertisedKeys>, SecAggError> {
+        for m in msgs {
+            if self.index_of(m.client).is_none() {
+                return Err(SecAggError::Config(format!(
+                    "advertisement from unsampled client {}",
+                    m.client
+                )));
+            }
+            self.roster.insert(m.client, m);
+        }
+        if self.roster.len() < self.params.threshold {
+            return Err(SecAggError::BelowThreshold {
+                stage: "AdvertiseKeys",
+                live: self.roster.len(),
+                threshold: self.params.threshold,
+            });
+        }
+        Ok(self.roster.values().cloned().collect())
+    }
+
+    /// Stage 1: routes encrypted share bundles; returns each live
+    /// client's inbox.
+    pub fn route_shares(
+        &mut self,
+        msgs: Vec<EncryptedShares>,
+    ) -> Result<BTreeMap<ClientId, Vec<EncryptedShares>>, SecAggError> {
+        let mut senders = BTreeSet::new();
+        let mut inboxes: BTreeMap<ClientId, Vec<EncryptedShares>> = BTreeMap::new();
+        for ct in msgs {
+            senders.insert(ct.from);
+            self.routed.insert((ct.from, ct.to));
+            inboxes.entry(ct.to).or_default().push(ct);
+        }
+        if senders.len() < self.params.threshold {
+            return Err(SecAggError::BelowThreshold {
+                stage: "ShareKeys",
+                live: senders.len(),
+                threshold: self.params.threshold,
+            });
+        }
+        self.u2 = senders.into_iter().collect();
+        Ok(inboxes)
+    }
+
+    /// Stage 2: collects masked inputs; returns U3.
+    pub fn collect_masked(&mut self, msgs: Vec<MaskedInput>) -> Result<Vec<ClientId>, SecAggError> {
+        for m in msgs {
+            if m.vector.len() != self.params.vector_len {
+                return Err(SecAggError::Config(format!(
+                    "masked input from {} has wrong length",
+                    m.client
+                )));
+            }
+            if !self.u2.contains(&m.client) {
+                return Err(SecAggError::Config(format!(
+                    "masked input from {} outside U2",
+                    m.client
+                )));
+            }
+            self.masked.insert(m.client, m.vector);
+        }
+        if self.masked.len() < self.params.threshold {
+            return Err(SecAggError::BelowThreshold {
+                stage: "MaskedInputCollection",
+                live: self.masked.len(),
+                threshold: self.params.threshold,
+            });
+        }
+        self.u3 = self.masked.keys().copied().collect();
+        Ok(self.u3.clone())
+    }
+
+    /// Stage 3 (malicious): collects consistency signatures (U4).
+    pub fn collect_consistency(
+        &mut self,
+        sigs: Vec<ConsistencySignature>,
+    ) -> Result<Vec<(ClientId, Signature)>, SecAggError> {
+        if sigs.len() < self.params.threshold {
+            return Err(SecAggError::BelowThreshold {
+                stage: "ConsistencyCheck",
+                live: sigs.len(),
+                threshold: self.params.threshold,
+            });
+        }
+        Ok(sigs.into_iter().map(|s| (s.client, s.signature)).collect())
+    }
+
+    /// Stage 4: collects unmasking responses, reconstructs masks, and
+    /// computes the aggregate.
+    pub fn collect_unmasking(
+        &mut self,
+        responses: Vec<UnmaskingResponse>,
+    ) -> Result<(), SecAggError> {
+        if responses.len() < self.params.threshold {
+            return Err(SecAggError::BelowThreshold {
+                stage: "Unmasking",
+                live: responses.len(),
+                threshold: self.params.threshold,
+            });
+        }
+        let u3: BTreeSet<ClientId> = self.u3.iter().copied().collect();
+        for r in &responses {
+            self.u5.push(r.client);
+            for (owner, share) in &r.sk_shares {
+                if u3.contains(owner) {
+                    // A share of a live client's s_sk must never reach the
+                    // server; drop it defensively.
+                    continue;
+                }
+                self.sk_share_pool
+                    .entry(*owner)
+                    .or_default()
+                    .push(share.clone());
+            }
+            for (owner, share) in &r.b_shares {
+                if !u3.contains(owner) {
+                    continue;
+                }
+                self.b_share_pool
+                    .entry(*owner)
+                    .or_default()
+                    .push(share.clone());
+            }
+            for (k, seed) in &r.own_seeds {
+                self.removal_seeds.insert((r.client, *k), *seed);
+            }
+        }
+        self.u5.sort_unstable();
+        self.u5.dedup();
+
+        // Aggregate the masked inputs.
+        let bits = self.params.bit_width;
+        let mut sum = vec![0u64; self.params.vector_len];
+        for v in self.masked.values() {
+            mask::add_signed_assign(&mut sum, v, true, bits);
+        }
+        let t_eff = share_threshold(&self.params);
+
+        // Remove self-masks of surviving clients.
+        for &u in &self.u3.clone() {
+            let shares = self.b_share_pool.get(&u).cloned().unwrap_or_default();
+            if shares.len() < t_eff {
+                return Err(SecAggError::BelowThreshold {
+                    stage: "Unmasking(b-recon)",
+                    live: shares.len(),
+                    threshold: t_eff,
+                });
+            }
+            let b_bytes = shamir::reconstruct(&shares, t_eff)?;
+            let mut b = [0u8; 32];
+            b.copy_from_slice(&b_bytes);
+            self.recon_b.insert(u);
+            let p_u = mask::self_mask(&b, sum.len(), bits);
+            mask::add_signed_assign(&mut sum, &p_u, false, bits);
+        }
+
+        // Cancel pairwise masks of clients that dropped between ShareKeys
+        // and MaskedInputCollection (v ∈ U2 \ U3).
+        let dropped_mid: Vec<ClientId> = self
+            .u2
+            .iter()
+            .copied()
+            .filter(|v| !u3.contains(v))
+            .collect();
+        for v in dropped_mid {
+            let shares = self.sk_share_pool.get(&v).cloned().unwrap_or_default();
+            if shares.len() < t_eff {
+                return Err(SecAggError::BelowThreshold {
+                    stage: "Unmasking(sk-recon)",
+                    live: shares.len(),
+                    threshold: t_eff,
+                });
+            }
+            let sk_bytes = shamir::reconstruct(&shares, t_eff)?;
+            let mut sk = [0u8; 32];
+            sk.copy_from_slice(&sk_bytes);
+            self.recon_sk.insert(v);
+            // Sanity: the reconstructed key must match the advertised one.
+            let expected_pk = self.roster[&v].s_pk;
+            if x25519::public_key(&sk) != expected_pk {
+                return Err(SecAggError::Crypto(
+                    dordis_crypto::CryptoError::InconsistentShares("sk does not match s_pk"),
+                ));
+            }
+            let v_kp = KeyPair {
+                secret: sk,
+                public: expected_pk,
+            };
+            // Cancel the residual γ_{u,v}·PRG(s_{u,v}) left by every
+            // survivor u that had applied a mask towards v.
+            for &u in &self.u3.clone() {
+                if !self.routed.contains(&(v, u)) {
+                    continue;
+                }
+                let (_, s_pk_u) = (self.roster[&u].c_pk, self.roster[&u].s_pk);
+                let s_vu = v_kp.agree(&s_pk_u);
+                let m = mask::pairwise_mask(&s_vu, sum.len(), bits);
+                // u added sign(u > v); cancel with sign(v > u).
+                mask::add_signed_assign(&mut sum, &m, v > u, bits);
+            }
+        }
+        self.sum = sum;
+        Ok(())
+    }
+
+    /// The set U5 (responders to unmasking).
+    #[must_use]
+    pub fn u5(&self) -> &[ClientId] {
+        &self.u5
+    }
+
+    /// Clients in `U3 \ U5` whose noise seeds still need recovery.
+    #[must_use]
+    pub fn pending_seed_owners(&self) -> Vec<ClientId> {
+        if self.params.noise_components == 0 {
+            return Vec::new();
+        }
+        let dropped = self.params.clients.len() - self.u3.len();
+        if dropped >= self.params.noise_components {
+            return Vec::new();
+        }
+        self.u3
+            .iter()
+            .copied()
+            .filter(|u| !self.u5.contains(u))
+            .collect()
+    }
+
+    /// Stage 5: collects seed shares and reconstructs missing noise seeds.
+    pub fn collect_noise_shares(
+        &mut self,
+        responses: Vec<NoiseShareResponse>,
+    ) -> Result<(), SecAggError> {
+        if responses.len() < self.params.threshold {
+            return Err(SecAggError::BelowThreshold {
+                stage: "ExcessiveNoiseRemoval",
+                live: responses.len(),
+                threshold: self.params.threshold,
+            });
+        }
+        let owners: BTreeSet<ClientId> = self.pending_seed_owners().into_iter().collect();
+        for r in responses {
+            for (owner, k, share) in r.seed_shares {
+                if !owners.contains(&owner) {
+                    continue;
+                }
+                self.seed_share_pool
+                    .entry((owner, k))
+                    .or_default()
+                    .push(share);
+            }
+        }
+        let t_eff = share_threshold(&self.params);
+        let dropped = self.params.clients.len() - self.u3.len();
+        for owner in owners {
+            for k in (dropped + 1)..=self.params.noise_components {
+                let shares = self
+                    .seed_share_pool
+                    .get(&(owner, k))
+                    .cloned()
+                    .unwrap_or_default();
+                if shares.len() < t_eff {
+                    return Err(SecAggError::BelowThreshold {
+                        stage: "ExcessiveNoiseRemoval(recon)",
+                        live: shares.len(),
+                        threshold: t_eff,
+                    });
+                }
+                let bytes = shamir::reconstruct(&shares, t_eff)?;
+                let mut seed = [0u8; 32];
+                seed.copy_from_slice(&bytes);
+                self.removal_seeds.insert((owner, k), seed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the round.
+    #[must_use]
+    pub fn finish(self) -> RoundOutcome {
+        let survivors = self.u3.clone();
+        let dropped: Vec<ClientId> = self
+            .params
+            .clients
+            .iter()
+            .copied()
+            .filter(|c| !survivors.contains(c))
+            .collect();
+        RoundOutcome {
+            sum: self.sum,
+            survivors,
+            dropped,
+            removal_seeds: self
+                .removal_seeds
+                .into_iter()
+                .map(|((c, k), s)| (c, k, s))
+                .collect(),
+            bit_width: self.params.bit_width,
+        }
+    }
+
+    /// Test/verification hook: ids for which the server reconstructed the
+    /// self-mask seed `b_u`.
+    #[must_use]
+    pub fn reconstructed_self_masks(&self) -> Vec<ClientId> {
+        self.recon_b.iter().copied().collect()
+    }
+
+    /// Test/verification hook: ids for which the server reconstructed the
+    /// masking secret key `s^SK_u`.
+    #[must_use]
+    pub fn reconstructed_secret_keys(&self) -> Vec<ClientId> {
+        self.recon_sk.iter().copied().collect()
+    }
+
+    /// The privacy invariant of SecAgg: the server must never hold both
+    /// secrets of the same client.
+    #[must_use]
+    pub fn privacy_invariant_holds(&self) -> bool {
+        self.recon_b.intersection(&self.recon_sk).next().is_none()
+    }
+}

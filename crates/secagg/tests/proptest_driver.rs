@@ -1,0 +1,96 @@
+//! Property-based protocol testing: for *any* dropout schedule and input
+//! assignment, a completed round's sum equals the modular sum of exactly
+//! the survivors' inputs — and failure only ever happens as a clean
+//! below-threshold abort, never a wrong answer.
+
+use std::collections::BTreeMap;
+
+use dordis_secagg::client::ClientInput;
+use dordis_secagg::driver::{run_round, DropStage, DropoutSchedule, RoundSpec};
+use dordis_secagg::graph::MaskingGraph;
+use dordis_secagg::{ClientId, RoundParams, SecAggError, ThreatModel};
+use proptest::prelude::*;
+
+const BITS: u32 = 12;
+const DIM: usize = 5;
+const N: u32 = 7;
+const THRESHOLD: usize = 4;
+
+fn stage_from_index(i: u8) -> DropStage {
+    match i % 6 {
+        0 => DropStage::BeforeAdvertise,
+        1 => DropStage::BeforeShareKeys,
+        2 => DropStage::BeforeMaskedInput,
+        3 => DropStage::BeforeUnmasking,
+        4 => DropStage::BeforeNoiseShares,
+        _ => DropStage::Never,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sum_is_exactly_the_survivors_sum(
+        drops in proptest::collection::vec(any::<u8>(), N as usize),
+        inputs_raw in proptest::collection::vec(0u64..(1 << BITS), (N as usize) * DIM),
+        seed in any::<u64>(),
+    ) {
+        let mut dropout = DropoutSchedule::none();
+        for (id, &d) in drops.iter().enumerate() {
+            dropout.drop_at(id as ClientId, stage_from_index(d));
+        }
+        let inputs: BTreeMap<ClientId, ClientInput> = (0..N)
+            .map(|id| {
+                (
+                    id,
+                    ClientInput {
+                        vector: inputs_raw[(id as usize) * DIM..(id as usize + 1) * DIM].to_vec(),
+                        noise_seeds: vec![[id as u8 + 1; 32]; 3],
+                    },
+                )
+            })
+            .collect();
+        let spec = RoundSpec {
+            params: RoundParams {
+                round: 0,
+                clients: (0..N).collect(),
+                threshold: THRESHOLD,
+                bit_width: BITS,
+                vector_len: DIM,
+                noise_components: 2,
+                threat_model: ThreatModel::SemiHonest,
+                graph: MaskingGraph::Complete,
+            },
+            inputs: inputs.clone(),
+            dropout,
+            rng_seed: seed,
+        };
+        match run_round(spec) {
+            Ok((outcome, _)) => {
+                // The sum must be the modular sum of the survivors'
+                // inputs — nothing more, nothing less.
+                let mut expect = vec![0u64; DIM];
+                for id in &outcome.survivors {
+                    for (e, v) in expect.iter_mut().zip(inputs[id].vector.iter()) {
+                        *e = (*e + *v) & ((1 << BITS) - 1);
+                    }
+                }
+                prop_assert_eq!(&outcome.sum, &expect);
+                prop_assert!(outcome.survivors.len() >= THRESHOLD);
+                // Removal seeds only ever belong to survivors with valid
+                // component indices.
+                for (c, k, _) in &outcome.removal_seeds {
+                    prop_assert!(outcome.survivors.contains(c));
+                    prop_assert!(*k >= 1 && *k <= 2);
+                }
+            }
+            Err(SecAggError::BelowThreshold { .. }) => {
+                // Acceptable: too many clients dropped to finish.
+            }
+            Err(other) => {
+                return Err(TestCaseError::fail(format!("unexpected error: {other}")));
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Online noise enforcement: client-side addition and server-side removal
+//! of decomposed Skellam noise in `Z_{2^b}` (Definition 2, XNoise).
+//!
+//! Noise vectors are generated deterministically from per-component seeds
+//! with [`dordis_dp::mechanism::skellam_vector`], so the server removes
+//! *exactly* the realized noise (not just noise of matching distribution)
+//! once it learns a seed — directly from a survivor, or via Shamir
+//! reconstruction for clients that dropped mid-protocol.
+
+use dordis_crypto::prg::{Prg, Seed};
+use dordis_dp::mechanism::skellam_vector;
+use dordis_secagg::mask::ring_mask;
+
+use crate::decomposition::XNoisePlan;
+use crate::XNoiseError;
+
+/// Domain string for component noise streams; shared by add and remove.
+const NOISE_DOMAIN: &[u8] = b"dordis.xnoise.component";
+
+/// Derives the `T + 1` component seeds from a client's round seed.
+#[must_use]
+pub fn derive_component_seeds(round_seed: &Seed, components: usize) -> Vec<Seed> {
+    (0..=components)
+        .map(|k| Prg::fork(round_seed, b"xnoise.seed", k as u64))
+        .collect()
+}
+
+/// Generates the integer noise vector for one component.
+#[must_use]
+pub fn component_noise(seed: &Seed, len: usize, variance: f64) -> Vec<i64> {
+    skellam_vector(seed, NOISE_DOMAIN, len, variance)
+}
+
+/// Client-side: adds all `T + 1` noise components to an encoded update.
+///
+/// `update` holds ring elements (`< 2^b`); noise wraps modularly.
+///
+/// # Errors
+///
+/// Fails if the seed count does not match the plan.
+pub fn perturb(
+    update: &mut [u64],
+    seeds: &[Seed],
+    plan: &XNoisePlan,
+    bit_width: u32,
+) -> Result<(), XNoiseError> {
+    if seeds.len() != plan.dropout_tolerance + 1 {
+        return Err(XNoiseError::BadParameter(format!(
+            "expected {} seeds, got {}",
+            plan.dropout_tolerance + 1,
+            seeds.len()
+        )));
+    }
+    let ring = ring_mask(bit_width);
+    for (k, seed) in seeds.iter().enumerate() {
+        let noise = component_noise(seed, update.len(), plan.component_variance(k));
+        for (u, &z) in update.iter_mut().zip(noise.iter()) {
+            *u = add_ring(*u, z, ring);
+        }
+    }
+    Ok(())
+}
+
+/// Server-side: removes the excessive components from the aggregate.
+///
+/// `removal_seeds` is the `(client, component k, seed)` list produced by
+/// secure aggregation; `survivors`/`dropped` determine which components
+/// *must* be present. Removal is idempotent over duplicates (they are
+/// deduplicated) and fails loudly if a required seed is missing.
+///
+/// # Errors
+///
+/// [`XNoiseError::ToleranceExceeded`] when more clients dropped than `T`;
+/// [`XNoiseError::MissingSeed`] if a required `(client, k)` seed is absent.
+pub fn remove_excess(
+    aggregate: &mut [u64],
+    removal_seeds: &[(u32, usize, Seed)],
+    survivors: &[u32],
+    plan: &XNoisePlan,
+    bit_width: u32,
+) -> Result<(), XNoiseError> {
+    let dropped = plan.clients.saturating_sub(survivors.len());
+    let range = plan.removal_components(dropped)?;
+    let ring = ring_mask(bit_width);
+    // Deduplicate: a seed may arrive both directly and via reconstruction.
+    let mut seen = std::collections::BTreeMap::new();
+    for (c, k, s) in removal_seeds {
+        seen.insert((*c, *k), *s);
+    }
+    for &client in survivors {
+        for k in range.clone() {
+            let seed = seen.get(&(client, k)).ok_or(XNoiseError::MissingSeed {
+                client,
+                component: k,
+            })?;
+            let noise = component_noise(seed, aggregate.len(), plan.component_variance(k));
+            for (a, &z) in aggregate.iter_mut().zip(noise.iter()) {
+                *a = add_ring(*a, -z, ring);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `Orig` baseline (Definition 1): each client adds a single
+/// `σ²∗ / |U|` share of the target noise, with no removal machinery.
+/// Returns the noise vector so callers can model dropout by simply not
+/// adding some clients' shares.
+#[must_use]
+pub fn orig_noise(seed: &Seed, len: usize, target_variance: f64, clients: usize) -> Vec<i64> {
+    skellam_vector(seed, NOISE_DOMAIN, len, target_variance / clients as f64)
+}
+
+/// Adds a signed integer to a ring element.
+#[inline]
+fn add_ring(value: u64, delta: i64, ring: u64) -> u64 {
+    let m = ring.wrapping_add(1); // 2^b (or 0 for b = 64, handled by mask).
+    let d = if m == 0 {
+        delta as u64
+    } else {
+        (delta.rem_euclid(m as i64)) as u64
+    };
+    value.wrapping_add(d) & ring
+}
+
+/// Centered interpretation of a ring element (for analysis/tests).
+#[must_use]
+pub fn center(value: u64, bit_width: u32) -> i64 {
+    let m = 1i64 << bit_width;
+    let v = value as i64;
+    if v >= m / 2 {
+        v - m
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BITS: u32 = 24;
+
+    fn plan(n: usize, t: usize, sigma_sq: f64) -> XNoisePlan {
+        XNoisePlan::new(sigma_sq, n, t, 0, n / 2 + 1).unwrap()
+    }
+
+    fn seeds_for(client: u32, t: usize) -> Vec<Seed> {
+        derive_component_seeds(&[client as u8 + 1; 32], t)
+    }
+
+    /// Simulates a full add-then-remove round in the ring and returns the
+    /// centered residual aggregate (inputs are zero, so the residual IS
+    /// the noise).
+    fn residual_noise(n: usize, t: usize, drop: usize, sigma_sq: f64, len: usize) -> Vec<i64> {
+        let plan = plan(n, t, sigma_sq);
+        let survivors: Vec<u32> = (drop as u32..n as u32).collect();
+        let mut aggregate = vec![0u64; len];
+        let ring = ring_mask(BITS);
+        for &c in &survivors {
+            let mut update = vec![0u64; len];
+            perturb(&mut update, &seeds_for(c, t), &plan, BITS).unwrap();
+            for (a, u) in aggregate.iter_mut().zip(update.iter()) {
+                *a = (*a + *u) & ring;
+            }
+        }
+        // Seeds for removal: components |D|+1..=T from every survivor.
+        let mut removal = Vec::new();
+        for &c in &survivors {
+            let s = seeds_for(c, t);
+            for k in (drop + 1)..=t {
+                removal.push((c, k, s[k]));
+            }
+        }
+        remove_excess(&mut aggregate, &removal, &survivors, &plan, BITS).unwrap();
+        aggregate.iter().map(|&v| center(v, BITS)).collect()
+    }
+
+    fn variance(xs: &[i64]) -> f64 {
+        let n = xs.len() as f64;
+        let mean = xs.iter().map(|&x| x as f64).sum::<f64>() / n;
+        xs.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / (n - 1.0)
+    }
+
+    #[test]
+    fn theorem1_statistical_no_dropout() {
+        let v = variance(&residual_noise(8, 3, 0, 100.0, 30_000));
+        assert!((v - 100.0).abs() < 6.0, "residual variance {v}");
+    }
+
+    #[test]
+    fn theorem1_statistical_partial_dropout() {
+        let v = variance(&residual_noise(8, 3, 2, 100.0, 30_000));
+        assert!((v - 100.0).abs() < 6.0, "residual variance {v}");
+    }
+
+    #[test]
+    fn theorem1_statistical_full_tolerance_dropout() {
+        let v = variance(&residual_noise(8, 3, 3, 100.0, 30_000));
+        assert!((v - 100.0).abs() < 6.0, "residual variance {v}");
+    }
+
+    #[test]
+    fn orig_under_noises_with_dropout() {
+        // The contrast experiment: Orig's residual with 2/8 dropped is
+        // (6/8)·σ²∗ — visibly below target.
+        let len = 30_000;
+        let mut acc = vec![0i64; len];
+        for c in 2..8u32 {
+            let noise = orig_noise(&[c as u8; 32], len, 100.0, 8);
+            for (a, z) in acc.iter_mut().zip(noise.iter()) {
+                *a += z;
+            }
+        }
+        let v = variance(&acc);
+        assert!((v - 75.0).abs() < 5.0, "orig residual {v}");
+    }
+
+    #[test]
+    fn removal_is_exact_not_just_distributional() {
+        // With inputs included, add-then-remove must return *exactly* the
+        // sum of inputs plus the non-removed components — check by
+        // removing every component and recovering the clean sum.
+        let plan = plan(4, 3, 50.0); // T = n - 1: removal can strip all.
+        let len = 64;
+        let ring = ring_mask(BITS);
+        let inputs: Vec<Vec<u64>> = (0..4u32)
+            .map(|c| {
+                (0..len)
+                    .map(|i| (u64::from(c) * 1000 + i as u64) & ring)
+                    .collect()
+            })
+            .collect();
+        let mut aggregate = vec![0u64; len];
+        for (c, input) in inputs.iter().enumerate() {
+            let mut update = input.clone();
+            perturb(&mut update, &seeds_for(c as u32, 3), &plan, BITS).unwrap();
+            for (a, u) in aggregate.iter_mut().zip(update.iter()) {
+                *a = (*a + *u) & ring;
+            }
+        }
+        // Remove components 1..=3 (|D| = 0), leaving only component 0 —
+        // then strip component 0 manually to verify exactness.
+        let survivors: Vec<u32> = (0..4).collect();
+        let mut removal = Vec::new();
+        for &c in &survivors {
+            let s = seeds_for(c, 3);
+            for k in 1..=3usize {
+                removal.push((c, k, s[k]));
+            }
+        }
+        remove_excess(&mut aggregate, &removal, &survivors, &plan, BITS).unwrap();
+        for &c in &survivors {
+            let s = seeds_for(c, 3);
+            let noise = component_noise(&s[0], len, plan.component_variance(0));
+            for (a, &z) in aggregate.iter_mut().zip(noise.iter()) {
+                *a = super::add_ring(*a, -z, ring);
+            }
+        }
+        let mut expect = vec![0u64; len];
+        for input in &inputs {
+            for (e, v) in expect.iter_mut().zip(input.iter()) {
+                *e = (*e + *v) & ring;
+            }
+        }
+        assert_eq!(aggregate, expect);
+    }
+
+    #[test]
+    fn missing_seed_is_detected() {
+        let plan = plan(4, 2, 10.0);
+        let survivors: Vec<u32> = vec![0, 1, 2, 3];
+        let mut removal = Vec::new();
+        for &c in &survivors {
+            let s = seeds_for(c, 2);
+            for k in 1..=2usize {
+                if c == 2 && k == 2 {
+                    continue; // Withhold one seed.
+                }
+                removal.push((c, k, s[k]));
+            }
+        }
+        let mut agg = vec![0u64; 8];
+        let err = remove_excess(&mut agg, &removal, &survivors, &plan, BITS).unwrap_err();
+        assert_eq!(
+            err,
+            XNoiseError::MissingSeed {
+                client: 2,
+                component: 2
+            }
+        );
+    }
+
+    #[test]
+    fn tolerance_exceeded_is_detected() {
+        let plan = plan(8, 2, 10.0);
+        let survivors: Vec<u32> = vec![0, 1, 2]; // 5 dropped > T = 2.
+        let mut agg = vec![0u64; 8];
+        let err = remove_excess(&mut agg, &[], &survivors, &plan, BITS).unwrap_err();
+        assert!(matches!(
+            err,
+            XNoiseError::ToleranceExceeded { dropped: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_seed_count_rejected() {
+        let plan = plan(4, 2, 10.0);
+        let mut update = vec![0u64; 4];
+        let err = perturb(&mut update, &seeds_for(0, 1), &plan, BITS).unwrap_err();
+        assert!(matches!(err, XNoiseError::BadParameter(_)));
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct_and_deterministic() {
+        let a = derive_component_seeds(&[7u8; 32], 3);
+        let b = derive_component_seeds(&[7u8; 32], 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        for i in 0..a.len() {
+            for j in (i + 1)..a.len() {
+                assert_ne!(a[i], a[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn center_roundtrip() {
+        assert_eq!(center(0, 8), 0);
+        assert_eq!(center(127, 8), 127);
+        assert_eq!(center(128, 8), -128);
+        assert_eq!(center(255, 8), -1);
+    }
+
+    #[test]
+    fn add_ring_handles_negative() {
+        let ring = ring_mask(8);
+        assert_eq!(super::add_ring(5, -10, ring), 251);
+        assert_eq!(super::add_ring(250, 10, ring), 4);
+        assert_eq!(super::add_ring(0, -256, ring), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Dropout resilience: reproduce the core of the paper's Figure 8 and
+//! Table 2 at demo scale.
+//!
+//! Runs the same federated task under `Orig` (the classic distributed-DP
+//! noise split), `Early` (stop when the budget runs out), `Con5`
+//! (conservative 50% dropout estimate) and `XNoise`, at several dropout
+//! rates, and prints the realized privacy cost next to the final
+//! accuracy.
+//!
+//! ```sh
+//! cargo run --release --example dropout_resilience
+//! ```
+
+use dordis_core::config::{TaskSpec, Variant};
+use dordis_core::trainer::train;
+use dordis_sim::dropout::DropoutModel;
+
+fn run(variant: Variant, dropout: f64, seed: u64) -> (f64, f64, u32) {
+    let mut spec = TaskSpec::tiny_for_tests(seed);
+    spec.rounds = 30;
+    spec.dataset.samples = 1200;
+    spec.variant = variant;
+    spec.dropout = DropoutModel::FixedRate { rate: dropout };
+    let report = train(&spec).expect("training should succeed");
+    (
+        report.epsilon_consumed,
+        report.final_accuracy,
+        report.rounds_completed,
+    )
+}
+
+fn main() {
+    let variants: [(&str, Variant); 4] = [
+        ("Orig", Variant::Orig),
+        ("Early", Variant::Early),
+        ("Con5", Variant::Conservative { est_dropout: 0.5 }),
+        (
+            "XNoise",
+            Variant::XNoise {
+                tolerance_frac: 0.5,
+                collusion_frac: 0.0,
+            },
+        ),
+    ];
+    println!("budget: ε = 6.0 — a scheme is dropout-resilient iff realized ε stays ≤ 6.0\n");
+    println!(
+        "{:<8} {:>8} {:>12} {:>10} {:>8}",
+        "variant", "dropout", "realized ε", "accuracy", "rounds"
+    );
+    for &(name, variant) in &variants {
+        for &dropout in &[0.0, 0.2, 0.4] {
+            let (eps, acc, rounds) = run(variant, dropout, 11);
+            let flag = if eps > 6.0 + 1e-9 {
+                "  ← OVERRUN"
+            } else {
+                ""
+            };
+            println!(
+                "{:<8} {:>7.0}% {:>12.2} {:>9.1}% {:>8}{}",
+                name,
+                dropout * 100.0,
+                eps,
+                acc * 100.0,
+                rounds,
+                flag
+            );
+        }
+        println!();
+    }
+    println!("expected shape (paper Figs. 1 and 8, Table 2):");
+    println!("  - Orig overruns the budget as dropout grows;");
+    println!("  - Early stays on budget but trains fewer rounds (worse accuracy);");
+    println!("  - Con5 wastes budget when dropout is lower than estimated;");
+    println!("  - XNoise stays exactly on budget at full accuracy, at every rate.");
+}
