@@ -5,14 +5,29 @@
 //! dordis train task.json              # run it, print the report
 //! dordis train task.json --json       # machine-readable report
 //! dordis plan 6.0 0.01 150 0.16       # offline noise planning only
+//!
+//! # Networked SecAgg+ round over TCP (one server, N clients):
+//! dordis serve --listen 127.0.0.1:7700 --clients 5 --threshold 3
+//! dordis join --connect 127.0.0.1:7700 --id 0   # ... one per client
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use dordis_core::config::TaskSpec;
+use dordis_core::protocol::demo_update;
 use dordis_core::trainer::train;
 use dordis_dp::accountant::Mechanism;
 use dordis_dp::planner::{plan, PlannerConfig};
+use dordis_net::coordinator::{run_coordinator, CoordinatorConfig};
+use dordis_net::runtime::{
+    run_client, ClientOptions, ClientRunOutcome, FailAction, FailPoint, FailStage,
+};
+use dordis_net::tcp::{TcpAcceptor, TcpChannel};
+use dordis_net::transport::Acceptor as _;
+use dordis_secagg::client::ClientInput;
+use dordis_secagg::graph::MaskingGraph;
+use dordis_secagg::{RoundParams, ThreatModel};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,12 +35,219 @@ fn main() -> ExitCode {
         Some("example-config") => example_config(),
         Some("train") => train_cmd(&args[1..]),
         Some("plan") => plan_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("join") => join_cmd(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  dordis example-config\n  dordis train <task.json> [--json]\n  \
-                 dordis plan <epsilon> <delta> <rounds> <sample_rate>"
+                 dordis plan <epsilon> <delta> <rounds> <sample_rate>\n  \
+                 dordis serve --listen <addr> --clients <n> --threshold <t> [--dim D] \
+                 [--bits B] [--graph complete|harary] [--round R] [--noise-components T] \
+                 [--stage-timeout-ms MS] [--join-timeout-ms MS] [--verify-demo]\n  \
+                 dordis join --connect <addr> --id <k> [--seed S] \
+                 [--drop-at advertise|share-keys|masked-input|consistency|unmasking|noise-shares] \
+                 [--drop-mode disconnect|silent] [--timeout-ms MS]"
             );
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("bad value for {flag}: `{raw}`")),
+    }
+}
+
+fn serve_cmd(args: &[String]) -> ExitCode {
+    match serve_inner(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
+    let listen = flag_value(args, "--listen").unwrap_or("127.0.0.1:7700");
+    let clients: u32 = flag_parse(args, "--clients", 5)?;
+    let threshold: usize = flag_parse(args, "--threshold", (clients as usize * 2).div_ceil(3))?;
+    let dim: usize = flag_parse(args, "--dim", 16)?;
+    let bits: u32 = flag_parse(args, "--bits", 20)?;
+    let round: u64 = flag_parse(args, "--round", 1)?;
+    let noise_components: usize = flag_parse(args, "--noise-components", 0)?;
+    let stage_timeout: u64 = flag_parse(args, "--stage-timeout-ms", 5000)?;
+    let join_timeout: u64 = flag_parse(args, "--join-timeout-ms", 15000)?;
+    let verify_demo = args.iter().any(|a| a == "--verify-demo");
+    let graph = match flag_value(args, "--graph").unwrap_or("harary") {
+        "complete" => MaskingGraph::Complete,
+        "harary" => MaskingGraph::harary_for(clients as usize),
+        other => return Err(format!("unknown graph `{other}`")),
+    };
+
+    let params = RoundParams {
+        round,
+        clients: (0..clients).collect(),
+        threshold,
+        bit_width: bits,
+        vector_len: dim,
+        noise_components,
+        threat_model: ThreatModel::SemiHonest,
+        graph,
+    };
+    params.validate().map_err(|e| e.to_string())?;
+
+    let mut acceptor = TcpAcceptor::bind(listen).map_err(|e| e.to_string())?;
+    // The OS-assigned port must be announced before clients can join.
+    println!("listening on {}", acceptor.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let report = run_coordinator(
+        &mut acceptor,
+        &CoordinatorConfig {
+            params,
+            join_timeout: Duration::from_millis(join_timeout),
+            stage_timeout: Duration::from_millis(stage_timeout),
+        },
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!("round {round} complete");
+    println!("survivors: {:?}", report.outcome.survivors);
+    println!("dropped:   {:?}", report.outcome.dropped);
+    for d in &report.dropouts {
+        println!(
+            "detected:  client {} at {} ({:?})",
+            d.client, d.stage, d.kind
+        );
+    }
+    let preview: Vec<u64> = report.outcome.sum.iter().copied().take(8).collect();
+    println!("sum[..{}]: {:?}", preview.len(), preview);
+    println!(
+        "traffic:   {} bytes total on the wire",
+        report.stats.total_bytes()
+    );
+
+    if verify_demo {
+        let mut expected = vec![0u64; dim];
+        let mask = (1u64 << bits) - 1;
+        for &id in &report.outcome.survivors {
+            for (e, v) in expected.iter_mut().zip(demo_update(id, dim, bits)) {
+                *e = (*e + v) & mask;
+            }
+        }
+        if expected == report.outcome.sum {
+            println!("demo verification: OK (aggregate equals survivors' demo updates)");
+        } else {
+            println!("demo verification: MISMATCH");
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn join_cmd(args: &[String]) -> ExitCode {
+    match join_inner(args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("join failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn join_inner(args: &[String]) -> Result<ExitCode, String> {
+    let connect = flag_value(args, "--connect").ok_or("missing --connect <addr>")?;
+    let id: u32 = flag_parse(args, "--id", u32::MAX)?;
+    if id == u32::MAX {
+        return Err("missing --id <k>".into());
+    }
+    let seed: u64 = flag_parse(args, "--seed", 1)?;
+    let timeout: u64 = flag_parse(args, "--timeout-ms", 30000)?;
+    let fail = match flag_value(args, "--drop-at") {
+        None => None,
+        Some(stage) => {
+            let stage = match stage {
+                "advertise" => FailStage::Advertise,
+                "share-keys" => FailStage::ShareKeys,
+                "masked-input" => FailStage::MaskedInput,
+                "consistency" => FailStage::Consistency,
+                "unmasking" => FailStage::Unmasking,
+                "noise-shares" => FailStage::NoiseShares,
+                other => return Err(format!("unknown --drop-at stage `{other}`")),
+            };
+            let action = match flag_value(args, "--drop-mode").unwrap_or("disconnect") {
+                "disconnect" => FailAction::Disconnect,
+                "silent" => FailAction::Silent,
+                other => return Err(format!("unknown --drop-mode `{other}`")),
+            };
+            Some(FailPoint { stage, action })
+        }
+    };
+
+    let mut chan = TcpChannel::connect(connect).map_err(|e| e.to_string())?;
+    let opts = ClientOptions {
+        id,
+        rng_seed: seed,
+        fail,
+        recv_timeout: Duration::from_millis(timeout),
+        silent_linger: Duration::from_millis(timeout),
+    };
+    let outcome = run_client(
+        &mut chan,
+        &opts,
+        |params| {
+            Ok(ClientInput {
+                vector: demo_update(id, params.vector_len, params.bit_width),
+                noise_seeds: if params.noise_components == 0 {
+                    Vec::new()
+                } else {
+                    (0..=params.noise_components)
+                        .map(|k| {
+                            let mut s = [0u8; 32];
+                            s[..8].copy_from_slice(&seed.to_le_bytes());
+                            s[8..12].copy_from_slice(&id.to_le_bytes());
+                            s[12] = k as u8;
+                            s[31] = 0xd3;
+                            s
+                        })
+                        .collect()
+                },
+            })
+        },
+        |_| None,
+    )
+    .map_err(|e| e.to_string())?;
+
+    match outcome {
+        ClientRunOutcome::Finished { survivors } => {
+            println!("client {id}: round finished, {} survivors", survivors.len());
+            Ok(ExitCode::SUCCESS)
+        }
+        ClientRunOutcome::Failed { stage } => {
+            println!("client {id}: dropped as scripted before {stage:?}");
+            Ok(ExitCode::SUCCESS)
+        }
+        ClientRunOutcome::Aborted { reason } => {
+            eprintln!("client {id}: aborted: {reason}");
+            Ok(ExitCode::FAILURE)
+        }
+        ClientRunOutcome::ServerAborted { reason } => {
+            eprintln!("client {id}: server aborted: {reason}");
+            Ok(ExitCode::FAILURE)
         }
     }
 }

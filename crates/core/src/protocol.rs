@@ -50,23 +50,17 @@ pub struct ProtocolRoundOutcome {
     pub stats: RoundStats,
 }
 
-/// Runs one aggregation round through the full protocol stack.
-///
-/// `updates` maps client id to its encoded (un-noised) update; noise is
-/// added here per the XNoise plan before masking, exactly as the client
-/// stack would. `drop_before_masking` lists clients that vanish after key
-/// sharing (the paper's dropout model).
+/// Builds the round parameters and perturbed per-client inputs shared by
+/// the in-memory and networked execution paths.
 ///
 /// # Errors
 ///
-/// Propagates protocol aborts and noise-enforcement failures.
-pub fn run_protocol_round(
+/// Rejects empty update sets; propagates noise-enforcement failures.
+fn build_round(
     cfg: &ProtocolRoundConfig,
     updates: &BTreeMap<ClientId, Vec<u64>>,
-    drop_before_masking: &[ClientId],
-) -> Result<ProtocolRoundOutcome, DordisError> {
+) -> Result<(RoundParams, BTreeMap<ClientId, ClientInput>), DordisError> {
     let clients: Vec<ClientId> = updates.keys().copied().collect();
-    let n = clients.len();
     let vector_len = updates
         .values()
         .next()
@@ -76,7 +70,7 @@ pub fn run_protocol_round(
     let noise_components = cfg.xnoise.as_ref().map_or(0, |p| p.dropout_tolerance);
     let params = RoundParams {
         round: cfg.round,
-        clients: clients.clone(),
+        clients,
         threshold: cfg.threshold,
         bit_width: cfg.bit_width,
         vector_len,
@@ -106,18 +100,16 @@ pub fn run_protocol_round(
             },
         );
     }
+    Ok((params, inputs))
+}
 
-    let mut dropout = DropoutSchedule::none();
-    for &id in drop_before_masking {
-        dropout.drop_at(id, DropStage::BeforeMaskedInput);
-    }
-    let (outcome, stats) = run_round(RoundSpec {
-        params,
-        inputs,
-        dropout,
-        rng_seed: cfg.seed,
-    })?;
-
+/// Applies post-round XNoise removal and assembles the outcome.
+fn finish_round(
+    cfg: &ProtocolRoundConfig,
+    n: usize,
+    outcome: dordis_secagg::server::RoundOutcome,
+    stats: RoundStats,
+) -> Result<ProtocolRoundOutcome, DordisError> {
     let mut sum = outcome.sum;
     if let Some(plan) = &cfg.xnoise {
         let dropped = n - outcome.survivors.len();
@@ -137,6 +129,146 @@ pub fn run_protocol_round(
         dropped: outcome.dropped,
         stats,
     })
+}
+
+/// Runs one aggregation round through the full protocol stack.
+///
+/// `updates` maps client id to its encoded (un-noised) update; noise is
+/// added here per the XNoise plan before masking, exactly as the client
+/// stack would. `drop_before_masking` lists clients that vanish after key
+/// sharing (the paper's dropout model).
+///
+/// # Errors
+///
+/// Propagates protocol aborts and noise-enforcement failures.
+pub fn run_protocol_round(
+    cfg: &ProtocolRoundConfig,
+    updates: &BTreeMap<ClientId, Vec<u64>>,
+    drop_before_masking: &[ClientId],
+) -> Result<ProtocolRoundOutcome, DordisError> {
+    let (params, inputs) = build_round(cfg, updates)?;
+    let n = params.clients.len();
+    let mut dropout = DropoutSchedule::none();
+    for &id in drop_before_masking {
+        dropout.drop_at(id, DropStage::BeforeMaskedInput);
+    }
+    let (outcome, stats) = run_round(RoundSpec {
+        params,
+        inputs,
+        dropout,
+        rng_seed: cfg.seed,
+    })?;
+    finish_round(cfg, n, outcome, stats)
+}
+
+/// Runs the same aggregation round through `dordis-net`: a loopback
+/// deployment with a real coordinator, client runtimes on threads, a
+/// wire codec in between, and dropout *detected* by the coordinator
+/// rather than scripted. Produces the same [`ProtocolRoundOutcome`] as
+/// [`run_protocol_round`] — the equivalence tests pin the two paths to
+/// identical sums and survivor sets.
+///
+/// `drop_before_masking` clients disconnect just before sending their
+/// masked input (the networked analogue of the paper's dropout model).
+///
+/// # Errors
+///
+/// Propagates protocol aborts, transport failures, and
+/// noise-enforcement failures.
+pub fn run_protocol_round_networked(
+    cfg: &ProtocolRoundConfig,
+    updates: &BTreeMap<ClientId, Vec<u64>>,
+    drop_before_masking: &[ClientId],
+) -> Result<ProtocolRoundOutcome, DordisError> {
+    use dordis_net::coordinator::{run_coordinator, CoordinatorConfig};
+    use dordis_net::runtime::{run_client, ClientOptions, FailAction, FailPoint, FailStage};
+    use dordis_net::transport::LoopbackHub;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let (params, inputs) = build_round(cfg, updates)?;
+    let n = params.clients.len();
+
+    // PKI stand-in for the malicious model, identical to the driver's.
+    let registry = (cfg.threat_model == ThreatModel::Malicious).then(|| {
+        Arc::new(
+            params
+                .clients
+                .iter()
+                .map(|&id| {
+                    (
+                        id,
+                        dordis_secagg::driver::signing_key_for(cfg.seed, id).verifying_key(),
+                    )
+                })
+                .collect::<BTreeMap<_, _>>(),
+        )
+    });
+
+    let (hub, mut acceptor) = LoopbackHub::new();
+    let mut handles = Vec::new();
+    for (&id, input) in &inputs {
+        let hub = hub.clone();
+        let input = input.clone();
+        let fail = drop_before_masking.contains(&id).then_some(FailPoint {
+            stage: FailStage::MaskedInput,
+            action: FailAction::Disconnect,
+        });
+        let registry = registry.clone();
+        let seed = cfg.seed;
+        handles.push(std::thread::spawn(move || {
+            let mut chan = hub
+                .connect(&format!("client-{id}"))
+                .map_err(|e| format!("connect: {e}"))?;
+            let opts = ClientOptions {
+                id,
+                rng_seed: seed,
+                fail,
+                recv_timeout: Duration::from_secs(60),
+                silent_linger: Duration::from_secs(1),
+            };
+            run_client(
+                &mut chan,
+                &opts,
+                move |_| Ok(input),
+                move |_| {
+                    registry.map(|reg| dordis_secagg::client::Identity {
+                        signing: dordis_secagg::driver::signing_key_for(seed, id),
+                        registry: reg,
+                    })
+                },
+            )
+            .map_err(|e| format!("client {id}: {e}"))
+        }));
+    }
+
+    let report = run_coordinator(
+        &mut acceptor,
+        &CoordinatorConfig {
+            params,
+            join_timeout: Duration::from_secs(30),
+            stage_timeout: Duration::from_secs(30),
+        },
+    )
+    .map_err(|e| DordisError::Config(format!("networked round: {e}")))?;
+    for h in handles {
+        h.join()
+            .map_err(|_| DordisError::Config("client thread panicked".into()))?
+            .map_err(DordisError::Config)?;
+    }
+    finish_round(cfg, n, report.outcome, report.stats)
+}
+
+/// The deterministic demo update used by the `dordis serve`/`join` TCP
+/// demo: both sides derive it from the client id alone, so the server
+/// can verify the survivor aggregate without ever seeing an individual
+/// update.
+#[must_use]
+pub fn demo_update(client: ClientId, dim: usize, bit_width: u32) -> Vec<u64> {
+    let mask = (1u64 << bit_width) - 1;
+    (0..dim)
+        .map(|i| (u64::from(client) * 1009 + i as u64 * 31 + 7) & mask)
+        .collect()
 }
 
 /// The deterministic per-(run, round, client) seed used for noise
@@ -271,5 +403,42 @@ mod tests {
     fn empty_updates_rejected() {
         let err = run_protocol_round(&config(None), &BTreeMap::new(), &[]);
         assert!(matches!(err, Err(DordisError::Config(_))));
+    }
+
+    #[test]
+    fn networked_round_matches_driver_round() {
+        let ups = updates(8);
+        let cfg = config(None);
+        let mem = run_protocol_round(&cfg, &ups, &[3]).unwrap();
+        let net = run_protocol_round_networked(&cfg, &ups, &[3]).unwrap();
+        assert_eq!(net.sum, mem.sum);
+        assert_eq!(net.survivors, mem.survivors);
+        assert_eq!(net.dropped, mem.dropped);
+    }
+
+    #[test]
+    fn networked_xnoise_round_matches_driver_round() {
+        // Full XNoise: perturb before masking, recover seeds over the
+        // wire, remove excess after unmasking — both paths bit-equal.
+        let ups = updates(8);
+        let plan = XNoisePlan::new(9.0, 8, 3, 0, 5).unwrap();
+        let cfg = config(Some(plan));
+        let mem = run_protocol_round(&cfg, &ups, &[2, 6]).unwrap();
+        let net = run_protocol_round_networked(&cfg, &ups, &[2, 6]).unwrap();
+        assert_eq!(net.sum, mem.sum);
+        assert_eq!(net.survivors, mem.survivors);
+        assert_eq!(net.dropped, vec![2, 6]);
+    }
+
+    #[test]
+    fn networked_malicious_round_matches_driver_round() {
+        let ups = updates(8);
+        let mut cfg = config(Some(XNoisePlan::new(4.0, 8, 2, 0, 5).unwrap()));
+        cfg.threat_model = ThreatModel::Malicious;
+        let mem = run_protocol_round(&cfg, &ups, &[1]).unwrap();
+        let net = run_protocol_round_networked(&cfg, &ups, &[1]).unwrap();
+        assert_eq!(net.sum, mem.sum);
+        assert_eq!(net.survivors, mem.survivors);
+        assert!(net.stats.stage("ConsistencyCheck").is_some());
     }
 }

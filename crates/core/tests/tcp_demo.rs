@@ -1,0 +1,134 @@
+//! The acceptance demo as a test: real `dordis serve` and `dordis join`
+//! *processes* complete a SecAgg+ round over TCP on localhost with one
+//! client killed mid-round, and the server reports the correct survivor
+//! aggregate (verified against the deterministic demo updates).
+
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_dordis");
+
+fn wait_with_timeout(child: &mut Child, timeout: Duration, what: &str) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match child.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "{what} exited with {status}");
+                return;
+            }
+            None if Instant::now() >= deadline => {
+                let _ = child.kill();
+                panic!("{what} did not finish within {timeout:?}");
+            }
+            None => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+#[test]
+fn two_process_round_with_killed_client() {
+    let mut serve = Command::new(BIN)
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--clients",
+            "5",
+            "--threshold",
+            "3",
+            "--dim",
+            "16",
+            "--bits",
+            "20",
+            "--graph",
+            "harary",
+            "--noise-components",
+            "2",
+            "--stage-timeout-ms",
+            "6000",
+            "--join-timeout-ms",
+            "20000",
+            "--verify-demo",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // The first stdout line announces the bound address.
+    let mut stdout = BufReader::new(serve.stdout.take().expect("stdout"));
+    let mut first = String::new();
+    stdout.read_line(&mut first).expect("read listen line");
+    let addr = first
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {first:?}"))
+        .to_string();
+
+    // Four well-behaved clients...
+    let mut joins: Vec<Child> = [0u32, 1, 3, 4]
+        .iter()
+        .map(|id| {
+            Command::new(BIN)
+                .args(["join", "--connect", &addr, "--id", &id.to_string()])
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn join")
+        })
+        .collect();
+
+    // ...and a victim that goes silent before its masked input, which the
+    // test then genuinely kills mid-round (SIGKILL, no cleanup).
+    let mut victim = Command::new(BIN)
+        .args([
+            "join",
+            "--connect",
+            &addr,
+            "--id",
+            "2",
+            "--drop-at",
+            "masked-input",
+            "--drop-mode",
+            "silent",
+            "--timeout-ms",
+            "60000",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+    std::thread::sleep(Duration::from_millis(400));
+    victim.kill().expect("kill victim");
+    let _ = victim.wait();
+
+    // The round must still complete, without the victim.
+    for (i, j) in joins.iter_mut().enumerate() {
+        wait_with_timeout(j, Duration::from_secs(60), &format!("join #{i}"));
+    }
+    wait_with_timeout(&mut serve, Duration::from_secs(60), "serve");
+
+    let mut out = first;
+    stdout.read_to_string(&mut out).expect("read serve output");
+    let mut err = String::new();
+    serve
+        .stderr
+        .take()
+        .expect("stderr")
+        .read_to_string(&mut err)
+        .expect("read serve stderr");
+
+    assert!(
+        out.contains("dropped:   [2]"),
+        "server must report client 2 dropped; output:\n{out}\n{err}"
+    );
+    assert!(
+        out.contains("demo verification: OK"),
+        "survivor aggregate must verify; output:\n{out}\n{err}"
+    );
+    assert!(
+        out.contains("detected:  client 2"),
+        "dropout must be detected, not scripted; output:\n{out}"
+    );
+}

@@ -1,0 +1,694 @@
+//! The wire codec: length-delimited binary encodings for every protocol
+//! message, plus the framed [`Envelope`] that carries them.
+//!
+//! Layout conventions: all integers are little-endian; collections carry
+//! explicit counts; Shamir shares encode as `x u8, len u8, y`. Message
+//! *bodies* encode exactly [`WireSize::wire_bytes`] bytes — the
+//! `wire_size_agreement` test in this crate pins that equality for every
+//! message type, because those sizes feed the paper's Figure 2/10
+//! communication cost model. List framing and the envelope header are
+//! transport overhead on top, accounted separately.
+//!
+//! Two messages decode *contextually*: [`MaskedInput`] is bit-packed at
+//! `b` bits per coordinate, so the decoder needs the round's
+//! `(bit_width, vector_len)` — both sides know them from [`RoundParams`],
+//! which is how the paper's system avoids paying a per-message header
+//! for static round state.
+
+use dordis_crypto::ed25519::Signature;
+use dordis_crypto::prg::Seed;
+use dordis_crypto::shamir::Share;
+use dordis_secagg::graph::MaskingGraph;
+use dordis_secagg::messages::{
+    AdvertisedKeys, ConsistencySignature, EncryptedShares, IdList, MaskedInput, NoiseShareResponse,
+    UnmaskingResponse,
+};
+use dordis_secagg::{ClientId, RoundParams, ThreatModel};
+
+use crate::NetError;
+
+/// Wire protocol version; bumped on any incompatible layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Maximum accepted frame size (64 MiB) — guards against garbage length
+/// prefixes from misbehaving peers.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Protocol stage carried in the envelope header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StageTag {
+    /// Client → server: claim a seat in the round.
+    Join = 0,
+    /// Server → client: the round parameters.
+    Setup = 1,
+    /// Client → server: key advertisement (stage 0).
+    AdvertiseKeys = 2,
+    /// Server → client: the U1 roster broadcast.
+    Roster = 3,
+    /// Client → server: encrypted share bundles (stage 1).
+    ShareKeys = 4,
+    /// Server → client: ciphertexts routed to this client.
+    Inbox = 5,
+    /// Client → server: the masked input (stage 2).
+    MaskedInput = 6,
+    /// Server → client: the U3 survivor broadcast.
+    SurvivorSet = 7,
+    /// Client → server: consistency signature (stage 3, malicious).
+    ConsistencySig = 8,
+    /// Server → client: the {(v, ω'_v)} signature list (U4).
+    SignatureList = 9,
+    /// Client → server: unmasking response (stage 4).
+    Unmasking = 10,
+    /// Server → client: the U5 broadcast requesting noise shares.
+    ReadySet = 11,
+    /// Client → server: noise-seed shares (stage 5).
+    NoiseShares = 12,
+    /// Server → client: round complete; body is the survivor set.
+    Finished = 13,
+    /// Either direction: the sender is aborting, with a reason.
+    Abort = 14,
+}
+
+impl StageTag {
+    /// Parses the tag byte.
+    #[must_use]
+    pub fn from_u8(b: u8) -> Option<StageTag> {
+        use StageTag::*;
+        Some(match b {
+            0 => Join,
+            1 => Setup,
+            2 => AdvertiseKeys,
+            3 => Roster,
+            4 => ShareKeys,
+            5 => Inbox,
+            6 => MaskedInput,
+            7 => SurvivorSet,
+            8 => ConsistencySig,
+            9 => SignatureList,
+            10 => Unmasking,
+            11 => ReadySet,
+            12 => NoiseShares,
+            13 => Finished,
+            14 => Abort,
+            _ => return None,
+        })
+    }
+}
+
+/// A framed protocol message: version, stage, round id, opaque body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Wire version ([`WIRE_VERSION`]).
+    pub version: u8,
+    /// Stage discriminator for the body.
+    pub stage: StageTag,
+    /// Round the message belongs to (replay/mix-up protection).
+    pub round: u64,
+    /// Encoded message body.
+    pub body: Vec<u8>,
+}
+
+impl Envelope {
+    /// Wraps a body for the current wire version.
+    #[must_use]
+    pub fn new(stage: StageTag, round: u64, body: Vec<u8>) -> Envelope {
+        Envelope {
+            version: WIRE_VERSION,
+            stage,
+            round,
+            body,
+        }
+    }
+
+    /// Serializes header + body into one frame.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(10 + self.body.len());
+        out.push(self.version);
+        out.push(self.stage as u8);
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a frame.
+    ///
+    /// # Errors
+    ///
+    /// Rejects short frames, unknown versions, and unknown stage tags.
+    pub fn decode(frame: &[u8]) -> Result<Envelope, NetError> {
+        if frame.len() < 10 {
+            return Err(NetError::Codec(format!("frame too short: {}", frame.len())));
+        }
+        let version = frame[0];
+        if version != WIRE_VERSION {
+            return Err(NetError::Codec(format!(
+                "unsupported wire version {version}"
+            )));
+        }
+        let stage = StageTag::from_u8(frame[1])
+            .ok_or_else(|| NetError::Codec(format!("unknown stage tag {}", frame[1])))?;
+        let round = u64::from_le_bytes(frame[2..10].try_into().expect("8 bytes"));
+        Ok(Envelope {
+            version,
+            stage,
+            round,
+            body: frame[10..].to_vec(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cursor.
+// ---------------------------------------------------------------------
+
+/// Little-endian read cursor over a body slice.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NetError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(NetError::Codec(format!(
+                "truncated body: wanted {n} at offset {}, have {}",
+                self.pos,
+                self.bytes.len()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, NetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, NetError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn seed(&mut self) -> Result<Seed, NetError> {
+        Ok(self.take(32)?.try_into().expect("32"))
+    }
+
+    fn share(&mut self) -> Result<Share, NetError> {
+        let x = self.u8()?;
+        let len = self.u8()? as usize;
+        Ok(Share {
+            x,
+            y: self.take(len)?.to_vec(),
+        })
+    }
+
+    fn finish(&self) -> Result<(), NetError> {
+        if self.pos != self.bytes.len() {
+            return Err(NetError::Codec(format!(
+                "{} trailing bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+fn put_share(out: &mut Vec<u8>, s: &Share) {
+    debug_assert!(s.y.len() <= u8::MAX as usize, "share too long for wire");
+    out.push(s.x);
+    out.push(s.y.len() as u8);
+    out.extend_from_slice(&s.y);
+}
+
+// ---------------------------------------------------------------------
+// Message bodies.
+// ---------------------------------------------------------------------
+
+/// Types with a canonical body encoding.
+pub trait Encode {
+    /// Appends the encoded body to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+
+    /// The encoded body as a fresh buffer.
+    fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+impl Encode for AdvertisedKeys {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.client.to_le_bytes());
+        out.extend_from_slice(&self.c_pk);
+        out.extend_from_slice(&self.s_pk);
+        if let Some(sig) = &self.signature {
+            out.extend_from_slice(&sig.0);
+        }
+    }
+}
+
+/// Decodes an [`AdvertisedKeys`] body; signature presence is determined
+/// by length (68 without, 132 with), keeping the body flag-free.
+///
+/// # Errors
+///
+/// Rejects any other length.
+pub fn decode_advertised_keys(body: &[u8]) -> Result<AdvertisedKeys, NetError> {
+    let mut r = Reader::new(body);
+    let client = r.u32()?;
+    let c_pk: [u8; 32] = r.take(32)?.try_into().expect("32");
+    let s_pk: [u8; 32] = r.take(32)?.try_into().expect("32");
+    let signature = match r.remaining() {
+        0 => None,
+        64 => Some(Signature(r.take(64)?.try_into().expect("64"))),
+        n => return Err(NetError::Codec(format!("bad AdvertisedKeys tail: {n}"))),
+    };
+    r.finish()?;
+    Ok(AdvertisedKeys {
+        client,
+        c_pk,
+        s_pk,
+        signature,
+    })
+}
+
+impl Encode for EncryptedShares {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.from.to_le_bytes());
+        out.extend_from_slice(&self.to.to_le_bytes());
+        out.extend_from_slice(&self.ciphertext);
+    }
+}
+
+/// Decodes an [`EncryptedShares`] body (the ciphertext is the tail).
+///
+/// # Errors
+///
+/// Rejects bodies shorter than the 8-byte addressing header.
+pub fn decode_encrypted_shares(body: &[u8]) -> Result<EncryptedShares, NetError> {
+    let mut r = Reader::new(body);
+    let from = r.u32()?;
+    let to = r.u32()?;
+    let ciphertext = r.take(r.remaining())?.to_vec();
+    Ok(EncryptedShares {
+        from,
+        to,
+        ciphertext,
+    })
+}
+
+impl Encode for MaskedInput {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.client.to_le_bytes());
+        // Pack each coordinate at `bit_width` bits, LSB first.
+        let b = self.bit_width;
+        debug_assert!((1..=62).contains(&b));
+        let mask = (1u64 << b) - 1;
+        let mut acc: u128 = 0;
+        let mut nbits: u32 = 0;
+        for &v in &self.vector {
+            acc |= u128::from(v & mask) << nbits;
+            nbits += b;
+            while nbits >= 8 {
+                out.push((acc & 0xff) as u8);
+                acc >>= 8;
+                nbits -= 8;
+            }
+        }
+        if nbits > 0 {
+            out.push((acc & 0xff) as u8);
+        }
+    }
+}
+
+/// Decodes a bit-packed [`MaskedInput`] body. The packing parameters are
+/// round state, not per-message headers, so they are passed in.
+///
+/// # Errors
+///
+/// Rejects bodies whose length disagrees with `vector_len * bit_width`.
+pub fn decode_masked_input(
+    body: &[u8],
+    bit_width: u32,
+    vector_len: usize,
+) -> Result<MaskedInput, NetError> {
+    let mut r = Reader::new(body);
+    let client = r.u32()?;
+    let expect = (vector_len as u64 * u64::from(bit_width)).div_ceil(8) as usize;
+    if r.remaining() != expect {
+        return Err(NetError::Codec(format!(
+            "MaskedInput payload {} bytes, expected {expect}",
+            r.remaining()
+        )));
+    }
+    let packed = r.take(expect)?;
+    let mut vector = Vec::with_capacity(vector_len);
+    let mut acc: u128 = 0;
+    let mut nbits: u32 = 0;
+    let mut next = packed.iter();
+    for _ in 0..vector_len {
+        while nbits < bit_width {
+            acc |= u128::from(*next.next().expect("length checked")) << nbits;
+            nbits += 8;
+        }
+        let mask = (1u128 << bit_width) - 1;
+        vector.push((acc & mask) as u64);
+        acc >>= bit_width;
+        nbits -= bit_width;
+    }
+    Ok(MaskedInput {
+        client,
+        vector,
+        bit_width,
+    })
+}
+
+impl Encode for ConsistencySignature {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.client.to_le_bytes());
+        out.extend_from_slice(&self.signature.0);
+    }
+}
+
+/// Decodes a [`ConsistencySignature`] body.
+///
+/// # Errors
+///
+/// Rejects bodies that are not exactly 68 bytes.
+pub fn decode_consistency_signature(body: &[u8]) -> Result<ConsistencySignature, NetError> {
+    let mut r = Reader::new(body);
+    let client = r.u32()?;
+    let signature = Signature(r.take(64)?.try_into().expect("64"));
+    r.finish()?;
+    Ok(ConsistencySignature { client, signature })
+}
+
+impl Encode for UnmaskingResponse {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.client.to_le_bytes());
+        out.extend_from_slice(&(self.sk_shares.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.b_shares.len() as u16).to_le_bytes());
+        out.extend_from_slice(&(self.own_seeds.len() as u16).to_le_bytes());
+        for (owner, share) in self.sk_shares.iter().chain(self.b_shares.iter()) {
+            out.extend_from_slice(&owner.to_le_bytes());
+            put_share(out, share);
+        }
+        for (k, seed) in &self.own_seeds {
+            out.extend_from_slice(&(*k as u16).to_le_bytes());
+            out.extend_from_slice(seed);
+        }
+    }
+}
+
+/// Decodes an [`UnmaskingResponse`] body.
+///
+/// # Errors
+///
+/// Rejects truncated or over-long bodies.
+pub fn decode_unmasking_response(body: &[u8]) -> Result<UnmaskingResponse, NetError> {
+    let mut r = Reader::new(body);
+    let client = r.u32()?;
+    let n_sk = r.u16()? as usize;
+    let n_b = r.u16()? as usize;
+    let n_seed = r.u16()? as usize;
+    let mut sk_shares = Vec::with_capacity(n_sk);
+    for _ in 0..n_sk {
+        let owner = r.u32()?;
+        sk_shares.push((owner, r.share()?));
+    }
+    let mut b_shares = Vec::with_capacity(n_b);
+    for _ in 0..n_b {
+        let owner = r.u32()?;
+        b_shares.push((owner, r.share()?));
+    }
+    let mut own_seeds = Vec::with_capacity(n_seed);
+    for _ in 0..n_seed {
+        let k = r.u16()? as usize;
+        own_seeds.push((k, r.seed()?));
+    }
+    r.finish()?;
+    Ok(UnmaskingResponse {
+        client,
+        sk_shares,
+        b_shares,
+        own_seeds,
+    })
+}
+
+impl Encode for NoiseShareResponse {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.client.to_le_bytes());
+        out.extend_from_slice(&(self.seed_shares.len() as u16).to_le_bytes());
+        for (owner, k, share) in &self.seed_shares {
+            out.extend_from_slice(&owner.to_le_bytes());
+            out.extend_from_slice(&(*k as u16).to_le_bytes());
+            put_share(out, share);
+        }
+    }
+}
+
+/// Decodes a [`NoiseShareResponse`] body.
+///
+/// # Errors
+///
+/// Rejects truncated or over-long bodies.
+pub fn decode_noise_share_response(body: &[u8]) -> Result<NoiseShareResponse, NetError> {
+    let mut r = Reader::new(body);
+    let client = r.u32()?;
+    let n = r.u16()? as usize;
+    let mut seed_shares = Vec::with_capacity(n);
+    for _ in 0..n {
+        let owner = r.u32()?;
+        let k = r.u16()? as usize;
+        seed_shares.push((owner, k, r.share()?));
+    }
+    r.finish()?;
+    Ok(NoiseShareResponse {
+        client,
+        seed_shares,
+    })
+}
+
+impl Encode for IdList {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.0.len() as u32).to_le_bytes());
+        for id in &self.0 {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+}
+
+/// Decodes an [`IdList`] body.
+///
+/// # Errors
+///
+/// Rejects count/length mismatches.
+pub fn decode_id_list(body: &[u8]) -> Result<IdList, NetError> {
+    let mut r = Reader::new(body);
+    let n = r.u32()? as usize;
+    // The count is wire-controlled: bound it by the actual payload
+    // before allocating.
+    if n * 4 != r.remaining() {
+        return Err(NetError::Codec(format!(
+            "IdList count {n} disagrees with {} payload bytes",
+            r.remaining()
+        )));
+    }
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(r.u32()?);
+    }
+    r.finish()?;
+    Ok(IdList(ids))
+}
+
+// ---------------------------------------------------------------------
+// List framing (batched bodies).
+// ---------------------------------------------------------------------
+
+/// Encodes a batch of message bodies: `count u16`, then each body with a
+/// `u32` length prefix.
+pub fn encode_list<T: Encode>(items: &[T]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(items.len() as u16).to_le_bytes());
+    for item in items {
+        let body = item.encoded();
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+    }
+    out
+}
+
+/// Decodes a batch produced by [`encode_list`].
+///
+/// # Errors
+///
+/// Propagates item decode failures; rejects framing mismatches.
+pub fn decode_list<T>(
+    body: &[u8],
+    decode_item: impl Fn(&[u8]) -> Result<T, NetError>,
+) -> Result<Vec<T>, NetError> {
+    let mut r = Reader::new(body);
+    let n = r.u16()? as usize;
+    let mut items = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.u32()? as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(NetError::Codec(format!("oversized list item: {len}")));
+        }
+        items.push(decode_item(r.take(len)?)?);
+    }
+    r.finish()?;
+    Ok(items)
+}
+
+// ---------------------------------------------------------------------
+// Control payloads (Join / Setup / SignatureList / Abort).
+// ---------------------------------------------------------------------
+
+/// Encodes a Join body: the claimed client id.
+#[must_use]
+pub fn encode_join(client: ClientId) -> Vec<u8> {
+    client.to_le_bytes().to_vec()
+}
+
+/// Decodes a Join body.
+///
+/// # Errors
+///
+/// Rejects bodies that are not exactly 4 bytes.
+pub fn decode_join(body: &[u8]) -> Result<ClientId, NetError> {
+    let mut r = Reader::new(body);
+    let id = r.u32()?;
+    r.finish()?;
+    Ok(id)
+}
+
+/// Encodes the Setup body: the full [`RoundParams`].
+#[must_use]
+pub fn encode_params(p: &RoundParams) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&p.round.to_le_bytes());
+    out.extend_from_slice(&(p.clients.len() as u16).to_le_bytes());
+    for id in &p.clients {
+        out.extend_from_slice(&id.to_le_bytes());
+    }
+    out.extend_from_slice(&(p.threshold as u32).to_le_bytes());
+    out.push(p.bit_width as u8);
+    out.extend_from_slice(&(p.vector_len as u32).to_le_bytes());
+    out.extend_from_slice(&(p.noise_components as u16).to_le_bytes());
+    out.push(match p.threat_model {
+        ThreatModel::SemiHonest => 0,
+        ThreatModel::Malicious => 1,
+    });
+    match p.graph {
+        MaskingGraph::Complete => out.push(0),
+        MaskingGraph::Harary { half_degree } => {
+            out.push(1);
+            out.extend_from_slice(&(half_degree as u32).to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a Setup body.
+///
+/// # Errors
+///
+/// Rejects malformed bodies and unknown tags.
+pub fn decode_params(body: &[u8]) -> Result<RoundParams, NetError> {
+    let mut r = Reader::new(body);
+    let round = r.u64()?;
+    let n = r.u16()? as usize;
+    let mut clients = Vec::with_capacity(n);
+    for _ in 0..n {
+        clients.push(r.u32()?);
+    }
+    let threshold = r.u32()? as usize;
+    let bit_width = u32::from(r.u8()?);
+    let vector_len = r.u32()? as usize;
+    let noise_components = r.u16()? as usize;
+    let threat_model = match r.u8()? {
+        0 => ThreatModel::SemiHonest,
+        1 => ThreatModel::Malicious,
+        t => return Err(NetError::Codec(format!("unknown threat model {t}"))),
+    };
+    let graph = match r.u8()? {
+        0 => MaskingGraph::Complete,
+        1 => MaskingGraph::Harary {
+            half_degree: r.u32()? as usize,
+        },
+        t => return Err(NetError::Codec(format!("unknown graph tag {t}"))),
+    };
+    r.finish()?;
+    Ok(RoundParams {
+        round,
+        clients,
+        threshold,
+        bit_width,
+        vector_len,
+        noise_components,
+        threat_model,
+        graph,
+    })
+}
+
+/// Encodes the SignatureList body: `count u16`, then `(client u32, sig)`.
+#[must_use]
+pub fn encode_signature_list(sigs: &[(ClientId, Signature)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(sigs.len() as u16).to_le_bytes());
+    for (id, sig) in sigs {
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&sig.0);
+    }
+    out
+}
+
+/// Decodes a SignatureList body.
+///
+/// # Errors
+///
+/// Rejects framing mismatches.
+pub fn decode_signature_list(body: &[u8]) -> Result<Vec<(ClientId, Signature)>, NetError> {
+    let mut r = Reader::new(body);
+    let n = r.u16()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = r.u32()?;
+        out.push((id, Signature(r.take(64)?.try_into().expect("64"))));
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+/// Encodes an Abort body (UTF-8 reason).
+#[must_use]
+pub fn encode_abort(reason: &str) -> Vec<u8> {
+    reason.as_bytes().to_vec()
+}
+
+/// Decodes an Abort body.
+#[must_use]
+pub fn decode_abort(body: &[u8]) -> String {
+    String::from_utf8_lossy(body).into_owned()
+}

@@ -1,0 +1,594 @@
+//! The round coordinator: drives the `dordis-secagg` server state
+//! machine over a real transport, stage by stage, with per-stage
+//! deadlines.
+//!
+//! This is the networked replacement for the driver's scripted
+//! [`DropoutSchedule`]: here nobody *announces* a dropout — a client
+//! that disconnects or stays silent past the stage deadline is
+//! *detected* and excluded, exactly as in the deployed system the paper
+//! evaluates (§6.1 measures dropout as missed per-stage responses).
+//!
+//! [`DropoutSchedule`]: dordis_secagg::driver::DropoutSchedule
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use dordis_secagg::driver::{RoundStats, StageTraffic};
+use dordis_secagg::server::{RoundOutcome, Server};
+use dordis_secagg::{ClientId, RoundParams, SecAggError, ThreatModel};
+
+use crate::codec::{
+    self, decode_advertised_keys, decode_consistency_signature, decode_encrypted_shares,
+    decode_list, decode_masked_input, decode_noise_share_response, decode_unmasking_response,
+    encode_list, Encode, Envelope, StageTag,
+};
+use crate::transport::{recv_env, send_env, Acceptor, Channel};
+use crate::NetError;
+
+/// Configuration of one coordinated round.
+pub struct CoordinatorConfig {
+    /// Protocol parameters; `params.clients` is the sampled set — ids
+    /// that never join are advertise-stage dropouts.
+    pub params: RoundParams,
+    /// How long to wait for the full sampled set to join before starting
+    /// with whoever arrived.
+    pub join_timeout: Duration,
+    /// Per-stage response deadline; a silent client past this is a
+    /// detected dropout.
+    pub stage_timeout: Duration,
+}
+
+/// What the coordinator observed about one departed client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DropKind {
+    /// Never joined the round.
+    NeverJoined,
+    /// Connection closed (crash / kill).
+    Disconnected,
+    /// Joined but missed a stage deadline while connected.
+    DeadlineMissed,
+    /// Sent an explicit abort (detected an inconsistency).
+    Aborted,
+    /// Sent garbage or an out-of-protocol message.
+    ProtocolViolation,
+}
+
+/// A detected departure: who, at which stage, and how.
+#[derive(Clone, Debug)]
+pub struct DetectedDropout {
+    /// The client.
+    pub client: ClientId,
+    /// Stage name at which the departure was detected.
+    pub stage: &'static str,
+    /// What was observed.
+    pub kind: DropKind,
+}
+
+/// Result of a coordinated round.
+pub struct NetRoundReport {
+    /// The protocol outcome (same type the in-memory driver returns).
+    pub outcome: RoundOutcome,
+    /// Per-stage traffic, measured as actual framed bytes on the wire
+    /// (envelope headers included — unlike the driver's `wire_bytes()`
+    /// accounting, which counts message bodies only).
+    pub stats: RoundStats,
+    /// Every detected departure, in detection order.
+    pub dropouts: Vec<DetectedDropout>,
+}
+
+/// Per-stage uplink accumulator.
+#[derive(Default)]
+struct Traffic {
+    total: u64,
+    max: u64,
+}
+
+impl Traffic {
+    fn add(&mut self, bytes: u64) {
+        self.total += bytes;
+        self.max = self.max.max(bytes);
+    }
+}
+
+/// Live connections, keyed by authenticated-at-join client id.
+type Peers = BTreeMap<ClientId, Box<dyn Channel>>;
+
+/// Runs one full round over `acceptor`.
+///
+/// Accepts joins until every sampled client is present or
+/// `join_timeout` passes, then drives the stages. Clients that vanish
+/// mid-round are detected per stage and the protocol continues as long
+/// as the threshold holds.
+///
+/// # Errors
+///
+/// [`NetError::SecAgg`] when the protocol aborts (e.g. below
+/// threshold); transport errors only for coordinator-side failures
+/// (individual client failures are dropouts, not errors).
+pub fn run_coordinator(
+    acceptor: &mut dyn Acceptor,
+    cfg: &CoordinatorConfig,
+) -> Result<NetRoundReport, NetError> {
+    cfg.params.validate().map_err(NetError::SecAgg)?;
+    let round = cfg.params.round;
+    let mut stats = RoundStats::default();
+    let mut dropouts: Vec<DetectedDropout> = Vec::new();
+
+    // ---- Join phase. ----
+    let mut peers = accept_joins(acceptor, cfg)?;
+    for &id in &cfg.params.clients {
+        if !peers.contains_key(&id) {
+            dropouts.push(DetectedDropout {
+                client: id,
+                stage: "Join",
+                kind: DropKind::NeverJoined,
+            });
+        }
+    }
+
+    let mut server = Server::new(cfg.params.clone()).map_err(NetError::SecAgg)?;
+
+    // ---- Setup broadcast. ----
+    let setup = Envelope::new(StageTag::Setup, round, codec::encode_params(&cfg.params));
+    broadcast(&mut peers, &setup, &mut dropouts, "Setup");
+
+    let joined: Vec<ClientId> = peers.keys().copied().collect();
+
+    // ---- Stage 0: AdvertiseKeys. ----
+    let mut up = Traffic::default();
+    let bodies = collect_stage(
+        &mut peers,
+        &joined,
+        StageTag::AdvertiseKeys,
+        round,
+        cfg.stage_timeout,
+        "AdvertiseKeys",
+        &mut dropouts,
+        &mut up,
+    );
+    let mut advs = Vec::with_capacity(bodies.len());
+    for (id, body) in &bodies {
+        match decode_advertised_keys(body) {
+            Ok(a) if a.client == *id => advs.push(a),
+            _ => drop_peer(
+                &mut peers,
+                *id,
+                "AdvertiseKeys",
+                DropKind::ProtocolViolation,
+                &mut dropouts,
+            ),
+        }
+    }
+    let roster = server.collect_advertisements(advs).map_err(|e| {
+        abort_all(&mut peers, round, &e);
+        NetError::SecAgg(e)
+    })?;
+    let roster_env = Envelope::new(StageTag::Roster, round, encode_list(&roster));
+    let down = broadcast(&mut peers, &roster_env, &mut dropouts, "AdvertiseKeys");
+    push_stage(&mut stats, "AdvertiseKeys", &up, down);
+
+    // ---- Stage 1: ShareKeys. ----
+    let expected: Vec<ClientId> = roster
+        .iter()
+        .map(|a| a.client)
+        .filter(|id| peers.contains_key(id))
+        .collect();
+    let mut up = Traffic::default();
+    let bodies = collect_stage(
+        &mut peers,
+        &expected,
+        StageTag::ShareKeys,
+        round,
+        cfg.stage_timeout,
+        "ShareKeys",
+        &mut dropouts,
+        &mut up,
+    );
+    let mut all_cts = Vec::new();
+    for (id, body) in &bodies {
+        match decode_list(body, decode_encrypted_shares) {
+            Ok(cts) if cts.iter().all(|ct| ct.from == *id) => all_cts.extend(cts),
+            _ => drop_peer(
+                &mut peers,
+                *id,
+                "ShareKeys",
+                DropKind::ProtocolViolation,
+                &mut dropouts,
+            ),
+        }
+    }
+    let mut inboxes = server.route_shares(all_cts).map_err(|e| {
+        abort_all(&mut peers, round, &e);
+        NetError::SecAgg(e)
+    })?;
+    let mut down = Traffic::default();
+    let inbox_ids: Vec<ClientId> = peers.keys().copied().collect();
+    for id in inbox_ids {
+        let cts = inboxes.remove(&id).unwrap_or_default();
+        let env = Envelope::new(StageTag::Inbox, round, encode_list(&cts));
+        down.add(env.encode().len() as u64);
+        send_or_drop(&mut peers, id, &env, "ShareKeys", &mut dropouts);
+    }
+    push_stage(&mut stats, "ShareKeys", &up, down);
+
+    // ---- Stage 2: MaskedInputCollection. ----
+    let u2: BTreeSet<ClientId> = server.u2().iter().copied().collect();
+    let expected: Vec<ClientId> = peers.keys().copied().filter(|id| u2.contains(id)).collect();
+    let mut up = Traffic::default();
+    let bodies = collect_stage(
+        &mut peers,
+        &expected,
+        StageTag::MaskedInput,
+        round,
+        cfg.stage_timeout,
+        "MaskedInputCollection",
+        &mut dropouts,
+        &mut up,
+    );
+    let mut masked = Vec::new();
+    for (id, body) in &bodies {
+        match decode_masked_input(body, cfg.params.bit_width, cfg.params.vector_len) {
+            Ok(m) if m.client == *id => masked.push(m),
+            _ => drop_peer(
+                &mut peers,
+                *id,
+                "MaskedInputCollection",
+                DropKind::ProtocolViolation,
+                &mut dropouts,
+            ),
+        }
+    }
+    let u3 = server.collect_masked(masked).map_err(|e| {
+        abort_all(&mut peers, round, &e);
+        NetError::SecAgg(e)
+    })?;
+    let u3_env = Envelope::new(
+        StageTag::SurvivorSet,
+        round,
+        dordis_secagg::messages::IdList(u3.clone()).encoded(),
+    );
+    let down = broadcast(&mut peers, &u3_env, &mut dropouts, "MaskedInputCollection");
+    push_stage(&mut stats, "MaskedInputCollection", &up, down);
+
+    // ---- Stage 3: ConsistencyCheck (malicious only). ----
+    if cfg.params.threat_model == ThreatModel::Malicious {
+        let expected: Vec<ClientId> = u3
+            .iter()
+            .copied()
+            .filter(|v| peers.contains_key(v))
+            .collect();
+        let mut up = Traffic::default();
+        let bodies = collect_stage(
+            &mut peers,
+            &expected,
+            StageTag::ConsistencySig,
+            round,
+            cfg.stage_timeout,
+            "ConsistencyCheck",
+            &mut dropouts,
+            &mut up,
+        );
+        let mut sigs = Vec::new();
+        for (id, body) in &bodies {
+            match decode_consistency_signature(body) {
+                Ok(s) if s.client == *id => sigs.push(s),
+                _ => drop_peer(
+                    &mut peers,
+                    *id,
+                    "ConsistencyCheck",
+                    DropKind::ProtocolViolation,
+                    &mut dropouts,
+                ),
+            }
+        }
+        let list = server.collect_consistency(sigs).map_err(|e| {
+            abort_all(&mut peers, round, &e);
+            NetError::SecAgg(e)
+        })?;
+        let env = Envelope::new(
+            StageTag::SignatureList,
+            round,
+            codec::encode_signature_list(&list),
+        );
+        let down = broadcast(&mut peers, &env, &mut dropouts, "ConsistencyCheck");
+        push_stage(&mut stats, "ConsistencyCheck", &up, down);
+    }
+
+    // ---- Stage 4: Unmasking. ----
+    let expected: Vec<ClientId> = u3
+        .iter()
+        .copied()
+        .filter(|v| peers.contains_key(v))
+        .collect();
+    let mut up = Traffic::default();
+    let bodies = collect_stage(
+        &mut peers,
+        &expected,
+        StageTag::Unmasking,
+        round,
+        cfg.stage_timeout,
+        "Unmasking",
+        &mut dropouts,
+        &mut up,
+    );
+    let mut responses = Vec::new();
+    for (id, body) in &bodies {
+        match decode_unmasking_response(body) {
+            Ok(r) if r.client == *id => responses.push(r),
+            _ => drop_peer(
+                &mut peers,
+                *id,
+                "Unmasking",
+                DropKind::ProtocolViolation,
+                &mut dropouts,
+            ),
+        }
+    }
+    server.collect_unmasking(responses).map_err(|e| {
+        abort_all(&mut peers, round, &e);
+        NetError::SecAgg(e)
+    })?;
+    let u5 = server.u5().to_vec();
+
+    // ---- Stage 5: ExcessiveNoiseRemoval (only if needed). ----
+    if server.pending_seed_owners().is_empty() {
+        let down_u5 = Traffic::default();
+        push_stage(&mut stats, "Unmasking", &up, down_u5);
+    } else {
+        let u5_env = Envelope::new(
+            StageTag::ReadySet,
+            round,
+            dordis_secagg::messages::IdList(u5.clone()).encoded(),
+        );
+        let down = broadcast(&mut peers, &u5_env, &mut dropouts, "Unmasking");
+        push_stage(&mut stats, "Unmasking", &up, down);
+
+        let expected: Vec<ClientId> = u5
+            .iter()
+            .copied()
+            .filter(|v| peers.contains_key(v))
+            .collect();
+        let mut up = Traffic::default();
+        let bodies = collect_stage(
+            &mut peers,
+            &expected,
+            StageTag::NoiseShares,
+            round,
+            cfg.stage_timeout,
+            "ExcessiveNoiseRemoval",
+            &mut dropouts,
+            &mut up,
+        );
+        let mut responses = Vec::new();
+        for (id, body) in &bodies {
+            match decode_noise_share_response(body) {
+                Ok(r) if r.client == *id => responses.push(r),
+                _ => drop_peer(
+                    &mut peers,
+                    *id,
+                    "ExcessiveNoiseRemoval",
+                    DropKind::ProtocolViolation,
+                    &mut dropouts,
+                ),
+            }
+        }
+        server.collect_noise_shares(responses).map_err(|e| {
+            abort_all(&mut peers, round, &e);
+            NetError::SecAgg(e)
+        })?;
+        push_stage(&mut stats, "ExcessiveNoiseRemoval", &up, Traffic::default());
+    }
+
+    // ---- Finished broadcast. ----
+    let fin = Envelope::new(
+        StageTag::Finished,
+        round,
+        dordis_secagg::messages::IdList(u3.clone()).encoded(),
+    );
+    broadcast(&mut peers, &fin, &mut dropouts, "Finished");
+
+    debug_assert!(server.privacy_invariant_holds());
+    for d in &dropouts {
+        if d.kind == DropKind::Aborted {
+            stats.aborted.push(d.client);
+        }
+    }
+    Ok(NetRoundReport {
+        outcome: server.finish(),
+        stats,
+        dropouts,
+    })
+}
+
+/// Accepts connections and their Join envelopes until every sampled id
+/// is present or the join deadline passes.
+fn accept_joins(acceptor: &mut dyn Acceptor, cfg: &CoordinatorConfig) -> Result<Peers, NetError> {
+    let deadline = Instant::now() + cfg.join_timeout;
+    let sampled: BTreeSet<ClientId> = cfg.params.clients.iter().copied().collect();
+    let mut peers: Peers = BTreeMap::new();
+    while peers.len() < sampled.len() {
+        let mut chan = match acceptor.accept(deadline) {
+            Ok(c) => c,
+            Err(NetError::Timeout) => break,
+            Err(e) => return Err(e),
+        };
+        // The Join must arrive promptly once connected.
+        let join_deadline = Instant::now()
+            + cfg
+                .stage_timeout
+                .min(deadline.saturating_duration_since(Instant::now()));
+        // Joins carry round 0: the client learns the real round id from
+        // the Setup broadcast.
+        match recv_env(chan.as_mut(), join_deadline) {
+            Ok(env) if env.stage == StageTag::Join => {
+                match codec::decode_join(&env.body) {
+                    Ok(id) if sampled.contains(&id) && !peers.contains_key(&id) => {
+                        peers.insert(id, chan);
+                    }
+                    Ok(id) => {
+                        let reason = if sampled.contains(&id) {
+                            "duplicate join"
+                        } else {
+                            "not in the sampled set"
+                        };
+                        let _ = send_env(
+                            chan.as_mut(),
+                            &Envelope::new(
+                                StageTag::Abort,
+                                cfg.params.round,
+                                codec::encode_abort(reason),
+                            ),
+                        );
+                    }
+                    Err(_) => {
+                        // Unidentifiable garbage: not a participant.
+                    }
+                }
+            }
+            _ => {
+                // Wrong first message or nothing at all: not a protocol
+                // participant.
+            }
+        }
+    }
+    Ok(peers)
+}
+
+/// Collects exactly one body per expected client for `want`, until the
+/// per-stage deadline. Silent or disconnected clients become detected
+/// dropouts and are removed from `peers`.
+#[allow(clippy::too_many_arguments)]
+fn collect_stage(
+    peers: &mut Peers,
+    expected: &[ClientId],
+    want: StageTag,
+    round: u64,
+    stage_timeout: Duration,
+    stage_name: &'static str,
+    dropouts: &mut Vec<DetectedDropout>,
+    up: &mut Traffic,
+) -> BTreeMap<ClientId, Vec<u8>> {
+    let deadline = Instant::now() + stage_timeout;
+    let mut pending: BTreeSet<ClientId> = expected
+        .iter()
+        .copied()
+        .filter(|id| peers.contains_key(id))
+        .collect();
+    let mut bodies: BTreeMap<ClientId, Vec<u8>> = BTreeMap::new();
+    let poll = Duration::from_millis(10);
+    while !pending.is_empty() && Instant::now() < deadline {
+        let ids: Vec<ClientId> = pending.iter().copied().collect();
+        for id in ids {
+            let Some(chan) = peers.get_mut(&id) else {
+                pending.remove(&id);
+                continue;
+            };
+            let slice = (Instant::now() + poll).min(deadline);
+            match chan.recv_deadline(slice) {
+                Ok(frame) => {
+                    up.add(frame.len() as u64);
+                    match Envelope::decode(&frame) {
+                        Ok(env) if env.stage == want && env.round == round => {
+                            bodies.insert(id, env.body);
+                            pending.remove(&id);
+                        }
+                        Ok(env) if env.stage == StageTag::Abort => {
+                            pending.remove(&id);
+                            drop_peer(peers, id, stage_name, DropKind::Aborted, dropouts);
+                        }
+                        _ => {
+                            pending.remove(&id);
+                            drop_peer(peers, id, stage_name, DropKind::ProtocolViolation, dropouts);
+                        }
+                    }
+                }
+                Err(NetError::Timeout) => {}
+                Err(_) => {
+                    pending.remove(&id);
+                    drop_peer(peers, id, stage_name, DropKind::Disconnected, dropouts);
+                }
+            }
+        }
+    }
+    for id in pending {
+        drop_peer(peers, id, stage_name, DropKind::DeadlineMissed, dropouts);
+    }
+    bodies
+}
+
+/// Removes a peer and records the detection.
+fn drop_peer(
+    peers: &mut Peers,
+    id: ClientId,
+    stage: &'static str,
+    kind: DropKind,
+    dropouts: &mut Vec<DetectedDropout>,
+) {
+    peers.remove(&id);
+    dropouts.push(DetectedDropout {
+        client: id,
+        stage,
+        kind,
+    });
+}
+
+/// Broadcasts an envelope to every live peer; send failures become
+/// detected disconnects. Returns downlink traffic.
+fn broadcast(
+    peers: &mut Peers,
+    env: &Envelope,
+    dropouts: &mut Vec<DetectedDropout>,
+    stage: &'static str,
+) -> Traffic {
+    let frame = env.encode();
+    let mut down = Traffic::default();
+    let ids: Vec<ClientId> = peers.keys().copied().collect();
+    for id in ids {
+        if let Some(chan) = peers.get_mut(&id) {
+            if chan.send(&frame).is_err() {
+                drop_peer(peers, id, stage, DropKind::Disconnected, dropouts);
+            } else {
+                down.add(frame.len() as u64);
+            }
+        }
+    }
+    down
+}
+
+/// Sends to one peer; failure becomes a detected disconnect.
+fn send_or_drop(
+    peers: &mut Peers,
+    id: ClientId,
+    env: &Envelope,
+    stage: &'static str,
+    dropouts: &mut Vec<DetectedDropout>,
+) {
+    if let Some(chan) = peers.get_mut(&id) {
+        if send_env(chan.as_mut(), env).is_err() {
+            drop_peer(peers, id, stage, DropKind::Disconnected, dropouts);
+        }
+    }
+}
+
+/// Best-effort abort notification to everyone still connected.
+fn abort_all(peers: &mut Peers, round: u64, err: &SecAggError) {
+    let env = Envelope::new(
+        StageTag::Abort,
+        round,
+        codec::encode_abort(&err.to_string()),
+    );
+    let frame = env.encode();
+    for chan in peers.values_mut() {
+        let _ = chan.send(&frame);
+    }
+}
+
+fn push_stage(stats: &mut RoundStats, name: &'static str, up: &Traffic, down: Traffic) {
+    stats.stages.push(StageTraffic {
+        stage: name,
+        uplink_total: up.total,
+        uplink_max: up.max,
+        downlink_total: down.total,
+        downlink_max: down.max,
+    });
+}

@@ -1,0 +1,84 @@
+//! Networked execution of Dordis SecAgg / SecAgg+ rounds.
+//!
+//! The `dordis-secagg` crate provides pure per-party state machines and
+//! an in-process driver with *scripted* dropout. This crate is the
+//! substrate that runs those same state machines between real processes:
+//!
+//! - [`codec`]: a length-prefixed binary wire codec for every protocol
+//!   message in [`dordis_secagg::messages`], wrapped in a versioned
+//!   [`codec::Envelope`] carrying the round id and a stage tag. The
+//!   codec is the ground truth for [`WireSize::wire_bytes`] — the test
+//!   suite asserts byte-for-byte agreement.
+//! - [`transport`]: the [`transport::Channel`] / [`transport::Acceptor`]
+//!   abstraction, with a deterministic channel-backed loopback
+//!   implementation for tests and in-process use.
+//! - [`tcp`]: the TCP implementation (one connection per client,
+//!   blocking I/O with deadlines).
+//! - [`coordinator`]: the server task. It drives
+//!   [`dordis_secagg::server::Server`] stage by stage over any
+//!   transport, with a per-stage deadline — a peer that goes silent or
+//!   disconnects becomes a *detected* dropout, replacing the driver's
+//!   scripted `DropoutSchedule`.
+//! - [`runtime`]: the symmetric client task driving
+//!   [`dordis_secagg::client::Client`], with optional fail injection
+//!   (disconnect or go silent at a chosen stage) for tests and demos.
+//!
+//! [`WireSize::wire_bytes`]: dordis_secagg::messages::WireSize::wire_bytes
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod coordinator;
+pub mod runtime;
+pub mod tcp;
+pub mod transport;
+
+use dordis_secagg::SecAggError;
+
+/// Errors surfaced by networked round execution.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying I/O failure.
+    Io(String),
+    /// A deadline passed with no frame.
+    Timeout,
+    /// The peer closed the connection.
+    Closed,
+    /// A frame failed to decode.
+    Codec(String),
+    /// A peer violated the protocol (wrong stage, bad id, ...).
+    Protocol(String),
+    /// The protocol itself aborted (below threshold, tampering...).
+    SecAgg(SecAggError),
+    /// The remote side reported an abort.
+    Aborted(String),
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Timeout => write!(f, "deadline exceeded"),
+            NetError::Closed => write!(f, "peer closed the connection"),
+            NetError::Codec(e) => write!(f, "codec: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            NetError::SecAgg(e) => write!(f, "secagg: {e}"),
+            NetError::Aborted(why) => write!(f, "round aborted: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e.to_string())
+    }
+}
+
+impl From<SecAggError> for NetError {
+    fn from(e: SecAggError) -> Self {
+        NetError::SecAgg(e)
+    }
+}

@@ -1,0 +1,326 @@
+//! The client runtime: drives the `dordis-secagg` client state machine
+//! symmetrically to the [`coordinator`](crate::coordinator), over any
+//! [`Channel`].
+//!
+//! The runtime joins, receives the round setup, computes its input via a
+//! caller-supplied closure (the update only exists once the round
+//! parameters are known), and then answers each server broadcast. A
+//! detected inconsistency makes the state machine abort; the runtime
+//! forwards that as an explicit `Abort` envelope and goes silent, which
+//! is exactly how the driver models aborting clients.
+//!
+//! For tests and demos, a [`FailPoint`] makes the client misbehave on
+//! purpose: disconnect (process kill) or go silent while connected
+//! (network partition / hang) just before a chosen stage.
+
+use std::time::{Duration, Instant};
+
+use dordis_secagg::client::{Client, ClientInput, Identity};
+use dordis_secagg::messages::IdList;
+use dordis_secagg::{ClientId, RoundParams, SecAggError, ThreatModel};
+
+pub use dordis_secagg::driver::{client_rng, share_keys_rng};
+
+use crate::codec::{self, decode_list, Encode, Envelope, StageTag};
+use crate::transport::{recv_env, send_env, Channel};
+use crate::NetError;
+
+/// Stage just before which a [`FailPoint`] fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailStage {
+    /// Never advertises keys (connected but useless).
+    Advertise,
+    /// Drops after advertising, before sharing keys.
+    ShareKeys,
+    /// Drops after key sharing, before the masked input — the paper's
+    /// standard dropout point (§6.1).
+    MaskedInput,
+    /// Drops before the consistency signature (malicious model).
+    Consistency,
+    /// Drops before unmasking.
+    Unmasking,
+    /// Drops before providing noise shares.
+    NoiseShares,
+}
+
+/// How the failure manifests on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Close the connection (crash / kill): the server sees `Closed`.
+    Disconnect,
+    /// Stay connected but stop responding: the server must detect the
+    /// dropout via its stage deadline.
+    Silent,
+}
+
+/// Scripted failure injection for tests and demos.
+#[derive(Clone, Copy, Debug)]
+pub struct FailPoint {
+    /// Fire just before sending this stage's message.
+    pub stage: FailStage,
+    /// What the failure looks like.
+    pub action: FailAction,
+}
+
+/// Client-side options for one round.
+pub struct ClientOptions {
+    /// This client's id (must be in the sampled set).
+    pub id: ClientId,
+    /// Seed for protocol randomness. The derivation below matches the
+    /// in-memory driver's, so a loopback round reproduces a driver round
+    /// bit for bit.
+    pub rng_seed: u64,
+    /// Optional scripted failure.
+    pub fail: Option<FailPoint>,
+    /// How long to wait for each server broadcast (must comfortably
+    /// exceed the server's per-stage deadline).
+    pub recv_timeout: Duration,
+    /// For [`FailAction::Silent`]: how long to keep the connection open
+    /// while unresponsive. Set this past the server's stage deadline so
+    /// the dropout is detected by timeout rather than by disconnect.
+    pub silent_linger: Duration,
+}
+
+/// How a client run ended.
+#[derive(Clone, Debug)]
+pub enum ClientRunOutcome {
+    /// Round finished; the server reported these survivors.
+    Finished {
+        /// Survivor set (U3) from the server's final broadcast.
+        survivors: Vec<ClientId>,
+    },
+    /// A scripted [`FailPoint`] fired.
+    Failed {
+        /// Which stage the failure preceded.
+        stage: FailStage,
+    },
+    /// The state machine detected an inconsistency and aborted.
+    Aborted {
+        /// The abort reason.
+        reason: String,
+    },
+    /// The server aborted the round.
+    ServerAborted {
+        /// The server's reason.
+        reason: String,
+    },
+}
+
+/// Joins a round and participates until it completes (or fails).
+///
+/// `input_for` builds the (already DP-perturbed) input once the round
+/// parameters are known; `identity_for` supplies the PKI identity in the
+/// malicious model.
+///
+/// # Errors
+///
+/// Transport failures, codec failures, and protocol violations by the
+/// server. Scripted failures and state-machine aborts are *outcomes*,
+/// not errors.
+pub fn run_client<FIn, FId>(
+    chan: &mut dyn Channel,
+    opts: &ClientOptions,
+    input_for: FIn,
+    identity_for: FId,
+) -> Result<ClientRunOutcome, NetError>
+where
+    FIn: FnOnce(&RoundParams) -> Result<ClientInput, NetError>,
+    FId: FnOnce(&RoundParams) -> Option<Identity>,
+{
+    // ---- Join. ----
+    send_env(
+        chan,
+        &Envelope::new(StageTag::Join, 0, codec::encode_join(opts.id)),
+    )?;
+
+    // ---- Setup. ----
+    let env = recv_until(chan, opts)?;
+    let params = match env.stage {
+        StageTag::Setup => codec::decode_params(&env.body)?,
+        StageTag::Abort => {
+            return Ok(ClientRunOutcome::ServerAborted {
+                reason: codec::decode_abort(&env.body),
+            })
+        }
+        other => return Err(NetError::Protocol(format!("expected Setup, got {other:?}"))),
+    };
+    // The server is untrusted: reject malformed round parameters (a
+    // hostile bit_width/vector_len could otherwise panic or OOM us)
+    // before building anything from them.
+    params.validate().map_err(NetError::SecAgg)?;
+    let round = params.round;
+    if !params.clients.contains(&opts.id) {
+        return Err(NetError::Protocol("not in the sampled set".into()));
+    }
+
+    let input = input_for(&params)?;
+    let identity = identity_for(&params);
+    if params.threat_model == ThreatModel::Malicious && identity.is_none() {
+        return Err(NetError::Protocol(
+            "malicious round requires a PKI identity".into(),
+        ));
+    }
+    let mut rng = client_rng(opts.rng_seed, opts.id);
+    let mut client = Client::new(params.clone(), opts.id, input, identity, &mut rng)
+        .map_err(NetError::SecAgg)?;
+
+    // ---- Stage 0: AdvertiseKeys. ----
+    if let Some(out) = maybe_fail(chan, opts, FailStage::Advertise) {
+        return Ok(out);
+    }
+    match client.advertise_keys() {
+        Ok(adv) => send_env(
+            chan,
+            &Envelope::new(StageTag::AdvertiseKeys, round, adv.encoded()),
+        )?,
+        Err(e) => return abort(chan, round, &e),
+    }
+
+    // ---- Serve broadcasts until Finished. ----
+    let mut last_u3: Vec<ClientId> = Vec::new();
+    loop {
+        let env = recv_until(chan, opts)?;
+        if env.round != round && env.stage != StageTag::Abort {
+            return Err(NetError::Protocol(format!(
+                "round mismatch: expected {round}, got {}",
+                env.round
+            )));
+        }
+        match env.stage {
+            StageTag::Roster => {
+                if let Some(out) = maybe_fail(chan, opts, FailStage::ShareKeys) {
+                    return Ok(out);
+                }
+                let roster = decode_list(&env.body, codec::decode_advertised_keys)?;
+                let mut rng = share_keys_rng(opts.rng_seed, opts.id);
+                match client.share_keys(&roster, &mut rng) {
+                    Ok(cts) => send_env(
+                        chan,
+                        &Envelope::new(StageTag::ShareKeys, round, codec::encode_list(&cts)),
+                    )?,
+                    Err(e) => return abort(chan, round, &e),
+                }
+            }
+            StageTag::Inbox => {
+                if let Some(out) = maybe_fail(chan, opts, FailStage::MaskedInput) {
+                    return Ok(out);
+                }
+                let inbox = decode_list(&env.body, codec::decode_encrypted_shares)?;
+                match client.masked_input(inbox) {
+                    Ok(m) => send_env(
+                        chan,
+                        &Envelope::new(StageTag::MaskedInput, round, m.encoded()),
+                    )?,
+                    Err(e) => return abort(chan, round, &e),
+                }
+            }
+            StageTag::SurvivorSet => {
+                let IdList(u3) = codec::decode_id_list(&env.body)?;
+                last_u3 = u3.clone();
+                if params.threat_model == ThreatModel::Malicious {
+                    if let Some(out) = maybe_fail(chan, opts, FailStage::Consistency) {
+                        return Ok(out);
+                    }
+                    match client.consistency_check(&u3) {
+                        Ok(sig) => send_env(
+                            chan,
+                            &Envelope::new(StageTag::ConsistencySig, round, sig.encoded()),
+                        )?,
+                        Err(e) => return abort(chan, round, &e),
+                    }
+                } else {
+                    if let Some(out) = maybe_fail(chan, opts, FailStage::Unmasking) {
+                        return Ok(out);
+                    }
+                    match client.unmask(&u3, None) {
+                        Ok(r) => send_env(
+                            chan,
+                            &Envelope::new(StageTag::Unmasking, round, r.encoded()),
+                        )?,
+                        Err(e) => return abort(chan, round, &e),
+                    }
+                }
+            }
+            StageTag::SignatureList => {
+                // Malicious model: U3 was fixed at consistency_check.
+                if let Some(out) = maybe_fail(chan, opts, FailStage::Unmasking) {
+                    return Ok(out);
+                }
+                let sigs = codec::decode_signature_list(&env.body)?;
+                match client.unmask(&last_u3, Some(&sigs)) {
+                    Ok(r) => send_env(
+                        chan,
+                        &Envelope::new(StageTag::Unmasking, round, r.encoded()),
+                    )?,
+                    Err(e) => return abort(chan, round, &e),
+                }
+            }
+            StageTag::ReadySet => {
+                if let Some(out) = maybe_fail(chan, opts, FailStage::NoiseShares) {
+                    return Ok(out);
+                }
+                let IdList(u5) = codec::decode_id_list(&env.body)?;
+                match client.noise_shares(&u5) {
+                    Ok(r) => send_env(
+                        chan,
+                        &Envelope::new(StageTag::NoiseShares, round, r.encoded()),
+                    )?,
+                    Err(e) => return abort(chan, round, &e),
+                }
+            }
+            StageTag::Finished => {
+                let IdList(survivors) = codec::decode_id_list(&env.body)?;
+                return Ok(ClientRunOutcome::Finished { survivors });
+            }
+            StageTag::Abort => {
+                return Ok(ClientRunOutcome::ServerAborted {
+                    reason: codec::decode_abort(&env.body),
+                });
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "unexpected server stage {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+fn recv_until(chan: &mut dyn Channel, opts: &ClientOptions) -> Result<Envelope, NetError> {
+    recv_env(chan, Instant::now() + opts.recv_timeout)
+}
+
+/// Fires the fail point if configured for `stage`.
+fn maybe_fail(
+    chan: &mut dyn Channel,
+    opts: &ClientOptions,
+    stage: FailStage,
+) -> Option<ClientRunOutcome> {
+    let fail = opts.fail?;
+    if fail.stage != stage {
+        return None;
+    }
+    if fail.action == FailAction::Silent {
+        // Stay connected but unresponsive past the server's stage
+        // deadline, so the dropout is detected by timeout (a real
+        // partitioned client would hang indefinitely). `chan` is held by
+        // the caller, so merely sleeping keeps it open.
+        let _ = &chan;
+        std::thread::sleep(opts.silent_linger);
+    }
+    Some(ClientRunOutcome::Failed { stage })
+}
+
+/// Reports a state-machine abort to the server and ends the run.
+fn abort(
+    chan: &mut dyn Channel,
+    round: u64,
+    e: &SecAggError,
+) -> Result<ClientRunOutcome, NetError> {
+    let reason = e.to_string();
+    let _ = send_env(
+        chan,
+        &Envelope::new(StageTag::Abort, round, codec::encode_abort(&reason)),
+    );
+    Ok(ClientRunOutcome::Aborted { reason })
+}

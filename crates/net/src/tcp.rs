@@ -1,0 +1,250 @@
+//! TCP transport: one connection per client, blocking I/O with
+//! deadlines, `u32` length-prefixed frames.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use crate::codec::MAX_FRAME_BYTES;
+use crate::transport::{Acceptor, Channel};
+use crate::NetError;
+
+/// A framed TCP channel.
+///
+/// Frames are `u32` little-endian length + payload. Reads are buffered
+/// internally so a deadline can expire mid-frame without losing the
+/// partial data: the next `recv_deadline` resumes where it stopped.
+pub struct TcpChannel {
+    stream: TcpStream,
+    peer: String,
+    /// Partial frame bytes read so far (length prefix included).
+    pending: Vec<u8>,
+}
+
+impl TcpChannel {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpChannel, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Wraps an accepted stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn from_stream(stream: TcpStream) -> Result<TcpChannel, NetError> {
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map_or_else(|_| "unknown".into(), |a| a.to_string());
+        Ok(TcpChannel {
+            stream,
+            peer,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Reads toward a target `pending` length, returning `false` on a
+    /// clean timeout.
+    fn fill_until(&mut self, target: usize, deadline: Instant) -> Result<bool, NetError> {
+        let mut buf = [0u8; 16 * 1024];
+        while self.pending.len() < target {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(false);
+            }
+            // Bound each read by the remaining budget so a stalled peer
+            // cannot block past the deadline.
+            let budget = deadline - now;
+            self.stream
+                .set_read_timeout(Some(budget.max(Duration::from_millis(1))))?;
+            let want = (target - self.pending.len()).min(buf.len());
+            match self.stream.read(&mut buf[..want]) {
+                Ok(0) => return Err(NetError::Closed),
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::ConnectionReset
+                            | ErrorKind::ConnectionAborted
+                            | ErrorKind::BrokenPipe
+                            | ErrorKind::UnexpectedEof
+                    ) =>
+                {
+                    return Err(NetError::Closed);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl Channel for TcpChannel {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        let mut msg = Vec::with_capacity(4 + frame.len());
+        msg.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        msg.extend_from_slice(frame);
+        match self.stream.write_all(&msg) {
+            Ok(()) => Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::ConnectionReset
+                        | ErrorKind::ConnectionAborted
+                        | ErrorKind::BrokenPipe
+                ) =>
+            {
+                Err(NetError::Closed)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn recv_deadline(&mut self, deadline: Instant) -> Result<Vec<u8>, NetError> {
+        // Header first.
+        if !self.fill_until(4, deadline)? {
+            return Err(NetError::Timeout);
+        }
+        let len = u32::from_le_bytes(self.pending[..4].try_into().expect("4")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(NetError::Codec(format!("oversized frame: {len}")));
+        }
+        if !self.fill_until(4 + len, deadline)? {
+            return Err(NetError::Timeout);
+        }
+        let frame = self.pending[4..4 + len].to_vec();
+        self.pending.drain(..4 + len);
+        Ok(frame)
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+/// Listening socket yielding [`TcpChannel`]s.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    local: String,
+}
+
+impl TcpAcceptor {
+    /// Binds to `addr` (use port 0 for an OS-assigned port, reported by
+    /// [`Acceptor::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<TcpAcceptor, NetError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener
+            .local_addr()
+            .map_or_else(|_| "unknown".into(), |a| a.to_string());
+        Ok(TcpAcceptor { listener, local })
+    }
+}
+
+impl Acceptor for TcpAcceptor {
+    fn accept(&mut self, deadline: Instant) -> Result<Box<dyn Channel>, NetError> {
+        // Poll with a short accept window so the deadline is honored
+        // without platform-specific listener timeouts.
+        self.listener.set_nonblocking(true)?;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    return Ok(Box::new(TcpChannel::from_stream(stream)?));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.local.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::deadline_in;
+
+    #[test]
+    fn tcp_frames_roundtrip() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let handle = std::thread::spawn(move || {
+            let mut chan = TcpChannel::connect(addr).unwrap();
+            chan.send(b"from-client").unwrap();
+            chan.recv_deadline(deadline_in(Duration::from_secs(2)))
+                .unwrap()
+        });
+        let mut server = acceptor
+            .accept(deadline_in(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(
+            server
+                .recv_deadline(deadline_in(Duration::from_secs(2)))
+                .unwrap(),
+            b"from-client"
+        );
+        server.send(b"from-server").unwrap();
+        assert_eq!(handle.join().unwrap(), b"from-server");
+    }
+
+    #[test]
+    fn tcp_timeout_then_recovery() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let handle = std::thread::spawn(move || {
+            let mut chan = TcpChannel::connect(addr).unwrap();
+            std::thread::sleep(Duration::from_millis(80));
+            chan.send(b"late").unwrap();
+            // Keep the connection alive until the server has read.
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let mut server = acceptor
+            .accept(deadline_in(Duration::from_secs(2)))
+            .unwrap();
+        let early = server.recv_deadline(deadline_in(Duration::from_millis(10)));
+        assert!(matches!(early, Err(NetError::Timeout)));
+        let late = server
+            .recv_deadline(deadline_in(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(late, b"late");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_is_detected() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let handle = std::thread::spawn(move || {
+            let _chan = TcpChannel::connect(addr).unwrap();
+            // Dropped immediately: simulates a killed client.
+        });
+        let mut server = acceptor
+            .accept(deadline_in(Duration::from_secs(2)))
+            .unwrap();
+        handle.join().unwrap();
+        let err = server.recv_deadline(deadline_in(Duration::from_secs(2)));
+        assert!(matches!(err, Err(NetError::Closed)), "{err:?}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Transport abstraction: framed, bidirectional, deadline-aware message
+//! channels, plus the server-side acceptor — and the deterministic
+//! in-memory loopback implementation used by tests and the in-process
+//! networked round.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::codec::Envelope;
+use crate::NetError;
+
+/// A bidirectional, framed, deadline-aware message channel to one peer.
+///
+/// Implementations deliver whole frames (no partial reads surface here)
+/// and preserve per-peer FIFO order. `recv_deadline` returning
+/// [`NetError::Timeout`] leaves the channel usable; [`NetError::Closed`]
+/// is terminal.
+pub trait Channel: Send {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if the peer is gone, [`NetError::Io`] on
+    /// transport failure.
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError>;
+
+    /// Receives the next frame, waiting until `deadline` at most.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when the deadline passes (channel still
+    /// usable), [`NetError::Closed`] when the peer disconnected.
+    fn recv_deadline(&mut self, deadline: Instant) -> Result<Vec<u8>, NetError>;
+
+    /// Human-readable peer address for diagnostics.
+    fn peer(&self) -> String;
+}
+
+/// Server-side half of a transport: yields one [`Channel`] per
+/// connecting client.
+pub trait Acceptor {
+    /// Accepts the next peer, waiting until `deadline` at most.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when the deadline passes, [`NetError::Io`] /
+    /// [`NetError::Closed`] on transport failure.
+    fn accept(&mut self, deadline: Instant) -> Result<Box<dyn Channel>, NetError>;
+
+    /// The address clients should connect to.
+    fn local_addr(&self) -> String;
+}
+
+/// Sends an [`Envelope`] over a channel.
+///
+/// # Errors
+///
+/// Propagates the channel's send failure.
+pub fn send_env(chan: &mut dyn Channel, env: &Envelope) -> Result<(), NetError> {
+    chan.send(&env.encode())
+}
+
+/// Receives and decodes an [`Envelope`].
+///
+/// # Errors
+///
+/// Propagates receive and decode failures.
+pub fn recv_env(chan: &mut dyn Channel, deadline: Instant) -> Result<Envelope, NetError> {
+    Envelope::decode(&chan.recv_deadline(deadline)?)
+}
+
+// ---------------------------------------------------------------------
+// Loopback.
+// ---------------------------------------------------------------------
+
+/// One end of an in-memory channel pair.
+pub struct LoopbackChannel {
+    tx: mpsc::Sender<Vec<u8>>,
+    rx: mpsc::Receiver<Vec<u8>>,
+    label: String,
+}
+
+impl LoopbackChannel {
+    /// Creates a connected pair of loopback channels.
+    #[must_use]
+    pub fn pair(label: &str) -> (LoopbackChannel, LoopbackChannel) {
+        let (a_tx, b_rx) = mpsc::channel();
+        let (b_tx, a_rx) = mpsc::channel();
+        (
+            LoopbackChannel {
+                tx: a_tx,
+                rx: a_rx,
+                label: format!("loopback:{label}:a"),
+            },
+            LoopbackChannel {
+                tx: b_tx,
+                rx: b_rx,
+                label: format!("loopback:{label}:b"),
+            },
+        )
+    }
+}
+
+impl Channel for LoopbackChannel {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        self.tx.send(frame.to_vec()).map_err(|_| NetError::Closed)
+    }
+
+    fn recv_deadline(&mut self, deadline: Instant) -> Result<Vec<u8>, NetError> {
+        let now = Instant::now();
+        let wait = deadline.saturating_duration_since(now);
+        match self.rx.recv_timeout(wait) {
+            Ok(frame) => Ok(frame),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Connection point for loopback clients: cloneable dialer plus a
+/// server-side acceptor.
+pub struct LoopbackHub {
+    tx: mpsc::Sender<LoopbackChannel>,
+}
+
+impl Clone for LoopbackHub {
+    fn clone(&self) -> Self {
+        LoopbackHub {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl LoopbackHub {
+    /// Creates the hub and its acceptor.
+    #[must_use]
+    pub fn new() -> (LoopbackHub, LoopbackAcceptor) {
+        let (tx, rx) = mpsc::channel();
+        (LoopbackHub { tx }, LoopbackAcceptor { rx })
+    }
+
+    /// Connects a new client channel; the peer end is handed to the
+    /// acceptor.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] if the acceptor is gone.
+    pub fn connect(&self, label: &str) -> Result<LoopbackChannel, NetError> {
+        let (client_end, server_end) = LoopbackChannel::pair(label);
+        self.tx.send(server_end).map_err(|_| NetError::Closed)?;
+        Ok(client_end)
+    }
+}
+
+/// Server side of a [`LoopbackHub`].
+pub struct LoopbackAcceptor {
+    rx: mpsc::Receiver<LoopbackChannel>,
+}
+
+impl Acceptor for LoopbackAcceptor {
+    fn accept(&mut self, deadline: Instant) -> Result<Box<dyn Channel>, NetError> {
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match self.rx.recv_timeout(wait) {
+            Ok(chan) => Ok(Box::new(chan)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        "loopback".into()
+    }
+}
+
+/// Convenience: a deadline `timeout` from now.
+#[must_use]
+pub fn deadline_in(timeout: Duration) -> Instant {
+    Instant::now() + timeout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrip_and_timeout() {
+        let (mut a, mut b) = LoopbackChannel::pair("t");
+        a.send(b"hello").unwrap();
+        let got = b
+            .recv_deadline(deadline_in(Duration::from_secs(1)))
+            .unwrap();
+        assert_eq!(got, b"hello");
+        // Nothing pending: times out quickly.
+        let err = b.recv_deadline(deadline_in(Duration::from_millis(10)));
+        assert!(matches!(err, Err(NetError::Timeout)));
+        // Dropping one end closes the other.
+        drop(a);
+        let err = b.recv_deadline(deadline_in(Duration::from_millis(10)));
+        assert!(matches!(err, Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn hub_hands_channels_to_acceptor() {
+        let (hub, mut acceptor) = LoopbackHub::new();
+        let mut client = hub.connect("c0").unwrap();
+        let mut server_side = acceptor
+            .accept(deadline_in(Duration::from_secs(1)))
+            .unwrap();
+        client.send(b"ping").unwrap();
+        assert_eq!(
+            server_side
+                .recv_deadline(deadline_in(Duration::from_secs(1)))
+                .unwrap(),
+            b"ping"
+        );
+        server_side.send(b"pong").unwrap();
+        assert_eq!(
+            client
+                .recv_deadline(deadline_in(Duration::from_secs(1)))
+                .unwrap(),
+            b"pong"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Codec invariants: `decode(encode(m)) == m` for every message, and the
+//! encoded body length equals `WireSize::wire_bytes()` for every message
+//! type — the byte counts that feed the paper's Figure 2/10 cost model.
+
+use dordis_crypto::ed25519::Signature;
+use dordis_crypto::shamir::Share;
+use dordis_net::codec::{
+    decode_abort, decode_advertised_keys, decode_consistency_signature, decode_encrypted_shares,
+    decode_id_list, decode_join, decode_list, decode_masked_input, decode_noise_share_response,
+    decode_params, decode_signature_list, decode_unmasking_response, encode_abort, encode_join,
+    encode_list, encode_params, encode_signature_list, Encode, Envelope, StageTag, WIRE_VERSION,
+};
+use dordis_secagg::graph::MaskingGraph;
+use dordis_secagg::messages::{
+    AdvertisedKeys, ConsistencySignature, EncryptedShares, IdList, MaskedInput, NoiseShareResponse,
+    UnmaskingResponse, WireSize,
+};
+use dordis_secagg::{RoundParams, ThreatModel};
+
+fn share(x: u8, len: usize) -> Share {
+    Share {
+        x,
+        y: (0..len).map(|i| (i as u8).wrapping_mul(x)).collect(),
+    }
+}
+
+fn assert_wire_agreement<T: Encode + WireSize>(m: &T, what: &str) {
+    assert_eq!(
+        m.encoded().len() as u64,
+        m.wire_bytes(),
+        "codec length != wire_bytes() for {what}"
+    );
+}
+
+#[test]
+fn advertised_keys_roundtrip_and_size() {
+    for signature in [None, Some(Signature([7u8; 64]))] {
+        let m = AdvertisedKeys {
+            client: 42,
+            c_pk: [1u8; 32],
+            s_pk: [2u8; 32],
+            signature,
+        };
+        assert_wire_agreement(&m, "AdvertisedKeys");
+        assert_eq!(decode_advertised_keys(&m.encoded()).unwrap(), m);
+    }
+    // Bodies of any other tail length are rejected.
+    let m = AdvertisedKeys {
+        client: 1,
+        c_pk: [0u8; 32],
+        s_pk: [0u8; 32],
+        signature: None,
+    };
+    let mut bad = m.encoded();
+    bad.push(0);
+    assert!(decode_advertised_keys(&bad).is_err());
+}
+
+#[test]
+fn encrypted_shares_roundtrip_and_size() {
+    for ct_len in [0usize, 1, 200] {
+        let m = EncryptedShares {
+            from: 3,
+            to: 9,
+            ciphertext: vec![0xab; ct_len],
+        };
+        assert_wire_agreement(&m, "EncryptedShares");
+        assert_eq!(decode_encrypted_shares(&m.encoded()).unwrap(), m);
+    }
+}
+
+#[test]
+fn masked_input_roundtrip_and_size_across_bit_widths() {
+    for bits in [1u32, 7, 8, 16, 20, 33, 62] {
+        for len in [0usize, 1, 5, 64, 1000] {
+            let mask = (1u64 << bits) - 1;
+            let m = MaskedInput {
+                client: 5,
+                vector: (0..len as u64).map(|i| (i * 0x9e37 + 11) & mask).collect(),
+                bit_width: bits,
+            };
+            assert_wire_agreement(&m, "MaskedInput");
+            let back = decode_masked_input(&m.encoded(), bits, len).unwrap();
+            assert_eq!(back, m, "bits={bits} len={len}");
+        }
+    }
+    // Length mismatches are rejected.
+    let m = MaskedInput {
+        client: 0,
+        vector: vec![1, 2, 3],
+        bit_width: 20,
+    };
+    assert!(decode_masked_input(&m.encoded(), 20, 4).is_err());
+    assert!(decode_masked_input(&m.encoded(), 24, 3).is_err());
+}
+
+#[test]
+fn consistency_signature_roundtrip_and_size() {
+    let m = ConsistencySignature {
+        client: 17,
+        signature: Signature([9u8; 64]),
+    };
+    assert_wire_agreement(&m, "ConsistencySignature");
+    assert_eq!(decode_consistency_signature(&m.encoded()).unwrap(), m);
+}
+
+#[test]
+fn unmasking_response_roundtrip_and_size() {
+    let m = UnmaskingResponse {
+        client: 7,
+        sk_shares: vec![(1, share(2, 32)), (4, share(3, 32))],
+        b_shares: vec![(2, share(2, 32)), (3, share(2, 32)), (7, share(9, 32))],
+        own_seeds: vec![(2, [0xcd; 32]), (3, [0xee; 32])],
+    };
+    assert_wire_agreement(&m, "UnmaskingResponse");
+    assert_eq!(decode_unmasking_response(&m.encoded()).unwrap(), m);
+
+    // Empty sections work too.
+    let empty = UnmaskingResponse {
+        client: 0,
+        sk_shares: vec![],
+        b_shares: vec![],
+        own_seeds: vec![],
+    };
+    assert_wire_agreement(&empty, "UnmaskingResponse(empty)");
+    assert_eq!(decode_unmasking_response(&empty.encoded()).unwrap(), empty);
+}
+
+#[test]
+fn noise_share_response_roundtrip_and_size() {
+    let m = NoiseShareResponse {
+        client: 11,
+        seed_shares: vec![
+            (1, 1, share(5, 32)),
+            (1, 2, share(5, 32)),
+            (9, 2, share(6, 17)),
+        ],
+    };
+    assert_wire_agreement(&m, "NoiseShareResponse");
+    assert_eq!(decode_noise_share_response(&m.encoded()).unwrap(), m);
+}
+
+#[test]
+fn id_list_roundtrip_and_size() {
+    for n in [0u32, 1, 100] {
+        let m = IdList((0..n).collect());
+        assert_wire_agreement(&m, "IdList");
+        assert_eq!(decode_id_list(&m.encoded()).unwrap(), m);
+    }
+}
+
+#[test]
+fn truncated_bodies_are_rejected_not_panicking() {
+    let m = UnmaskingResponse {
+        client: 7,
+        sk_shares: vec![(1, share(2, 32))],
+        b_shares: vec![(2, share(2, 32))],
+        own_seeds: vec![(2, [0xcd; 32])],
+    };
+    let enc = m.encoded();
+    for keep in 0..enc.len() {
+        assert!(
+            decode_unmasking_response(&enc[..keep]).is_err(),
+            "len {keep}"
+        );
+    }
+    let mut extended = enc.clone();
+    extended.push(0);
+    assert!(decode_unmasking_response(&extended).is_err());
+}
+
+#[test]
+fn list_framing_roundtrips() {
+    let items: Vec<EncryptedShares> = (0..5)
+        .map(|i| EncryptedShares {
+            from: i,
+            to: (i + 1) % 5,
+            ciphertext: vec![i as u8; (i as usize + 1) * 3],
+        })
+        .collect();
+    let body = encode_list(&items);
+    let back = decode_list(&body, decode_encrypted_shares).unwrap();
+    assert_eq!(back, items);
+    // Empty lists too.
+    let empty: Vec<EncryptedShares> = vec![];
+    assert_eq!(
+        decode_list(&encode_list(&empty), decode_encrypted_shares).unwrap(),
+        empty
+    );
+}
+
+#[test]
+fn envelope_roundtrip_and_version_gate() {
+    let env = Envelope::new(StageTag::MaskedInput, 0xdead_beef_0042, vec![1, 2, 3]);
+    let enc = env.encode();
+    assert_eq!(Envelope::decode(&enc).unwrap(), env);
+    assert_eq!(enc.len(), 10 + 3);
+
+    let mut wrong_version = enc.clone();
+    wrong_version[0] = WIRE_VERSION + 1;
+    assert!(Envelope::decode(&wrong_version).is_err());
+
+    let mut wrong_stage = enc;
+    wrong_stage[1] = 200;
+    assert!(Envelope::decode(&wrong_stage).is_err());
+    assert!(Envelope::decode(&[1, 2]).is_err());
+}
+
+#[test]
+fn control_payloads_roundtrip() {
+    assert_eq!(decode_join(&encode_join(77)).unwrap(), 77);
+    assert!(decode_join(&[1, 2, 3]).is_err());
+
+    for graph in [
+        MaskingGraph::Complete,
+        MaskingGraph::Harary { half_degree: 4 },
+    ] {
+        for threat_model in [ThreatModel::SemiHonest, ThreatModel::Malicious] {
+            let p = RoundParams {
+                round: 9,
+                clients: (0..10).collect(),
+                threshold: 6,
+                bit_width: 20,
+                vector_len: 128,
+                noise_components: 3,
+                threat_model,
+                graph,
+            };
+            let back = decode_params(&encode_params(&p)).unwrap();
+            assert_eq!(back.round, p.round);
+            assert_eq!(back.clients, p.clients);
+            assert_eq!(back.threshold, p.threshold);
+            assert_eq!(back.bit_width, p.bit_width);
+            assert_eq!(back.vector_len, p.vector_len);
+            assert_eq!(back.noise_components, p.noise_components);
+            assert_eq!(back.threat_model, p.threat_model);
+            assert_eq!(back.graph, p.graph);
+        }
+    }
+
+    let sigs = vec![(1u32, Signature([3u8; 64])), (2, Signature([4u8; 64]))];
+    assert_eq!(
+        decode_signature_list(&encode_signature_list(&sigs)).unwrap(),
+        sigs
+    );
+
+    assert_eq!(
+        decode_abort(&encode_abort("below threshold")),
+        "below threshold"
+    );
+}

@@ -164,8 +164,7 @@ pub fn run_round(spec: RoundSpec) -> Result<(RoundOutcome, RoundStats), SecAggEr
             signing: signing_key_for(spec.rng_seed, id),
             registry: Arc::clone(reg),
         });
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(spec.rng_seed ^ (u64::from(id) << 20) ^ 0x5eca_66d0);
+        let mut rng = client_rng(spec.rng_seed, id);
         clients.insert(
             id,
             Client::new(params.clone(), id, input, identity, &mut rng)?,
@@ -210,10 +209,7 @@ pub fn run_round(spec: RoundSpec) -> Result<(RoundOutcome, RoundStats), SecAggEr
         if !alive(&spec.dropout, id, DropStage::BeforeShareKeys) {
             continue;
         }
-        match c.share_keys(
-            &roster,
-            &mut rand::rngs::StdRng::seed_from_u64(spec.rng_seed ^ (u64::from(id) << 24) ^ 0x5a4e),
-        ) {
+        match c.share_keys(&roster, &mut share_keys_rng(spec.rng_seed, id)) {
             Ok(cts) => {
                 up.add(cts.iter().map(WireSize::wire_bytes).sum());
                 all_cts.extend(cts);
@@ -354,9 +350,25 @@ pub fn run_round(spec: RoundSpec) -> Result<(RoundOutcome, RoundStats), SecAggEr
     Ok((server.finish(), stats))
 }
 
+/// The per-client RNG for [`Client::new`]. Exported so the networked
+/// runtime (`dordis-net`) derives identical randomness and a loopback
+/// round reproduces a driver round bit for bit.
+#[must_use]
+pub fn client_rng(seed: u64, id: ClientId) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed ^ (u64::from(id) << 20) ^ 0x5eca_66d0)
+}
+
+/// The per-client RNG for [`Client::share_keys`]; see [`client_rng`].
+#[must_use]
+pub fn share_keys_rng(seed: u64, id: ClientId) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed ^ (u64::from(id) << 24) ^ 0x5a4e)
+}
+
 /// Deterministic per-client signing key (stands in for the PKI's
-/// out-of-band key distribution).
-fn signing_key_for(seed: u64, id: ClientId) -> SigningKey {
+/// out-of-band key distribution). Public so the networked path
+/// (`dordis-net` callers) can reproduce the same PKI for equivalence
+/// testing.
+pub fn signing_key_for(seed: u64, id: ClientId) -> SigningKey {
     let mut s = [0u8; 32];
     s[..8].copy_from_slice(&seed.to_le_bytes());
     s[8..12].copy_from_slice(&id.to_le_bytes());

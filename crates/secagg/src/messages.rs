@@ -4,6 +4,11 @@
 //! driver aggregates these into per-stage traffic statistics that feed the
 //! cluster simulator's communication cost model (Figures 2 and 10 of the
 //! paper are driven by exactly these counts).
+//!
+//! The `dordis-net` crate carries these messages over real transports;
+//! its codec is the ground truth for the sizes reported here, and its
+//! test suite asserts byte-for-byte agreement between `wire_bytes()` and
+//! the actual encoding of every message type.
 
 use dordis_crypto::ed25519::Signature;
 use dordis_crypto::prg::Seed;
@@ -19,7 +24,7 @@ pub trait WireSize {
 
 /// Stage 0: a client's advertised key pair (plus identity signature in the
 /// malicious model).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AdvertisedKeys {
     /// Sender.
     pub client: ClientId,
@@ -39,7 +44,7 @@ impl WireSize for AdvertisedKeys {
 
 /// Stage 1: an encrypted share bundle addressed from one client to
 /// another, routed through the server.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EncryptedShares {
     /// Originating client.
     pub from: ClientId,
@@ -144,7 +149,7 @@ fn decode_share(bytes: &[u8], pos: &mut usize) -> Option<Share> {
 }
 
 /// Stage 2: the masked, perturbed input vector `y_u`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MaskedInput {
     /// Sender.
     pub client: ClientId,
@@ -162,7 +167,7 @@ impl WireSize for MaskedInput {
 }
 
 /// Stage 3 (malicious only): signature over `round ‖ U3`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ConsistencySignature {
     /// Sender.
     pub client: ClientId,
@@ -177,7 +182,7 @@ impl WireSize for ConsistencySignature {
 }
 
 /// Stage 4: a surviving client's unmasking response.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UnmaskingResponse {
     /// Sender.
     pub client: ClientId,
@@ -192,19 +197,22 @@ pub struct UnmaskingResponse {
 
 impl WireSize for UnmaskingResponse {
     fn wire_bytes(&self) -> u64 {
+        // Matches `dordis-net`'s codec: sender id, three u16 section
+        // counts, then per-share entries (owner u32, x u8, len u8, y)
+        // and per-seed entries (component u16, seed).
         let shares: u64 = self
             .sk_shares
             .iter()
             .chain(self.b_shares.iter())
             .map(|(_, s)| 4 + 2 + s.y.len() as u64)
             .sum();
-        4 + shares + self.own_seeds.len() as u64 * (2 + 32)
+        4 + 6 + shares + self.own_seeds.len() as u64 * (2 + 32)
     }
 }
 
 /// Stage 5: shares of noise seeds of clients that dropped between masking
 /// and unmasking (`v ∈ U3 \ U5`).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NoiseShareResponse {
     /// Sender.
     pub client: ClientId,
@@ -214,16 +222,19 @@ pub struct NoiseShareResponse {
 
 impl WireSize for NoiseShareResponse {
     fn wire_bytes(&self) -> u64 {
-        4 + self
-            .seed_shares
-            .iter()
-            .map(|(_, _, s)| 4 + 2 + 2 + s.y.len() as u64)
-            .sum::<u64>()
+        // Matches `dordis-net`'s codec: sender id, u16 entry count, then
+        // entries of (owner u32, component u16, x u8, len u8, y).
+        4 + 2
+            + self
+                .seed_shares
+                .iter()
+                .map(|(_, _, s)| 4 + 2 + 2 + s.y.len() as u64)
+                .sum::<u64>()
     }
 }
 
 /// A broadcast list of client ids, for size accounting.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IdList(pub Vec<ClientId>);
 
 impl WireSize for IdList {
@@ -314,6 +325,6 @@ mod tests {
             b_shares: vec![(2, share(2, 32)), (3, share(2, 32))],
             own_seeds: vec![(2, [0u8; 32])],
         };
-        assert_eq!(r.wire_bytes(), 4 + 3 * (4 + 2 + 32) + (2 + 32));
+        assert_eq!(r.wire_bytes(), 4 + 6 + 3 * (4 + 2 + 32) + (2 + 32));
     }
 }

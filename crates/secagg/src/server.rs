@@ -300,6 +300,12 @@ impl Server {
         Ok(())
     }
 
+    /// The set U2 (clients whose encrypted shares were routed).
+    #[must_use]
+    pub fn u2(&self) -> &[ClientId] {
+        &self.u2
+    }
+
     /// The set U5 (responders to unmasking).
     #[must_use]
     pub fn u5(&self) -> &[ClientId] {

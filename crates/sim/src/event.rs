@@ -115,17 +115,15 @@ pub fn simulate(tau: &[f64], resources: &[Resource], chunks: usize) -> SimOutcom
                 };
                 // FIFO-by-stage on the resource: an earlier stage with
                 // unfinished chunks on this resource blocks later stages.
-                let blocked = (0..s).any(|q| {
-                    resources[q] == resources[s] && finish[q].iter().any(Option::is_none)
-                });
+                let blocked = (0..s)
+                    .any(|q| resources[q] == resources[s] && finish[q].iter().any(Option::is_none));
                 if blocked {
                     continue;
                 }
                 let ready_at = a.max(b).max(free_at(&completed, resources[s]));
                 match best {
                     // Tie-break: earlier stage first, then earlier chunk.
-                    Some((bs, bc, bt))
-                        if (bt, bs, bc) <= (ready_at, s, c) => {}
+                    Some((bs, bc, bt)) if (bt, bs, bc) <= (ready_at, s, c) => {}
                     _ => best = Some((s, c, ready_at)),
                 }
             }

@@ -22,9 +22,8 @@ fn main() {
         population: population as usize,
         over_selection: 1.5,
     };
-    let registry = |id: u32| -> Option<VrfPublicKey> {
-        (id < population).then(|| key_for(id).public_key())
-    };
+    let registry =
+        |id: u32| -> Option<VrfPublicKey> { (id < population).then(|| key_for(id).public_key()) };
 
     for round in 1..=3u64 {
         // Every client evaluates its VRF locally and self-selects.
@@ -33,8 +32,8 @@ fn main() {
             .collect();
         // The server (or any peer) verifies all proofs and trims to the
         // target sample by the claimants' own randomness.
-        let sampled = verify_and_trim(&claims, &registry, round, &cfg)
-            .expect("honest claims verify");
+        let sampled =
+            verify_and_trim(&claims, &registry, round, &cfg).expect("honest claims verify");
         println!(
             "round {round}: {} self-selected, sampled after trim: {sampled:?}",
             claims.len()

@@ -1,0 +1,5 @@
+//! Workspace-root crate: exists so the top-level `tests/` and
+//! `examples/` directories build against every Dordis layer. All real
+//! code lives in `crates/*`.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the bench targets use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! fixed-iteration timer instead of criterion's adaptive sampling. Good
+//! enough for relative comparisons in an offline container; swap in the
+//! real crate for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value wrapper.
+///
+/// Without `core::hint::black_box` semantics from unstable features, the
+/// stable `std::hint::black_box` is used directly.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: function/group name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    #[must_use]
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl core::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Throughput annotation (printed, not analysed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timer handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the configured iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up pass, then the measured pass.
+    let mut warm = Bencher {
+        iters: 1,
+        total: Duration::ZERO,
+    };
+    f(&mut warm);
+    let iters = sample_size.max(1) as u64;
+    let mut b = Bencher {
+        iters,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.total.checked_div(iters as u32).unwrap_or_default();
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let secs = per_iter.as_secs_f64().max(1e-12);
+            format!("  ({:.1} MiB/s)", n as f64 / secs / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => {
+            let secs = per_iter.as_secs_f64().max(1e-12);
+            format!("  ({:.0} elem/s)", n as f64 / secs)
+        }
+        None => String::new(),
+    };
+    println!("bench {label:<48} {per_iter:>12.2?}/iter{extra}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured iteration count (stand-in for criterion's
+    /// sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl core::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, &mut |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, 20, None, &mut f);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

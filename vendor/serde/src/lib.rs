@@ -1,0 +1,380 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde is a zero-copy streaming framework; this shim is a
+//! small value-tree design that supports exactly what the workspace
+//! needs: `#[derive(Serialize, Deserialize)]` on non-generic structs and
+//! unit/struct-variant enums, plus JSON via the sibling `serde_json`
+//! shim. Types serialize to a [`Value`] tree; deserialization walks the
+//! tree back.
+//!
+//! Representation choices match serde's external tagging so that JSON
+//! written by the real library round-trips: unit variants are strings,
+//! struct variants are single-key objects, `Option::None` is `null`, and
+//! missing `Option` fields deserialize to `None`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// A dynamically-typed serialization tree (JSON-shaped).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction/exponent, negative).
+    Int(i64),
+    /// Unsigned integer (JSON number without fraction/exponent).
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion order is preserved for stable output.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as f64 (integers widen).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a key in an object's entry list.
+#[must_use]
+pub fn obj_get<'a>(pairs: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    /// Free-form error.
+    #[must_use]
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    /// Type-mismatch error.
+    #[must_use]
+    pub fn expected(what: &str, ctx: &str) -> Self {
+        Error(format!("expected {what} for {ctx}"))
+    }
+
+    /// Unknown enum variant.
+    #[must_use]
+    pub fn unknown_variant(ty: &str, got: &str) -> Self {
+        Error(format!("unknown {ty} variant `{got}`"))
+    }
+}
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on shape or type mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Value to use when a struct field is missing entirely; errors by
+    /// default, overridden by `Option` to yield `None` (matching serde
+    /// derive behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] unless the type tolerates absence.
+    fn absent() -> Result<Self, Error> {
+        Err(Error::msg("missing field"))
+    }
+}
+
+/// Derive-support helper: value for a missing field, with a good message.
+///
+/// # Errors
+///
+/// Propagates [`Deserialize::absent`]'s refusal, naming the field.
+pub fn absent<T: Deserialize>(field: &str) -> Result<T, Error> {
+    T::absent().map_err(|_| Error(format!("missing field `{field}`")))
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => f as u64,
+                    _ => return Err(Error::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) if u <= i64::MAX as u64 => u as i64,
+                    Value::Float(f) if f.fract() == 0.0 && f.abs() < 9e18 => f as i64,
+                    _ => return Err(Error::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::expected("in-range integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("number", "f32"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // Configuration-sized strings only; the leak is bounded by the
+        // number of distinct deserialized labels.
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            _ => Err(Error::expected("string", "&'static str")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("array", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(Error::expected("2-element array", "tuple")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            _ => Err(Error::expected("3-element array", "tuple")),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::expected("object", "BTreeMap")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

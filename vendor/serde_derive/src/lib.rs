@@ -1,0 +1,347 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the shim `serde::Serialize` / `serde::Deserialize` traits
+//! (value-tree based, see `vendor/serde`) for the shapes this workspace
+//! actually uses: non-generic structs with named fields, and enums whose
+//! variants are unit or struct-like. Tokens are parsed directly from
+//! `proc_macro::TokenStream` — no `syn`/`quote`, so the crate builds with
+//! no dependencies.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// `struct Name { fields }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Unit, StructLike { fields }, Newtype(T), ... }`
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantKind)>,
+    },
+}
+
+/// What one enum variant carries.
+enum VariantKind {
+    Unit,
+    Struct(Vec<String>),
+    Newtype,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated code parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated code parses")
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    i += 1;
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde shim derive: generic types are not supported ({name})")
+            }
+            Some(_) => i += 1,
+            None => panic!("serde shim derive: no braced body on {name}"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Shape::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Skips outer attributes (`#[...]`, including doc comments) and
+/// visibility modifiers (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the bracket group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` out of a brace-group stream, returning the
+/// field names. Commas inside `<...>` do not terminate a field.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect `:`, then consume the type up to a top-level `,`.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
+        }
+        let mut angle = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parses enum variants: `Unit, StructLike { fields }, Newtype(T), ...`.
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantKind)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let vname = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push((vname, VariantKind::Struct(parse_named_fields(g.stream()))));
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Only single-field (newtype) tuple variants are used in
+                // this workspace; count top-level commas to verify.
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut angle = 0i32;
+                let mut commas = 0usize;
+                for t in &inner {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => commas += 1,
+                        _ => {}
+                    }
+                }
+                assert!(
+                    commas == 0 && !inner.is_empty(),
+                    "serde shim derive: multi-field tuple variant `{vname}` is not supported"
+                );
+                variants.push((vname, VariantKind::Newtype));
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push((vname, VariantKind::Unit));
+                i += 1;
+            }
+            None => {
+                variants.push((vname, VariantKind::Unit));
+            }
+            other => panic!("serde shim derive: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation.
+// ---------------------------------------------------------------------
+
+fn fields_to_object(expr_prefix: &str, fields: &[String]) -> String {
+    let pairs: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({expr_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+}
+
+fn fields_from_object(ty: &str, obj: &str, fields: &[String]) -> Vec<String> {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match ::serde::obj_get({obj}, \"{f}\") {{ \
+                   Some(v) => ::serde::Deserialize::from_value(v)?, \
+                   None => ::serde::absent(\"{ty}.{f}\")?, \
+                 }},"
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let body = fields_to_object("&self.", fields);
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ {body} }} \
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, kind)| match kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    VariantKind::Struct(fs) => {
+                        let binds = fs.join(", ");
+                        let inner = fields_to_object("", fs);
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                               (::std::string::String::from(\"{v}\"), {inner})]),"
+                        )
+                    }
+                    VariantKind::Newtype => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![\
+                           (::std::string::String::from(\"{v}\"), ::serde::Serialize::to_value(__f0))]),"
+                    ),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     match self {{ {} }} \
+                   }} \
+                 }}",
+                arms.join(" ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let body = fields_from_object(name, "__obj", fields).join(" ");
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                     let __obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?; \
+                     ::std::result::Result::Ok({name} {{ {body} }}) \
+                   }} \
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, k)| matches!(k, VariantKind::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let struct_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, k)| match k {
+                    VariantKind::Struct(fs) => Some((v, fs)),
+                    _ => None,
+                })
+                .map(|(v, fs)| {
+                    let body = fields_from_object(&format!("{name}::{v}"), "__obj", fs).join(" ");
+                    format!(
+                        "\"{v}\" => {{ \
+                           let __obj = __inner.as_object().ok_or_else(|| \
+                               ::serde::Error::expected(\"object\", \"{name}::{v}\"))?; \
+                           ::std::result::Result::Ok({name}::{v} {{ {body} }}) \
+                         }},"
+                    )
+                })
+                .chain(
+                    variants
+                        .iter()
+                        .filter(|(_, k)| matches!(k, VariantKind::Newtype))
+                        .map(|(v, _)| {
+                            format!(
+                                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                                   ::serde::Deserialize::from_value(__inner)?)),"
+                            )
+                        }),
+                )
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                     match v {{ \
+                       ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                         {} \
+                         __other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", __other)), \
+                       }}, \
+                       ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                         let (__tag, __inner) = &__pairs[0]; \
+                         match __tag.as_str() {{ \
+                           {} \
+                           __other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", __other)), \
+                         }} \
+                       }}, \
+                       _ => ::std::result::Result::Err(::serde::Error::expected(\"string or 1-key object\", \"{name}\")), \
+                     }} \
+                   }} \
+                 }}",
+                unit_arms.join(" "),
+                struct_arms.join(" ")
+            )
+        }
+    }
+}
