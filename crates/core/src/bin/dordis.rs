@@ -43,10 +43,10 @@ fn main() -> ExitCode {
                  dordis plan <epsilon> <delta> <rounds> <sample_rate>\n  \
                  dordis serve --listen <addr> --clients <n> --threshold <t> [--dim D] \
                  [--bits B] [--graph complete|harary] [--round R] [--noise-components T] \
-                 [--stage-timeout-ms MS] [--join-timeout-ms MS] [--verify-demo]\n  \
+                 [--chunks M] [--stage-timeout-ms MS] [--join-timeout-ms MS] [--verify-demo]\n  \
                  dordis join --connect <addr> --id <k> [--seed S] \
                  [--drop-at advertise|share-keys|masked-input|consistency|unmasking|noise-shares] \
-                 [--drop-mode disconnect|silent] [--timeout-ms MS]"
+                 [--drop-after-chunks K] [--drop-mode disconnect|silent] [--timeout-ms MS]"
             );
             ExitCode::FAILURE
         }
@@ -88,6 +88,8 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     let bits: u32 = flag_parse(args, "--bits", 20)?;
     let round: u64 = flag_parse(args, "--round", 1)?;
     let noise_components: usize = flag_parse(args, "--noise-components", 0)?;
+    // 0 = planner-chosen (§4.2 cost-model sweep).
+    let chunks_flag: usize = flag_parse(args, "--chunks", 0)?;
     let stage_timeout: u64 = flag_parse(args, "--stage-timeout-ms", 5000)?;
     let join_timeout: u64 = flag_parse(args, "--join-timeout-ms", 15000)?;
     let verify_demo = args.iter().any(|a| a == "--verify-demo");
@@ -109,9 +111,16 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     };
     params.validate().map_err(|e| e.to_string())?;
 
+    let chunks = if chunks_flag == 0 {
+        dordis_pipeline::planned_chunk_count(dim, clients as usize, bits)
+    } else {
+        chunks_flag
+    };
+
     let mut acceptor = TcpAcceptor::bind(listen).map_err(|e| e.to_string())?;
     // The OS-assigned port must be announced before clients can join.
     println!("listening on {}", acceptor.local_addr());
+    println!("data plane: {chunks} chunk(s) requested");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
@@ -121,11 +130,16 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
             params,
             join_timeout: Duration::from_millis(join_timeout),
             stage_timeout: Duration::from_millis(stage_timeout),
+            chunks,
+            chunk_compute: None,
         },
     )
     .map_err(|e| e.to_string())?;
 
-    println!("round {round} complete");
+    println!(
+        "round {round} complete ({} chunk(s) realized)",
+        report.chunks
+    );
     println!("survivors: {:?}", report.outcome.survivors);
     println!("dropped:   {:?}", report.outcome.dropped);
     for d in &report.dropouts {
@@ -177,18 +191,36 @@ fn join_inner(args: &[String]) -> Result<ExitCode, String> {
     }
     let seed: u64 = flag_parse(args, "--seed", 1)?;
     let timeout: u64 = flag_parse(args, "--timeout-ms", 30000)?;
-    let fail = match flag_value(args, "--drop-at") {
+    let drop_at = flag_value(args, "--drop-at");
+    let drop_after_chunks =
+        match flag_value(args, "--drop-after-chunks") {
+            None => None,
+            Some(raw) => Some(raw.parse::<u16>().map_err(|_| {
+                format!("bad value for --drop-after-chunks: `{raw}` (want 0..=65535)")
+            })?),
+        };
+    if drop_at.is_some() && drop_after_chunks.is_some() {
+        return Err("--drop-at and --drop-after-chunks are mutually exclusive".into());
+    }
+    let stage = match (drop_at, drop_after_chunks) {
+        (None, None) => None,
+        // Partial chunk stream: send K masked-input chunk frames, then
+        // fail mid-stream.
+        (None, Some(k)) => Some(FailStage::MaskedInputAfterChunks(k)),
+        (Some(stage), None) => Some(match stage {
+            "advertise" => FailStage::Advertise,
+            "share-keys" => FailStage::ShareKeys,
+            "masked-input" => FailStage::MaskedInput,
+            "consistency" => FailStage::Consistency,
+            "unmasking" => FailStage::Unmasking,
+            "noise-shares" => FailStage::NoiseShares,
+            other => return Err(format!("unknown --drop-at stage `{other}`")),
+        }),
+        (Some(_), Some(_)) => unreachable!("rejected above"),
+    };
+    let fail = match stage {
         None => None,
         Some(stage) => {
-            let stage = match stage {
-                "advertise" => FailStage::Advertise,
-                "share-keys" => FailStage::ShareKeys,
-                "masked-input" => FailStage::MaskedInput,
-                "consistency" => FailStage::Consistency,
-                "unmasking" => FailStage::Unmasking,
-                "noise-shares" => FailStage::NoiseShares,
-                other => return Err(format!("unknown --drop-at stage `{other}`")),
-            };
             let action = match flag_value(args, "--drop-mode").unwrap_or("disconnect") {
                 "disconnect" => FailAction::Disconnect,
                 "silent" => FailAction::Silent,

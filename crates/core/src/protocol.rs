@@ -33,6 +33,11 @@ pub struct ProtocolRoundConfig {
     pub threat_model: ThreatModel,
     /// XNoise plan (None = aggregate without noise enforcement).
     pub xnoise: Option<XNoisePlan>,
+    /// Requested chunk count `m` for the networked data plane
+    /// (`None` = planner-chosen via the §4.2 cost-model sweep). The
+    /// in-memory driver path is the unchunked reference the chunked
+    /// networked path is pinned bit-equal against.
+    pub chunks: Option<usize>,
     /// Deterministic seed.
     pub seed: u64,
 }
@@ -188,6 +193,10 @@ pub fn run_protocol_round_networked(
 
     let (params, inputs) = build_round(cfg, updates)?;
     let n = params.clients.len();
+    // Planner-chosen chunk count unless pinned by the caller (§4.2).
+    let chunks = cfg.chunks.unwrap_or_else(|| {
+        dordis_pipeline::planned_chunk_count(params.vector_len, n, params.bit_width)
+    });
 
     // PKI stand-in for the malicious model, identical to the driver's.
     let registry = (cfg.threat_model == ThreatModel::Malicious).then(|| {
@@ -248,6 +257,8 @@ pub fn run_protocol_round_networked(
             params,
             join_timeout: Duration::from_secs(30),
             stage_timeout: Duration::from_secs(30),
+            chunks,
+            chunk_compute: None,
         },
     )
     .map_err(|e| DordisError::Config(format!("networked round: {e}")))?;
@@ -323,6 +334,7 @@ mod tests {
             graph: MaskingGraph::Complete,
             threat_model: ThreatModel::SemiHonest,
             xnoise,
+            chunks: Some(1),
             seed: 99,
         }
     }
@@ -428,6 +440,48 @@ mod tests {
         assert_eq!(net.sum, mem.sum);
         assert_eq!(net.survivors, mem.survivors);
         assert_eq!(net.dropped, vec![2, 6]);
+    }
+
+    #[test]
+    fn chunked_networked_rounds_match_unchunked_driver() {
+        // The acceptance pin: with the chunked data plane at m ∈ {1, 4, 8}
+        // the networked round is bit-equal to the *unchunked* in-process
+        // driver, including an XNoise round with dropout — chunking is a
+        // transport/pipelining concern, never a semantic one.
+        let ups = updates(8);
+        for m in [1usize, 4, 8] {
+            let plain = config(None);
+            let mem = run_protocol_round(&plain, &ups, &[3]).unwrap();
+            let mut chunked = plain.clone();
+            chunked.chunks = Some(m);
+            let net = run_protocol_round_networked(&chunked, &ups, &[3]).unwrap();
+            assert_eq!(net.sum, mem.sum, "m={m}");
+            assert_eq!(net.survivors, mem.survivors, "m={m}");
+            assert_eq!(net.dropped, mem.dropped, "m={m}");
+
+            let plan = XNoisePlan::new(9.0, 8, 3, 0, 5).unwrap();
+            let xn = config(Some(plan));
+            let mem = run_protocol_round(&xn, &ups, &[2, 6]).unwrap();
+            let mut chunked = xn.clone();
+            chunked.chunks = Some(m);
+            let net = run_protocol_round_networked(&chunked, &ups, &[2, 6]).unwrap();
+            assert_eq!(net.sum, mem.sum, "xnoise m={m}");
+            assert_eq!(net.survivors, mem.survivors, "xnoise m={m}");
+            assert_eq!(net.dropped, vec![2, 6], "xnoise m={m}");
+        }
+    }
+
+    #[test]
+    fn planner_chosen_chunks_also_match_driver() {
+        // chunks: None lets the §4.2 planner pick m; whatever it picks
+        // must stay bit-equal to the unchunked reference.
+        let ups = updates(8);
+        let mut cfg = config(None);
+        cfg.chunks = None;
+        let mem = run_protocol_round(&config(None), &ups, &[]).unwrap();
+        let net = run_protocol_round_networked(&cfg, &ups, &[]).unwrap();
+        assert_eq!(net.sum, mem.sum);
+        assert_eq!(net.survivors, mem.survivors);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use dordis_crypto::ed25519::Signature;
 use dordis_crypto::prg::Seed;
 use dordis_crypto::shamir::Share;
+use dordis_pipeline::ChunkPlan;
 use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::messages::{
     AdvertisedKeys, ConsistencySignature, EncryptedShares, IdList, MaskedInput, NoiseShareResponse,
@@ -28,7 +29,12 @@ use dordis_secagg::{ClientId, RoundParams, ThreatModel};
 use crate::NetError;
 
 /// Wire protocol version; bumped on any incompatible layout change.
-pub const WIRE_VERSION: u8 = 1;
+/// v2: the envelope header gained a `chunk u16` field and masked inputs
+/// travel as one frame per [`ChunkPlan`] chunk.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Envelope header bytes: version, stage, round, chunk.
+pub const HEADER_BYTES: usize = 1 + 1 + 8 + 2;
 
 /// Maximum accepted frame size (64 MiB) — guards against garbage length
 /// prefixes from misbehaving peers.
@@ -96,7 +102,10 @@ impl StageTag {
     }
 }
 
-/// A framed protocol message: version, stage, round id, opaque body.
+/// A framed protocol message: version, stage, round id, chunk id, opaque
+/// body. The chunk id is 0 for every control-plane message; data-plane
+/// masked-input frames carry their [`ChunkPlan`] chunk index so stage
+/// `k` of chunk `c+1` can overlap stage `k+1` of chunk `c` on the wire.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Envelope {
     /// Wire version ([`WIRE_VERSION`]).
@@ -105,29 +114,72 @@ pub struct Envelope {
     pub stage: StageTag,
     /// Round the message belongs to (replay/mix-up protection).
     pub round: u64,
+    /// Chunk the body belongs to (0 for unchunked stages).
+    pub chunk: u16,
     /// Encoded message body.
     pub body: Vec<u8>,
 }
 
+/// The (stage, round, chunk) coordinates of a frame — threaded into
+/// body-decode errors so a dropout report says *which* frame of *which*
+/// chunk went wrong, not just how many bytes were expected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameContext {
+    /// Stage tag from the envelope header.
+    pub stage: StageTag,
+    /// Round id from the envelope header.
+    pub round: u64,
+    /// Chunk id from the envelope header.
+    pub chunk: u16,
+}
+
+impl core::fmt::Display for FrameContext {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "stage {:?} round {} chunk {}",
+            self.stage, self.round, self.chunk
+        )
+    }
+}
+
 impl Envelope {
-    /// Wraps a body for the current wire version.
+    /// Wraps a body for the current wire version (chunk 0).
     #[must_use]
     pub fn new(stage: StageTag, round: u64, body: Vec<u8>) -> Envelope {
+        Envelope::chunked(stage, round, 0, body)
+    }
+
+    /// Wraps one chunk's body for the current wire version.
+    #[must_use]
+    pub fn chunked(stage: StageTag, round: u64, chunk: u16, body: Vec<u8>) -> Envelope {
         Envelope {
             version: WIRE_VERSION,
             stage,
             round,
+            chunk,
             body,
+        }
+    }
+
+    /// The frame's (stage, round, chunk) coordinates for error context.
+    #[must_use]
+    pub fn context(&self) -> FrameContext {
+        FrameContext {
+            stage: self.stage,
+            round: self.round,
+            chunk: self.chunk,
         }
     }
 
     /// Serializes header + body into one frame.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(10 + self.body.len());
+        let mut out = Vec::with_capacity(HEADER_BYTES + self.body.len());
         out.push(self.version);
         out.push(self.stage as u8);
         out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.chunk.to_le_bytes());
         out.extend_from_slice(&self.body);
         out
     }
@@ -136,25 +188,34 @@ impl Envelope {
     ///
     /// # Errors
     ///
-    /// Rejects short frames, unknown versions, and unknown stage tags.
+    /// Rejects short frames, unknown stage tags, and — with the typed
+    /// [`NetError::Version`] — mismatched protocol versions.
     pub fn decode(frame: &[u8]) -> Result<Envelope, NetError> {
-        if frame.len() < 10 {
-            return Err(NetError::Codec(format!("frame too short: {}", frame.len())));
+        if frame.is_empty() {
+            return Err(NetError::Codec("empty frame".into()));
         }
+        // Version is checked before the length so a short v1 frame is
+        // reported as the version mismatch it is.
         let version = frame[0];
         if version != WIRE_VERSION {
-            return Err(NetError::Codec(format!(
-                "unsupported wire version {version}"
-            )));
+            return Err(NetError::Version {
+                got: version,
+                expected: WIRE_VERSION,
+            });
+        }
+        if frame.len() < HEADER_BYTES {
+            return Err(NetError::Codec(format!("frame too short: {}", frame.len())));
         }
         let stage = StageTag::from_u8(frame[1])
             .ok_or_else(|| NetError::Codec(format!("unknown stage tag {}", frame[1])))?;
         let round = u64::from_le_bytes(frame[2..10].try_into().expect("8 bytes"));
+        let chunk = u16::from_le_bytes(frame[10..12].try_into().expect("2 bytes"));
         Ok(Envelope {
             version,
             stage,
             round,
-            body: frame[10..].to_vec(),
+            chunk,
+            body: frame[HEADER_BYTES..].to_vec(),
         })
     }
 }
@@ -341,7 +402,11 @@ impl Encode for MaskedInput {
 }
 
 /// Decodes a bit-packed [`MaskedInput`] body. The packing parameters are
-/// round state, not per-message headers, so they are passed in.
+/// round state, not per-message headers, so they are passed in;
+/// `vector_len` is the element count of the frame's chunk (the full
+/// vector for a single-chunk plan). `ctx` is the envelope's (stage,
+/// round, chunk), threaded into errors so dropout reports are
+/// attributable.
 ///
 /// # Errors
 ///
@@ -350,13 +415,14 @@ pub fn decode_masked_input(
     body: &[u8],
     bit_width: u32,
     vector_len: usize,
+    ctx: FrameContext,
 ) -> Result<MaskedInput, NetError> {
     let mut r = Reader::new(body);
-    let client = r.u32()?;
+    let client = r.u32().map_err(|e| with_context(e, ctx))?;
     let expect = (vector_len as u64 * u64::from(bit_width)).div_ceil(8) as usize;
     if r.remaining() != expect {
         return Err(NetError::Codec(format!(
-            "MaskedInput payload {} bytes, expected {expect}",
+            "MaskedInput payload {} bytes, expected {expect} ({ctx}, client {client})",
             r.remaining()
         )));
     }
@@ -379,6 +445,88 @@ pub fn decode_masked_input(
         client,
         vector,
         bit_width,
+    })
+}
+
+/// Annotates a codec error with its frame coordinates.
+fn with_context(e: NetError, ctx: FrameContext) -> NetError {
+    match e {
+        NetError::Codec(msg) => NetError::Codec(format!("{msg} ({ctx})")),
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunked masked-input framing.
+// ---------------------------------------------------------------------
+
+/// Splits a full masked input into one [`MaskedInput`] per chunk of
+/// `plan`, in schedule order. Because the plan's boundaries are
+/// byte-aligned for the round's bit width, each chunk's bit-packed body
+/// payload is exactly the corresponding byte-slice of the single-frame
+/// packing: the summed chunk payloads are byte-equal to the single-frame
+/// accounting (`Σ_c payload_c == payload`), with only the repeated
+/// 4-byte sender id and the envelope headers as per-chunk transport
+/// overhead — the `chunk_payloads_partition_single_frame` test in this
+/// crate pins that equality.
+///
+/// # Errors
+///
+/// Rejects inputs whose length or bit width disagree with the plan.
+pub fn split_masked_input(
+    input: &MaskedInput,
+    plan: &ChunkPlan,
+) -> Result<Vec<MaskedInput>, NetError> {
+    if input.bit_width != plan.bit_width() {
+        return Err(NetError::Codec(format!(
+            "masked input bit width {} disagrees with chunk plan {}",
+            input.bit_width,
+            plan.bit_width()
+        )));
+    }
+    let pieces = plan
+        .split(&input.vector)
+        .map_err(|e| NetError::Codec(format!("split masked input: {e}")))?;
+    Ok(pieces
+        .into_iter()
+        .map(|piece| MaskedInput {
+            client: input.client,
+            vector: piece.to_vec(),
+            bit_width: input.bit_width,
+        })
+        .collect())
+}
+
+/// Reassembles per-chunk masked inputs (in schedule order) into the full
+/// vector — the inverse of [`split_masked_input`].
+///
+/// # Errors
+///
+/// Rejects mixed senders or bit widths, and piece lengths that disagree
+/// with the plan.
+pub fn reassemble_masked_input(
+    chunks: &[MaskedInput],
+    plan: &ChunkPlan,
+) -> Result<MaskedInput, NetError> {
+    let first = chunks
+        .first()
+        .ok_or_else(|| NetError::Codec("no chunks to reassemble".into()))?;
+    for c in chunks {
+        if c.client != first.client || c.bit_width != first.bit_width {
+            return Err(NetError::Codec(format!(
+                "chunk stream mixes senders/bit widths: ({}, {}) vs ({}, {})",
+                c.client, c.bit_width, first.client, first.bit_width
+            )));
+        }
+    }
+    let pieces: Vec<Vec<u64>> = chunks.iter().map(|c| c.vector.clone()).collect();
+    let vector = plan
+        .reassemble(&pieces)
+        .map_err(|e| NetError::Codec(format!("reassemble masked input: {e}")))?;
+    Ok(MaskedInput {
+        client: first.client,
+        vector,
+        bit_width: first.bit_width,
     })
 }
 
@@ -610,13 +758,47 @@ pub fn encode_params(p: &RoundParams) -> Vec<u8> {
     out
 }
 
-/// Decodes a Setup body.
+/// Encodes the full Setup body: the [`RoundParams`] plus the round's
+/// **requested** chunk count. Both sides re-derive the identical
+/// [`ChunkPlan`] by calling `ChunkPlan::aligned` with this count and the
+/// round's (vector_len, bit_width) — the requested count travels, not
+/// the realized bounds, so alignment clamping cannot diverge between
+/// coordinator and clients.
+#[must_use]
+pub fn encode_setup(p: &RoundParams, chunks: u16) -> Vec<u8> {
+    let mut out = encode_params(p);
+    out.extend_from_slice(&chunks.to_le_bytes());
+    out
+}
+
+/// Decodes a Setup body into the round parameters and the requested
+/// chunk count.
+///
+/// # Errors
+///
+/// Rejects malformed bodies and unknown tags.
+pub fn decode_setup(body: &[u8]) -> Result<(RoundParams, u16), NetError> {
+    let mut r = Reader::new(body);
+    let params = decode_params_fields(&mut r)?;
+    let chunks = r.u16()?;
+    r.finish()?;
+    Ok((params, chunks))
+}
+
+/// Decodes a params-only body (no chunk count; see [`decode_setup`] for
+/// the Setup wire format).
 ///
 /// # Errors
 ///
 /// Rejects malformed bodies and unknown tags.
 pub fn decode_params(body: &[u8]) -> Result<RoundParams, NetError> {
     let mut r = Reader::new(body);
+    let params = decode_params_fields(&mut r)?;
+    r.finish()?;
+    Ok(params)
+}
+
+fn decode_params_fields(r: &mut Reader<'_>) -> Result<RoundParams, NetError> {
     let round = r.u64()?;
     let n = r.u16()? as usize;
     let mut clients = Vec::with_capacity(n);
@@ -639,7 +821,6 @@ pub fn decode_params(body: &[u8]) -> Result<RoundParams, NetError> {
         },
         t => return Err(NetError::Codec(format!("unknown graph tag {t}"))),
     };
-    r.finish()?;
     Ok(RoundParams {
         round,
         clients,

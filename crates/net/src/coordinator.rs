@@ -8,11 +8,27 @@
 //! *detected* and excluded, exactly as in the deployed system the paper
 //! evaluates (§6.1 measures dropout as missed per-stage responses).
 //!
+//! ## The per-(stage, chunk) data plane
+//!
+//! Control-plane stages (key advertisement, share routing, consistency,
+//! share collection) are round-global. The data plane is chunked
+//! (§4.1): masked inputs arrive as one frame per [`ChunkPlan`] chunk,
+//! collected by a per-(stage, chunk) state machine — chunk `c`'s frames
+//! are decoded, validated, and aggregated into the server's per-chunk
+//! state *while chunk `c+1`'s frames are still in flight*, and the
+//! per-stage deadline applies per chunk (the clock restarts when a chunk
+//! completes). Symmetrically, per-chunk unmasking is interleaved with
+//! the noise-share collection when XNoise seed recovery is needed, so
+//! the s-comp and comm resources overlap end to end as in Figure 12. A
+//! client whose chunk stream stops partway is a detected dropout: U3
+//! only admits clients that delivered *every* chunk.
+//!
 //! [`DropoutSchedule`]: dordis_secagg::driver::DropoutSchedule
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
+use dordis_pipeline::ChunkPlan;
 use dordis_secagg::driver::{RoundStats, StageTraffic};
 use dordis_secagg::server::{RoundOutcome, Server};
 use dordis_secagg::{ClientId, RoundParams, SecAggError, ThreatModel};
@@ -20,7 +36,7 @@ use dordis_secagg::{ClientId, RoundParams, SecAggError, ThreatModel};
 use crate::codec::{
     self, decode_advertised_keys, decode_consistency_signature, decode_encrypted_shares,
     decode_list, decode_masked_input, decode_noise_share_response, decode_unmasking_response,
-    encode_list, Encode, Envelope, StageTag,
+    encode_list, Encode, Envelope, FrameContext, StageTag,
 };
 use crate::transport::{recv_env, send_env, Acceptor, Channel};
 use crate::NetError;
@@ -34,8 +50,37 @@ pub struct CoordinatorConfig {
     /// with whoever arrived.
     pub join_timeout: Duration,
     /// Per-stage response deadline; a silent client past this is a
-    /// detected dropout.
+    /// detected dropout. During masked-input collection the deadline
+    /// applies *per chunk*: the clock restarts whenever a chunk
+    /// completes.
     pub stage_timeout: Duration,
+    /// Requested chunk count `m` for the data plane (clamped to ≥ 1).
+    /// The realized count after byte alignment may be smaller; clients
+    /// re-derive the identical plan from this count via the Setup
+    /// broadcast.
+    pub chunks: usize,
+    /// Injected s-comp cost for the *whole vector*, spread over chunks
+    /// proportionally to their element counts and spent once per chunk
+    /// at aggregation and once at unmasking. Emulates the server-side
+    /// compute of models too large to run in-repo, so benches and tests
+    /// can realize Figure 12's comm/compute overlap on a loopback
+    /// transport. `None` injects nothing (production).
+    pub chunk_compute: Option<Duration>,
+}
+
+impl CoordinatorConfig {
+    /// An unchunked config with no injected compute — the pre-chunking
+    /// behaviour.
+    #[must_use]
+    pub fn single(params: RoundParams, join_timeout: Duration, stage_timeout: Duration) -> Self {
+        CoordinatorConfig {
+            params,
+            join_timeout,
+            stage_timeout,
+            chunks: 1,
+            chunk_compute: None,
+        }
+    }
 }
 
 /// What the coordinator observed about one departed client.
@@ -53,13 +98,17 @@ pub enum DropKind {
     ProtocolViolation,
 }
 
-/// A detected departure: who, at which stage, and how.
+/// A detected departure: who, at which stage (and chunk, for data-plane
+/// stages), and how.
 #[derive(Clone, Debug)]
 pub struct DetectedDropout {
     /// The client.
     pub client: ClientId,
     /// Stage name at which the departure was detected.
     pub stage: &'static str,
+    /// Chunk the collection machine was on when it detected the
+    /// departure (None for round-global stages).
+    pub chunk: Option<u16>,
     /// What was observed.
     pub kind: DropKind,
 }
@@ -74,6 +123,8 @@ pub struct NetRoundReport {
     pub stats: RoundStats,
     /// Every detected departure, in detection order.
     pub dropouts: Vec<DetectedDropout>,
+    /// Realized chunk count of the round's data plane.
+    pub chunks: usize,
 }
 
 /// Per-stage uplink accumulator.
@@ -93,12 +144,16 @@ impl Traffic {
 /// Live connections, keyed by authenticated-at-join client id.
 type Peers = BTreeMap<ClientId, Box<dyn Channel>>;
 
+/// Background work a collection loop interleaves between polls (chunk
+/// unmasking during noise-share collection). Errors abort the round.
+type IdleWork<'a> = dyn FnMut(&mut Server) -> Result<(), SecAggError> + 'a;
+
 /// Runs one full round over `acceptor`.
 ///
 /// Accepts joins until every sampled client is present or
 /// `join_timeout` passes, then drives the stages. Clients that vanish
-/// mid-round are detected per stage and the protocol continues as long
-/// as the threshold holds.
+/// mid-round are detected per stage (per chunk, on the data plane) and
+/// the protocol continues as long as the threshold holds.
 ///
 /// # Errors
 ///
@@ -111,6 +166,13 @@ pub fn run_coordinator(
 ) -> Result<NetRoundReport, NetError> {
     cfg.params.validate().map_err(NetError::SecAgg)?;
     let round = cfg.params.round;
+    let requested_chunks = cfg.chunks.clamp(1, usize::from(u16::MAX));
+    let plan = ChunkPlan::aligned(
+        cfg.params.vector_len,
+        requested_chunks,
+        cfg.params.bit_width,
+    )
+    .map_err(|e| NetError::Protocol(format!("chunk plan: {e}")))?;
     let mut stats = RoundStats::default();
     let mut dropouts: Vec<DetectedDropout> = Vec::new();
 
@@ -121,15 +183,22 @@ pub fn run_coordinator(
             dropouts.push(DetectedDropout {
                 client: id,
                 stage: "Join",
+                chunk: None,
                 kind: DropKind::NeverJoined,
             });
         }
     }
 
-    let mut server = Server::new(cfg.params.clone()).map_err(NetError::SecAgg)?;
+    let mut server =
+        Server::with_chunks(cfg.params.clone(), plan.clone()).map_err(NetError::SecAgg)?;
+    let mut no_idle = |_: &mut Server| Ok(());
 
-    // ---- Setup broadcast. ----
-    let setup = Envelope::new(StageTag::Setup, round, codec::encode_params(&cfg.params));
+    // ---- Setup broadcast (params + the requested chunk count). ----
+    let setup = Envelope::new(
+        StageTag::Setup,
+        round,
+        codec::encode_setup(&cfg.params, requested_chunks as u16),
+    );
     broadcast(&mut peers, &setup, &mut dropouts, "Setup");
 
     let joined: Vec<ClientId> = peers.keys().copied().collect();
@@ -145,7 +214,10 @@ pub fn run_coordinator(
         "AdvertiseKeys",
         &mut dropouts,
         &mut up,
-    );
+        &mut server,
+        &mut no_idle,
+    )
+    .map_err(|e| abort_round(&mut peers, round, e))?;
     let mut advs = Vec::with_capacity(bodies.len());
     for (id, body) in &bodies {
         match decode_advertised_keys(body) {
@@ -154,6 +226,7 @@ pub fn run_coordinator(
                 &mut peers,
                 *id,
                 "AdvertiseKeys",
+                None,
                 DropKind::ProtocolViolation,
                 &mut dropouts,
             ),
@@ -183,7 +256,10 @@ pub fn run_coordinator(
         "ShareKeys",
         &mut dropouts,
         &mut up,
-    );
+        &mut server,
+        &mut no_idle,
+    )
+    .map_err(|e| abort_round(&mut peers, round, e))?;
     let mut all_cts = Vec::new();
     for (id, body) in &bodies {
         match decode_list(body, decode_encrypted_shares) {
@@ -192,6 +268,7 @@ pub fn run_coordinator(
                 &mut peers,
                 *id,
                 "ShareKeys",
+                None,
                 DropKind::ProtocolViolation,
                 &mut dropouts,
             ),
@@ -211,34 +288,20 @@ pub fn run_coordinator(
     }
     push_stage(&mut stats, "ShareKeys", &up, down);
 
-    // ---- Stage 2: MaskedInputCollection. ----
+    // ---- Stage 2: MaskedInputCollection, per (stage, chunk). ----
     let u2: BTreeSet<ClientId> = server.u2().iter().copied().collect();
     let expected: Vec<ClientId> = peers.keys().copied().filter(|id| u2.contains(id)).collect();
-    let mut up = Traffic::default();
-    let bodies = collect_stage(
+    let up = collect_masked_chunks(
         &mut peers,
         &expected,
-        StageTag::MaskedInput,
         round,
-        cfg.stage_timeout,
-        "MaskedInputCollection",
+        cfg,
+        &plan,
+        &mut server,
         &mut dropouts,
-        &mut up,
-    );
-    let mut masked = Vec::new();
-    for (id, body) in &bodies {
-        match decode_masked_input(body, cfg.params.bit_width, cfg.params.vector_len) {
-            Ok(m) if m.client == *id => masked.push(m),
-            _ => drop_peer(
-                &mut peers,
-                *id,
-                "MaskedInputCollection",
-                DropKind::ProtocolViolation,
-                &mut dropouts,
-            ),
-        }
-    }
-    let u3 = server.collect_masked(masked).map_err(|e| {
+    )
+    .map_err(|e| abort_round(&mut peers, round, e))?;
+    let u3 = server.finalize_masked().map_err(|e| {
         abort_all(&mut peers, round, &e);
         NetError::SecAgg(e)
     })?;
@@ -267,7 +330,10 @@ pub fn run_coordinator(
             "ConsistencyCheck",
             &mut dropouts,
             &mut up,
-        );
+            &mut server,
+            &mut no_idle,
+        )
+        .map_err(|e| abort_round(&mut peers, round, e))?;
         let mut sigs = Vec::new();
         for (id, body) in &bodies {
             match decode_consistency_signature(body) {
@@ -276,6 +342,7 @@ pub fn run_coordinator(
                     &mut peers,
                     *id,
                     "ConsistencyCheck",
+                    None,
                     DropKind::ProtocolViolation,
                     &mut dropouts,
                 ),
@@ -294,7 +361,7 @@ pub fn run_coordinator(
         push_stage(&mut stats, "ConsistencyCheck", &up, down);
     }
 
-    // ---- Stage 4: Unmasking. ----
+    // ---- Stage 4: Unmasking (share collection is round-global). ----
     let expected: Vec<ClientId> = u3
         .iter()
         .copied()
@@ -310,7 +377,10 @@ pub fn run_coordinator(
         "Unmasking",
         &mut dropouts,
         &mut up,
-    );
+        &mut server,
+        &mut no_idle,
+    )
+    .map_err(|e| abort_round(&mut peers, round, e))?;
     let mut responses = Vec::new();
     for (id, body) in &bodies {
         match decode_unmasking_response(body) {
@@ -319,16 +389,32 @@ pub fn run_coordinator(
                 &mut peers,
                 *id,
                 "Unmasking",
+                None,
                 DropKind::ProtocolViolation,
                 &mut dropouts,
             ),
         }
     }
-    server.collect_unmasking(responses).map_err(|e| {
+    server.reconstruct_unmasking(responses).map_err(|e| {
         abort_all(&mut peers, round, &e);
         NetError::SecAgg(e)
     })?;
     let u5 = server.u5().to_vec();
+
+    // Per-chunk unmasking advances between noise-share polls (chunk
+    // c + 1 can be collected/unmasked while chunk c's compute runs).
+    let total_chunks = plan.chunks();
+    let mut next_unmask = 0usize;
+    let chunk_compute = cfg.chunk_compute;
+    let plan_ref = &plan;
+    let mut unmask_step = move |server: &mut Server| -> Result<(), SecAggError> {
+        if next_unmask < total_chunks {
+            server.unmask_chunk(next_unmask)?;
+            chunk_sleep(chunk_compute, plan_ref, next_unmask);
+            next_unmask += 1;
+        }
+        Ok(())
+    };
 
     // ---- Stage 5: ExcessiveNoiseRemoval (only if needed). ----
     if server.pending_seed_owners().is_empty() {
@@ -358,7 +444,10 @@ pub fn run_coordinator(
             "ExcessiveNoiseRemoval",
             &mut dropouts,
             &mut up,
-        );
+            &mut server,
+            &mut unmask_step,
+        )
+        .map_err(|e| abort_round(&mut peers, round, e))?;
         let mut responses = Vec::new();
         for (id, body) in &bodies {
             match decode_noise_share_response(body) {
@@ -367,6 +456,7 @@ pub fn run_coordinator(
                     &mut peers,
                     *id,
                     "ExcessiveNoiseRemoval",
+                    None,
                     DropKind::ProtocolViolation,
                     &mut dropouts,
                 ),
@@ -377,6 +467,14 @@ pub fn run_coordinator(
             NetError::SecAgg(e)
         })?;
         push_stage(&mut stats, "ExcessiveNoiseRemoval", &up, Traffic::default());
+    }
+
+    // Unmask whatever chunks the idle interleaving did not reach.
+    for _ in 0..total_chunks {
+        unmask_step(&mut server).map_err(|e| {
+            abort_all(&mut peers, round, &e);
+            NetError::SecAgg(e)
+        })?;
     }
 
     // ---- Finished broadcast. ----
@@ -397,7 +495,29 @@ pub fn run_coordinator(
         outcome: server.finish(),
         stats,
         dropouts,
+        chunks: total_chunks,
     })
+}
+
+/// Maps a failed stage to a round abort (notifying live peers when the
+/// failure is a protocol-level one).
+fn abort_round(peers: &mut Peers, round: u64, e: NetError) -> NetError {
+    if let NetError::SecAgg(err) = &e {
+        abort_all(peers, round, err);
+    }
+    e
+}
+
+/// Sleeps the injected per-chunk s-comp cost: the whole-vector cost
+/// scaled by the chunk's share of the elements.
+fn chunk_sleep(chunk_compute: Option<Duration>, plan: &ChunkPlan, chunk: usize) {
+    let Some(total) = chunk_compute else { return };
+    let d = plan.vector_len().max(1);
+    let frac = plan.chunk_len(chunk) as f64 / d as f64;
+    let dur = total.mul_f64(frac);
+    if !dur.is_zero() {
+        std::thread::sleep(dur);
+    }
 }
 
 /// Accepts connections and their Join envelopes until every sampled id
@@ -445,6 +565,22 @@ fn accept_joins(acceptor: &mut dyn Acceptor, cfg: &CoordinatorConfig) -> Result<
                     }
                 }
             }
+            Err(NetError::Version { got, expected }) => {
+                // A peer speaking another wire version must be told to
+                // upgrade, not silently counted as a never-join.
+                // Best-effort: its decoder may reject our frame too,
+                // but the connection closes with the reason on the wire.
+                let _ = send_env(
+                    chan.as_mut(),
+                    &Envelope::new(
+                        StageTag::Abort,
+                        cfg.params.round,
+                        codec::encode_abort(&format!(
+                            "wire version mismatch: you speak v{got}, this coordinator v{expected}"
+                        )),
+                    ),
+                );
+            }
             _ => {
                 // Wrong first message or nothing at all: not a protocol
                 // participant.
@@ -454,9 +590,171 @@ fn accept_joins(acceptor: &mut dyn Acceptor, cfg: &CoordinatorConfig) -> Result<
     Ok(peers)
 }
 
+/// The per-(stage, chunk) masked-input collector. Chunk `c + 1`'s frames
+/// accumulate (from fast clients and channel buffers) while chunk `c` is
+/// decoded, validated, and aggregated into the server's per-chunk state;
+/// the stage deadline restarts per chunk. A client whose stream stops —
+/// disconnect, garbage, or silence past the active chunk's deadline — is
+/// dropped from every remaining chunk; its partial deliveries never
+/// reach a sum because U3 requires all chunks.
+fn collect_masked_chunks(
+    peers: &mut Peers,
+    expected: &[ClientId],
+    round: u64,
+    cfg: &CoordinatorConfig,
+    plan: &ChunkPlan,
+    server: &mut Server,
+    dropouts: &mut Vec<DetectedDropout>,
+) -> Result<Traffic, NetError> {
+    let m = plan.chunks();
+    let stage_name = "MaskedInputCollection";
+    let base: BTreeSet<ClientId> = expected
+        .iter()
+        .copied()
+        .filter(|id| peers.contains_key(id))
+        .collect();
+    let mut pendings: Vec<BTreeSet<ClientId>> = vec![base; m];
+    let mut bodies: Vec<BTreeMap<ClientId, Vec<u8>>> = vec![BTreeMap::new(); m];
+    let mut per_client: BTreeMap<ClientId, u64> = BTreeMap::new();
+    let mut active = 0usize;
+    let mut deadline = Instant::now() + cfg.stage_timeout;
+    let poll = Duration::from_millis(10);
+
+    while active < m {
+        pendings[active].retain(|id| peers.contains_key(id));
+        if pendings[active].is_empty() {
+            // Chunk complete: aggregate it while later chunks keep
+            // arriving into the transport buffers.
+            let chunk_bodies = std::mem::take(&mut bodies[active]);
+            let ctx = FrameContext {
+                stage: StageTag::MaskedInput,
+                round,
+                chunk: active as u16,
+            };
+            let mut inputs = Vec::with_capacity(chunk_bodies.len());
+            for (id, body) in &chunk_bodies {
+                if !peers.contains_key(id) {
+                    continue;
+                }
+                match decode_masked_input(body, plan.bit_width(), plan.chunk_len(active), ctx) {
+                    Ok(mi) if mi.client == *id => inputs.push(mi),
+                    _ => {
+                        remove_everywhere(&mut pendings, *id);
+                        drop_peer(
+                            peers,
+                            *id,
+                            stage_name,
+                            Some(active as u16),
+                            DropKind::ProtocolViolation,
+                            dropouts,
+                        );
+                    }
+                }
+            }
+            server
+                .collect_masked_chunk(active, inputs)
+                .map_err(NetError::SecAgg)?;
+            chunk_sleep(cfg.chunk_compute, plan, active);
+            active += 1;
+            deadline = Instant::now() + cfg.stage_timeout;
+            continue;
+        }
+        if Instant::now() >= deadline {
+            let late: Vec<ClientId> = pendings[active].iter().copied().collect();
+            for id in late {
+                remove_everywhere(&mut pendings, id);
+                drop_peer(
+                    peers,
+                    id,
+                    stage_name,
+                    Some(active as u16),
+                    DropKind::DeadlineMissed,
+                    dropouts,
+                );
+            }
+            continue;
+        }
+        let ids: Vec<ClientId> = pendings[active].iter().copied().collect();
+        for id in ids {
+            let Some(chan) = peers.get_mut(&id) else {
+                remove_everywhere(&mut pendings, id);
+                continue;
+            };
+            let slice = (Instant::now() + poll).min(deadline);
+            match chan.recv_deadline(slice) {
+                Ok(frame) => {
+                    *per_client.entry(id).or_default() += frame.len() as u64;
+                    match Envelope::decode(&frame) {
+                        Ok(env)
+                            if env.stage == StageTag::MaskedInput
+                                && env.round == round
+                                && usize::from(env.chunk) < m =>
+                        {
+                            let c = usize::from(env.chunk);
+                            pendings[c].remove(&id);
+                            bodies[c].insert(id, env.body);
+                        }
+                        Ok(env) if env.stage == StageTag::Abort => {
+                            remove_everywhere(&mut pendings, id);
+                            drop_peer(
+                                peers,
+                                id,
+                                stage_name,
+                                Some(active as u16),
+                                DropKind::Aborted,
+                                dropouts,
+                            );
+                        }
+                        _ => {
+                            remove_everywhere(&mut pendings, id);
+                            drop_peer(
+                                peers,
+                                id,
+                                stage_name,
+                                Some(active as u16),
+                                DropKind::ProtocolViolation,
+                                dropouts,
+                            );
+                        }
+                    }
+                }
+                Err(NetError::Timeout) => {}
+                Err(_) => {
+                    remove_everywhere(&mut pendings, id);
+                    drop_peer(
+                        peers,
+                        id,
+                        stage_name,
+                        Some(active as u16),
+                        DropKind::Disconnected,
+                        dropouts,
+                    );
+                }
+            }
+        }
+    }
+    let mut up = Traffic::default();
+    for &bytes in per_client.values() {
+        up.add(bytes);
+    }
+    Ok(up)
+}
+
+fn remove_everywhere(pendings: &mut [BTreeSet<ClientId>], id: ClientId) {
+    for p in pendings.iter_mut() {
+        p.remove(&id);
+    }
+}
+
 /// Collects exactly one body per expected client for `want`, until the
 /// per-stage deadline. Silent or disconnected clients become detected
-/// dropouts and are removed from `peers`.
+/// dropouts and are removed from `peers`. `idle` runs once per poll
+/// sweep so pending per-chunk work (unmasking) overlaps the wait.
+///
+/// # Errors
+///
+/// Only `idle` failures (protocol aborts) — per-client failures are
+/// dropouts, not errors.
 #[allow(clippy::too_many_arguments)]
 fn collect_stage(
     peers: &mut Peers,
@@ -467,8 +765,10 @@ fn collect_stage(
     stage_name: &'static str,
     dropouts: &mut Vec<DetectedDropout>,
     up: &mut Traffic,
-) -> BTreeMap<ClientId, Vec<u8>> {
-    let deadline = Instant::now() + stage_timeout;
+    server: &mut Server,
+    idle: &mut IdleWork<'_>,
+) -> Result<BTreeMap<ClientId, Vec<u8>>, NetError> {
+    let mut deadline = Instant::now() + stage_timeout;
     let mut pending: BTreeSet<ClientId> = expected
         .iter()
         .copied()
@@ -477,6 +777,12 @@ fn collect_stage(
     let mut bodies: BTreeMap<ClientId, Vec<u8>> = BTreeMap::new();
     let poll = Duration::from_millis(10);
     while !pending.is_empty() && Instant::now() < deadline {
+        // Interleaved background work (per-chunk unmasking, possibly
+        // with injected compute) must not eat the peers' response
+        // window: credit its wall time back to the stage deadline.
+        let idle_start = Instant::now();
+        idle(server).map_err(NetError::SecAgg)?;
+        deadline += idle_start.elapsed();
         let ids: Vec<ClientId> = pending.iter().copied().collect();
         for id in ids {
             let Some(chan) = peers.get_mut(&id) else {
@@ -494,26 +800,47 @@ fn collect_stage(
                         }
                         Ok(env) if env.stage == StageTag::Abort => {
                             pending.remove(&id);
-                            drop_peer(peers, id, stage_name, DropKind::Aborted, dropouts);
+                            drop_peer(peers, id, stage_name, None, DropKind::Aborted, dropouts);
                         }
                         _ => {
                             pending.remove(&id);
-                            drop_peer(peers, id, stage_name, DropKind::ProtocolViolation, dropouts);
+                            drop_peer(
+                                peers,
+                                id,
+                                stage_name,
+                                None,
+                                DropKind::ProtocolViolation,
+                                dropouts,
+                            );
                         }
                     }
                 }
                 Err(NetError::Timeout) => {}
                 Err(_) => {
                     pending.remove(&id);
-                    drop_peer(peers, id, stage_name, DropKind::Disconnected, dropouts);
+                    drop_peer(
+                        peers,
+                        id,
+                        stage_name,
+                        None,
+                        DropKind::Disconnected,
+                        dropouts,
+                    );
                 }
             }
         }
     }
     for id in pending {
-        drop_peer(peers, id, stage_name, DropKind::DeadlineMissed, dropouts);
+        drop_peer(
+            peers,
+            id,
+            stage_name,
+            None,
+            DropKind::DeadlineMissed,
+            dropouts,
+        );
     }
-    bodies
+    Ok(bodies)
 }
 
 /// Removes a peer and records the detection.
@@ -521,6 +848,7 @@ fn drop_peer(
     peers: &mut Peers,
     id: ClientId,
     stage: &'static str,
+    chunk: Option<u16>,
     kind: DropKind,
     dropouts: &mut Vec<DetectedDropout>,
 ) {
@@ -528,6 +856,7 @@ fn drop_peer(
     dropouts.push(DetectedDropout {
         client: id,
         stage,
+        chunk,
         kind,
     });
 }
@@ -546,7 +875,7 @@ fn broadcast(
     for id in ids {
         if let Some(chan) = peers.get_mut(&id) {
             if chan.send(&frame).is_err() {
-                drop_peer(peers, id, stage, DropKind::Disconnected, dropouts);
+                drop_peer(peers, id, stage, None, DropKind::Disconnected, dropouts);
             } else {
                 down.add(frame.len() as u64);
             }
@@ -565,7 +894,7 @@ fn send_or_drop(
 ) {
     if let Some(chan) = peers.get_mut(&id) {
         if send_env(chan.as_mut(), env).is_err() {
-            drop_peer(peers, id, stage, DropKind::Disconnected, dropouts);
+            drop_peer(peers, id, stage, None, DropKind::Disconnected, dropouts);
         }
     }
 }

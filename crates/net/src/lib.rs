@@ -6,22 +6,29 @@
 //!
 //! - [`codec`]: a length-prefixed binary wire codec for every protocol
 //!   message in [`dordis_secagg::messages`], wrapped in a versioned
-//!   [`codec::Envelope`] carrying the round id and a stage tag. The
-//!   codec is the ground truth for [`WireSize::wire_bytes`] — the test
-//!   suite asserts byte-for-byte agreement.
+//!   [`codec::Envelope`] carrying the round id, a stage tag, and a chunk
+//!   id — the data plane ships masked inputs as one frame per
+//!   `ChunkPlan` chunk, whose payloads are byte-identical slices of the
+//!   single-frame packing. The codec is the ground truth for
+//!   [`WireSize::wire_bytes`] — the test suite asserts byte-for-byte
+//!   agreement.
 //! - [`transport`]: the [`transport::Channel`] / [`transport::Acceptor`]
 //!   abstraction, with a deterministic channel-backed loopback
 //!   implementation for tests and in-process use.
 //! - [`tcp`]: the TCP implementation (one connection per client,
 //!   blocking I/O with deadlines).
 //! - [`coordinator`]: the server task. It drives
-//!   [`dordis_secagg::server::Server`] stage by stage over any
-//!   transport, with a per-stage deadline — a peer that goes silent or
-//!   disconnects becomes a *detected* dropout, replacing the driver's
-//!   scripted `DropoutSchedule`.
+//!   [`dordis_secagg::server::Server`] over any transport with a
+//!   per-(stage, chunk) state machine: chunk `c` is aggregated while
+//!   chunk `c+1` is still on the wire, per-stage deadlines apply per
+//!   chunk, and a peer that goes silent or disconnects (or stops its
+//!   chunk stream partway) becomes a *detected* dropout, replacing the
+//!   driver's scripted `DropoutSchedule`.
 //! - [`runtime`]: the symmetric client task driving
-//!   [`dordis_secagg::client::Client`], with optional fail injection
-//!   (disconnect or go silent at a chosen stage) for tests and demos.
+//!   [`dordis_secagg::client::Client`], streaming its masked input one
+//!   chunk frame at a time, with optional fail injection (disconnect or
+//!   go silent at a chosen stage, or mid-chunk-stream) for tests and
+//!   demos.
 //!
 //! [`WireSize::wire_bytes`]: dordis_secagg::messages::WireSize::wire_bytes
 
@@ -30,6 +37,7 @@
 
 pub mod codec;
 pub mod coordinator;
+pub mod figure12;
 pub mod runtime;
 pub mod tcp;
 pub mod transport;
@@ -47,6 +55,15 @@ pub enum NetError {
     Closed,
     /// A frame failed to decode.
     Codec(String),
+    /// The peer speaks a different wire-protocol version. Typed (rather
+    /// than a generic codec failure) because chunked frames changed the
+    /// wire contract: a v1 peer must be told to upgrade, not debugged.
+    Version {
+        /// Version byte the peer sent.
+        got: u8,
+        /// Version this build speaks ([`codec::WIRE_VERSION`]).
+        expected: u8,
+    },
     /// A peer violated the protocol (wrong stage, bad id, ...).
     Protocol(String),
     /// The protocol itself aborted (below threshold, tampering...).
@@ -62,6 +79,12 @@ impl core::fmt::Display for NetError {
             NetError::Timeout => write!(f, "deadline exceeded"),
             NetError::Closed => write!(f, "peer closed the connection"),
             NetError::Codec(e) => write!(f, "codec: {e}"),
+            NetError::Version { got, expected } => {
+                write!(
+                    f,
+                    "wire version mismatch: peer speaks v{got}, this build v{expected}"
+                )
+            }
             NetError::Protocol(e) => write!(f, "protocol violation: {e}"),
             NetError::SecAgg(e) => write!(f, "secagg: {e}"),
             NetError::Aborted(why) => write!(f, "round aborted: {why}"),

@@ -15,13 +15,14 @@
 
 use std::time::{Duration, Instant};
 
+use dordis_pipeline::ChunkPlan;
 use dordis_secagg::client::{Client, ClientInput, Identity};
 use dordis_secagg::messages::IdList;
 use dordis_secagg::{ClientId, RoundParams, SecAggError, ThreatModel};
 
 pub use dordis_secagg::driver::{client_rng, share_keys_rng};
 
-use crate::codec::{self, decode_list, Encode, Envelope, StageTag};
+use crate::codec::{self, decode_list, split_masked_input, Encode, Envelope, StageTag};
 use crate::transport::{recv_env, send_env, Channel};
 use crate::NetError;
 
@@ -35,6 +36,10 @@ pub enum FailStage {
     /// Drops after key sharing, before the masked input — the paper's
     /// standard dropout point (§6.1).
     MaskedInput,
+    /// Drops mid-stream: sends the first `k` masked-input chunk frames,
+    /// then fails — partial chunk delivery, which the coordinator must
+    /// detect as a dropout (the client never reaches U3).
+    MaskedInputAfterChunks(u16),
     /// Drops before the consistency signature (malicious model).
     Consistency,
     /// Drops before unmasking.
@@ -135,8 +140,8 @@ where
 
     // ---- Setup. ----
     let env = recv_until(chan, opts)?;
-    let params = match env.stage {
-        StageTag::Setup => codec::decode_params(&env.body)?,
+    let (params, requested_chunks) = match env.stage {
+        StageTag::Setup => codec::decode_setup(&env.body)?,
         StageTag::Abort => {
             return Ok(ClientRunOutcome::ServerAborted {
                 reason: codec::decode_abort(&env.body),
@@ -148,6 +153,15 @@ where
     // hostile bit_width/vector_len could otherwise panic or OOM us)
     // before building anything from them.
     params.validate().map_err(NetError::SecAgg)?;
+    // Re-derive the round's chunk plan from the requested count — the
+    // same deterministic alignment the coordinator ran, so both sides
+    // agree on every chunk boundary without the bounds traveling.
+    let plan = ChunkPlan::aligned(
+        params.vector_len,
+        usize::from(requested_chunks.max(1)),
+        params.bit_width,
+    )
+    .map_err(|e| NetError::Protocol(format!("chunk plan: {e}")))?;
     let round = params.round;
     if !params.clients.contains(&opts.id) {
         return Err(NetError::Protocol("not in the sampled set".into()));
@@ -207,10 +221,55 @@ where
                 }
                 let inbox = decode_list(&env.body, codec::decode_encrypted_shares)?;
                 match client.masked_input(inbox) {
-                    Ok(m) => send_env(
-                        chan,
-                        &Envelope::new(StageTag::MaskedInput, round, m.encoded()),
-                    )?,
+                    Ok(m) => {
+                        // Stream the masked input one chunk frame at a
+                        // time, in schedule order — this is what lets
+                        // the coordinator aggregate chunk c while chunk
+                        // c+1 is still on the wire.
+                        let parts = split_masked_input(&m, &plan)?;
+                        let partial = match opts.fail {
+                            Some(FailPoint {
+                                stage: FailStage::MaskedInputAfterChunks(k),
+                                action,
+                            }) => Some((usize::from(k), action)),
+                            _ => None,
+                        };
+                        // A fail point that cannot fire would silently
+                        // validate nothing — reject it loudly instead
+                        // of completing the round as a healthy client.
+                        if let Some((k, _)) = partial {
+                            if k >= parts.len() {
+                                return Err(NetError::Protocol(format!(
+                                    "fail point MaskedInputAfterChunks({k}) cannot fire: \
+                                     the round realizes only {} chunk(s)",
+                                    parts.len()
+                                )));
+                            }
+                        }
+                        for (c, part) in parts.iter().enumerate() {
+                            if let Some((k, action)) = partial {
+                                if c == k {
+                                    // Mid-stream failure: k chunks are
+                                    // already out, the rest never leave.
+                                    if action == FailAction::Silent {
+                                        std::thread::sleep(opts.silent_linger);
+                                    }
+                                    return Ok(ClientRunOutcome::Failed {
+                                        stage: FailStage::MaskedInputAfterChunks(k as u16),
+                                    });
+                                }
+                            }
+                            send_env(
+                                chan,
+                                &Envelope::chunked(
+                                    StageTag::MaskedInput,
+                                    round,
+                                    c as u16,
+                                    part.encoded(),
+                                ),
+                            )?;
+                        }
+                    }
                     Err(e) => return abort(chan, round, &e),
                 }
             }

@@ -176,6 +176,55 @@ impl Acceptor for LoopbackAcceptor {
     }
 }
 
+// ---------------------------------------------------------------------
+// Injected-latency wrapper.
+// ---------------------------------------------------------------------
+
+/// A [`Channel`] wrapper that injects per-stage uplink latency: every
+/// `send` first *occupies* the link for `per_frame + len / bytes_per_sec`
+/// (the sender sleeps, modelling serialization onto a bandwidth-limited
+/// uplink) and only then enqueues the frame. Used by the pipeline
+/// benches/tests to realize Figure 12's comm/compute overlap on a
+/// loopback transport: while a client is "transmitting" chunk `c+1`,
+/// the coordinator is aggregating chunk `c`.
+pub struct ThrottledChannel {
+    inner: Box<dyn Channel>,
+    bytes_per_sec: u64,
+    per_frame: Duration,
+}
+
+impl ThrottledChannel {
+    /// Wraps `inner` with a simulated uplink of `bytes_per_sec`
+    /// bandwidth and `per_frame` fixed latency per frame.
+    #[must_use]
+    pub fn new(inner: Box<dyn Channel>, bytes_per_sec: u64, per_frame: Duration) -> Self {
+        ThrottledChannel {
+            inner,
+            bytes_per_sec: bytes_per_sec.max(1),
+            per_frame,
+        }
+    }
+}
+
+impl Channel for ThrottledChannel {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        let transmit = Duration::from_secs_f64(frame.len() as f64 / self.bytes_per_sec as f64);
+        let occupancy = self.per_frame + transmit;
+        if !occupancy.is_zero() {
+            std::thread::sleep(occupancy);
+        }
+        self.inner.send(frame)
+    }
+
+    fn recv_deadline(&mut self, deadline: Instant) -> Result<Vec<u8>, NetError> {
+        self.inner.recv_deadline(deadline)
+    }
+
+    fn peer(&self) -> String {
+        format!("throttled:{}", self.inner.peer())
+    }
+}
+
 /// Convenience: a deadline `timeout` from now.
 #[must_use]
 pub fn deadline_in(timeout: Duration) -> Instant {

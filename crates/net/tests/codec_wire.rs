@@ -7,9 +7,13 @@ use dordis_crypto::shamir::Share;
 use dordis_net::codec::{
     decode_abort, decode_advertised_keys, decode_consistency_signature, decode_encrypted_shares,
     decode_id_list, decode_join, decode_list, decode_masked_input, decode_noise_share_response,
-    decode_params, decode_signature_list, decode_unmasking_response, encode_abort, encode_join,
-    encode_list, encode_params, encode_signature_list, Encode, Envelope, StageTag, WIRE_VERSION,
+    decode_params, decode_setup, decode_signature_list, decode_unmasking_response, encode_abort,
+    encode_join, encode_list, encode_params, encode_setup, encode_signature_list,
+    reassemble_masked_input, split_masked_input, Encode, Envelope, FrameContext, StageTag,
+    HEADER_BYTES, WIRE_VERSION,
 };
+use dordis_net::NetError;
+use dordis_pipeline::ChunkPlan;
 use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::messages::{
     AdvertisedKeys, ConsistencySignature, EncryptedShares, IdList, MaskedInput, NoiseShareResponse,
@@ -21,6 +25,14 @@ fn share(x: u8, len: usize) -> Share {
     Share {
         x,
         y: (0..len).map(|i| (i as u8).wrapping_mul(x)).collect(),
+    }
+}
+
+fn ctx() -> FrameContext {
+    FrameContext {
+        stage: StageTag::MaskedInput,
+        round: 7,
+        chunk: 0,
     }
 }
 
@@ -80,7 +92,7 @@ fn masked_input_roundtrip_and_size_across_bit_widths() {
                 bit_width: bits,
             };
             assert_wire_agreement(&m, "MaskedInput");
-            let back = decode_masked_input(&m.encoded(), bits, len).unwrap();
+            let back = decode_masked_input(&m.encoded(), bits, len, ctx()).unwrap();
             assert_eq!(back, m, "bits={bits} len={len}");
         }
     }
@@ -90,8 +102,96 @@ fn masked_input_roundtrip_and_size_across_bit_widths() {
         vector: vec![1, 2, 3],
         bit_width: 20,
     };
-    assert!(decode_masked_input(&m.encoded(), 20, 4).is_err());
-    assert!(decode_masked_input(&m.encoded(), 24, 3).is_err());
+    assert!(decode_masked_input(&m.encoded(), 20, 4, ctx()).is_err());
+    assert!(decode_masked_input(&m.encoded(), 24, 3, ctx()).is_err());
+}
+
+#[test]
+fn masked_input_errors_carry_frame_context() {
+    // A bad frame must be attributable: the error names the stage, the
+    // round, and the chunk the collection machine was decoding.
+    let m = MaskedInput {
+        client: 9,
+        vector: vec![1, 2, 3],
+        bit_width: 20,
+    };
+    let bad_ctx = FrameContext {
+        stage: StageTag::MaskedInput,
+        round: 42,
+        chunk: 3,
+    };
+    let err = decode_masked_input(&m.encoded(), 20, 4, bad_ctx).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("MaskedInput"), "{msg}");
+    assert!(msg.contains("round 42"), "{msg}");
+    assert!(msg.contains("chunk 3"), "{msg}");
+    assert!(msg.contains("client 9"), "{msg}");
+}
+
+#[test]
+fn chunk_payloads_partition_single_frame() {
+    // The headline wire-accounting property: per-chunk bodies are the
+    // exact byte-slices of the single-frame packing — summed payloads
+    // are byte-equal to the unchunked accounting, and concatenation
+    // reproduces the single frame bit for bit.
+    for bits in [1u32, 7, 8, 16, 20, 33, 62] {
+        for (len, m) in [(96usize, 4usize), (1000, 8), (517, 5), (12, 3)] {
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
+            let full = MaskedInput {
+                client: 21,
+                vector: (0..len as u64).map(|i| (i * 0x9e37 + 3) & mask).collect(),
+                bit_width: bits,
+            };
+            let plan = ChunkPlan::aligned(len, m, bits).unwrap();
+            let chunks = split_masked_input(&full, &plan).unwrap();
+            assert_eq!(chunks.len(), plan.chunks());
+
+            let full_body = full.encoded();
+            // Payloads (bodies minus the 4-byte sender id) partition the
+            // single-frame payload exactly.
+            let mut concat = Vec::new();
+            let mut summed = 0usize;
+            for c in &chunks {
+                let body = c.encoded();
+                concat.extend_from_slice(&body[4..]);
+                summed += body.len() - 4;
+            }
+            assert_eq!(summed, full_body.len() - 4, "bits={bits} len={len} m={m}");
+            assert_eq!(concat, full_body[4..], "bits={bits} len={len} m={m}");
+
+            // And each chunk body slices out of the full packing at the
+            // plan's byte ranges.
+            for (c, part) in chunks.iter().enumerate() {
+                let body = part.encoded();
+                let r = plan.byte_range(c);
+                assert_eq!(&body[4..], &full_body[4 + r.start..4 + r.end]);
+            }
+
+            // Round-trip: decode each chunk, reassemble, compare.
+            let decoded: Vec<MaskedInput> = chunks
+                .iter()
+                .enumerate()
+                .map(|(c, part)| {
+                    decode_masked_input(
+                        &part.encoded(),
+                        bits,
+                        plan.chunk_len(c),
+                        FrameContext {
+                            stage: StageTag::MaskedInput,
+                            round: 1,
+                            chunk: c as u16,
+                        },
+                    )
+                    .unwrap()
+                })
+                .collect();
+            assert_eq!(reassemble_masked_input(&decoded, &plan).unwrap(), full);
+        }
+    }
 }
 
 #[test]
@@ -194,16 +294,67 @@ fn envelope_roundtrip_and_version_gate() {
     let env = Envelope::new(StageTag::MaskedInput, 0xdead_beef_0042, vec![1, 2, 3]);
     let enc = env.encode();
     assert_eq!(Envelope::decode(&enc).unwrap(), env);
-    assert_eq!(enc.len(), 10 + 3);
+    assert_eq!(enc.len(), HEADER_BYTES + 3);
+    assert_eq!(env.chunk, 0);
 
-    let mut wrong_version = enc.clone();
-    wrong_version[0] = WIRE_VERSION + 1;
-    assert!(Envelope::decode(&wrong_version).is_err());
+    // Chunked envelopes carry their chunk id through the header.
+    let chunked = Envelope::chunked(StageTag::MaskedInput, 9, 5, vec![7, 8]);
+    assert_eq!(Envelope::decode(&chunked.encode()).unwrap(), chunked);
+    assert_eq!(Envelope::decode(&chunked.encode()).unwrap().chunk, 5);
 
     let mut wrong_stage = enc;
     wrong_stage[1] = 200;
     assert!(Envelope::decode(&wrong_stage).is_err());
-    assert!(Envelope::decode(&[1, 2]).is_err());
+    assert!(Envelope::decode(&[]).is_err());
+    assert!(Envelope::decode(&[WIRE_VERSION, 2]).is_err());
+}
+
+#[test]
+fn version_mismatch_is_a_typed_error() {
+    // Chunked frames changed the wire contract; a v1 peer must surface
+    // as NetError::Version with both versions named, not as generic
+    // codec garbage.
+    let env = Envelope::new(StageTag::Join, 1, encode_join(3));
+    for got in [0u8, WIRE_VERSION - 1, WIRE_VERSION + 1, 0xff] {
+        let mut frame = env.encode();
+        frame[0] = got;
+        match Envelope::decode(&frame) {
+            Err(NetError::Version { got: g, expected }) => {
+                assert_eq!(g, got);
+                assert_eq!(expected, WIRE_VERSION);
+            }
+            other => panic!("expected NetError::Version, got {other:?}"),
+        }
+    }
+    // Even a truncated frame from an old peer reports the version first
+    // (that is the actionable diagnosis).
+    assert!(matches!(
+        Envelope::decode(&[1u8]),
+        Err(NetError::Version { got: 1, .. })
+    ));
+}
+
+#[test]
+fn setup_body_carries_requested_chunk_count() {
+    let p = RoundParams {
+        round: 3,
+        clients: (0..6).collect(),
+        threshold: 4,
+        bit_width: 20,
+        vector_len: 64,
+        noise_components: 2,
+        threat_model: ThreatModel::SemiHonest,
+        graph: MaskingGraph::Complete,
+    };
+    for chunks in [1u16, 4, 8, 20] {
+        let (back, m) = decode_setup(&encode_setup(&p, chunks)).unwrap();
+        assert_eq!(m, chunks);
+        assert_eq!(back.vector_len, p.vector_len);
+        assert_eq!(back.clients, p.clients);
+    }
+    // Truncating the chunk count is rejected.
+    let body = encode_setup(&p, 4);
+    assert!(decode_setup(&body[..body.len() - 1]).is_err());
 }
 
 #[test]
@@ -248,4 +399,44 @@ fn control_payloads_roundtrip() {
         decode_abort(&encode_abort("below threshold")),
         "below threshold"
     );
+}
+
+mod chunked_frame_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Full wire loop for the chunked data plane over random dims,
+        /// chunk counts, and bit widths: split → per-chunk envelope
+        /// encode/decode → body decode → reassemble == identity.
+        #[test]
+        fn prop_chunked_masked_input_frames_roundtrip(
+            len in 0usize..400,
+            m in 1usize..10,
+            bits in 1u32..63,
+            round in 0u64..10_000,
+        ) {
+            let mask = (1u64 << bits) - 1;
+            let full = MaskedInput {
+                client: 7,
+                vector: (0..len as u64).map(|i| i.wrapping_mul(0x517c_c1b7) & mask).collect(),
+                bit_width: bits,
+            };
+            let plan = ChunkPlan::aligned(len, m, bits).unwrap();
+            let parts = split_masked_input(&full, &plan).unwrap();
+            prop_assert_eq!(parts.len(), plan.chunks());
+            let mut decoded = Vec::with_capacity(parts.len());
+            for (c, part) in parts.iter().enumerate() {
+                let env = Envelope::chunked(StageTag::MaskedInput, round, c as u16, part.encoded());
+                let back = Envelope::decode(&env.encode()).unwrap();
+                prop_assert_eq!(usize::from(back.chunk), c);
+                prop_assert_eq!(back.round, round);
+                let mi = decode_masked_input(&back.body, bits, plan.chunk_len(c), back.context()).unwrap();
+                decoded.push(mi);
+            }
+            prop_assert_eq!(reassemble_masked_input(&decoded, &plan).unwrap(), full);
+        }
+    }
 }

@@ -123,11 +123,7 @@ fn net_round(
     }
     let report = run_coordinator(
         &mut acceptor,
-        &CoordinatorConfig {
-            params: params.clone(),
-            join_timeout: Duration::from_secs(10),
-            stage_timeout,
-        },
+        &CoordinatorConfig::single(params.clone(), Duration::from_secs(10), stage_timeout),
     )
     .expect("coordinator");
     for h in handles {
@@ -306,11 +302,11 @@ fn never_joining_client_is_an_advertise_dropout() {
     }
     let report = run_coordinator(
         &mut acceptor,
-        &CoordinatorConfig {
-            params: p.clone(),
-            join_timeout: Duration::from_millis(800),
-            stage_timeout: Duration::from_secs(5),
-        },
+        &CoordinatorConfig::single(
+            p.clone(),
+            Duration::from_millis(800),
+            Duration::from_secs(5),
+        ),
     )
     .expect("coordinator");
     for h in handles {

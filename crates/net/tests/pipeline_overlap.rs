@@ -1,0 +1,48 @@
+//! Figure 12 realized on a loopback transport: with per-stage latency
+//! injected (bandwidth-throttled client uplinks + emulated server-side
+//! per-chunk aggregation compute), the planner-chosen chunk count must
+//! beat m = 1 wall-clock — chunk `c+1`'s upload overlaps chunk `c`'s
+//! aggregation, which a single monolithic frame cannot do.
+//!
+//! The scenario (round shape, injected costs, analytic planner models)
+//! is the shared [`dordis_net::figure12::OverlapScenario`] harness, the
+//! same definition the `chunked_round` bench records trajectory points
+//! from — the chunk count is chosen the way deployed Dordis chooses it
+//! (§4.2): fit stage models, run the Appendix C makespan planner, take
+//! the argmin.
+
+use dordis_net::figure12::OverlapScenario;
+
+#[test]
+fn planner_chosen_chunks_beat_single_chunk_wall_clock() {
+    let scenario = OverlapScenario::default_loopback();
+    let chosen = scenario.planner_chunks();
+    assert!(
+        chosen > 1,
+        "planner must choose to pipeline (got m={chosen})"
+    );
+
+    // Wall-clock comparisons on shared CI runners are noisy; the win is
+    // large (upload ≈ compute ≈ 200 ms, overlap saves most of one), so
+    // require it within three attempts rather than flaking on one
+    // descheduled run.
+    let mut last = None;
+    for attempt in 0..3 {
+        let (report_1, t_1) = scenario.timed_round(1);
+        let (report_m, t_m) = scenario.timed_round(chosen);
+
+        // Same round, same bits — chunking changed only the wall-clock.
+        assert_eq!(report_1.outcome.sum, report_m.outcome.sum);
+        assert_eq!(report_1.outcome.survivors, report_m.outcome.survivors);
+        assert_eq!(report_1.chunks, 1);
+        assert!(report_m.chunks > 1);
+
+        if t_m.as_secs_f64() < t_1.as_secs_f64() * 0.9 {
+            return;
+        }
+        eprintln!("attempt {attempt}: m={chosen} {t_m:?} vs m=1 {t_1:?}, retrying");
+        last = Some((t_1, t_m));
+    }
+    let (t_1, t_m) = last.expect("three attempts ran");
+    panic!("pipelined round (m={chosen}) never beat single-chunk: {t_m:?} vs {t_1:?}");
+}

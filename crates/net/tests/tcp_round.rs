@@ -64,11 +64,7 @@ fn tcp_secagg_plus_round_with_mid_round_kill() {
 
     let report = run_coordinator(
         &mut acceptor,
-        &CoordinatorConfig {
-            params,
-            join_timeout: Duration::from_secs(15),
-            stage_timeout: Duration::from_secs(8),
-        },
+        &CoordinatorConfig::single(params, Duration::from_secs(15), Duration::from_secs(8)),
     )
     .expect("coordinator");
 

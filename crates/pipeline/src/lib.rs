@@ -5,6 +5,9 @@
 //! equal chunks, and pipelines the resulting `m` independent
 //! chunk-aggregation tasks. This crate provides:
 //!
+//! - [`chunkplan`]: the [`ChunkPlan`] every layer consumes — byte-aligned
+//!   per-chunk element ranges that make the chunk the first-class unit
+//!   of masking, transmission, and aggregation,
 //! - [`schedule`]: the exact makespan recurrence of Appendix C (stage
 //!   chaining, chunk ordering, and FIFO resource exclusivity),
 //! - [`perfmodel`]: the paper's empirical per-stage latency model
@@ -15,8 +18,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chunkplan;
 pub mod perfmodel;
 pub mod planner;
 pub mod schedule;
 
+pub use chunkplan::{planned_chunk_count, ChunkPlan, ChunkPlanError};
 pub use dordis_sim::cost::Resource;

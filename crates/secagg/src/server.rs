@@ -5,6 +5,21 @@
 //! test can verify the crucial invariant that the server never holds both
 //! `b_u` and `s^SK_u` for the same client (which would let it unmask a
 //! single client's input).
+//!
+//! ## Chunked data plane
+//!
+//! Masked-sum and unmasking state is held **per chunk** of a
+//! [`ChunkPlan`] (paper §4.1): masked inputs arrive per chunk
+//! ([`Server::collect_masked_chunk`]), each chunk's aggregate is computed
+//! independently ([`Server::unmask_chunk`]), and the final sum is the
+//! concatenation. Key/share/consistency state stays **round-global** —
+//! only the data-plane stages pipeline, exactly as in the paper. The
+//! whole-round methods ([`Server::collect_masked`],
+//! [`Server::collect_unmasking`]) remain as the single-call path the
+//! in-memory driver uses; with the default single-chunk plan they are
+//! bit-identical to the pre-chunking behaviour, and with any plan the
+//! concatenated chunk sums equal the whole-vector computation because
+//! every mask operation is coordinate-wise.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -13,6 +28,7 @@ use dordis_crypto::ka::KeyPair;
 use dordis_crypto::prg::Seed;
 use dordis_crypto::shamir::{self, Share};
 use dordis_crypto::x25519;
+use dordis_pipeline::ChunkPlan;
 
 use crate::mask;
 use crate::messages::{
@@ -40,14 +56,23 @@ pub struct RoundOutcome {
 /// Server state machine.
 pub struct Server {
     params: RoundParams,
+    /// The chunk plan the data plane is partitioned by.
+    plan: ChunkPlan,
     roster: BTreeMap<ClientId, AdvertisedKeys>,
     /// Routed ciphertext edges (from, to), to know which masks were applied.
     routed: BTreeSet<(ClientId, ClientId)>,
     u2: Vec<ClientId>,
     u3: Vec<ClientId>,
     u5: Vec<ClientId>,
-    masked: BTreeMap<ClientId, Vec<u64>>,
-    sum: Vec<u64>,
+    /// Per-chunk masked inputs: `masked[c][client]` is the client's
+    /// chunk-`c` slice. A client only enters U3 once every chunk arrived;
+    /// partial deliveries linger here but never reach a sum.
+    masked: Vec<BTreeMap<ClientId, Vec<u64>>>,
+    /// Per-chunk unmasked aggregates (None until `unmask_chunk`).
+    chunk_sums: Vec<Option<Vec<u64>>>,
+    /// Full-length mask correction (`−Σ p_u ± Σ PRG(s_{u,v})`) built by
+    /// `reconstruct_unmasking`; sliced per chunk by `unmask_chunk`.
+    correction: Option<Vec<u64>>,
     /// Reconstructed self-mask seeds (clients in U3).
     recon_b: BTreeSet<ClientId>,
     /// Reconstructed masking secret keys (clients in U2 \ U3).
@@ -61,23 +86,48 @@ pub struct Server {
 }
 
 impl Server {
-    /// Creates a server for one round.
+    /// Creates a server for one round with the single-chunk (unchunked)
+    /// data plane.
     ///
     /// # Errors
     ///
     /// Propagates parameter validation failures.
     pub fn new(params: RoundParams) -> Result<Self, SecAggError> {
         params.validate()?;
-        let d = params.vector_len;
+        let plan = ChunkPlan::single(params.vector_len, params.bit_width)
+            .map_err(|e| SecAggError::Config(e.to_string()))?;
+        Server::with_chunks(params, plan)
+    }
+
+    /// Creates a server whose data plane is partitioned by `plan`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects plans that disagree with the round's vector length or bit
+    /// width, and propagates parameter validation failures.
+    pub fn with_chunks(params: RoundParams, plan: ChunkPlan) -> Result<Self, SecAggError> {
+        params.validate()?;
+        if plan.vector_len() != params.vector_len || plan.bit_width() != params.bit_width {
+            return Err(SecAggError::Config(format!(
+                "chunk plan covers {} elements at {} bits, round has {} at {}",
+                plan.vector_len(),
+                plan.bit_width(),
+                params.vector_len,
+                params.bit_width
+            )));
+        }
+        let m = plan.chunks();
         Ok(Server {
             params,
+            plan,
             roster: BTreeMap::new(),
             routed: BTreeSet::new(),
             u2: Vec::new(),
             u3: Vec::new(),
             u5: Vec::new(),
-            masked: BTreeMap::new(),
-            sum: vec![0u64; d],
+            masked: vec![BTreeMap::new(); m],
+            chunk_sums: vec![None; m],
+            correction: None,
             recon_b: BTreeSet::new(),
             recon_sk: BTreeSet::new(),
             removal_seeds: BTreeMap::new(),
@@ -85,6 +135,12 @@ impl Server {
             b_share_pool: BTreeMap::new(),
             seed_share_pool: BTreeMap::new(),
         })
+    }
+
+    /// The chunk plan partitioning the data plane.
+    #[must_use]
+    pub fn chunk_plan(&self) -> &ChunkPlan {
+        &self.plan
     }
 
     fn index_of(&self, id: ClientId) -> Option<usize> {
@@ -139,12 +195,30 @@ impl Server {
         Ok(inboxes)
     }
 
-    /// Stage 2: collects masked inputs; returns U3.
-    pub fn collect_masked(&mut self, msgs: Vec<MaskedInput>) -> Result<Vec<ClientId>, SecAggError> {
+    /// Stage 2, chunked: records one chunk's masked inputs. Callable per
+    /// chunk in any order and interleaved with other chunks' collection —
+    /// this is the entry point the pipelined coordinator drives while
+    /// chunk `c+1` is still in flight.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown chunk indices, wrong chunk lengths, and senders
+    /// outside U2.
+    pub fn collect_masked_chunk(
+        &mut self,
+        chunk: usize,
+        msgs: Vec<MaskedInput>,
+    ) -> Result<(), SecAggError> {
+        if chunk >= self.plan.chunks() {
+            return Err(SecAggError::Config(format!(
+                "chunk {chunk} out of range ({} chunks)",
+                self.plan.chunks()
+            )));
+        }
         for m in msgs {
-            if m.vector.len() != self.params.vector_len {
+            if m.vector.len() != self.plan.chunk_len(chunk) {
                 return Err(SecAggError::Config(format!(
-                    "masked input from {} has wrong length",
+                    "masked input from {} has wrong length for chunk {chunk}",
                     m.client
                 )));
             }
@@ -154,17 +228,69 @@ impl Server {
                     m.client
                 )));
             }
-            self.masked.insert(m.client, m.vector);
+            self.masked[chunk].insert(m.client, m.vector);
         }
-        if self.masked.len() < self.params.threshold {
+        Ok(())
+    }
+
+    /// Stage 2, closing: fixes U3 as the clients that delivered **every**
+    /// chunk — a partial chunk stream is a dropout, exactly like a missed
+    /// single-frame masked input.
+    ///
+    /// # Errors
+    ///
+    /// Aborts below threshold.
+    pub fn finalize_masked(&mut self) -> Result<Vec<ClientId>, SecAggError> {
+        let u3: Vec<ClientId> = self.masked[0]
+            .keys()
+            .copied()
+            .filter(|id| self.masked.iter().all(|chunk| chunk.contains_key(id)))
+            .collect();
+        if u3.len() < self.params.threshold {
             return Err(SecAggError::BelowThreshold {
                 stage: "MaskedInputCollection",
-                live: self.masked.len(),
+                live: u3.len(),
                 threshold: self.params.threshold,
             });
         }
-        self.u3 = self.masked.keys().copied().collect();
+        self.u3 = u3;
         Ok(self.u3.clone())
+    }
+
+    /// Stage 2, whole-vector path (the in-memory driver): splits each
+    /// input by the chunk plan, records every chunk, and finalizes U3.
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong-length vectors and senders outside U2; aborts below
+    /// threshold.
+    pub fn collect_masked(&mut self, msgs: Vec<MaskedInput>) -> Result<Vec<ClientId>, SecAggError> {
+        for m in msgs {
+            if m.vector.len() != self.params.vector_len {
+                return Err(SecAggError::Config(format!(
+                    "masked input from {} has wrong length",
+                    m.client
+                )));
+            }
+            let pieces: Vec<Vec<u64>> = self
+                .plan
+                .split(&m.vector)
+                .map_err(|e| SecAggError::Config(e.to_string()))?
+                .into_iter()
+                .map(<[u64]>::to_vec)
+                .collect();
+            for (c, piece) in pieces.into_iter().enumerate() {
+                self.collect_masked_chunk(
+                    c,
+                    vec![MaskedInput {
+                        client: m.client,
+                        vector: piece,
+                        bit_width: m.bit_width,
+                    }],
+                )?;
+            }
+        }
+        self.finalize_masked()
     }
 
     /// Stage 3 (malicious): collects consistency signatures (U4).
@@ -182,9 +308,19 @@ impl Server {
         Ok(sigs.into_iter().map(|s| (s.client, s.signature)).collect())
     }
 
-    /// Stage 4: collects unmasking responses, reconstructs masks, and
-    /// computes the aggregate.
-    pub fn collect_unmasking(
+    /// Stage 4, round-global: pools the share responses, reconstructs
+    /// the survivors' self-mask seeds and the mid-round dropouts' masking
+    /// secret keys, and precomputes the full-length mask correction. No
+    /// chunk sum is touched — [`Server::unmask_chunk`] applies the
+    /// correction slice per chunk, so unmasking pipelines with whatever
+    /// collection the coordinator still has in flight.
+    ///
+    /// # Errors
+    ///
+    /// Aborts below threshold (response count or per-secret share
+    /// count), and on a reconstructed key that contradicts the
+    /// advertised public key.
+    pub fn reconstruct_unmasking(
         &mut self,
         responses: Vec<UnmaskingResponse>,
     ) -> Result<(), SecAggError> {
@@ -225,13 +361,10 @@ impl Server {
         self.u5.sort_unstable();
         self.u5.dedup();
 
-        // Aggregate the masked inputs.
         let bits = self.params.bit_width;
-        let mut sum = vec![0u64; self.params.vector_len];
-        for v in self.masked.values() {
-            mask::add_signed_assign(&mut sum, v, true, bits);
-        }
+        let d = self.params.vector_len;
         let t_eff = share_threshold(&self.params);
+        let mut correction = vec![0u64; d];
 
         // Remove self-masks of surviving clients.
         for &u in &self.u3.clone() {
@@ -247,8 +380,8 @@ impl Server {
             let mut b = [0u8; 32];
             b.copy_from_slice(&b_bytes);
             self.recon_b.insert(u);
-            let p_u = mask::self_mask(&b, sum.len(), bits);
-            mask::add_signed_assign(&mut sum, &p_u, false, bits);
+            let p_u = mask::self_mask(&b, d, bits);
+            mask::add_signed_assign(&mut correction, &p_u, false, bits);
         }
 
         // Cancel pairwise masks of clients that dropped between ShareKeys
@@ -291,12 +424,64 @@ impl Server {
                 }
                 let (_, s_pk_u) = (self.roster[&u].c_pk, self.roster[&u].s_pk);
                 let s_vu = v_kp.agree(&s_pk_u);
-                let m = mask::pairwise_mask(&s_vu, sum.len(), bits);
+                let m = mask::pairwise_mask(&s_vu, d, bits);
                 // u added sign(u > v); cancel with sign(v > u).
-                mask::add_signed_assign(&mut sum, &m, v > u, bits);
+                mask::add_signed_assign(&mut correction, &m, v > u, bits);
             }
         }
-        self.sum = sum;
+        self.correction = Some(correction);
+        Ok(())
+    }
+
+    /// Stage 4, per chunk: sums the survivors' chunk-`c` inputs and
+    /// applies the precomputed mask correction slice. All operations are
+    /// coordinate-wise in `Z_{2^b}`, so the concatenation over chunks is
+    /// bit-identical to the whole-vector computation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an out-of-range chunk or if called before
+    /// [`Server::reconstruct_unmasking`].
+    pub fn unmask_chunk(&mut self, chunk: usize) -> Result<(), SecAggError> {
+        if chunk >= self.plan.chunks() {
+            return Err(SecAggError::Config(format!(
+                "chunk {chunk} out of range ({} chunks)",
+                self.plan.chunks()
+            )));
+        }
+        let Some(correction) = &self.correction else {
+            return Err(SecAggError::Config(
+                "unmask_chunk before reconstruct_unmasking".into(),
+            ));
+        };
+        let bits = self.params.bit_width;
+        let range = self.plan.range(chunk);
+        let mut sum = vec![0u64; range.len()];
+        for u in &self.u3 {
+            let v = self.masked[chunk]
+                .get(u)
+                .expect("U3 members delivered every chunk");
+            mask::add_signed_assign(&mut sum, v, true, bits);
+        }
+        mask::add_signed_assign(&mut sum, &correction[range], true, bits);
+        self.chunk_sums[chunk] = Some(sum);
+        Ok(())
+    }
+
+    /// Stage 4, whole-round path: reconstructs secrets and unmasks every
+    /// chunk in schedule order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::reconstruct_unmasking`] and [`Server::unmask_chunk`].
+    pub fn collect_unmasking(
+        &mut self,
+        responses: Vec<UnmaskingResponse>,
+    ) -> Result<(), SecAggError> {
+        self.reconstruct_unmasking(responses)?;
+        for c in 0..self.plan.chunks() {
+            self.unmask_chunk(c)?;
+        }
         Ok(())
     }
 
@@ -378,7 +563,9 @@ impl Server {
         Ok(())
     }
 
-    /// Finishes the round.
+    /// Finishes the round: concatenates the per-chunk aggregates (zeros
+    /// for chunks that were never unmasked, matching the pre-chunking
+    /// behaviour of finishing before unmasking).
     #[must_use]
     pub fn finish(self) -> RoundOutcome {
         let survivors = self.u3.clone();
@@ -389,8 +576,15 @@ impl Server {
             .copied()
             .filter(|c| !survivors.contains(c))
             .collect();
+        let mut sum = Vec::with_capacity(self.params.vector_len);
+        for (c, chunk_sum) in self.chunk_sums.iter().enumerate() {
+            match chunk_sum {
+                Some(s) => sum.extend_from_slice(s),
+                None => sum.extend(std::iter::repeat_n(0u64, self.plan.chunk_len(c))),
+            }
+        }
         RoundOutcome {
-            sum: self.sum,
+            sum,
             survivors,
             dropped,
             removal_seeds: self

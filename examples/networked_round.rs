@@ -39,6 +39,7 @@ fn main() {
         graph: MaskingGraph::harary_for(n as usize),
         threat_model: ThreatModel::SemiHonest,
         xnoise: Some(plan),
+        chunks: Some(4),
         seed: 7,
     };
     let dropouts = [3u32, 8];
