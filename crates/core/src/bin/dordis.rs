@@ -19,7 +19,7 @@ use dordis_core::protocol::demo_update;
 use dordis_core::trainer::train;
 use dordis_dp::accountant::Mechanism;
 use dordis_dp::planner::{plan, PlannerConfig};
-use dordis_net::coordinator::{run_coordinator, CoordinatorConfig};
+use dordis_net::coordinator::{run_coordinator, CollectMode, CoordinatorConfig};
 use dordis_net::runtime::{
     run_client, ClientOptions, ClientRunOutcome, FailAction, FailPoint, FailStage,
 };
@@ -43,7 +43,8 @@ fn main() -> ExitCode {
                  dordis plan <epsilon> <delta> <rounds> <sample_rate>\n  \
                  dordis serve --listen <addr> --clients <n> --threshold <t> [--dim D] \
                  [--bits B] [--graph complete|harary] [--round R] [--noise-components T] \
-                 [--chunks M] [--stage-timeout-ms MS] [--join-timeout-ms MS] [--verify-demo]\n  \
+                 [--chunks M] [--stage-timeout-ms MS] [--join-timeout-ms MS] \
+                 [--collect reactor|sweep] [--verify-demo]\n  \
                  dordis join --connect <addr> --id <k> [--seed S] \
                  [--drop-at advertise|share-keys|masked-input|consistency|unmasking|noise-shares] \
                  [--drop-after-chunks K] [--drop-mode disconnect|silent] [--timeout-ms MS]"
@@ -93,6 +94,11 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     let stage_timeout: u64 = flag_parse(args, "--stage-timeout-ms", 5000)?;
     let join_timeout: u64 = flag_parse(args, "--join-timeout-ms", 15000)?;
     let verify_demo = args.iter().any(|a| a == "--verify-demo");
+    let mode = match flag_value(args, "--collect").unwrap_or("reactor") {
+        "reactor" => CollectMode::Reactor,
+        "sweep" => CollectMode::PollSweep,
+        other => return Err(format!("unknown collect mode `{other}`")),
+    };
     let graph = match flag_value(args, "--graph").unwrap_or("harary") {
         "complete" => MaskingGraph::Complete,
         "harary" => MaskingGraph::harary_for(clients as usize),
@@ -126,15 +132,22 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
 
     let report = run_coordinator(
         &mut acceptor,
-        &CoordinatorConfig {
+        &CoordinatorConfig::new(
             params,
-            join_timeout: Duration::from_millis(join_timeout),
-            stage_timeout: Duration::from_millis(stage_timeout),
+            Duration::from_millis(join_timeout),
+            Duration::from_millis(stage_timeout),
             chunks,
-            chunk_compute: None,
-        },
+            None,
+        )
+        .with_mode(mode),
     )
     .map_err(|e| e.to_string())?;
+    if let Some(r) = &report.reactor {
+        println!(
+            "reactor:   {} polls, {} events, {} timer fires",
+            r.polls, r.events, r.timer_fires
+        );
+    }
 
     println!(
         "round {round} complete ({} chunk(s) realized)",

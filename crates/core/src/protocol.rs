@@ -253,13 +253,13 @@ pub fn run_protocol_round_networked(
 
     let report = run_coordinator(
         &mut acceptor,
-        &CoordinatorConfig {
+        &CoordinatorConfig::new(
             params,
-            join_timeout: Duration::from_secs(30),
-            stage_timeout: Duration::from_secs(30),
+            Duration::from_secs(30),
+            Duration::from_secs(30),
             chunks,
-            chunk_compute: None,
-        },
+            None,
+        ),
     )
     .map_err(|e| DordisError::Config(format!("networked round: {e}")))?;
     for h in handles {

@@ -23,6 +23,20 @@
 //! client whose chunk stream stops partway is a detected dropout: U3
 //! only admits clients that delivered *every* chunk.
 //!
+//! ## Readiness-driven collection
+//!
+//! By default ([`CollectMode::Reactor`]) the three collection loops —
+//! join, per-(stage, chunk) masked-input collection, and the
+//! unmasking/noise-share interleave — are driven by
+//! [`reactor`](crate::reactor) events: the coordinator thread sleeps in
+//! `epoll_pwait` until a frame, a disconnect, or a deadline is actually
+//! ready, so one thread serves hundreds of chunk-streaming clients with
+//! `O(events)` wake-ups. The legacy round-robin sweep over blocking
+//! channels (`recv_deadline` in [`CoordinatorConfig::tick`] slices,
+//! `O(clients × ticks)`) survives as [`CollectMode::PollSweep`] for the
+//! comparison benches. Both modes run the identical chunk state machine
+//! and produce bit-equal outcomes.
+//!
 //! [`DropoutSchedule`]: dordis_secagg::driver::DropoutSchedule
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -38,8 +52,22 @@ use crate::codec::{
     decode_list, decode_masked_input, decode_noise_share_response, decode_unmasking_response,
     encode_list, Encode, Envelope, FrameContext, StageTag,
 };
-use crate::transport::{recv_env, send_env, Acceptor, Channel};
+use crate::reactor::{Event, EventedChannel, Reactor, ReactorStats, Token};
+use crate::transport::{recv_env, send_env, Acceptor};
 use crate::NetError;
+
+/// How the coordinator discovers frames and deadlines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CollectMode {
+    /// Readiness-driven: one `epoll_pwait` sleep per batch of events —
+    /// `O(events)` wake-ups per round. The default.
+    #[default]
+    Reactor,
+    /// The legacy round-robin sweep: one blocking `recv_deadline` slice
+    /// per pending client per tick — `O(clients × ticks)`. Kept for the
+    /// `reactor_scale` comparison bench and as a fallback.
+    PollSweep,
+}
 
 /// Configuration of one coordinated round.
 pub struct CoordinatorConfig {
@@ -66,20 +94,50 @@ pub struct CoordinatorConfig {
     /// can realize Figure 12's comm/compute overlap on a loopback
     /// transport. `None` injects nothing (production).
     pub chunk_compute: Option<Duration>,
+    /// Scheduling granularity: the reactor's timer-wheel tick, and the
+    /// poll-slice length of the legacy sweep (formerly three scattered
+    /// 10 ms constants).
+    pub tick: Duration,
+    /// Which collection engine drives the round.
+    pub mode: CollectMode,
 }
 
 impl CoordinatorConfig {
-    /// An unchunked config with no injected compute — the pre-chunking
-    /// behaviour.
+    /// Default scheduling granularity (see [`CoordinatorConfig::tick`]).
+    pub const DEFAULT_TICK: Duration = Duration::from_millis(10);
+
+    /// A config with the default tick and collection mode.
     #[must_use]
-    pub fn single(params: RoundParams, join_timeout: Duration, stage_timeout: Duration) -> Self {
+    pub fn new(
+        params: RoundParams,
+        join_timeout: Duration,
+        stage_timeout: Duration,
+        chunks: usize,
+        chunk_compute: Option<Duration>,
+    ) -> Self {
         CoordinatorConfig {
             params,
             join_timeout,
             stage_timeout,
-            chunks: 1,
-            chunk_compute: None,
+            chunks,
+            chunk_compute,
+            tick: Self::DEFAULT_TICK,
+            mode: CollectMode::default(),
         }
+    }
+
+    /// An unchunked config with no injected compute — the pre-chunking
+    /// behaviour.
+    #[must_use]
+    pub fn single(params: RoundParams, join_timeout: Duration, stage_timeout: Duration) -> Self {
+        Self::new(params, join_timeout, stage_timeout, 1, None)
+    }
+
+    /// Overrides the collection engine (builder-style).
+    #[must_use]
+    pub fn with_mode(mut self, mode: CollectMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -125,6 +183,10 @@ pub struct NetRoundReport {
     pub dropouts: Vec<DetectedDropout>,
     /// Realized chunk count of the round's data plane.
     pub chunks: usize,
+    /// Event-loop wake-up accounting ([`CollectMode::Reactor`] only) —
+    /// the scale tests assert `polls` stays `O(events)`, not
+    /// `O(clients × ticks)`.
+    pub reactor: Option<ReactorStats>,
 }
 
 /// Per-stage uplink accumulator.
@@ -142,11 +204,29 @@ impl Traffic {
 }
 
 /// Live connections, keyed by authenticated-at-join client id.
-type Peers = BTreeMap<ClientId, Box<dyn Channel>>;
+type Peers = BTreeMap<ClientId, Box<dyn EventedChannel>>;
 
 /// Background work a collection loop interleaves between polls (chunk
-/// unmasking during noise-share collection). Errors abort the round.
-type IdleWork<'a> = dyn FnMut(&mut Server) -> Result<(), SecAggError> + 'a;
+/// unmasking during noise-share collection). Returns whether it did
+/// work (so the reactor knows to poll non-blockingly and come back).
+/// Errors abort the round.
+type IdleWork<'a> = dyn FnMut(&mut Server) -> Result<bool, SecAggError> + 'a;
+
+/// Reactor token namespace: client tokens are the id itself; tokens at
+/// or above `JOIN_BASE` are provisional (unauthenticated) connections;
+/// the topmost values are reserved for the stage timer and the waker.
+const JOIN_BASE: u64 = 1 << 40;
+
+/// Timer token for the active stage/chunk deadline.
+const STAGE_TOKEN: Token = Token(u64::MAX - 2);
+
+fn client_token(id: ClientId) -> Token {
+    Token(u64::from(id))
+}
+
+fn client_of(token: Token) -> Option<ClientId> {
+    (token.0 < JOIN_BASE).then_some(token.0 as ClientId)
+}
 
 /// Runs one full round over `acceptor`.
 ///
@@ -176,8 +256,16 @@ pub fn run_coordinator(
     let mut stats = RoundStats::default();
     let mut dropouts: Vec<DetectedDropout> = Vec::new();
 
+    let mut engine = match cfg.mode {
+        CollectMode::Reactor => Some(Reactor::new(cfg.tick)?),
+        CollectMode::PollSweep => None,
+    };
+
     // ---- Join phase. ----
-    let mut peers = accept_joins(acceptor, cfg)?;
+    let mut peers = match engine.as_mut() {
+        Some(reactor) => accept_joins_reactor(reactor, acceptor, cfg)?,
+        None => accept_joins_sweep(acceptor, cfg)?,
+    };
     for &id in &cfg.params.clients {
         if !peers.contains_key(&id) {
             dropouts.push(DetectedDropout {
@@ -191,7 +279,7 @@ pub fn run_coordinator(
 
     let mut server =
         Server::with_chunks(cfg.params.clone(), plan.clone()).map_err(NetError::SecAgg)?;
-    let mut no_idle = |_: &mut Server| Ok(());
+    let mut no_idle = |_: &mut Server| Ok(false);
 
     // ---- Setup broadcast (params + the requested chunk count). ----
     let setup = Envelope::new(
@@ -200,17 +288,19 @@ pub fn run_coordinator(
         codec::encode_setup(&cfg.params, requested_chunks as u16),
     );
     broadcast(&mut peers, &setup, &mut dropouts, "Setup");
+    flush_sends(engine.as_mut(), &mut peers, &mut dropouts, "Setup", cfg);
 
     let joined: Vec<ClientId> = peers.keys().copied().collect();
 
     // ---- Stage 0: AdvertiseKeys. ----
     let mut up = Traffic::default();
     let bodies = collect_stage(
+        engine.as_mut(),
         &mut peers,
         &joined,
         StageTag::AdvertiseKeys,
         round,
-        cfg.stage_timeout,
+        cfg,
         "AdvertiseKeys",
         &mut dropouts,
         &mut up,
@@ -238,6 +328,13 @@ pub fn run_coordinator(
     })?;
     let roster_env = Envelope::new(StageTag::Roster, round, encode_list(&roster));
     let down = broadcast(&mut peers, &roster_env, &mut dropouts, "AdvertiseKeys");
+    flush_sends(
+        engine.as_mut(),
+        &mut peers,
+        &mut dropouts,
+        "AdvertiseKeys",
+        cfg,
+    );
     push_stage(&mut stats, "AdvertiseKeys", &up, down);
 
     // ---- Stage 1: ShareKeys. ----
@@ -248,11 +345,12 @@ pub fn run_coordinator(
         .collect();
     let mut up = Traffic::default();
     let bodies = collect_stage(
+        engine.as_mut(),
         &mut peers,
         &expected,
         StageTag::ShareKeys,
         round,
-        cfg.stage_timeout,
+        cfg,
         "ShareKeys",
         &mut dropouts,
         &mut up,
@@ -286,20 +384,33 @@ pub fn run_coordinator(
         down.add(env.encode().len() as u64);
         send_or_drop(&mut peers, id, &env, "ShareKeys", &mut dropouts);
     }
+    flush_sends(engine.as_mut(), &mut peers, &mut dropouts, "ShareKeys", cfg);
     push_stage(&mut stats, "ShareKeys", &up, down);
 
     // ---- Stage 2: MaskedInputCollection, per (stage, chunk). ----
     let u2: BTreeSet<ClientId> = server.u2().iter().copied().collect();
     let expected: Vec<ClientId> = peers.keys().copied().filter(|id| u2.contains(id)).collect();
-    let up = collect_masked_chunks(
-        &mut peers,
-        &expected,
-        round,
-        cfg,
-        &plan,
-        &mut server,
-        &mut dropouts,
-    )
+    let up = match engine.as_mut() {
+        Some(reactor) => collect_masked_chunks_reactor(
+            reactor,
+            &mut peers,
+            &expected,
+            round,
+            cfg,
+            &plan,
+            &mut server,
+            &mut dropouts,
+        ),
+        None => collect_masked_chunks_sweep(
+            &mut peers,
+            &expected,
+            round,
+            cfg,
+            &plan,
+            &mut server,
+            &mut dropouts,
+        ),
+    }
     .map_err(|e| abort_round(&mut peers, round, e))?;
     let u3 = server.finalize_masked().map_err(|e| {
         abort_all(&mut peers, round, &e);
@@ -311,6 +422,13 @@ pub fn run_coordinator(
         dordis_secagg::messages::IdList(u3.clone()).encoded(),
     );
     let down = broadcast(&mut peers, &u3_env, &mut dropouts, "MaskedInputCollection");
+    flush_sends(
+        engine.as_mut(),
+        &mut peers,
+        &mut dropouts,
+        "MaskedInputCollection",
+        cfg,
+    );
     push_stage(&mut stats, "MaskedInputCollection", &up, down);
 
     // ---- Stage 3: ConsistencyCheck (malicious only). ----
@@ -322,11 +440,12 @@ pub fn run_coordinator(
             .collect();
         let mut up = Traffic::default();
         let bodies = collect_stage(
+            engine.as_mut(),
             &mut peers,
             &expected,
             StageTag::ConsistencySig,
             round,
-            cfg.stage_timeout,
+            cfg,
             "ConsistencyCheck",
             &mut dropouts,
             &mut up,
@@ -358,6 +477,13 @@ pub fn run_coordinator(
             codec::encode_signature_list(&list),
         );
         let down = broadcast(&mut peers, &env, &mut dropouts, "ConsistencyCheck");
+        flush_sends(
+            engine.as_mut(),
+            &mut peers,
+            &mut dropouts,
+            "ConsistencyCheck",
+            cfg,
+        );
         push_stage(&mut stats, "ConsistencyCheck", &up, down);
     }
 
@@ -369,11 +495,12 @@ pub fn run_coordinator(
         .collect();
     let mut up = Traffic::default();
     let bodies = collect_stage(
+        engine.as_mut(),
         &mut peers,
         &expected,
         StageTag::Unmasking,
         round,
-        cfg.stage_timeout,
+        cfg,
         "Unmasking",
         &mut dropouts,
         &mut up,
@@ -407,13 +534,15 @@ pub fn run_coordinator(
     let mut next_unmask = 0usize;
     let chunk_compute = cfg.chunk_compute;
     let plan_ref = &plan;
-    let mut unmask_step = move |server: &mut Server| -> Result<(), SecAggError> {
+    let mut unmask_step = move |server: &mut Server| -> Result<bool, SecAggError> {
         if next_unmask < total_chunks {
             server.unmask_chunk(next_unmask)?;
             chunk_sleep(chunk_compute, plan_ref, next_unmask);
             next_unmask += 1;
+            Ok(true)
+        } else {
+            Ok(false)
         }
-        Ok(())
     };
 
     // ---- Stage 5: ExcessiveNoiseRemoval (only if needed). ----
@@ -427,6 +556,7 @@ pub fn run_coordinator(
             dordis_secagg::messages::IdList(u5.clone()).encoded(),
         );
         let down = broadcast(&mut peers, &u5_env, &mut dropouts, "Unmasking");
+        flush_sends(engine.as_mut(), &mut peers, &mut dropouts, "Unmasking", cfg);
         push_stage(&mut stats, "Unmasking", &up, down);
 
         let expected: Vec<ClientId> = u5
@@ -436,11 +566,12 @@ pub fn run_coordinator(
             .collect();
         let mut up = Traffic::default();
         let bodies = collect_stage(
+            engine.as_mut(),
             &mut peers,
             &expected,
             StageTag::NoiseShares,
             round,
-            cfg.stage_timeout,
+            cfg,
             "ExcessiveNoiseRemoval",
             &mut dropouts,
             &mut up,
@@ -484,6 +615,7 @@ pub fn run_coordinator(
         dordis_secagg::messages::IdList(u3.clone()).encoded(),
     );
     broadcast(&mut peers, &fin, &mut dropouts, "Finished");
+    flush_sends(engine.as_mut(), &mut peers, &mut dropouts, "Finished", cfg);
 
     debug_assert!(server.privacy_invariant_holds());
     for d in &dropouts {
@@ -496,6 +628,7 @@ pub fn run_coordinator(
         stats,
         dropouts,
         chunks: total_chunks,
+        reactor: engine.map(|r| r.stats),
     })
 }
 
@@ -520,9 +653,58 @@ fn chunk_sleep(chunk_compute: Option<Duration>, plan: &ChunkPlan, chunk: usize) 
     }
 }
 
+// ---------------------------------------------------------------------
+// Join phase.
+// ---------------------------------------------------------------------
+
+/// Validates one Join envelope against the sampled set. `Ok` is the
+/// authenticated id; `Err` is an optional abort reply for the peer.
+fn vet_join(
+    env_result: Result<Envelope, NetError>,
+    sampled: &BTreeSet<ClientId>,
+    present: &Peers,
+    round: u64,
+) -> Result<ClientId, Option<Envelope>> {
+    match env_result {
+        Ok(env) if env.stage == StageTag::Join => match codec::decode_join(&env.body) {
+            Ok(id) if sampled.contains(&id) && !present.contains_key(&id) => Ok(id),
+            Ok(id) => {
+                let reason = if sampled.contains(&id) {
+                    "duplicate join"
+                } else {
+                    "not in the sampled set"
+                };
+                Err(Some(Envelope::new(
+                    StageTag::Abort,
+                    round,
+                    codec::encode_abort(reason),
+                )))
+            }
+            Err(_) => Err(None), // unidentifiable garbage: not a participant
+        },
+        Err(NetError::Version { got, expected }) => {
+            // A peer speaking another wire version must be told to
+            // upgrade, not silently counted as a never-join.
+            // Best-effort: its decoder may reject our frame too, but
+            // the connection closes with the reason on the wire.
+            Err(Some(Envelope::new(
+                StageTag::Abort,
+                round,
+                codec::encode_abort(&format!(
+                    "wire version mismatch: you speak v{got}, this coordinator v{expected}"
+                )),
+            )))
+        }
+        _ => Err(None), // wrong first message or nothing at all
+    }
+}
+
 /// Accepts connections and their Join envelopes until every sampled id
-/// is present or the join deadline passes.
-fn accept_joins(acceptor: &mut dyn Acceptor, cfg: &CoordinatorConfig) -> Result<Peers, NetError> {
+/// is present or the join deadline passes — blocking-sweep engine.
+fn accept_joins_sweep(
+    acceptor: &mut dyn Acceptor,
+    cfg: &CoordinatorConfig,
+) -> Result<Peers, NetError> {
     let deadline = Instant::now() + cfg.join_timeout;
     let sampled: BTreeSet<ClientId> = cfg.params.clients.iter().copied().collect();
     let mut peers: Peers = BTreeMap::new();
@@ -539,65 +721,275 @@ fn accept_joins(acceptor: &mut dyn Acceptor, cfg: &CoordinatorConfig) -> Result<
                 .min(deadline.saturating_duration_since(Instant::now()));
         // Joins carry round 0: the client learns the real round id from
         // the Setup broadcast.
-        match recv_env(chan.as_mut(), join_deadline) {
-            Ok(env) if env.stage == StageTag::Join => {
-                match codec::decode_join(&env.body) {
-                    Ok(id) if sampled.contains(&id) && !peers.contains_key(&id) => {
-                        peers.insert(id, chan);
-                    }
-                    Ok(id) => {
-                        let reason = if sampled.contains(&id) {
-                            "duplicate join"
-                        } else {
-                            "not in the sampled set"
-                        };
-                        let _ = send_env(
-                            chan.as_mut(),
-                            &Envelope::new(
-                                StageTag::Abort,
-                                cfg.params.round,
-                                codec::encode_abort(reason),
-                            ),
-                        );
-                    }
-                    Err(_) => {
-                        // Unidentifiable garbage: not a participant.
+        match vet_join(
+            recv_env(chan.as_mut(), join_deadline),
+            &sampled,
+            &peers,
+            cfg.params.round,
+        ) {
+            Ok(id) => {
+                peers.insert(id, chan);
+            }
+            Err(Some(reply)) => {
+                let _ = send_env(chan.as_mut(), &reply);
+            }
+            Err(None) => {}
+        }
+    }
+    Ok(peers)
+}
+
+/// Reactor-driven join phase: accepted connections are registered under
+/// provisional tokens and their Join frames collected by readiness, so
+/// one slow joiner no longer serializes everyone behind it. A connection
+/// that produces no valid Join within the stage timeout is discarded.
+fn accept_joins_reactor(
+    reactor: &mut Reactor,
+    acceptor: &mut dyn Acceptor,
+    cfg: &CoordinatorConfig,
+) -> Result<Peers, NetError> {
+    let deadline = Instant::now() + cfg.join_timeout;
+    let sampled: BTreeSet<ClientId> = cfg.params.clients.iter().copied().collect();
+    let mut peers: Peers = BTreeMap::new();
+    let mut awaiting: BTreeMap<u64, Box<dyn EventedChannel>> = BTreeMap::new();
+    let mut next_provisional = JOIN_BASE;
+    let (mut events, mut expired) = (Vec::new(), Vec::new());
+    while peers.len() < sampled.len() {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        // Accept for at most one tick so pending Join frames keep being
+        // serviced between arrivals.
+        match acceptor.accept((now + cfg.tick).min(deadline)) {
+            Ok(mut chan) => {
+                let token = Token(next_provisional);
+                next_provisional += 1;
+                chan.register(reactor, token)?;
+                reactor.arm_deadline(token, (Instant::now() + cfg.stage_timeout).min(deadline));
+                awaiting.insert(token.0, chan);
+            }
+            Err(NetError::Timeout) => {}
+            Err(e) => return Err(e),
+        }
+        reactor.poll(&mut events, &mut expired, Duration::ZERO)?;
+        for ev in &events {
+            let Some(mut chan) = awaiting.remove(&ev.token.0) else {
+                continue;
+            };
+            match chan.try_recv() {
+                Ok(Some(frame)) => {
+                    reactor.cancel_deadline(ev.token);
+                    match vet_join(Envelope::decode(&frame), &sampled, &peers, cfg.params.round) {
+                        Ok(id) => {
+                            chan.register(reactor, client_token(id))?;
+                            peers.insert(id, chan);
+                        }
+                        Err(Some(reply)) => {
+                            let _ = send_env(chan.as_mut(), &reply);
+                            let _ = chan.try_flush();
+                        }
+                        Err(None) => {}
                     }
                 }
+                Ok(None) => {
+                    // Frame still incomplete: keep waiting.
+                    awaiting.insert(ev.token.0, chan);
+                }
+                Err(_) => {
+                    reactor.cancel_deadline(ev.token);
+                }
             }
-            Err(NetError::Version { got, expected }) => {
-                // A peer speaking another wire version must be told to
-                // upgrade, not silently counted as a never-join.
-                // Best-effort: its decoder may reject our frame too,
-                // but the connection closes with the reason on the wire.
-                let _ = send_env(
-                    chan.as_mut(),
-                    &Envelope::new(
-                        StageTag::Abort,
-                        cfg.params.round,
-                        codec::encode_abort(&format!(
-                            "wire version mismatch: you speak v{got}, this coordinator v{expected}"
-                        )),
-                    ),
-                );
-            }
-            _ => {
-                // Wrong first message or nothing at all: not a protocol
-                // participant.
+        }
+        for token in &expired {
+            // Connected but never completed a Join: not a participant.
+            awaiting.remove(&token.0);
+        }
+    }
+    // The sampled set completed (or the join window closed) with some
+    // connections still awaiting a verdict. Any Join already on the wire
+    // gets vetted so a rejected peer hears *why* instead of hanging;
+    // rejection is the only possible verdict once the set is full, and
+    // on a deadline exit a late valid join is dropped exactly as the
+    // sweep engine drops it.
+    for (token, mut chan) in awaiting {
+        reactor.cancel_deadline(Token(token));
+        if let Ok(Some(frame)) = chan.try_recv() {
+            if let Err(Some(reply)) =
+                vet_join(Envelope::decode(&frame), &sampled, &peers, cfg.params.round)
+            {
+                let _ = send_env(chan.as_mut(), &reply);
+                let _ = chan.try_flush();
             }
         }
     }
     Ok(peers)
 }
 
-/// The per-(stage, chunk) masked-input collector. Chunk `c + 1`'s frames
-/// accumulate (from fast clients and channel buffers) while chunk `c` is
-/// decoded, validated, and aggregated into the server's per-chunk state;
-/// the stage deadline restarts per chunk. A client whose stream stops —
-/// disconnect, garbage, or silence past the active chunk's deadline — is
-/// dropped from every remaining chunk; its partial deliveries never
-/// reach a sum because U3 requires all chunks.
-fn collect_masked_chunks(
+// ---------------------------------------------------------------------
+// Masked-input collection (per stage, chunk).
+// ---------------------------------------------------------------------
+
+/// Shared per-chunk collection state.
+struct ChunkCollect {
+    /// Clients still owing each chunk.
+    pendings: Vec<BTreeSet<ClientId>>,
+    /// Buffered chunk bodies awaiting aggregation.
+    bodies: Vec<BTreeMap<ClientId, Vec<u8>>>,
+    /// Uplink bytes per client (the per-stage max is over whole chunk
+    /// streams, not individual frames).
+    per_client: BTreeMap<ClientId, u64>,
+    /// Chunk currently being collected/aggregated.
+    active: usize,
+}
+
+impl ChunkCollect {
+    fn new(expected: &[ClientId], peers: &Peers, m: usize) -> ChunkCollect {
+        let base: BTreeSet<ClientId> = expected
+            .iter()
+            .copied()
+            .filter(|id| peers.contains_key(id))
+            .collect();
+        ChunkCollect {
+            pendings: vec![base; m],
+            bodies: vec![BTreeMap::new(); m],
+            per_client: BTreeMap::new(),
+            active: 0,
+        }
+    }
+
+    /// First chunk `id` still owes (where its stream died), for dropout
+    /// attribution; falls back to the active chunk.
+    fn died_at(&self, id: ClientId) -> u16 {
+        self.pendings
+            .iter()
+            .position(|p| p.contains(&id))
+            .unwrap_or(self.active) as u16
+    }
+
+    fn remove_everywhere(&mut self, id: ClientId) {
+        for p in &mut self.pendings {
+            p.remove(&id);
+        }
+    }
+
+    /// Files one already-received frame. Returns `false` if the client
+    /// was dropped (stream is dead) and draining should stop.
+    #[allow(clippy::too_many_arguments)]
+    fn file_frame(
+        &mut self,
+        peers: &mut Peers,
+        id: ClientId,
+        frame: &[u8],
+        round: u64,
+        m: usize,
+        dropouts: &mut Vec<DetectedDropout>,
+    ) -> bool {
+        *self.per_client.entry(id).or_default() += frame.len() as u64;
+        match Envelope::decode(frame) {
+            Ok(env)
+                if env.stage == StageTag::MaskedInput
+                    && env.round == round
+                    && usize::from(env.chunk) < m =>
+            {
+                let c = usize::from(env.chunk);
+                self.pendings[c].remove(&id);
+                self.bodies[c].insert(id, env.body);
+                true
+            }
+            Ok(env) if env.stage == StageTag::Abort => {
+                let chunk = self.active as u16;
+                self.remove_everywhere(id);
+                drop_peer(
+                    peers,
+                    id,
+                    "MaskedInputCollection",
+                    Some(chunk),
+                    DropKind::Aborted,
+                    dropouts,
+                );
+                false
+            }
+            _ => {
+                let chunk = self.active as u16;
+                self.remove_everywhere(id);
+                drop_peer(
+                    peers,
+                    id,
+                    "MaskedInputCollection",
+                    Some(chunk),
+                    DropKind::ProtocolViolation,
+                    dropouts,
+                );
+                false
+            }
+        }
+    }
+
+    /// Aggregates the active chunk into the server (its pending set must
+    /// be empty) and advances to the next one.
+    fn aggregate_active(
+        &mut self,
+        peers: &mut Peers,
+        round: u64,
+        cfg: &CoordinatorConfig,
+        plan: &ChunkPlan,
+        server: &mut Server,
+        dropouts: &mut Vec<DetectedDropout>,
+    ) -> Result<(), NetError> {
+        let chunk_bodies = std::mem::take(&mut self.bodies[self.active]);
+        let ctx = FrameContext {
+            stage: StageTag::MaskedInput,
+            round,
+            chunk: self.active as u16,
+        };
+        let mut inputs = Vec::with_capacity(chunk_bodies.len());
+        for (id, body) in &chunk_bodies {
+            if !peers.contains_key(id) {
+                continue;
+            }
+            match decode_masked_input(body, plan.bit_width(), plan.chunk_len(self.active), ctx) {
+                Ok(mi) if mi.client == *id => inputs.push(mi),
+                _ => {
+                    let chunk = self.active as u16;
+                    self.remove_everywhere(*id);
+                    drop_peer(
+                        peers,
+                        *id,
+                        "MaskedInputCollection",
+                        Some(chunk),
+                        DropKind::ProtocolViolation,
+                        dropouts,
+                    );
+                }
+            }
+        }
+        server
+            .collect_masked_chunk(self.active, inputs)
+            .map_err(NetError::SecAgg)?;
+        chunk_sleep(cfg.chunk_compute, plan, self.active);
+        self.active += 1;
+        Ok(())
+    }
+
+    fn uplink(&self) -> Traffic {
+        let mut up = Traffic::default();
+        for &bytes in self.per_client.values() {
+            up.add(bytes);
+        }
+        up
+    }
+}
+
+/// The per-(stage, chunk) masked-input collector — blocking-sweep
+/// engine. Chunk `c + 1`'s frames accumulate (from fast clients and
+/// channel buffers) while chunk `c` is decoded, validated, and
+/// aggregated into the server's per-chunk state; the stage deadline
+/// restarts per chunk. A client whose stream stops — disconnect,
+/// garbage, or silence past the active chunk's deadline — is dropped
+/// from every remaining chunk; its partial deliveries never reach a sum
+/// because U3 requires all chunks.
+fn collect_masked_chunks_sweep(
     peers: &mut Peers,
     expected: &[ClientId],
     round: u64,
@@ -608,124 +1000,54 @@ fn collect_masked_chunks(
 ) -> Result<Traffic, NetError> {
     let m = plan.chunks();
     let stage_name = "MaskedInputCollection";
-    let base: BTreeSet<ClientId> = expected
-        .iter()
-        .copied()
-        .filter(|id| peers.contains_key(id))
-        .collect();
-    let mut pendings: Vec<BTreeSet<ClientId>> = vec![base; m];
-    let mut bodies: Vec<BTreeMap<ClientId, Vec<u8>>> = vec![BTreeMap::new(); m];
-    let mut per_client: BTreeMap<ClientId, u64> = BTreeMap::new();
-    let mut active = 0usize;
+    let mut st = ChunkCollect::new(expected, peers, m);
     let mut deadline = Instant::now() + cfg.stage_timeout;
-    let poll = Duration::from_millis(10);
 
-    while active < m {
-        pendings[active].retain(|id| peers.contains_key(id));
-        if pendings[active].is_empty() {
+    while st.active < m {
+        st.pendings[st.active].retain(|id| peers.contains_key(id));
+        if st.pendings[st.active].is_empty() {
             // Chunk complete: aggregate it while later chunks keep
             // arriving into the transport buffers.
-            let chunk_bodies = std::mem::take(&mut bodies[active]);
-            let ctx = FrameContext {
-                stage: StageTag::MaskedInput,
-                round,
-                chunk: active as u16,
-            };
-            let mut inputs = Vec::with_capacity(chunk_bodies.len());
-            for (id, body) in &chunk_bodies {
-                if !peers.contains_key(id) {
-                    continue;
-                }
-                match decode_masked_input(body, plan.bit_width(), plan.chunk_len(active), ctx) {
-                    Ok(mi) if mi.client == *id => inputs.push(mi),
-                    _ => {
-                        remove_everywhere(&mut pendings, *id);
-                        drop_peer(
-                            peers,
-                            *id,
-                            stage_name,
-                            Some(active as u16),
-                            DropKind::ProtocolViolation,
-                            dropouts,
-                        );
-                    }
-                }
-            }
-            server
-                .collect_masked_chunk(active, inputs)
-                .map_err(NetError::SecAgg)?;
-            chunk_sleep(cfg.chunk_compute, plan, active);
-            active += 1;
+            st.aggregate_active(peers, round, cfg, plan, server, dropouts)?;
             deadline = Instant::now() + cfg.stage_timeout;
             continue;
         }
         if Instant::now() >= deadline {
-            let late: Vec<ClientId> = pendings[active].iter().copied().collect();
+            let late: Vec<ClientId> = st.pendings[st.active].iter().copied().collect();
             for id in late {
-                remove_everywhere(&mut pendings, id);
+                let chunk = st.active as u16;
+                st.remove_everywhere(id);
                 drop_peer(
                     peers,
                     id,
                     stage_name,
-                    Some(active as u16),
+                    Some(chunk),
                     DropKind::DeadlineMissed,
                     dropouts,
                 );
             }
             continue;
         }
-        let ids: Vec<ClientId> = pendings[active].iter().copied().collect();
+        let ids: Vec<ClientId> = st.pendings[st.active].iter().copied().collect();
         for id in ids {
             let Some(chan) = peers.get_mut(&id) else {
-                remove_everywhere(&mut pendings, id);
+                st.remove_everywhere(id);
                 continue;
             };
-            let slice = (Instant::now() + poll).min(deadline);
+            let slice = (Instant::now() + cfg.tick).min(deadline);
             match chan.recv_deadline(slice) {
                 Ok(frame) => {
-                    *per_client.entry(id).or_default() += frame.len() as u64;
-                    match Envelope::decode(&frame) {
-                        Ok(env)
-                            if env.stage == StageTag::MaskedInput
-                                && env.round == round
-                                && usize::from(env.chunk) < m =>
-                        {
-                            let c = usize::from(env.chunk);
-                            pendings[c].remove(&id);
-                            bodies[c].insert(id, env.body);
-                        }
-                        Ok(env) if env.stage == StageTag::Abort => {
-                            remove_everywhere(&mut pendings, id);
-                            drop_peer(
-                                peers,
-                                id,
-                                stage_name,
-                                Some(active as u16),
-                                DropKind::Aborted,
-                                dropouts,
-                            );
-                        }
-                        _ => {
-                            remove_everywhere(&mut pendings, id);
-                            drop_peer(
-                                peers,
-                                id,
-                                stage_name,
-                                Some(active as u16),
-                                DropKind::ProtocolViolation,
-                                dropouts,
-                            );
-                        }
-                    }
+                    st.file_frame(peers, id, &frame, round, m, dropouts);
                 }
                 Err(NetError::Timeout) => {}
                 Err(_) => {
-                    remove_everywhere(&mut pendings, id);
+                    let chunk = st.died_at(id);
+                    st.remove_everywhere(id);
                     drop_peer(
                         peers,
                         id,
                         stage_name,
-                        Some(active as u16),
+                        Some(chunk),
                         DropKind::Disconnected,
                         dropouts,
                     );
@@ -733,23 +1055,135 @@ fn collect_masked_chunks(
             }
         }
     }
-    let mut up = Traffic::default();
-    for &bytes in per_client.values() {
-        up.add(bytes);
-    }
-    Ok(up)
+    Ok(st.uplink())
 }
 
-fn remove_everywhere(pendings: &mut [BTreeSet<ClientId>], id: ClientId) {
-    for p in pendings.iter_mut() {
-        p.remove(&id);
+/// The per-(stage, chunk) masked-input collector — reactor engine. Same
+/// state machine, but frames, disconnects, and per-chunk deadlines
+/// arrive as events: the thread sleeps in the poller while clients
+/// stream, instead of sweeping every pending channel per tick.
+#[allow(clippy::too_many_arguments)]
+fn collect_masked_chunks_reactor(
+    reactor: &mut Reactor,
+    peers: &mut Peers,
+    expected: &[ClientId],
+    round: u64,
+    cfg: &CoordinatorConfig,
+    plan: &ChunkPlan,
+    server: &mut Server,
+    dropouts: &mut Vec<DetectedDropout>,
+) -> Result<Traffic, NetError> {
+    let m = plan.chunks();
+    let stage_name = "MaskedInputCollection";
+    let mut st = ChunkCollect::new(expected, peers, m);
+    reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
+
+    // Initial sweep: frames may already be buffered (sent between the
+    // Inbox flush and this loop), and their readiness may have been
+    // consumed by an earlier poll.
+    let ids: Vec<ClientId> = st.pendings[0].iter().copied().collect();
+    for id in ids {
+        drain_chunk_frames(&mut st, peers, id, round, m, stage_name, dropouts);
+    }
+
+    let (mut events, mut expired) = (Vec::new(), Vec::new());
+    loop {
+        // Aggregate every chunk whose pending set has emptied; the
+        // deadline clock restarts per completed chunk.
+        let mut aggregated = false;
+        while st.active < m {
+            st.pendings[st.active].retain(|id| peers.contains_key(id));
+            if !st.pendings[st.active].is_empty() {
+                break;
+            }
+            st.aggregate_active(peers, round, cfg, plan, server, dropouts)?;
+            aggregated = true;
+        }
+        if st.active == m {
+            break;
+        }
+        if aggregated {
+            reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
+        }
+        reactor.poll(&mut events, &mut expired, cfg.stage_timeout)?;
+        for ev in &events {
+            handle_write_event(peers, ev, stage_name, dropouts);
+            let Some(id) = client_of(ev.token) else {
+                continue;
+            };
+            if !(ev.readable || ev.closed) || !peers.contains_key(&id) {
+                continue;
+            }
+            drain_chunk_frames(&mut st, peers, id, round, m, stage_name, dropouts);
+        }
+        if expired.contains(&STAGE_TOKEN) {
+            let late: Vec<ClientId> = st.pendings[st.active].iter().copied().collect();
+            for id in late {
+                let chunk = st.active as u16;
+                st.remove_everywhere(id);
+                drop_peer(
+                    peers,
+                    id,
+                    stage_name,
+                    Some(chunk),
+                    DropKind::DeadlineMissed,
+                    dropouts,
+                );
+            }
+            reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
+        }
+    }
+    reactor.cancel_deadline(STAGE_TOKEN);
+    Ok(st.uplink())
+}
+
+/// Drains every currently available frame from `id`'s channel into the
+/// chunk state, detecting stream death (disconnect / abort / garbage).
+fn drain_chunk_frames(
+    st: &mut ChunkCollect,
+    peers: &mut Peers,
+    id: ClientId,
+    round: u64,
+    m: usize,
+    stage_name: &'static str,
+    dropouts: &mut Vec<DetectedDropout>,
+) {
+    loop {
+        let Some(chan) = peers.get_mut(&id) else {
+            return;
+        };
+        match chan.try_recv() {
+            Ok(Some(frame)) => {
+                if !st.file_frame(peers, id, &frame, round, m, dropouts) {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(_) => {
+                let chunk = st.died_at(id);
+                st.remove_everywhere(id);
+                drop_peer(
+                    peers,
+                    id,
+                    stage_name,
+                    Some(chunk),
+                    DropKind::Disconnected,
+                    dropouts,
+                );
+                return;
+            }
+        }
     }
 }
+
+// ---------------------------------------------------------------------
+// Round-global stage collection.
+// ---------------------------------------------------------------------
 
 /// Collects exactly one body per expected client for `want`, until the
 /// per-stage deadline. Silent or disconnected clients become detected
-/// dropouts and are removed from `peers`. `idle` runs once per poll
-/// sweep so pending per-chunk work (unmasking) overlaps the wait.
+/// dropouts and are removed from `peers`. `idle` runs once per loop
+/// turn so pending per-chunk work (unmasking) overlaps the wait.
 ///
 /// # Errors
 ///
@@ -757,25 +1191,91 @@ fn remove_everywhere(pendings: &mut [BTreeSet<ClientId>], id: ClientId) {
 /// dropouts, not errors.
 #[allow(clippy::too_many_arguments)]
 fn collect_stage(
+    engine: Option<&mut Reactor>,
     peers: &mut Peers,
     expected: &[ClientId],
     want: StageTag,
     round: u64,
-    stage_timeout: Duration,
+    cfg: &CoordinatorConfig,
     stage_name: &'static str,
     dropouts: &mut Vec<DetectedDropout>,
     up: &mut Traffic,
     server: &mut Server,
     idle: &mut IdleWork<'_>,
 ) -> Result<BTreeMap<ClientId, Vec<u8>>, NetError> {
-    let mut deadline = Instant::now() + stage_timeout;
+    match engine {
+        Some(reactor) => collect_stage_reactor(
+            reactor, peers, expected, want, round, cfg, stage_name, dropouts, up, server, idle,
+        ),
+        None => collect_stage_sweep(
+            peers, expected, want, round, cfg, stage_name, dropouts, up, server, idle,
+        ),
+    }
+}
+
+/// Files one round-global stage frame; returns `false` if the client
+/// was dropped.
+#[allow(clippy::too_many_arguments)]
+fn file_stage_frame(
+    peers: &mut Peers,
+    pending: &mut BTreeSet<ClientId>,
+    bodies: &mut BTreeMap<ClientId, Vec<u8>>,
+    id: ClientId,
+    frame: &[u8],
+    want: StageTag,
+    round: u64,
+    stage_name: &'static str,
+    dropouts: &mut Vec<DetectedDropout>,
+    up: &mut Traffic,
+) -> bool {
+    up.add(frame.len() as u64);
+    match Envelope::decode(frame) {
+        Ok(env) if env.stage == want && env.round == round && pending.contains(&id) => {
+            bodies.insert(id, env.body);
+            pending.remove(&id);
+            true
+        }
+        Ok(env) if env.stage == StageTag::Abort => {
+            pending.remove(&id);
+            drop_peer(peers, id, stage_name, None, DropKind::Aborted, dropouts);
+            false
+        }
+        _ => {
+            pending.remove(&id);
+            drop_peer(
+                peers,
+                id,
+                stage_name,
+                None,
+                DropKind::ProtocolViolation,
+                dropouts,
+            );
+            false
+        }
+    }
+}
+
+/// Blocking-sweep engine for [`collect_stage`].
+#[allow(clippy::too_many_arguments)]
+fn collect_stage_sweep(
+    peers: &mut Peers,
+    expected: &[ClientId],
+    want: StageTag,
+    round: u64,
+    cfg: &CoordinatorConfig,
+    stage_name: &'static str,
+    dropouts: &mut Vec<DetectedDropout>,
+    up: &mut Traffic,
+    server: &mut Server,
+    idle: &mut IdleWork<'_>,
+) -> Result<BTreeMap<ClientId, Vec<u8>>, NetError> {
+    let mut deadline = Instant::now() + cfg.stage_timeout;
     let mut pending: BTreeSet<ClientId> = expected
         .iter()
         .copied()
         .filter(|id| peers.contains_key(id))
         .collect();
     let mut bodies: BTreeMap<ClientId, Vec<u8>> = BTreeMap::new();
-    let poll = Duration::from_millis(10);
     while !pending.is_empty() && Instant::now() < deadline {
         // Interleaved background work (per-chunk unmasking, possibly
         // with injected compute) must not eat the peers' response
@@ -789,31 +1289,21 @@ fn collect_stage(
                 pending.remove(&id);
                 continue;
             };
-            let slice = (Instant::now() + poll).min(deadline);
+            let slice = (Instant::now() + cfg.tick).min(deadline);
             match chan.recv_deadline(slice) {
                 Ok(frame) => {
-                    up.add(frame.len() as u64);
-                    match Envelope::decode(&frame) {
-                        Ok(env) if env.stage == want && env.round == round => {
-                            bodies.insert(id, env.body);
-                            pending.remove(&id);
-                        }
-                        Ok(env) if env.stage == StageTag::Abort => {
-                            pending.remove(&id);
-                            drop_peer(peers, id, stage_name, None, DropKind::Aborted, dropouts);
-                        }
-                        _ => {
-                            pending.remove(&id);
-                            drop_peer(
-                                peers,
-                                id,
-                                stage_name,
-                                None,
-                                DropKind::ProtocolViolation,
-                                dropouts,
-                            );
-                        }
-                    }
+                    file_stage_frame(
+                        peers,
+                        &mut pending,
+                        &mut bodies,
+                        id,
+                        &frame,
+                        want,
+                        round,
+                        stage_name,
+                        dropouts,
+                        up,
+                    );
                 }
                 Err(NetError::Timeout) => {}
                 Err(_) => {
@@ -843,6 +1333,190 @@ fn collect_stage(
     Ok(bodies)
 }
 
+/// Reactor engine for [`collect_stage`]: the thread sleeps in the
+/// poller until frames, disconnects, or the stage deadline are ready.
+/// Idle work runs between polls (non-blocking polls while it reports
+/// more work, so collection stays responsive during long interleaves).
+#[allow(clippy::too_many_arguments)]
+fn collect_stage_reactor(
+    reactor: &mut Reactor,
+    peers: &mut Peers,
+    expected: &[ClientId],
+    want: StageTag,
+    round: u64,
+    cfg: &CoordinatorConfig,
+    stage_name: &'static str,
+    dropouts: &mut Vec<DetectedDropout>,
+    up: &mut Traffic,
+    server: &mut Server,
+    idle: &mut IdleWork<'_>,
+) -> Result<BTreeMap<ClientId, Vec<u8>>, NetError> {
+    let mut deadline = Instant::now() + cfg.stage_timeout;
+    let mut pending: BTreeSet<ClientId> = expected
+        .iter()
+        .copied()
+        .filter(|id| peers.contains_key(id))
+        .collect();
+    let mut bodies: BTreeMap<ClientId, Vec<u8>> = BTreeMap::new();
+    reactor.arm_deadline(STAGE_TOKEN, deadline);
+
+    // Initial sweep: responses may already be buffered, and their
+    // readiness may have been consumed by an earlier poll (e.g. during
+    // a broadcast flush).
+    let ids: Vec<ClientId> = pending.iter().copied().collect();
+    for id in ids {
+        drain_stage_frames(
+            peers,
+            &mut pending,
+            &mut bodies,
+            id,
+            want,
+            round,
+            stage_name,
+            dropouts,
+            up,
+        );
+    }
+
+    let (mut events, mut expired) = (Vec::new(), Vec::new());
+    'collect: while !pending.is_empty() {
+        // Interleaved background work must not eat the peers' response
+        // window: credit its wall time back to the stage deadline.
+        let idle_start = Instant::now();
+        let did_work = idle(server).map_err(NetError::SecAgg)?;
+        let spent = idle_start.elapsed();
+        if !spent.is_zero() {
+            deadline += spent;
+            reactor.arm_deadline(STAGE_TOKEN, deadline);
+        }
+        // With idle work in flight, poll without blocking and come
+        // straight back; otherwise sleep until an event or the deadline.
+        let wait = if did_work {
+            Duration::ZERO
+        } else {
+            cfg.stage_timeout
+        };
+        reactor.poll(&mut events, &mut expired, wait)?;
+        for ev in &events {
+            handle_write_event(peers, ev, stage_name, dropouts);
+            let Some(id) = client_of(ev.token) else {
+                continue;
+            };
+            if !(ev.readable || ev.closed) || !peers.contains_key(&id) {
+                continue;
+            }
+            drain_stage_frames(
+                peers,
+                &mut pending,
+                &mut bodies,
+                id,
+                want,
+                round,
+                stage_name,
+                dropouts,
+                up,
+            );
+        }
+        // A write-event failure (or any other path) may have dropped a
+        // peer without touching `pending` — retain, so the stage can
+        // complete and the leftover loop below can't double-record.
+        pending.retain(|id| peers.contains_key(id));
+        if expired.contains(&STAGE_TOKEN) {
+            break 'collect;
+        }
+    }
+    reactor.cancel_deadline(STAGE_TOKEN);
+    for id in pending {
+        if peers.contains_key(&id) {
+            drop_peer(
+                peers,
+                id,
+                stage_name,
+                None,
+                DropKind::DeadlineMissed,
+                dropouts,
+            );
+        }
+    }
+    Ok(bodies)
+}
+
+/// Drains every currently available frame from `id` during a
+/// round-global stage. A frame for a client that already answered (and
+/// is not an abort) is out-of-protocol, exactly as the sweep would
+/// conclude when it met the frame at the next stage.
+#[allow(clippy::too_many_arguments)]
+fn drain_stage_frames(
+    peers: &mut Peers,
+    pending: &mut BTreeSet<ClientId>,
+    bodies: &mut BTreeMap<ClientId, Vec<u8>>,
+    id: ClientId,
+    want: StageTag,
+    round: u64,
+    stage_name: &'static str,
+    dropouts: &mut Vec<DetectedDropout>,
+    up: &mut Traffic,
+) {
+    loop {
+        let Some(chan) = peers.get_mut(&id) else {
+            return;
+        };
+        match chan.try_recv() {
+            Ok(Some(frame)) => {
+                if !file_stage_frame(
+                    peers, pending, bodies, id, &frame, want, round, stage_name, dropouts, up,
+                ) {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(_) => {
+                if pending.remove(&id) {
+                    drop_peer(
+                        peers,
+                        id,
+                        stage_name,
+                        None,
+                        DropKind::Disconnected,
+                        dropouts,
+                    );
+                } else {
+                    // Already answered this stage; the disconnect will
+                    // be observed when it next matters, as in the sweep.
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Flushes a backlogged write surfaced by a write-readiness event.
+fn handle_write_event(
+    peers: &mut Peers,
+    ev: &Event,
+    stage_name: &'static str,
+    dropouts: &mut Vec<DetectedDropout>,
+) {
+    if !ev.writable {
+        return;
+    }
+    let Some(id) = client_of(ev.token) else {
+        return;
+    };
+    if let Some(chan) = peers.get_mut(&id) {
+        if chan.try_flush().is_err() {
+            drop_peer(
+                peers,
+                id,
+                stage_name,
+                None,
+                DropKind::Disconnected,
+                dropouts,
+            );
+        }
+    }
+}
+
 /// Removes a peer and records the detection.
 fn drop_peer(
     peers: &mut Peers,
@@ -862,7 +1536,9 @@ fn drop_peer(
 }
 
 /// Broadcasts an envelope to every live peer; send failures become
-/// detected disconnects. Returns downlink traffic.
+/// detected dropouts (a write timeout is a deadline miss, anything else
+/// a disconnect). On the reactor engine `send` only queues — callers
+/// follow up with [`flush_sends`]. Returns downlink traffic.
 fn broadcast(
     peers: &mut Peers,
     env: &Envelope,
@@ -874,17 +1550,16 @@ fn broadcast(
     let ids: Vec<ClientId> = peers.keys().copied().collect();
     for id in ids {
         if let Some(chan) = peers.get_mut(&id) {
-            if chan.send(&frame).is_err() {
-                drop_peer(peers, id, stage, None, DropKind::Disconnected, dropouts);
-            } else {
-                down.add(frame.len() as u64);
+            match chan.send(&frame) {
+                Ok(()) => down.add(frame.len() as u64),
+                Err(e) => drop_peer(peers, id, stage, None, send_failure_kind(&e), dropouts),
             }
         }
     }
     down
 }
 
-/// Sends to one peer; failure becomes a detected disconnect.
+/// Sends to one peer; failure becomes a detected dropout.
 fn send_or_drop(
     peers: &mut Peers,
     id: ClientId,
@@ -893,8 +1568,66 @@ fn send_or_drop(
     dropouts: &mut Vec<DetectedDropout>,
 ) {
     if let Some(chan) = peers.get_mut(&id) {
-        if send_env(chan.as_mut(), env).is_err() {
-            drop_peer(peers, id, stage, None, DropKind::Disconnected, dropouts);
+        if let Err(e) = send_env(chan.as_mut(), env) {
+            drop_peer(peers, id, stage, None, send_failure_kind(&e), dropouts);
+        }
+    }
+}
+
+/// A send that timed out hit a stalled-but-connected peer (deadline
+/// miss); any other failure is a disconnect.
+fn send_failure_kind(e: &NetError) -> DropKind {
+    match e {
+        NetError::Timeout => DropKind::DeadlineMissed,
+        _ => DropKind::Disconnected,
+    }
+}
+
+/// Reactor engine only: drives write readiness until every queued
+/// broadcast frame has drained (peers that cannot absorb theirs within
+/// the stage timeout become detected dropouts). No-op on the sweep
+/// engine, whose sends are blocking.
+fn flush_sends(
+    engine: Option<&mut Reactor>,
+    peers: &mut Peers,
+    dropouts: &mut Vec<DetectedDropout>,
+    stage: &'static str,
+    cfg: &CoordinatorConfig,
+) {
+    let Some(reactor) = engine else { return };
+    let deadline = Instant::now() + cfg.stage_timeout;
+    let (mut events, mut expired) = (Vec::new(), Vec::new());
+    loop {
+        let backlogged: Vec<ClientId> = peers
+            .iter()
+            .filter(|(_, c)| c.wants_write())
+            .map(|(&id, _)| id)
+            .collect();
+        if backlogged.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            for id in backlogged {
+                drop_peer(peers, id, stage, None, DropKind::DeadlineMissed, dropouts);
+            }
+            return;
+        }
+        if reactor
+            .poll(&mut events, &mut expired, deadline - now)
+            .is_err()
+        {
+            // The poller itself failed: readiness can no longer drive
+            // these drains, so the undelivered peers must be recorded
+            // as dropouts — silently returning would let them be
+            // misattributed (or lost) at the next stage.
+            for id in backlogged {
+                drop_peer(peers, id, stage, None, DropKind::Disconnected, dropouts);
+            }
+            return;
+        }
+        for ev in &events {
+            handle_write_event(peers, ev, stage, dropouts);
         }
     }
 }
@@ -909,6 +1642,7 @@ fn abort_all(peers: &mut Peers, round: u64, err: &SecAggError) {
     let frame = env.encode();
     for chan in peers.values_mut() {
         let _ = chan.send(&frame);
+        let _ = chan.try_flush();
     }
 }
 

@@ -143,13 +143,13 @@ impl OverlapScenario {
         let start = Instant::now();
         let report = run_coordinator(
             &mut acceptor,
-            &CoordinatorConfig {
-                params: self.params(),
-                join_timeout: Duration::from_secs(10),
-                stage_timeout: Duration::from_secs(10),
+            &CoordinatorConfig::new(
+                self.params(),
+                Duration::from_secs(10),
+                Duration::from_secs(10),
                 chunks,
-                chunk_compute: Some(self.compute),
-            },
+                Some(self.compute),
+            ),
         )
         .expect("coordinator");
         let elapsed = start.elapsed();

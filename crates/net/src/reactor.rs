@@ -1,0 +1,869 @@
+//! dordis-reactor: a readiness-driven event loop so one coordinator
+//! thread serves hundreds of chunk-streaming clients.
+//!
+//! The pre-reactor coordinator swept its blocking [`Channel`]s
+//! round-robin in fixed `recv_deadline` slices, so both per-round
+//! latency and syscall count scaled as `O(clients × ticks)`. This module
+//! replaces the sweep with a small mio-style reactor:
+//!
+//! - [`Poller`]: an epoll instance driven through direct `syscall`
+//!   instructions (the container has no crates.io access, so no `libc` /
+//!   `mio` — the handful of syscalls we need are wrapped by hand in
+//!   [`sys`]). Registrations are [`Token`]-keyed with read/write
+//!   [`Interest`]; events are level-triggered, which composes with the
+//!   drain-until-`WouldBlock` discipline of
+//!   [`EventedChannel::try_recv`].
+//! - [`TimerWheel`]: a coarse hashed wheel holding per-token deadlines
+//!   at the coordinator's tick granularity
+//!   (`CoordinatorConfig::tick`) — stage and per-chunk dropout
+//!   deadlines cost O(1) to arm, cancel, and harvest.
+//! - [`WakeQueue`]: a cross-thread waker (non-blocking pipe + ready-token
+//!   queue) for channels whose readiness is not observable through a
+//!   file descriptor. The in-memory loopback transport publishes its
+//!   mpsc readiness through this: a sender pushes the receiver's token
+//!   and writes one wake byte, and the reactor converts that into an
+//!   ordinary readable [`Event`].
+//! - [`EventedChannel`]: the readiness-driven side of a [`Channel`].
+//!   Implementations reassemble frames across partial reads
+//!   (`try_recv`) and buffer partial writes under backpressure
+//!   (`try_flush`), so the event loop never blocks on one peer.
+//!
+//! The coordinator's per-(stage, chunk) state machine is unchanged — the
+//! reactor only replaces *how* frames and deadlines are discovered, so
+//! one thread now wakes `O(events)` times per round instead of
+//! `O(clients × ticks)`.
+//!
+//! [`Channel`]: crate::transport::Channel
+//! [`CoordinatorConfig::tick`]: crate::coordinator::CoordinatorConfig::tick
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::transport::Channel;
+use crate::NetError;
+
+/// Direct-syscall wrappers for the five kernel facilities the reactor
+/// needs: `epoll_create1`, `epoll_ctl`, `epoll_pwait`, `pipe2`, and
+/// `read`/`write`/`close` on the wake pipe. No `libc` crate exists in
+/// this container, so the syscalls are issued with inline `syscall` /
+/// `svc` instructions; a negative return value is `-errno`.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const READ: usize = 0;
+        pub const WRITE: usize = 1;
+        pub const CLOSE: usize = 3;
+        pub const EPOLL_CTL: usize = 233;
+        pub const EPOLL_PWAIT: usize = 281;
+        pub const EPOLL_CREATE1: usize = 291;
+        pub const PIPE2: usize = 293;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const READ: usize = 63;
+        pub const WRITE: usize = 64;
+        pub const CLOSE: usize = 57;
+        pub const EPOLL_CTL: usize = 21;
+        pub const EPOLL_PWAIT: usize = 22;
+        pub const EPOLL_CREATE1: usize = 20;
+        pub const PIPE2: usize = 59;
+    }
+
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    compile_error!(
+        "dordis-net's reactor issues raw Linux syscalls and currently \
+         supports x86_64 and aarch64 only"
+    );
+
+    /// One raw syscall; returns the kernel's value (negative = -errno).
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            out("rcx") _,
+            out("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// One raw syscall; returns the kernel's value (negative = -errno).
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc #0",
+            in("x8") n,
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    pub const EPOLL_CTL_ADD: usize = 1;
+    pub const EPOLL_CTL_DEL: usize = 2;
+    pub const EPOLL_CTL_MOD: usize = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CLOEXEC: usize = 0o2000000;
+    const O_NONBLOCK: usize = 0o4000;
+    const O_CLOEXEC: usize = 0o2000000;
+
+    /// The kernel's epoll event record. Packed on x86_64 (the kernel ABI
+    /// there has no padding between `events` and `data`); naturally
+    /// aligned elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy, Default)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub fn epoll_create1() -> io::Result<i32> {
+        // SAFETY: epoll_create1 takes a flags word and touches no memory.
+        let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+        check(ret).map(|fd| fd as i32)
+    }
+
+    pub fn epoll_ctl(epfd: i32, op: usize, fd: i32, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut ev = event.unwrap_or_default();
+        let ptr = if event.is_some() {
+            std::ptr::addr_of_mut!(ev) as usize
+        } else {
+            0
+        };
+        // SAFETY: `ev` outlives the call; the kernel reads it only
+        // during the syscall.
+        let ret = unsafe { syscall6(nr::EPOLL_CTL, epfd as usize, op, fd as usize, ptr, 0, 0) };
+        check(ret).map(|_| ())
+    }
+
+    pub fn epoll_pwait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: the events buffer is exclusively borrowed for the
+        // duration of the call; a null sigmask leaves signals untouched.
+        let ret = unsafe {
+            syscall6(
+                nr::EPOLL_PWAIT,
+                epfd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+                0,
+                8,
+            )
+        };
+        check(ret)
+    }
+
+    /// A non-blocking, close-on-exec pipe: `(read_fd, write_fd)`.
+    pub fn pipe2_nonblocking() -> io::Result<(i32, i32)> {
+        let mut fds = [0i32; 2];
+        // SAFETY: the kernel writes exactly two fds into `fds`.
+        let ret = unsafe {
+            syscall6(
+                nr::PIPE2,
+                fds.as_mut_ptr() as usize,
+                O_NONBLOCK | O_CLOEXEC,
+                0,
+                0,
+                0,
+                0,
+            )
+        };
+        check(ret).map(|_| (fds[0], fds[1]))
+    }
+
+    pub fn read(fd: i32, buf: &mut [u8]) -> io::Result<usize> {
+        // SAFETY: the buffer is exclusively borrowed for the call.
+        let ret = unsafe {
+            syscall6(
+                nr::READ,
+                fd as usize,
+                buf.as_mut_ptr() as usize,
+                buf.len(),
+                0,
+                0,
+                0,
+            )
+        };
+        check(ret)
+    }
+
+    pub fn write(fd: i32, buf: &[u8]) -> io::Result<usize> {
+        // SAFETY: the buffer is borrowed for the call.
+        let ret = unsafe {
+            syscall6(
+                nr::WRITE,
+                fd as usize,
+                buf.as_ptr() as usize,
+                buf.len(),
+                0,
+                0,
+                0,
+            )
+        };
+        check(ret)
+    }
+
+    pub fn close(fd: i32) {
+        // SAFETY: we only close fds this module opened and owns.
+        let _ = unsafe { syscall6(nr::CLOSE, fd as usize, 0, 0, 0, 0, 0) };
+    }
+}
+
+/// Identifies one registration (a channel, a timer, or the waker) across
+/// the reactor's APIs. The value travels through the kernel as epoll
+/// userdata, so it must stay meaningful without any side table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// Which readiness a registration subscribes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the peer has bytes (or a hangup) for us.
+    pub readable: bool,
+    /// Wake when the socket can accept more of a backlogged write.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of an idle channel.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest — a channel with a backlogged outbox.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn bits(self) -> u32 {
+        let mut b = 0;
+        if self.readable {
+            b |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.writable {
+            b |= sys::EPOLLOUT;
+        }
+        b
+    }
+}
+
+/// One readiness notification out of [`Reactor::poll`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The registration this event belongs to.
+    pub token: Token,
+    /// Bytes (or a pending hangup) are available to read.
+    pub readable: bool,
+    /// A backlogged write can make progress.
+    pub writable: bool,
+    /// The peer hung up or the socket errored; a following `try_recv`
+    /// will drain any remaining buffered frames and then surface
+    /// [`NetError::Closed`].
+    pub closed: bool,
+}
+
+/// A copyable, non-owning handle to the epoll instance, so channels can
+/// flip their own read/write interest (e.g. when an outbox transitions
+/// between empty and backlogged) without borrowing the whole reactor.
+#[derive(Clone, Copy, Debug)]
+pub struct PollerHandle {
+    epfd: i32,
+}
+
+impl PollerHandle {
+    /// Adds `fd` with `interest` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's `epoll_ctl` failure.
+    pub fn register(&self, fd: i32, token: Token, interest: Interest) -> Result<(), NetError> {
+        sys::epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Some(sys::EpollEvent {
+                events: interest.bits(),
+                data: token.0,
+            }),
+        )
+        .map_err(NetError::from)
+    }
+
+    /// Updates `fd`'s token and/or interest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's `epoll_ctl` failure.
+    pub fn reregister(&self, fd: i32, token: Token, interest: Interest) -> Result<(), NetError> {
+        sys::epoll_ctl(
+            self.epfd,
+            sys::EPOLL_CTL_MOD,
+            fd,
+            Some(sys::EpollEvent {
+                events: interest.bits(),
+                data: token.0,
+            }),
+        )
+        .map_err(NetError::from)
+    }
+
+    /// Removes `fd`. (Closing the fd also removes it implicitly.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's `epoll_ctl` failure.
+    pub fn deregister(&self, fd: i32) -> Result<(), NetError> {
+        sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, None).map_err(NetError::from)
+    }
+}
+
+/// The epoll instance: owns the fd, hands out [`PollerHandle`]s, and
+/// translates kernel events into [`Event`]s.
+#[derive(Debug)]
+pub struct Poller {
+    handle: PollerHandle,
+}
+
+impl Poller {
+    /// Creates a fresh epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1` failure.
+    pub fn new() -> Result<Poller, NetError> {
+        let epfd = sys::epoll_create1()?;
+        Ok(Poller {
+            handle: PollerHandle { epfd },
+        })
+    }
+
+    /// The non-owning handle channels use to manage their own interest.
+    #[must_use]
+    pub fn handle(&self) -> PollerHandle {
+        self.handle
+    }
+
+    /// Blocks until at least one registration is ready or `timeout`
+    /// passes, appending to `out`. `None` blocks indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_pwait` failure (`EINTR` is retried).
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> Result<(), NetError> {
+        let mut buf = [sys::EpollEvent::default(); 64];
+        let ms = match timeout {
+            None => -1,
+            Some(d) => {
+                // Ceil to a millisecond so timer deadlines are not
+                // busy-waited across repeated 0 ms wakeups.
+                let ns = d.as_nanos();
+                ns.div_ceil(1_000_000).min(i32::MAX as u128) as i32
+            }
+        };
+        let n = loop {
+            match sys::epoll_pwait(self.handle.epfd, &mut buf, ms) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        };
+        for ev in &buf[..n] {
+            let raw = *ev;
+            let bits = raw.events;
+            out.push(Event {
+                token: Token(raw.data),
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                closed: bits & (sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close(self.handle.epfd);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer wheel.
+// ---------------------------------------------------------------------
+
+/// Wheel slot count. Deadlines further out than `SLOTS × tick` stay in
+/// their slot across revolutions and are simply re-inspected when the
+/// cursor comes around — correctness never depends on the horizon.
+const WHEEL_SLOTS: usize = 512;
+
+/// A hashed timer wheel at the coordinator's tick granularity: O(1)
+/// arm/cancel/harvest for the per-(stage, chunk) dropout deadlines. One
+/// deadline per token; re-arming replaces the previous one.
+#[derive(Debug)]
+pub struct TimerWheel {
+    tick: Duration,
+    start: Instant,
+    /// `slots[abs_tick % WHEEL_SLOTS]` holds `(abs_tick, token)` entries.
+    slots: Vec<Vec<(u64, Token)>>,
+    /// Authoritative armed set: token → absolute tick. Wheel entries not
+    /// matching this map are stale (cancelled or re-armed) and are
+    /// dropped lazily during harvest.
+    armed: BTreeMap<Token, u64>,
+    /// Next tick the harvester has not yet visited.
+    cursor: u64,
+}
+
+impl TimerWheel {
+    /// A wheel with `tick` granularity starting now.
+    #[must_use]
+    pub fn new(tick: Duration) -> TimerWheel {
+        TimerWheel {
+            tick: tick.max(Duration::from_millis(1)),
+            start: Instant::now(),
+            slots: vec![Vec::new(); WHEEL_SLOTS],
+            armed: BTreeMap::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Absolute tick at which a deadline at `t` fires (never early).
+    fn tick_of(&self, t: Instant) -> u64 {
+        let ns = t.saturating_duration_since(self.start).as_nanos();
+        ns.div_ceil(self.tick.as_nanos()).min(u64::MAX as u128) as u64
+    }
+
+    /// Arms (or re-arms) `token` to fire at `deadline`.
+    pub fn schedule(&mut self, token: Token, deadline: Instant) {
+        let abs = self.tick_of(deadline).max(self.cursor);
+        self.armed.insert(token, abs);
+        self.slots[(abs % WHEEL_SLOTS as u64) as usize].push((abs, token));
+    }
+
+    /// Disarms `token` (no-op if not armed).
+    pub fn cancel(&mut self, token: Token) {
+        self.armed.remove(&token);
+    }
+
+    /// The earliest armed deadline, as an `Instant`.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.armed
+            .values()
+            .min()
+            .map(|&abs| self.start + self.tick.saturating_mul(abs.min(u32::MAX as u64) as u32))
+    }
+
+    /// Harvests every deadline due at `now` into `expired`.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<Token>) {
+        let now_tick = now.saturating_duration_since(self.start).as_nanos() / self.tick.as_nanos();
+        let now_tick = now_tick.min(u64::MAX as u128) as u64;
+        // Visit at most one revolution: beyond that every slot has been
+        // inspected once already.
+        let last = now_tick.min(self.cursor + WHEEL_SLOTS as u64);
+        while self.cursor <= last {
+            let slot = &mut self.slots[(self.cursor % WHEEL_SLOTS as u64) as usize];
+            let mut keep = Vec::new();
+            for (abs, token) in slot.drain(..) {
+                if self.armed.get(&token) != Some(&abs) {
+                    continue; // stale: cancelled or re-armed
+                }
+                if abs <= now_tick {
+                    self.armed.remove(&token);
+                    expired.push(token);
+                } else {
+                    keep.push((abs, token));
+                }
+            }
+            *slot = keep;
+            if self.cursor == last {
+                break;
+            }
+            self.cursor += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Waker.
+// ---------------------------------------------------------------------
+
+/// Cross-thread readiness injection for channels without a pollable fd
+/// (the in-memory loopback). A sender pushes the receiver's token and
+/// writes one byte into a non-blocking pipe whose read end the reactor
+/// polls; a full pipe means a wake is already pending, so `EAGAIN` is
+/// success.
+#[derive(Debug)]
+pub struct WakeQueue {
+    write_fd: i32,
+    ready: Mutex<Vec<Token>>,
+}
+
+impl WakeQueue {
+    /// Marks `token` readable and wakes the reactor.
+    pub fn wake(&self, token: Token) {
+        if let Ok(mut q) = self.ready.lock() {
+            q.push(token);
+        }
+        let _ = sys::write(self.write_fd, &[1u8]);
+    }
+
+    fn drain(&self, out: &mut Vec<Token>) {
+        if let Ok(mut q) = self.ready.lock() {
+            out.append(&mut q);
+        }
+    }
+}
+
+impl Drop for WakeQueue {
+    fn drop(&mut self) {
+        sys::close(self.write_fd);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reactor.
+// ---------------------------------------------------------------------
+
+/// The wake pipe's registration token (reserved; never surfaced).
+const WAKE_TOKEN: Token = Token(u64::MAX);
+
+/// Wake-up accounting, to prove the event loop does `O(events)` work:
+/// the scale tests assert `polls` stays within a small factor of
+/// `events + timer_fires`, where the old sweep did
+/// `O(clients × ticks)` receive attempts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReactorStats {
+    /// `epoll_pwait` invocations (each is one coordinator wake-up).
+    pub polls: u64,
+    /// Readiness events delivered (fd events + loopback wakes).
+    pub events: u64,
+    /// Deadline timers fired.
+    pub timer_fires: u64,
+}
+
+/// The event loop facade the coordinator drives: epoll + timer wheel +
+/// loopback waker, with wake-up accounting.
+#[derive(Debug)]
+pub struct Reactor {
+    poller: Poller,
+    wheel: TimerWheel,
+    wake_rx: i32,
+    waker: Arc<WakeQueue>,
+    /// Wake-up counters (see [`ReactorStats`]).
+    pub stats: ReactorStats,
+}
+
+impl Reactor {
+    /// Builds a reactor whose timers run at `tick` granularity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates epoll/pipe creation failures.
+    pub fn new(tick: Duration) -> Result<Reactor, NetError> {
+        let poller = Poller::new()?;
+        let (rx, tx) = sys::pipe2_nonblocking()?;
+        let waker = Arc::new(WakeQueue {
+            write_fd: tx,
+            ready: Mutex::new(Vec::new()),
+        });
+        poller.handle().register(rx, WAKE_TOKEN, Interest::READ)?;
+        Ok(Reactor {
+            poller,
+            wheel: TimerWheel::new(tick),
+            wake_rx: rx,
+            waker,
+            stats: ReactorStats::default(),
+        })
+    }
+
+    /// Handle for fd-backed channels to manage their own registration.
+    #[must_use]
+    pub fn handle(&self) -> PollerHandle {
+        self.poller.handle()
+    }
+
+    /// The shared waker for channels without a pollable fd.
+    #[must_use]
+    pub fn waker(&self) -> Arc<WakeQueue> {
+        Arc::clone(&self.waker)
+    }
+
+    /// Arms (or re-arms) a deadline for `token`.
+    pub fn arm_deadline(&mut self, token: Token, deadline: Instant) {
+        self.wheel.schedule(token, deadline);
+    }
+
+    /// Disarms `token`'s deadline.
+    pub fn cancel_deadline(&mut self, token: Token) {
+        self.wheel.cancel(token);
+    }
+
+    /// One event-loop turn: blocks until readiness, a wake, or the
+    /// earliest of (`max_wait`, the next armed deadline); then fills
+    /// `events` with readiness and `expired` with due deadline tokens.
+    /// Both output vectors are cleared first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller failures.
+    pub fn poll(
+        &mut self,
+        events: &mut Vec<Event>,
+        expired: &mut Vec<Token>,
+        max_wait: Duration,
+    ) -> Result<(), NetError> {
+        events.clear();
+        expired.clear();
+        let now = Instant::now();
+        let mut wait = max_wait;
+        if let Some(next) = self.wheel.next_deadline() {
+            wait = wait.min(next.saturating_duration_since(now));
+        }
+        self.stats.polls += 1;
+        self.poller.wait(events, Some(wait))?;
+        // Translate waker hits into readable events for queued tokens.
+        let mut woke = false;
+        events.retain(|ev| {
+            if ev.token == WAKE_TOKEN {
+                woke = true;
+                false
+            } else {
+                true
+            }
+        });
+        if woke {
+            let mut buf = [0u8; 64];
+            while let Ok(n) = sys::read(self.wake_rx, &mut buf) {
+                if n < buf.len() {
+                    break;
+                }
+            }
+            let mut tokens = Vec::new();
+            self.waker.drain(&mut tokens);
+            tokens.sort_unstable();
+            tokens.dedup();
+            for token in tokens {
+                events.push(Event {
+                    token,
+                    readable: true,
+                    writable: false,
+                    closed: false,
+                });
+            }
+        }
+        self.wheel.advance(Instant::now(), expired);
+        self.stats.events += events.len() as u64;
+        self.stats.timer_fires += expired.len() as u64;
+        Ok(())
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        sys::close(self.wake_rx);
+    }
+}
+
+// ---------------------------------------------------------------------
+// EventedChannel.
+// ---------------------------------------------------------------------
+
+/// The readiness-driven side of a [`Channel`].
+///
+/// Before [`register`](EventedChannel::register) is called, the blocking
+/// [`Channel`] API behaves exactly as before (clients and the legacy
+/// poll-sweep coordinator use it unchanged). After registration the
+/// channel becomes non-blocking: `send` enqueues into a backpressure
+/// buffer and flushes opportunistically, `try_recv` reassembles frames
+/// from whatever bytes are available, and `try_flush` drains the buffer
+/// under write readiness.
+pub trait EventedChannel: Channel {
+    /// Registers (or re-keys) this channel with the reactor under
+    /// `token` and switches it to non-blocking operation. Calling again
+    /// with a new token re-registers — the join loop uses this to swap a
+    /// provisional token for the authenticated client id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates registration failures.
+    fn register(&mut self, reactor: &mut Reactor, token: Token) -> Result<(), NetError>;
+
+    /// Non-blocking receive: the next fully reassembled frame, or `None`
+    /// when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] once the peer is gone *and* every buffered
+    /// frame has been returned; codec errors for oversized frames.
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError>;
+
+    /// Drains backlogged writes as far as readiness allows. `Ok(true)`
+    /// means the outbox is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] when the peer is gone.
+    fn try_flush(&mut self) -> Result<bool, NetError>;
+
+    /// Whether backlogged bytes are waiting on write readiness.
+    fn wants_write(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::time::Duration;
+
+    #[test]
+    fn waker_turns_queue_into_events() {
+        let mut r = Reactor::new(Duration::from_millis(5)).unwrap();
+        let w = r.waker();
+        let t = std::thread::spawn(move || {
+            w.wake(Token(7));
+            w.wake(Token(9));
+            w.wake(Token(7));
+        });
+        t.join().unwrap();
+        let (mut events, mut expired) = (Vec::new(), Vec::new());
+        r.poll(&mut events, &mut expired, Duration::from_secs(2))
+            .unwrap();
+        let mut tokens: Vec<u64> = events.iter().map(|e| e.token.0).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, vec![7, 9], "deduped wake tokens");
+        assert!(events.iter().all(|e| e.readable));
+        assert!(expired.is_empty());
+    }
+
+    #[test]
+    fn timer_wheel_fires_once_and_rearms() {
+        let mut r = Reactor::new(Duration::from_millis(2)).unwrap();
+        r.arm_deadline(Token(1), Instant::now() + Duration::from_millis(20));
+        let (mut events, mut expired) = (Vec::new(), Vec::new());
+        let start = Instant::now();
+        loop {
+            r.poll(&mut events, &mut expired, Duration::from_millis(100))
+                .unwrap();
+            if !expired.is_empty() {
+                break;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(2),
+                "timer never fired"
+            );
+        }
+        assert_eq!(expired, vec![Token(1)]);
+        assert!(
+            start.elapsed() >= Duration::from_millis(18),
+            "fired early: {:?}",
+            start.elapsed()
+        );
+        // Cancelled timers stay silent.
+        r.arm_deadline(Token(2), Instant::now() + Duration::from_millis(10));
+        r.cancel_deadline(Token(2));
+        r.poll(&mut events, &mut expired, Duration::from_millis(40))
+            .unwrap();
+        assert!(expired.is_empty(), "{expired:?}");
+    }
+
+    #[test]
+    fn far_deadlines_survive_wheel_revolutions() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        // Beyond one revolution of the 512-slot wheel.
+        let far = Instant::now() + Duration::from_millis(700);
+        w.schedule(Token(3), far);
+        let mut out = Vec::new();
+        w.advance(Instant::now() + Duration::from_millis(600), &mut out);
+        assert!(out.is_empty(), "fired {out:?} before its deadline");
+        w.advance(Instant::now() + Duration::from_millis(800), &mut out);
+        assert_eq!(out, vec![Token(3)]);
+    }
+
+    #[test]
+    fn poller_reports_tcp_readiness() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        use std::os::unix::io::AsRawFd as _;
+        poller
+            .handle()
+            .register(server.as_raw_fd(), Token(42), Interest::READ)
+            .unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "spurious readiness: {events:?}");
+
+        client.write_all(b"ping").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, Token(42));
+        assert!(events[0].readable && !events[0].closed);
+
+        drop(client);
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.closed), "{events:?}");
+    }
+}

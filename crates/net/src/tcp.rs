@@ -1,24 +1,191 @@
-//! TCP transport: one connection per client, blocking I/O with
-//! deadlines, `u32` length-prefixed frames.
+//! TCP transport: one connection per client, `u32` length-prefixed
+//! frames. Blocking I/O with deadlines until the channel is registered
+//! with the [`reactor`](crate::reactor); non-blocking afterwards, with
+//! partial-read frame reassembly ([`FrameBuffer`]) and partial-write
+//! backpressure buffering ([`WriteBuffer`]).
 
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::time::{Duration, Instant};
 
 use crate::codec::MAX_FRAME_BYTES;
+use crate::reactor::{EventedChannel, Interest, PollerHandle, Reactor, Token};
 use crate::transport::{Acceptor, Channel};
 use crate::NetError;
+
+/// Default bound on how long a blocking [`TcpChannel::send`] may sit in
+/// `write(2)` against a peer whose socket buffer is full. Without it,
+/// one stalled client could wedge the whole single-threaded coordinator
+/// mid-round; with it, the stall surfaces as [`NetError::Timeout`] and
+/// the peer becomes a detected dropout.
+pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Incremental decoder for the `u32`-length-prefixed frame stream: bytes
+/// go in in arbitrary splits ([`push`](FrameBuffer::push)), whole frames
+/// come out ([`take_frame`](FrameBuffer::take_frame)). A deadline (or
+/// `WouldBlock`) can interrupt a frame at any byte without losing the
+/// partial data — the next bytes resume exactly where the stream
+/// stopped. This is the single reassembly path for both the blocking
+/// and the non-blocking (reactor) receive modes, so the proptests that
+/// feed it arbitrary split sequences cover both.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    /// Raw stream bytes not yet consumed (length prefix included).
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Stream position target for the next read: enough for the length
+    /// prefix, then enough for the full frame.
+    #[must_use]
+    pub fn needed(&self) -> usize {
+        if self.buf.len() < 4 {
+            4
+        } else {
+            let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+            4 + len
+        }
+    }
+
+    /// Buffered byte count (for diagnostics/tests).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no bytes are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pops the next complete frame, or `None` if more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Codec`] when the announced length exceeds
+    /// [`MAX_FRAME_BYTES`] — the stream is poisoned at that point and
+    /// the connection should be dropped.
+    pub fn take_frame(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(NetError::Codec(format!("oversized frame: {len}")));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+}
+
+/// Backpressure buffer for the non-blocking write path: frames are
+/// queued with their length prefix, and [`write_to`](WriteBuffer::write_to)
+/// drains as many bytes as the socket accepts, keeping the rest for the
+/// next write-readiness event. Partial writes therefore never tear a
+/// frame — the stream position is the buffer's front.
+#[derive(Debug, Default)]
+pub struct WriteBuffer {
+    queue: VecDeque<u8>,
+}
+
+impl WriteBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> WriteBuffer {
+        WriteBuffer::default()
+    }
+
+    /// Queues one frame (length prefix + payload).
+    pub fn queue_frame(&mut self, frame: &[u8]) {
+        self.queue.extend((frame.len() as u32).to_le_bytes());
+        self.queue.extend(frame.iter().copied());
+    }
+
+    /// Bytes still waiting to drain.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when everything has drained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Writes as much as `w` accepts. `Ok(true)` means drained;
+    /// `Ok(false)` means `w` signalled `WouldBlock` (or accepted only
+    /// part) and the remainder waits for the next readiness event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-`WouldBlock` I/O failures (`Interrupted` is
+    /// retried, a zero-byte write is reported as `WriteZero`).
+    pub fn write_to(&mut self, w: &mut impl Write) -> std::io::Result<bool> {
+        while !self.queue.is_empty() {
+            let (front, _) = self.queue.as_slices();
+            match w.write(front) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.queue.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Registration state of an evented [`TcpChannel`].
+#[derive(Clone, Copy, Debug)]
+struct Registration {
+    handle: PollerHandle,
+    token: Token,
+    /// Interest currently installed in the poller (write interest is
+    /// flipped on outbox empty↔backlogged transitions).
+    interest: Interest,
+}
 
 /// A framed TCP channel.
 ///
 /// Frames are `u32` little-endian length + payload. Reads are buffered
 /// internally so a deadline can expire mid-frame without losing the
-/// partial data: the next `recv_deadline` resumes where it stopped.
+/// partial data: the next `recv_deadline` (or `try_recv`) resumes where
+/// it stopped.
 pub struct TcpChannel {
     stream: TcpStream,
     peer: String,
-    /// Partial frame bytes read so far (length prefix included).
-    pending: Vec<u8>,
+    inbox: FrameBuffer,
+    outbox: WriteBuffer,
+    registration: Option<Registration>,
+    /// Peer hung up: serve remaining buffered frames, then `Closed`.
+    eof: bool,
+    write_timeout: Duration,
 }
 
 impl TcpChannel {
@@ -45,15 +212,25 @@ impl TcpChannel {
         Ok(TcpChannel {
             stream,
             peer,
-            pending: Vec::new(),
+            inbox: FrameBuffer::new(),
+            outbox: WriteBuffer::new(),
+            registration: None,
+            eof: false,
+            write_timeout: DEFAULT_WRITE_TIMEOUT,
         })
     }
 
-    /// Reads toward a target `pending` length, returning `false` on a
-    /// clean timeout.
+    /// Overrides the blocking-path write timeout (see
+    /// [`DEFAULT_WRITE_TIMEOUT`]).
+    pub fn set_write_timeout(&mut self, timeout: Duration) {
+        self.write_timeout = timeout;
+    }
+
+    /// Reads toward a target `inbox` length, returning `false` on a
+    /// clean timeout. Blocking path only.
     fn fill_until(&mut self, target: usize, deadline: Instant) -> Result<bool, NetError> {
         let mut buf = [0u8; 16 * 1024];
-        while self.pending.len() < target {
+        while self.inbox.len() < target {
             let now = Instant::now();
             if now >= deadline {
                 return Ok(false);
@@ -63,72 +240,185 @@ impl TcpChannel {
             let budget = deadline - now;
             self.stream
                 .set_read_timeout(Some(budget.max(Duration::from_millis(1))))?;
-            let want = (target - self.pending.len()).min(buf.len());
+            let want = (target - self.inbox.len()).min(buf.len());
             match self.stream.read(&mut buf[..want]) {
                 Ok(0) => return Err(NetError::Closed),
-                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Ok(n) => self.inbox.push(&buf[..n]),
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                     return Ok(false);
                 }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        ErrorKind::ConnectionReset
-                            | ErrorKind::ConnectionAborted
-                            | ErrorKind::BrokenPipe
-                            | ErrorKind::UnexpectedEof
-                    ) =>
-                {
-                    return Err(NetError::Closed);
-                }
+                Err(e) if is_disconnect(&e) => return Err(NetError::Closed),
                 Err(e) => return Err(e.into()),
             }
         }
         Ok(true)
     }
+
+    /// Installs `interest` in the poller if it changed.
+    fn set_interest(&mut self, interest: Interest) -> Result<(), NetError> {
+        if let Some(reg) = &mut self.registration {
+            if reg.interest != interest {
+                reg.handle
+                    .reregister(self.stream.as_raw_fd(), reg.token, interest)?;
+                reg.interest = interest;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes the outbox and keeps write interest in sync with whether
+    /// a backlog remains.
+    fn flush_outbox(&mut self) -> Result<bool, NetError> {
+        let drained = match self.outbox.write_to(&mut self.stream) {
+            Ok(drained) => drained,
+            Err(e) if is_disconnect(&e) || e.kind() == ErrorKind::WriteZero => {
+                return Err(NetError::Closed)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        self.set_interest(if drained {
+            Interest::READ
+        } else {
+            Interest::READ_WRITE
+        })?;
+        Ok(drained)
+    }
+}
+
+/// Error kinds that mean "the peer is gone", not "I/O is broken".
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::NotConnected
+    )
 }
 
 impl Channel for TcpChannel {
     fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        if self.registration.is_some() {
+            // Evented mode: enqueue and flush opportunistically; the
+            // event loop drains any backlog under write readiness.
+            self.outbox.queue_frame(frame);
+            self.flush_outbox()?;
+            return Ok(());
+        }
+        // Blocking mode, but never unbounded: a peer that stops reading
+        // fills its socket buffer and would otherwise park the
+        // coordinator in write(2) forever. The deadline is *overall*
+        // (each write(2) is bounded by the remaining budget, like
+        // `fill_until`), so a peer draining one byte per poll cannot
+        // extend it; expiry surfaces as NetError::Timeout → a detected
+        // dropout. (A timeout can tear a frame mid-write, so the
+        // connection must be dropped after.)
+        let deadline = Instant::now() + self.write_timeout;
         let mut msg = Vec::with_capacity(4 + frame.len());
         msg.extend_from_slice(&(frame.len() as u32).to_le_bytes());
         msg.extend_from_slice(frame);
-        match self.stream.write_all(&msg) {
-            Ok(()) => Ok(()),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    ErrorKind::ConnectionReset
-                        | ErrorKind::ConnectionAborted
-                        | ErrorKind::BrokenPipe
-                ) =>
-            {
-                Err(NetError::Closed)
+        let mut written = 0;
+        while written < msg.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout);
             }
-            Err(e) => Err(e.into()),
+            let budget = deadline - now;
+            self.stream
+                .set_write_timeout(Some(budget.max(Duration::from_millis(1))))?;
+            match self.stream.write(&msg[written..]) {
+                Ok(0) => return Err(NetError::Closed),
+                Ok(n) => written += n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err(NetError::Timeout);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if is_disconnect(&e) => return Err(NetError::Closed),
+                Err(e) => return Err(e.into()),
+            }
         }
+        Ok(())
     }
 
     fn recv_deadline(&mut self, deadline: Instant) -> Result<Vec<u8>, NetError> {
-        // Header first.
-        if !self.fill_until(4, deadline)? {
-            return Err(NetError::Timeout);
+        loop {
+            if let Some(frame) = self.inbox.take_frame()? {
+                return Ok(frame);
+            }
+            if self.eof {
+                return Err(NetError::Closed);
+            }
+            if !self.fill_until(self.inbox.needed(), deadline)? {
+                return Err(NetError::Timeout);
+            }
         }
-        let len = u32::from_le_bytes(self.pending[..4].try_into().expect("4")) as usize;
-        if len > MAX_FRAME_BYTES {
-            return Err(NetError::Codec(format!("oversized frame: {len}")));
-        }
-        if !self.fill_until(4 + len, deadline)? {
-            return Err(NetError::Timeout);
-        }
-        let frame = self.pending[4..4 + len].to_vec();
-        self.pending.drain(..4 + len);
-        Ok(frame)
     }
 
     fn peer(&self) -> String {
         self.peer.clone()
+    }
+}
+
+impl EventedChannel for TcpChannel {
+    fn register(&mut self, reactor: &mut Reactor, token: Token) -> Result<(), NetError> {
+        self.stream.set_nonblocking(true)?;
+        let fd = self.stream.as_raw_fd();
+        let interest = if self.outbox.is_empty() {
+            Interest::READ
+        } else {
+            Interest::READ_WRITE
+        };
+        match &mut self.registration {
+            Some(reg) => {
+                let handle = reg.handle;
+                handle.reregister(fd, token, interest)?;
+                reg.token = token;
+                reg.interest = interest;
+            }
+            None => {
+                let handle = reactor.handle();
+                handle.register(fd, token, interest)?;
+                self.registration = Some(Registration {
+                    handle,
+                    token,
+                    interest,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        // Drain the kernel buffer first so level-triggered epoll goes
+        // quiet once everything available has been reassembled.
+        let mut buf = [0u8; 16 * 1024];
+        while !self.eof {
+            match self.stream.read(&mut buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => self.inbox.push(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if is_disconnect(&e) => self.eof = true,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if let Some(frame) = self.inbox.take_frame()? {
+            return Ok(Some(frame));
+        }
+        if self.eof {
+            return Err(NetError::Closed);
+        }
+        Ok(None)
+    }
+
+    fn try_flush(&mut self) -> Result<bool, NetError> {
+        self.flush_outbox()
+    }
+
+    fn wants_write(&self) -> bool {
+        !self.outbox.is_empty()
     }
 }
 
@@ -155,7 +445,7 @@ impl TcpAcceptor {
 }
 
 impl Acceptor for TcpAcceptor {
-    fn accept(&mut self, deadline: Instant) -> Result<Box<dyn Channel>, NetError> {
+    fn accept(&mut self, deadline: Instant) -> Result<Box<dyn EventedChannel>, NetError> {
         // Poll with a short accept window so the deadline is honored
         // without platform-specific listener timeouts.
         self.listener.set_nonblocking(true)?;
@@ -246,5 +536,125 @@ mod tests {
         handle.join().unwrap();
         let err = server.recv_deadline(deadline_in(Duration::from_secs(2)));
         assert!(matches!(err, Err(NetError::Closed)), "{err:?}");
+    }
+
+    #[test]
+    fn stalled_reader_surfaces_send_timeout() {
+        // The peer never reads: both socket buffers fill and a blocking
+        // send must surface NetError::Timeout (a detected dropout)
+        // instead of wedging the coordinator forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let chan = TcpChannel::connect(addr).unwrap();
+            // Hold the connection open without reading.
+            std::thread::sleep(Duration::from_secs(3));
+            drop(chan);
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpChannel::from_stream(stream).unwrap();
+        server.set_write_timeout(Duration::from_millis(200));
+        let big = vec![0u8; 32 << 20];
+        let start = Instant::now();
+        let err = server.send(&big);
+        assert!(matches!(err, Err(NetError::Timeout)), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "send blocked for {:?}",
+            start.elapsed()
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn slow_draining_reader_hits_overall_send_deadline() {
+        // The peer drains a trickle — every read makes *some* progress,
+        // so a per-write timeout would reset forever. The deadline is
+        // overall: send must give up within ~write_timeout regardless.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut chan = TcpChannel::connect(addr).unwrap();
+            let mut byte = [0u8; 1];
+            for _ in 0..20 {
+                std::thread::sleep(Duration::from_millis(100));
+                if chan.stream.read(&mut byte).is_err() {
+                    break;
+                }
+            }
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpChannel::from_stream(stream).unwrap();
+        server.set_write_timeout(Duration::from_millis(400));
+        let big = vec![0u8; 32 << 20];
+        let start = Instant::now();
+        let err = server.send(&big);
+        assert!(matches!(err, Err(NetError::Timeout)), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "overall deadline did not hold: {:?}",
+            start.elapsed()
+        );
+        drop(server);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn evented_channel_reassembles_and_flushes() {
+        use crate::reactor::{Reactor, Token};
+
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut chan = TcpChannel::connect(addr).unwrap();
+            // Dribble one frame byte by byte to force reassembly.
+            let frame = b"dribbled".to_vec();
+            let mut msg = (frame.len() as u32).to_le_bytes().to_vec();
+            msg.extend_from_slice(&frame);
+            for b in msg {
+                use std::io::Write as _;
+                chan.stream.write_all(&[b]).unwrap();
+                chan.stream.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            chan.recv_deadline(deadline_in(Duration::from_secs(5)))
+                .unwrap()
+        });
+
+        let mut reactor = Reactor::new(Duration::from_millis(5)).unwrap();
+        let mut server = acceptor
+            .accept(deadline_in(Duration::from_secs(2)))
+            .unwrap();
+        server.register(&mut reactor, Token(1)).unwrap();
+
+        let (mut events, mut expired) = (Vec::new(), Vec::new());
+        let frame = loop {
+            reactor
+                .poll(&mut events, &mut expired, Duration::from_secs(1))
+                .unwrap();
+            let mut got = None;
+            for ev in &events {
+                assert_eq!(ev.token, Token(1));
+                if ev.readable {
+                    if let Some(f) = server.try_recv().unwrap() {
+                        got = Some(f);
+                    }
+                }
+            }
+            if let Some(f) = got {
+                break f;
+            }
+        };
+        assert_eq!(frame, b"dribbled");
+
+        // Evented send queues + flushes; small frames drain immediately.
+        server.send(b"echo").unwrap();
+        while server.wants_write() {
+            reactor
+                .poll(&mut events, &mut expired, Duration::from_millis(50))
+                .unwrap();
+            server.try_flush().unwrap();
+        }
+        assert_eq!(client.join().unwrap(), b"echo");
     }
 }

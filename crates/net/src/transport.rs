@@ -2,11 +2,19 @@
 //! channels, plus the server-side acceptor — and the deterministic
 //! in-memory loopback implementation used by tests and the in-process
 //! networked round.
+//!
+//! Every accepted channel is an [`EventedChannel`], so the coordinator
+//! can drive it either through the blocking [`Channel`] API (the legacy
+//! poll sweep) or through reactor readiness. The loopback transport has
+//! no file descriptor; its readiness travels through the reactor's
+//! [`WakeQueue`](crate::reactor::WakeQueue) — a sender publishes the
+//! receiving end's token and pokes the wake pipe.
 
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::codec::Envelope;
+use crate::reactor::{EventedChannel, Reactor, Token, WakeQueue};
 use crate::NetError;
 
 /// A bidirectional, framed, deadline-aware message channel to one peer.
@@ -16,11 +24,16 @@ use crate::NetError;
 /// [`NetError::Timeout`] leaves the channel usable; [`NetError::Closed`]
 /// is terminal.
 pub trait Channel: Send {
-    /// Sends one frame.
+    /// Sends one frame. On a channel registered with a reactor this
+    /// enqueues and flushes opportunistically — `Ok` means queued, and
+    /// [`EventedChannel::try_flush`] drains any backlog under write
+    /// readiness.
     ///
     /// # Errors
     ///
-    /// [`NetError::Closed`] if the peer is gone, [`NetError::Io`] on
+    /// [`NetError::Closed`] if the peer is gone, [`NetError::Timeout`]
+    /// if a blocking send stalled past the transport's write timeout
+    /// (the frame may be torn — drop the peer), [`NetError::Io`] on
     /// transport failure.
     fn send(&mut self, frame: &[u8]) -> Result<(), NetError>;
 
@@ -36,8 +49,9 @@ pub trait Channel: Send {
     fn peer(&self) -> String;
 }
 
-/// Server-side half of a transport: yields one [`Channel`] per
-/// connecting client.
+/// Server-side half of a transport: yields one [`EventedChannel`] per
+/// connecting client (usable through the blocking [`Channel`] API until
+/// registered with a reactor).
 pub trait Acceptor {
     /// Accepts the next peer, waiting until `deadline` at most.
     ///
@@ -45,7 +59,7 @@ pub trait Acceptor {
     ///
     /// [`NetError::Timeout`] when the deadline passes, [`NetError::Io`] /
     /// [`NetError::Closed`] on transport failure.
-    fn accept(&mut self, deadline: Instant) -> Result<Box<dyn Channel>, NetError>;
+    fn accept(&mut self, deadline: Instant) -> Result<Box<dyn EventedChannel>, NetError>;
 
     /// The address clients should connect to.
     fn local_addr(&self) -> String;
@@ -73,11 +87,21 @@ pub fn recv_env(chan: &mut dyn Channel, deadline: Instant) -> Result<Envelope, N
 // Loopback.
 // ---------------------------------------------------------------------
 
+/// Where one loopback end publishes its reactor registration, so the
+/// *peer* end (usually on another thread) can wake the reactor whenever
+/// it makes this end readable (a send) or unreadable-forever (a drop).
+type RegSlot = Arc<Mutex<Option<(Arc<WakeQueue>, Token)>>>;
+
 /// One end of an in-memory channel pair.
 pub struct LoopbackChannel {
-    tx: mpsc::Sender<Vec<u8>>,
+    /// `None` once this end has begun tearing down (see `Drop`).
+    tx: Option<mpsc::Sender<Vec<u8>>>,
     rx: mpsc::Receiver<Vec<u8>>,
     label: String,
+    /// This end's reactor registration (peer reads it to wake us).
+    my_reg: RegSlot,
+    /// The peer end's registration (we wake it on send/drop).
+    peer_reg: RegSlot,
 }
 
 impl LoopbackChannel {
@@ -86,24 +110,42 @@ impl LoopbackChannel {
     pub fn pair(label: &str) -> (LoopbackChannel, LoopbackChannel) {
         let (a_tx, b_rx) = mpsc::channel();
         let (b_tx, a_rx) = mpsc::channel();
+        let a_reg: RegSlot = Arc::new(Mutex::new(None));
+        let b_reg: RegSlot = Arc::new(Mutex::new(None));
         (
             LoopbackChannel {
-                tx: a_tx,
+                tx: Some(a_tx),
                 rx: a_rx,
                 label: format!("loopback:{label}:a"),
+                my_reg: Arc::clone(&a_reg),
+                peer_reg: Arc::clone(&b_reg),
             },
             LoopbackChannel {
-                tx: b_tx,
+                tx: Some(b_tx),
                 rx: b_rx,
                 label: format!("loopback:{label}:b"),
+                my_reg: b_reg,
+                peer_reg: a_reg,
             },
         )
+    }
+
+    /// Wakes the peer end's reactor, if that end is registered.
+    fn wake_peer(&self) {
+        if let Ok(guard) = self.peer_reg.lock() {
+            if let Some((waker, token)) = guard.as_ref() {
+                waker.wake(*token);
+            }
+        }
     }
 }
 
 impl Channel for LoopbackChannel {
     fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
-        self.tx.send(frame.to_vec()).map_err(|_| NetError::Closed)
+        let tx = self.tx.as_ref().ok_or(NetError::Closed)?;
+        tx.send(frame.to_vec()).map_err(|_| NetError::Closed)?;
+        self.wake_peer();
+        Ok(())
     }
 
     fn recv_deadline(&mut self, deadline: Instant) -> Result<Vec<u8>, NetError> {
@@ -118,6 +160,44 @@ impl Channel for LoopbackChannel {
 
     fn peer(&self) -> String {
         self.label.clone()
+    }
+}
+
+impl EventedChannel for LoopbackChannel {
+    fn register(&mut self, reactor: &mut Reactor, token: Token) -> Result<(), NetError> {
+        let waker = reactor.waker();
+        if let Ok(mut guard) = self.my_reg.lock() {
+            *guard = Some((Arc::clone(&waker), token));
+        }
+        // Frames sent before registration produced no wake; schedule an
+        // initial sweep so they are discovered on the next poll.
+        waker.wake(token);
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    fn try_flush(&mut self) -> Result<bool, NetError> {
+        Ok(true) // mpsc sends never backlog
+    }
+
+    fn wants_write(&self) -> bool {
+        false
+    }
+}
+
+impl Drop for LoopbackChannel {
+    fn drop(&mut self) {
+        // Disconnect *before* waking, so a reactor woken by this drop
+        // observes `Disconnected` rather than a spurious empty queue.
+        drop(self.tx.take());
+        self.wake_peer();
     }
 }
 
@@ -162,7 +242,7 @@ pub struct LoopbackAcceptor {
 }
 
 impl Acceptor for LoopbackAcceptor {
-    fn accept(&mut self, deadline: Instant) -> Result<Box<dyn Channel>, NetError> {
+    fn accept(&mut self, deadline: Instant) -> Result<Box<dyn EventedChannel>, NetError> {
         let wait = deadline.saturating_duration_since(Instant::now());
         match self.rx.recv_timeout(wait) {
             Ok(chan) => Ok(Box::new(chan)),
@@ -186,7 +266,8 @@ impl Acceptor for LoopbackAcceptor {
 /// uplink) and only then enqueues the frame. Used by the pipeline
 /// benches/tests to realize Figure 12's comm/compute overlap on a
 /// loopback transport: while a client is "transmitting" chunk `c+1`,
-/// the coordinator is aggregating chunk `c`.
+/// the coordinator is aggregating chunk `c`. Client-side only (it wraps
+/// the blocking API and is never registered with a reactor).
 pub struct ThrottledChannel {
     inner: Box<dyn Channel>,
     bytes_per_sec: u64,
@@ -273,5 +354,49 @@ mod tests {
                 .unwrap(),
             b"pong"
         );
+    }
+
+    #[test]
+    fn registered_loopback_reports_readiness_and_closure() {
+        let mut reactor = Reactor::new(Duration::from_millis(5)).unwrap();
+        let (mut client, mut server) = LoopbackChannel::pair("evented");
+        server.register(&mut reactor, Token(3)).unwrap();
+
+        // A frame sent from another thread wakes the reactor.
+        let sender = std::thread::spawn(move || {
+            client.send(b"over the wake pipe").unwrap();
+            client // keep the end alive until the assert below
+        });
+        let (mut events, mut expired) = (Vec::new(), Vec::new());
+        let frame = loop {
+            reactor
+                .poll(&mut events, &mut expired, Duration::from_secs(2))
+                .unwrap();
+            let mut got = None;
+            for ev in &events {
+                assert_eq!(ev.token, Token(3));
+                if let Some(f) = server.try_recv().unwrap() {
+                    got = Some(f);
+                }
+            }
+            if let Some(f) = got {
+                break f;
+            }
+        };
+        assert_eq!(frame, b"over the wake pipe");
+        assert!(matches!(server.try_recv(), Ok(None)));
+
+        // Dropping the peer wakes the reactor and surfaces Closed.
+        let client = sender.join().unwrap();
+        drop(client);
+        loop {
+            reactor
+                .poll(&mut events, &mut expired, Duration::from_secs(2))
+                .unwrap();
+            if !events.is_empty() {
+                break;
+            }
+        }
+        assert!(matches!(server.try_recv(), Err(NetError::Closed)));
     }
 }

@@ -10,7 +10,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dordis_net::coordinator::{run_coordinator, CoordinatorConfig, DropKind, NetRoundReport};
+use dordis_net::coordinator::{
+    run_coordinator, CollectMode, CoordinatorConfig, DropKind, NetRoundReport,
+};
 use dordis_net::runtime::{run_client, ClientOptions, FailAction, FailPoint, FailStage};
 use dordis_net::transport::LoopbackHub;
 use dordis_secagg::client::{ClientInput, Identity};
@@ -82,6 +84,7 @@ fn net_round(
     fails: &BTreeMap<ClientId, FailPoint>,
     chunks: usize,
     stage_timeout: Duration,
+    mode: CollectMode,
 ) -> NetRoundReport {
     let (hub, mut acceptor) = LoopbackHub::new();
     let registry: Option<Arc<BTreeMap<ClientId, _>>> =
@@ -126,13 +129,14 @@ fn net_round(
     }
     let report = run_coordinator(
         &mut acceptor,
-        &CoordinatorConfig {
-            params: params.clone(),
-            join_timeout: Duration::from_secs(10),
+        &CoordinatorConfig::new(
+            params.clone(),
+            Duration::from_secs(10),
             stage_timeout,
             chunks,
-            chunk_compute: None,
-        },
+            None,
+        )
+        .with_mode(mode),
     )
     .expect("coordinator");
     for h in handles {
@@ -158,21 +162,30 @@ fn assert_equivalent(driver: &RoundOutcome, net: &NetRoundReport) {
 
 #[test]
 fn chunked_rounds_match_unchunked_driver_across_m() {
-    // m ∈ {1, 4, 8}: the realized per-chunk wire/aggregation path must
-    // reproduce the unchunked driver bit for bit (XNoise bookkeeping
-    // included — every client carries noise seeds here).
+    // m ∈ {1, 4, 8} × both collection engines: the realized per-chunk
+    // wire/aggregation path must reproduce the unchunked driver bit for
+    // bit (XNoise bookkeeping included — every client carries noise
+    // seeds here), whether frames are discovered by reactor readiness
+    // or by the legacy poll sweep.
     let p = params(8, 5, 2);
     let ins = inputs(8, 2);
     let d = driver_round(&p, &ins, &[]);
-    for m in [1usize, 4, 8] {
-        let n = net_round(&p, &ins, &BTreeMap::new(), m, Duration::from_secs(5));
-        assert_equivalent(&d, &n);
-        assert!(
-            n.chunks >= 1 && n.chunks <= m,
-            "realized {} of {m}",
-            n.chunks
-        );
-        assert!(n.dropouts.is_empty(), "m={m}: {:?}", n.dropouts);
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        for m in [1usize, 4, 8] {
+            let n = net_round(&p, &ins, &BTreeMap::new(), m, Duration::from_secs(5), mode);
+            assert_equivalent(&d, &n);
+            assert!(
+                n.chunks >= 1 && n.chunks <= m,
+                "realized {} of {m}",
+                n.chunks
+            );
+            assert!(n.dropouts.is_empty(), "{mode:?} m={m}: {:?}", n.dropouts);
+            assert_eq!(
+                n.reactor.is_some(),
+                mode == CollectMode::Reactor,
+                "stats reported by the wrong engine"
+            );
+        }
     }
 }
 
@@ -193,17 +206,23 @@ fn midstream_disconnect_is_a_detected_chunk_dropout() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &[(2, DropStage::BeforeMaskedInput)]);
-    let n = net_round(&p, &ins, &fails, 4, Duration::from_secs(5));
-    assert_equivalent(&d, &n);
-    assert_eq!(n.outcome.dropped, vec![2]);
-    let det = n
-        .dropouts
-        .iter()
-        .find(|x| x.client == 2)
-        .expect("client 2 detected");
-    assert_eq!(det.kind, DropKind::Disconnected);
-    assert_eq!(det.stage, "MaskedInputCollection");
-    assert_eq!(det.chunk, Some(2), "detected at the chunk the stream died");
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let n = net_round(&p, &ins, &fails, 4, Duration::from_secs(5), mode);
+        assert_equivalent(&d, &n);
+        assert_eq!(n.outcome.dropped, vec![2]);
+        let det = n
+            .dropouts
+            .iter()
+            .find(|x| x.client == 2)
+            .expect("client 2 detected");
+        assert_eq!(det.kind, DropKind::Disconnected);
+        assert_eq!(det.stage, "MaskedInputCollection");
+        assert_eq!(
+            det.chunk,
+            Some(2),
+            "{mode:?}: detected at the chunk the stream died"
+        );
+    }
 }
 
 #[test]
@@ -222,16 +241,18 @@ fn midstream_silence_hits_the_per_chunk_deadline() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &[(3, DropStage::BeforeMaskedInput)]);
-    let n = net_round(&p, &ins, &fails, 4, Duration::from_millis(700));
-    assert_equivalent(&d, &n);
-    let det = n
-        .dropouts
-        .iter()
-        .find(|x| x.client == 3)
-        .expect("client 3 detected");
-    assert_eq!(det.kind, DropKind::DeadlineMissed);
-    assert_eq!(det.stage, "MaskedInputCollection");
-    assert_eq!(det.chunk, Some(1));
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let n = net_round(&p, &ins, &fails, 4, Duration::from_millis(700), mode);
+        assert_equivalent(&d, &n);
+        let det = n
+            .dropouts
+            .iter()
+            .find(|x| x.client == 3)
+            .expect("client 3 detected");
+        assert_eq!(det.kind, DropKind::DeadlineMissed, "{mode:?}");
+        assert_eq!(det.stage, "MaskedInputCollection");
+        assert_eq!(det.chunk, Some(1));
+    }
 }
 
 #[test]
@@ -251,9 +272,11 @@ fn chunked_xnoise_recovery_with_unmasking_dropout() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &[(4, DropStage::BeforeUnmasking)]);
-    let n = net_round(&p, &ins, &fails, 4, Duration::from_secs(5));
-    assert_equivalent(&d, &n);
-    // Client 4 is in U3 (its chunks all arrived) but not in U5.
-    assert!(n.outcome.survivors.contains(&4));
-    assert!(n.stats.stage("ExcessiveNoiseRemoval").is_some());
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let n = net_round(&p, &ins, &fails, 4, Duration::from_secs(5), mode);
+        assert_equivalent(&d, &n);
+        // Client 4 is in U3 (its chunks all arrived) but not in U5.
+        assert!(n.outcome.survivors.contains(&4));
+        assert!(n.stats.stage("ExcessiveNoiseRemoval").is_some());
+    }
 }

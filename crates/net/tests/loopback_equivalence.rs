@@ -10,7 +10,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dordis_net::coordinator::{run_coordinator, CoordinatorConfig, DropKind, NetRoundReport};
+use dordis_net::coordinator::{
+    run_coordinator, CollectMode, CoordinatorConfig, DropKind, NetRoundReport,
+};
 use dordis_net::runtime::{run_client, ClientOptions, FailAction, FailPoint, FailStage};
 use dordis_net::transport::LoopbackHub;
 use dordis_secagg::client::{ClientInput, Identity};
@@ -78,6 +80,7 @@ fn net_round(
     inputs: &BTreeMap<ClientId, ClientInput>,
     fails: &BTreeMap<ClientId, FailPoint>,
     stage_timeout: Duration,
+    mode: CollectMode,
 ) -> NetRoundReport {
     let (hub, mut acceptor) = LoopbackHub::new();
     let registry: Option<Arc<BTreeMap<ClientId, _>>> =
@@ -123,7 +126,8 @@ fn net_round(
     }
     let report = run_coordinator(
         &mut acceptor,
-        &CoordinatorConfig::single(params.clone(), Duration::from_secs(10), stage_timeout),
+        &CoordinatorConfig::single(params.clone(), Duration::from_secs(10), stage_timeout)
+            .with_mode(mode),
     )
     .expect("coordinator");
     for h in handles {
@@ -169,13 +173,15 @@ fn equivalent_no_dropout_xnoise_round() {
     let p = params(8, 5, MaskingGraph::Complete, ThreatModel::SemiHonest);
     let ins = inputs(8);
     let d = driver_round(&p, &ins, &[]);
-    let n = net_round(&p, &ins, &BTreeMap::new(), Duration::from_secs(5));
-    assert_equivalent(&d, &n);
-    assert_eq!(d.sum, expected_sum(&ins, &d.survivors));
-    assert_eq!(n.outcome.survivors.len(), 8);
-    assert!(n.dropouts.is_empty());
-    // Every survivor's seeds for components 1..=2 were recovered.
-    assert_eq!(sorted_seeds(&n.outcome).len(), 16);
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let n = net_round(&p, &ins, &BTreeMap::new(), Duration::from_secs(5), mode);
+        assert_equivalent(&d, &n);
+        assert_eq!(d.sum, expected_sum(&ins, &d.survivors));
+        assert_eq!(n.outcome.survivors.len(), 8);
+        assert!(n.dropouts.is_empty(), "{mode:?}: {:?}", n.dropouts);
+        // Every survivor's seeds for components 1..=2 were recovered.
+        assert_eq!(sorted_seeds(&n.outcome).len(), 16);
+    }
 }
 
 #[test]
@@ -199,13 +205,15 @@ fn equivalent_with_disconnect_dropouts() {
         })
         .collect();
     let d = driver_round(&p, &ins, &drops);
-    let n = net_round(&p, &ins, &fails, Duration::from_secs(5));
-    assert_equivalent(&d, &n);
-    assert_eq!(n.outcome.dropped, vec![2, 6]);
-    assert!(n
-        .dropouts
-        .iter()
-        .any(|x| x.client == 2 && x.kind == DropKind::Disconnected));
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let n = net_round(&p, &ins, &fails, Duration::from_secs(5), mode);
+        assert_equivalent(&d, &n);
+        assert_eq!(n.outcome.dropped, vec![2, 6]);
+        assert!(n
+            .dropouts
+            .iter()
+            .any(|x| x.client == 2 && x.kind == DropKind::Disconnected));
+    }
 }
 
 #[test]
@@ -223,8 +231,10 @@ fn equivalent_secagg_plus_sparse_graph() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &drops);
-    let n = net_round(&p, &ins, &fails, Duration::from_secs(5));
-    assert_equivalent(&d, &n);
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let n = net_round(&p, &ins, &fails, Duration::from_secs(5), mode);
+        assert_equivalent(&d, &n);
+    }
 }
 
 #[test]
@@ -242,9 +252,11 @@ fn equivalent_malicious_model_round() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &drops);
-    let n = net_round(&p, &ins, &fails, Duration::from_secs(5));
-    assert_equivalent(&d, &n);
-    assert!(n.stats.stage("ConsistencyCheck").is_some());
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let n = net_round(&p, &ins, &fails, Duration::from_secs(5), mode);
+        assert_equivalent(&d, &n);
+        assert!(n.stats.stage("ConsistencyCheck").is_some());
+    }
 }
 
 #[test]
@@ -263,15 +275,17 @@ fn silent_client_detected_by_stage_deadline() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &[(3, DropStage::BeforeMaskedInput)]);
-    let n = net_round(&p, &ins, &fails, Duration::from_millis(900));
-    assert_equivalent(&d, &n);
-    let detection = n
-        .dropouts
-        .iter()
-        .find(|x| x.client == 3)
-        .expect("client 3 detected");
-    assert_eq!(detection.kind, DropKind::DeadlineMissed);
-    assert_eq!(detection.stage, "MaskedInputCollection");
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let n = net_round(&p, &ins, &fails, Duration::from_millis(900), mode);
+        assert_equivalent(&d, &n);
+        let detection = n
+            .dropouts
+            .iter()
+            .find(|x| x.client == 3)
+            .expect("client 3 detected");
+        assert_eq!(detection.kind, DropKind::DeadlineMissed, "{mode:?}");
+        assert_eq!(detection.stage, "MaskedInputCollection");
+    }
 }
 
 #[test]
