@@ -6,8 +6,9 @@
 //! dordis train task.json --json       # machine-readable report
 //! dordis plan 6.0 0.01 150 0.16       # offline noise planning only
 //!
-//! # Networked SecAgg+ round over TCP (one server, N clients):
-//! dordis serve --listen 127.0.0.1:7700 --clients 5 --threshold 3
+//! # Networked SecAgg+ session over TCP (one server, N clients,
+//! # R rounds over persistent connections):
+//! dordis serve --listen 127.0.0.1:7700 --clients 5 --threshold 3 --rounds 3
 //! dordis join --connect 127.0.0.1:7700 --id 0   # ... one per client
 //! ```
 
@@ -19,10 +20,11 @@ use dordis_core::protocol::demo_update;
 use dordis_core::trainer::train;
 use dordis_dp::accountant::Mechanism;
 use dordis_dp::planner::{plan, PlannerConfig};
-use dordis_net::coordinator::{run_coordinator, CollectMode, CoordinatorConfig};
+use dordis_net::coordinator::{CollectMode, CoordinatorConfig, NetRoundReport};
 use dordis_net::runtime::{
-    run_client, ClientOptions, ClientRunOutcome, FailAction, FailPoint, FailStage,
+    run_session_client, FailAction, FailPoint, FailStage, SessionClientOptions, SessionEndKind,
 };
+use dordis_net::session::{Seating, Session, SessionConfig};
 use dordis_net::tcp::{TcpAcceptor, TcpChannel};
 use dordis_net::transport::Acceptor as _;
 use dordis_secagg::client::ClientInput;
@@ -41,11 +43,11 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage:\n  dordis example-config\n  dordis train <task.json> [--json]\n  \
                  dordis plan <epsilon> <delta> <rounds> <sample_rate>\n  \
-                 dordis serve --listen <addr> --clients <n> --threshold <t> [--dim D] \
-                 [--bits B] [--graph complete|harary] [--round R] [--noise-components T] \
-                 [--chunks M] [--stage-timeout-ms MS] [--join-timeout-ms MS] \
-                 [--collect reactor|sweep] [--verify-demo]\n  \
-                 dordis join --connect <addr> --id <k> [--seed S] \
+                 dordis serve --listen <addr> --clients <n> --threshold <t> [--rounds R] \
+                 [--dim D] [--bits B] [--graph complete|harary] [--round R0] \
+                 [--noise-components T] [--chunks M] [--stage-timeout-ms MS] \
+                 [--join-timeout-ms MS] [--collect reactor|sweep] [--verify-demo]\n  \
+                 dordis join --connect <addr> --id <k> [--seed S] [--fail-round R] \
                  [--drop-at advertise|share-keys|masked-input|consistency|unmasking|noise-shares] \
                  [--drop-after-chunks K] [--drop-mode disconnect|silent] [--timeout-ms MS]"
             );
@@ -87,7 +89,8 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     let threshold: usize = flag_parse(args, "--threshold", (clients as usize * 2).div_ceil(3))?;
     let dim: usize = flag_parse(args, "--dim", 16)?;
     let bits: u32 = flag_parse(args, "--bits", 20)?;
-    let round: u64 = flag_parse(args, "--round", 1)?;
+    let rounds: u64 = flag_parse(args, "--rounds", 1)?;
+    let first_round: u64 = flag_parse(args, "--round", 1)?;
     let noise_components: usize = flag_parse(args, "--noise-components", 0)?;
     // 0 = planner-chosen (§4.2 cost-model sweep).
     let chunks_flag: usize = flag_parse(args, "--chunks", 0)?;
@@ -104,9 +107,12 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
         "harary" => MaskingGraph::harary_for(clients as usize),
         other => return Err(format!("unknown graph `{other}`")),
     };
+    if rounds == 0 {
+        return Err("--rounds must be at least 1".into());
+    }
 
     let params = RoundParams {
-        round,
+        round: first_round,
         clients: (0..clients).collect(),
         threshold,
         bit_width: bits,
@@ -126,32 +132,57 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     let mut acceptor = TcpAcceptor::bind(listen).map_err(|e| e.to_string())?;
     // The OS-assigned port must be announced before clients can join.
     println!("listening on {}", acceptor.local_addr());
-    println!("data plane: {chunks} chunk(s) requested");
+    println!("session:   {rounds} round(s), {chunks} chunk(s) requested");
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
-    let report = run_coordinator(
-        &mut acceptor,
-        &CoordinatorConfig::new(
-            params,
-            Duration::from_millis(join_timeout),
-            Duration::from_millis(stage_timeout),
-            chunks,
-            None,
-        )
-        .with_mode(mode),
-    )
-    .map_err(|e| e.to_string())?;
+    let cfg = SessionConfig {
+        first_round,
+        rounds,
+        join_timeout: Duration::from_millis(join_timeout),
+        stage_timeout: Duration::from_millis(stage_timeout),
+        chunks,
+        chunk_compute: None,
+        tick: CoordinatorConfig::DEFAULT_TICK,
+        mode,
+        announce: true,
+        population: (0..clients).collect(),
+        seating: Seating::Roster,
+        params_for: Box::new(move |round, _| {
+            let mut p = params.clone();
+            p.round = round;
+            p
+        }),
+    };
+    let mut session = Session::new(&mut acceptor, cfg).map_err(|e| e.to_string())?;
+    let mut failed = false;
+    for _ in 0..rounds {
+        let report = session.run_round(&[]).map_err(|e| e.to_string())?;
+        if !print_round(&report, dim, bits, verify_demo) {
+            failed = true;
+        }
+    }
+    session.finish();
+    println!("session complete ({rounds} round(s))");
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+/// Prints one round's report; returns false when demo verification
+/// fails.
+fn print_round(report: &NetRoundReport, dim: usize, bits: u32, verify_demo: bool) -> bool {
     if let Some(r) = &report.reactor {
         println!(
-            "reactor:   {} polls, {} events, {} timer fires",
+            "reactor:   {} polls, {} events, {} timer fires (cumulative)",
             r.polls, r.events, r.timer_fires
         );
     }
-
     println!(
-        "round {round} complete ({} chunk(s) realized)",
-        report.chunks
+        "round {} complete ({} chunk(s) realized)",
+        report.round, report.chunks
     );
     println!("survivors: {:?}", report.outcome.survivors);
     println!("dropped:   {:?}", report.outcome.dropped);
@@ -160,6 +191,9 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
             "detected:  client {} at {} ({:?})",
             d.client, d.stage, d.kind
         );
+    }
+    if report.stale_frames > 0 {
+        println!("stale:     {} frame(s) discarded", report.stale_frames);
     }
     let preview: Vec<u64> = report.outcome.sum.iter().copied().take(8).collect();
     println!("sum[..{}]: {:?}", preview.len(), preview);
@@ -180,10 +214,10 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
             println!("demo verification: OK (aggregate equals survivors' demo updates)");
         } else {
             println!("demo verification: MISMATCH");
-            return Ok(ExitCode::FAILURE);
+            return false;
         }
     }
-    Ok(ExitCode::SUCCESS)
+    true
 }
 
 fn join_cmd(args: &[String]) -> ExitCode {
@@ -242,19 +276,24 @@ fn join_inner(args: &[String]) -> Result<ExitCode, String> {
             Some(FailPoint { stage, action })
         }
     };
+    // Scripted failures fire in this round of the session; run `join`
+    // again afterwards to rejoin from the next round's announce.
+    let fail_round: u64 = flag_parse(args, "--fail-round", 1)?;
 
     let mut chan = TcpChannel::connect(connect).map_err(|e| e.to_string())?;
-    let opts = ClientOptions {
+    let opts = SessionClientOptions {
         id,
         rng_seed: seed,
-        fail,
         recv_timeout: Duration::from_millis(timeout),
         silent_linger: Duration::from_millis(timeout),
     };
-    let outcome = run_client(
+    let report = run_session_client(
         &mut chan,
         &opts,
-        |params| {
+        |_| None, // roster sessions are claim-free
+        |round| fail.filter(|_| round == fail_round),
+        |round, params, _payload| {
+            println!("client {id}: seated in round {round}");
             Ok(ClientInput {
                 vector: demo_update(id, params.vector_len, params.bit_width),
                 noise_seeds: if params.noise_components == 0 {
@@ -277,20 +316,26 @@ fn join_inner(args: &[String]) -> Result<ExitCode, String> {
     )
     .map_err(|e| e.to_string())?;
 
-    match outcome {
-        ClientRunOutcome::Finished { survivors } => {
-            println!("client {id}: round finished, {} survivors", survivors.len());
+    for r in &report.rounds {
+        println!("client {id}: round {} -> {:?}", r.round, r.outcome);
+    }
+    match report.end {
+        SessionEndKind::Ended => {
+            println!(
+                "client {id}: session ended after {} round(s)",
+                report.rounds.len()
+            );
             Ok(ExitCode::SUCCESS)
         }
-        ClientRunOutcome::Failed { stage } => {
-            println!("client {id}: dropped as scripted before {stage:?}");
+        SessionEndKind::Failed { round, stage } => {
+            println!("client {id}: dropped as scripted in round {round} before {stage:?}");
             Ok(ExitCode::SUCCESS)
         }
-        ClientRunOutcome::Aborted { reason } => {
-            eprintln!("client {id}: aborted: {reason}");
+        SessionEndKind::Aborted { round, reason } => {
+            eprintln!("client {id}: aborted in round {round}: {reason}");
             Ok(ExitCode::FAILURE)
         }
-        ClientRunOutcome::ServerAborted { reason } => {
+        SessionEndKind::ServerAborted { reason } => {
             eprintln!("client {id}: server aborted: {reason}");
             Ok(ExitCode::FAILURE)
         }

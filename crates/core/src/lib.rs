@@ -47,6 +47,7 @@
 pub mod config;
 pub mod protocol;
 pub mod sampling;
+pub mod session;
 pub mod timing;
 pub mod trainer;
 

@@ -92,6 +92,38 @@ pub fn self_select(
     }
 }
 
+/// Verifies one claim and returns its selection value.
+///
+/// # Errors
+///
+/// A human-readable reason: unregistered key, non-verifying proof,
+/// output/proof mismatch, or a value above the threshold (an invalid
+/// self-selection the server should never have accepted).
+pub fn verify_claim(
+    claim: &ParticipationClaim,
+    keys: &dyn Fn(u32) -> Option<VrfPublicKey>,
+    round: u64,
+    cfg: &SamplingConfig,
+) -> Result<u64, String> {
+    let input = round_input(round);
+    let pk = keys(claim.client)
+        .ok_or_else(|| format!("no VRF key registered for client {}", claim.client))?;
+    let output = pk
+        .verify(&input, &claim.proof)
+        .map_err(|e| format!("client {}: bad VRF proof: {e}", claim.client))?;
+    if output != claim.output {
+        return Err(format!(
+            "client {}: output does not match proof",
+            claim.client
+        ));
+    }
+    let value = selection_value(&output);
+    if value > cfg.threshold() {
+        return Err(format!("client {}: not actually selected", claim.client));
+    }
+    Ok(value)
+}
+
 /// Verifier side (server or peer): validate claims, reject invalid ones,
 /// and trim to the target size by ascending selection value.
 ///
@@ -106,34 +138,88 @@ pub fn verify_and_trim(
     round: u64,
     cfg: &SamplingConfig,
 ) -> Result<Vec<u32>, DordisError> {
-    let input = round_input(round);
     let mut valid: Vec<(u64, u32)> = Vec::with_capacity(claims.len());
     for claim in claims {
-        let pk = keys(claim.client).ok_or_else(|| {
-            DordisError::Config(format!("no VRF key registered for client {}", claim.client))
-        })?;
-        let output = pk.verify(&input, &claim.proof).map_err(|e| {
-            DordisError::Config(format!("client {}: bad VRF proof: {e}", claim.client))
-        })?;
-        if output != claim.output {
-            return Err(DordisError::Config(format!(
-                "client {}: output does not match proof",
-                claim.client
-            )));
-        }
-        let value = selection_value(&output);
-        if value > cfg.threshold() {
-            return Err(DordisError::Config(format!(
-                "client {}: not actually selected",
-                claim.client
-            )));
-        }
+        let value = verify_claim(claim, keys, round, cfg).map_err(DordisError::Config)?;
         valid.push((value, claim.client));
     }
     // Indiscriminate trimming: smallest selection values win.
     valid.sort_unstable();
     valid.truncate(cfg.target_sample);
     Ok(valid.into_iter().map(|(_, c)| c).collect())
+}
+
+/// A round's seating decision over a batch of claims.
+#[derive(Clone, Debug, Default)]
+pub struct SeatedCohort {
+    /// The seated cohort, by ascending selection value (the order
+    /// becomes the round's client list on both execution paths).
+    pub seated: Vec<u32>,
+    /// Claims that failed verification, with reasons. Valid claimants
+    /// that merely lost the trim are in neither list.
+    pub rejected: Vec<(u32, String)>,
+}
+
+/// The session-coordinator seating rule: verify every claim
+/// individually — a forged claim costs only its sender a seat, unlike
+/// [`verify_and_trim`]'s all-or-nothing contract — then trim the valid
+/// ones to the target size by ascending selection value.
+#[must_use]
+pub fn seat_claims(
+    claims: &[ParticipationClaim],
+    keys: &dyn Fn(u32) -> Option<VrfPublicKey>,
+    round: u64,
+    cfg: &SamplingConfig,
+) -> SeatedCohort {
+    let mut valid: Vec<(u64, u32)> = Vec::with_capacity(claims.len());
+    let mut rejected = Vec::new();
+    for claim in claims {
+        match verify_claim(claim, keys, round, cfg) {
+            Ok(value) => valid.push((value, claim.client)),
+            Err(why) => rejected.push((claim.client, why)),
+        }
+    }
+    valid.sort_unstable();
+    valid.truncate(cfg.target_sample);
+    SeatedCohort {
+        seated: valid.into_iter().map(|(_, c)| c).collect(),
+        rejected,
+    }
+}
+
+/// Wire encoding of a [`ParticipationClaim`] (132 bytes: client id,
+/// VRF output, proof `(Γ, c, s)`) — the claim bytes a session client
+/// sends inside its per-round Join frame.
+#[must_use]
+pub fn encode_claim(claim: &ParticipationClaim) -> Vec<u8> {
+    let mut out = Vec::with_capacity(132);
+    out.extend_from_slice(&claim.client.to_le_bytes());
+    out.extend_from_slice(&claim.output);
+    out.extend_from_slice(&claim.proof.gamma);
+    out.extend_from_slice(&claim.proof.c);
+    out.extend_from_slice(&claim.proof.s);
+    out
+}
+
+/// Decodes a claim produced by [`encode_claim`].
+///
+/// # Errors
+///
+/// Rejects bodies that are not exactly 132 bytes.
+pub fn decode_claim(body: &[u8]) -> Result<ParticipationClaim, String> {
+    if body.len() != 132 {
+        return Err(format!("claim must be 132 bytes, got {}", body.len()));
+    }
+    let take32 = |at: usize| -> [u8; 32] { body[at..at + 32].try_into().expect("32 bytes") };
+    Ok(ParticipationClaim {
+        client: u32::from_le_bytes(body[..4].try_into().expect("4 bytes")),
+        output: take32(4),
+        proof: VrfProof {
+            gamma: take32(36),
+            c: take32(68),
+            s: take32(100),
+        },
+    })
 }
 
 #[cfg(test)]
@@ -229,6 +315,58 @@ mod tests {
         let mut claims = claims_for_round(6);
         claims[0].client = 1000;
         assert!(verify_and_trim(&claims, &registry, 6, &cfg()).is_err());
+    }
+
+    #[test]
+    fn claim_wire_roundtrip() {
+        let claim = self_select(&key_for(3), 3, 11, &cfg())
+            .or_else(|| (0..100u32).find_map(|id| self_select(&key_for(id), id, 11, &cfg())))
+            .expect("someone self-selects");
+        let bytes = encode_claim(&claim);
+        assert_eq!(bytes.len(), 132);
+        let back = decode_claim(&bytes).unwrap();
+        assert_eq!(back.client, claim.client);
+        assert_eq!(back.output, claim.output);
+        assert_eq!(back.proof, claim.proof);
+        assert!(decode_claim(&bytes[..131]).is_err());
+    }
+
+    #[test]
+    fn seat_claims_rejects_forgeries_without_discarding_honest_claims() {
+        // verify_and_trim is all-or-nothing: one forged claim aborts the
+        // whole batch. seat_claims must instead seat the honest cohort
+        // and name the forger.
+        let mut claims = claims_for_round(9);
+        let honest = claims.len();
+        let outsider = (0..100u32)
+            .find(|&id| self_select(&key_for(id), id, 9, &cfg()).is_none())
+            .expect("someone is unselected");
+        let mut forged = claims[0].clone();
+        forged.client = outsider;
+        claims.push(forged);
+
+        assert!(verify_and_trim(&claims, &registry, 9, &cfg()).is_err());
+        let cohort = seat_claims(&claims, &registry, 9, &cfg());
+        assert_eq!(cohort.rejected.len(), 1);
+        assert_eq!(cohort.rejected[0].0, outsider);
+        assert_eq!(cohort.seated.len(), honest.min(16));
+        assert!(!cohort.seated.contains(&outsider));
+        // Where both accept, they agree (same trim rule).
+        let honest_claims = claims_for_round(9);
+        let trimmed = verify_and_trim(&honest_claims, &registry, 9, &cfg()).unwrap();
+        assert_eq!(cohort.seated, trimmed);
+    }
+
+    #[test]
+    fn seat_claims_rejects_stale_round_claims() {
+        // A claim evaluated for round 3 cannot seat its sender in
+        // round 4 — the per-round resampling the session relies on.
+        let claims3 = claims_for_round(3);
+        let cohort = seat_claims(&claims3, &registry, 4, &cfg());
+        // Round 4's VRF input differs, so every round-3 proof fails
+        // verification against it: all rejected, none seated.
+        assert_eq!(cohort.seated.len(), 0, "no round-3 claim seats in round 4");
+        assert_eq!(cohort.rejected.len(), claims3.len());
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub struct TrainingReport {
     pub stopped_early: bool,
 }
 
-fn build_model(spec: &TaskSpec, data: &Dataset) -> Box<dyn Model> {
+pub(crate) fn build_model(spec: &TaskSpec, data: &Dataset) -> Box<dyn Model> {
     match spec.model {
         ModelSpec::Linear => Box::new(Linear::new(data.dim(), data.num_classes)),
         ModelSpec::Mlp { hidden } => {
@@ -76,18 +76,81 @@ fn build_model(spec: &TaskSpec, data: &Dataset) -> Box<dyn Model> {
     }
 }
 
-fn build_optimizer(spec: &TaskSpec) -> Box<dyn Optimizer> {
+pub(crate) fn build_optimizer(spec: &TaskSpec) -> Box<dyn Optimizer> {
     match spec.optimizer {
         OptimizerSpec::Sgd { lr, momentum } => Box::new(Sgd::new(lr, momentum)),
         OptimizerSpec::AdamW { lr, weight_decay } => Box::new(AdamW::new(lr, weight_decay)),
     }
 }
 
-fn master_seed(spec: &TaskSpec) -> Seed {
+pub(crate) fn master_seed(spec: &TaskSpec) -> Seed {
     let mut s = [0u8; 32];
     s[..8].copy_from_slice(&spec.seed.to_le_bytes());
     s[8..12].copy_from_slice(&(spec.name.len() as u32).to_le_bytes());
     s
+}
+
+/// One client's clipped local-training delta for one round — the
+/// client-side semantic step both the in-memory trainer and the
+/// networked session trainer run. `client_key` keys the local-training
+/// RNG (the client's population index on every path, so the same
+/// `(round, client)` pair yields the same delta everywhere).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn clipped_local_delta(
+    spec: &TaskSpec,
+    model: &mut dyn Model,
+    opt: &mut dyn Optimizer,
+    global: &[f32],
+    train_set: &Dataset,
+    shard_idx: &[usize],
+    round: u32,
+    client_key: u64,
+) -> Vec<f32> {
+    let shard = train_set.subset(shard_idx);
+    let update = local_train(
+        model,
+        global,
+        &shard,
+        opt,
+        &LocalTrainConfig {
+            epochs: spec.local_epochs,
+            batch_size: spec.batch_size,
+            seed: spec.seed ^ (u64::from(round) << 16) ^ client_key,
+        },
+    );
+    let mut delta = update.delta;
+    clip_l2(&mut delta, spec.privacy.clip as f32);
+    delta
+}
+
+/// The central noise multiplier a released aggregate actually carries,
+/// per variant (the quantity the privacy ledger records, Figures 8/9).
+pub(crate) fn achieved_noise_multiplier(
+    variant: Variant,
+    z_star: f64,
+    target_variance: f64,
+    n: usize,
+    surv: usize,
+    xnoise_plan: Option<&XNoisePlan>,
+) -> f64 {
+    match variant {
+        Variant::Orig | Variant::Early => z_star * (surv as f64 / n as f64).sqrt(),
+        Variant::Conservative { est_dropout } => {
+            z_star * (surv as f64 / ((n as f64) * (1.0 - est_dropout))).sqrt()
+        }
+        Variant::XNoise { .. } => {
+            let plan = xnoise_plan.expect("xnoise plan built");
+            if n - surv <= plan.dropout_tolerance {
+                z_star * plan.inflation().sqrt()
+            } else {
+                // Beyond tolerance: all added noise stays, but it is
+                // still below target.
+                let residual = surv as f64 * plan.per_client_variance();
+                z_star * (residual / target_variance).sqrt()
+            }
+        }
+        Variant::NonPrivate => 0.0,
+    }
 }
 
 /// Runs a full training task and reports utility and privacy.
@@ -210,21 +273,16 @@ pub fn train(spec: &TaskSpec) -> Result<TrainingReport, DordisError> {
                     part.iter()
                         .map(|&pos| {
                             let client = sampled[pos];
-                            let shard = train_set.subset(&shards[client]);
-                            let update = local_train(
+                            clipped_local_delta(
+                                spec,
                                 local_model.as_mut(),
-                                global,
-                                &shard,
                                 local_opt.as_mut(),
-                                &LocalTrainConfig {
-                                    epochs: spec.local_epochs,
-                                    batch_size: spec.batch_size,
-                                    seed: spec.seed ^ (u64::from(round) << 16) ^ client as u64,
-                                },
-                            );
-                            let mut delta = update.delta;
-                            clip_l2(&mut delta, spec.privacy.clip as f32);
-                            delta
+                                global,
+                                train_set,
+                                &shards[client],
+                                round,
+                                client as u64,
+                            )
                         })
                         .collect::<Vec<_>>()
                 }));
@@ -377,32 +435,21 @@ fn aggregate_private(
         sum = add_mod(&sum, e, bits);
     }
 
-    // Excess-noise removal and achieved-noise bookkeeping.
-    let achieved = match spec.variant {
-        Variant::Orig | Variant::Early => z_star * (surv as f64 / n as f64).sqrt(),
-        Variant::Conservative { est_dropout } => {
-            z_star * (surv as f64 / ((n as f64) * (1.0 - est_dropout))).sqrt()
+    // Excess-noise removal.
+    if let Variant::XNoise { .. } = spec.variant {
+        let plan = xnoise_plan.expect("xnoise plan built");
+        if dropped <= plan.dropout_tolerance {
+            let ids: Vec<u32> = survivors.iter().map(|&p| p as u32).collect();
+            remove_excess(&mut sum, &removal_seeds, &ids, plan, bits)?;
         }
-        Variant::XNoise { .. } => {
-            let plan = xnoise_plan.expect("xnoise plan built");
-            if dropped <= plan.dropout_tolerance {
-                let ids: Vec<u32> = survivors.iter().map(|&p| p as u32).collect();
-                remove_excess(&mut sum, &removal_seeds, &ids, plan, bits)?;
-                z_star * plan.inflation().sqrt()
-            } else {
-                // Beyond tolerance: all added noise stays, but it is
-                // still below target.
-                let residual = surv as f64 * plan.per_client_variance();
-                z_star * (residual / target_variance).sqrt()
-            }
-        }
-        Variant::NonPrivate => unreachable!(),
-    };
+    }
+    let achieved =
+        achieved_noise_multiplier(spec.variant, z_star, target_variance, n, surv, xnoise_plan);
 
     Ok((encoder.decode(&sum, dim), achieved))
 }
 
-fn add_noise_mod(enc: &mut [u64], noise: &[i64], bits: u32) {
+pub(crate) fn add_noise_mod(enc: &mut [u64], noise: &[i64], bits: u32) {
     let modulus = 1i64 << bits;
     let mask = (1u64 << bits) - 1;
     for (e, &z) in enc.iter_mut().zip(noise.iter()) {

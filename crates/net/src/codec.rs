@@ -31,7 +31,13 @@ use crate::NetError;
 /// Wire protocol version; bumped on any incompatible layout change.
 /// v2: the envelope header gained a `chunk u16` field and masked inputs
 /// travel as one frame per [`ChunkPlan`] chunk.
-pub const WIRE_VERSION: u8 = 2;
+/// v3: multi-round sessions — three session-control stages
+/// ([`StageTag::RoundAnnounce`], [`StageTag::Decline`],
+/// [`StageTag::SessionEnd`]), Join bodies may carry a participation
+/// claim after the client id, and Setup bodies carry an opaque
+/// application payload (e.g. the current global model) after the chunk
+/// count.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Envelope header bytes: version, stage, round, chunk.
 pub const HEADER_BYTES: usize = 1 + 1 + 8 + 2;
@@ -74,6 +80,15 @@ pub enum StageTag {
     Finished = 13,
     /// Either direction: the sender is aborting, with a reason.
     Abort = 14,
+    /// Server → client: a new session round is opening; answer with
+    /// [`StageTag::Join`] (with a claim when required) or
+    /// [`StageTag::Decline`].
+    RoundAnnounce = 15,
+    /// Client → server: not participating in the announced round (e.g.
+    /// the VRF said no); the connection stays open for later rounds.
+    Decline = 16,
+    /// Server → client: the session is over; close the connection.
+    SessionEnd = 17,
 }
 
 impl StageTag {
@@ -97,6 +112,9 @@ impl StageTag {
             12 => NoiseShares,
             13 => Finished,
             14 => Abort,
+            15 => RoundAnnounce,
+            16 => Decline,
+            17 => SessionEnd,
             _ => return None,
         })
     }
@@ -182,6 +200,25 @@ impl Envelope {
         out.extend_from_slice(&self.chunk.to_le_bytes());
         out.extend_from_slice(&self.body);
         out
+    }
+
+    /// Checks the frame's round id against the round a state machine is
+    /// executing. `Abort` frames pass regardless (they are round-free by
+    /// construction: a peer may abort with stale state).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::StaleRound`] on any mismatch, so a leftover frame
+    /// from round `r` can never be parsed into round `r + 1`'s state.
+    pub fn check_round(&self, expected: u64) -> Result<(), NetError> {
+        if self.round == expected || self.stage == StageTag::Abort {
+            Ok(())
+        } else {
+            Err(NetError::StaleRound {
+                got: self.round,
+                expected,
+            })
+        }
     }
 
     /// Parses a frame.
@@ -731,6 +768,52 @@ pub fn decode_join(body: &[u8]) -> Result<ClientId, NetError> {
     Ok(id)
 }
 
+/// Encodes a Join body carrying a participation claim: the client id
+/// followed by the opaque claim bytes (the coordinator hands them to the
+/// session's seating verifier — `dordis-net` never interprets them).
+#[must_use]
+pub fn encode_join_claim(client: ClientId, claim: &[u8]) -> Vec<u8> {
+    let mut out = encode_join(client);
+    out.extend_from_slice(claim);
+    out
+}
+
+/// Decodes a Join body into the claimed id and the (possibly empty)
+/// claim tail.
+///
+/// # Errors
+///
+/// Rejects bodies shorter than the 4-byte id.
+pub fn decode_join_claim(body: &[u8]) -> Result<(ClientId, Vec<u8>), NetError> {
+    let mut r = Reader::new(body);
+    let id = r.u32()?;
+    let claim = r.take(r.remaining())?.to_vec();
+    Ok((id, claim))
+}
+
+/// Encodes a RoundAnnounce body: whether the round requires a
+/// participation claim (versus a plain roster join).
+#[must_use]
+pub fn encode_announce(claims_required: bool) -> Vec<u8> {
+    vec![u8::from(claims_required)]
+}
+
+/// Decodes a RoundAnnounce body.
+///
+/// # Errors
+///
+/// Rejects bodies that are not exactly one flag byte.
+pub fn decode_announce(body: &[u8]) -> Result<bool, NetError> {
+    let mut r = Reader::new(body);
+    let flag = r.u8()?;
+    r.finish()?;
+    match flag {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(NetError::Codec(format!("bad announce flag {other}"))),
+    }
+}
+
 /// Encodes the Setup body: the full [`RoundParams`].
 #[must_use]
 pub fn encode_params(p: &RoundParams) -> Vec<u8> {
@@ -758,31 +841,34 @@ pub fn encode_params(p: &RoundParams) -> Vec<u8> {
     out
 }
 
-/// Encodes the full Setup body: the [`RoundParams`] plus the round's
-/// **requested** chunk count. Both sides re-derive the identical
-/// [`ChunkPlan`] by calling `ChunkPlan::aligned` with this count and the
-/// round's (vector_len, bit_width) — the requested count travels, not
-/// the realized bounds, so alignment clamping cannot diverge between
+/// Encodes the full Setup body: the [`RoundParams`], the round's
+/// **requested** chunk count, and an opaque application payload (e.g.
+/// the session's current global model; empty for plain rounds). Both
+/// sides re-derive the identical [`ChunkPlan`] by calling
+/// `ChunkPlan::aligned` with this count and the round's
+/// (vector_len, bit_width) — the requested count travels, not the
+/// realized bounds, so alignment clamping cannot diverge between
 /// coordinator and clients.
 #[must_use]
-pub fn encode_setup(p: &RoundParams, chunks: u16) -> Vec<u8> {
+pub fn encode_setup(p: &RoundParams, chunks: u16, payload: &[u8]) -> Vec<u8> {
     let mut out = encode_params(p);
     out.extend_from_slice(&chunks.to_le_bytes());
+    out.extend_from_slice(payload);
     out
 }
 
-/// Decodes a Setup body into the round parameters and the requested
-/// chunk count.
+/// Decodes a Setup body into the round parameters, the requested chunk
+/// count, and the application payload tail.
 ///
 /// # Errors
 ///
 /// Rejects malformed bodies and unknown tags.
-pub fn decode_setup(body: &[u8]) -> Result<(RoundParams, u16), NetError> {
+pub fn decode_setup(body: &[u8]) -> Result<(RoundParams, u16, Vec<u8>), NetError> {
     let mut r = Reader::new(body);
     let params = decode_params_fields(&mut r)?;
     let chunks = r.u16()?;
-    r.finish()?;
-    Ok((params, chunks))
+    let payload = r.take(r.remaining())?.to_vec();
+    Ok((params, chunks, payload))
 }
 
 /// Decodes a params-only body (no chunk count; see [`decode_setup`] for

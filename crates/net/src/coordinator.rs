@@ -8,6 +8,21 @@
 //! *detected* and excluded, exactly as in the deployed system the paper
 //! evaluates (§6.1 measures dropout as missed per-stage responses).
 //!
+//! ## The round machine
+//!
+//! All per-round state — the secagg [`Server`], the [`ChunkPlan`], the
+//! traffic/dropout accounting, and the round id every frame is checked
+//! against — lives in a [`RoundMachine`]. A
+//! [`Session`](crate::session::Session) constructs one machine per
+//! round and runs them back to back over the same persistent
+//! connections; [`run_coordinator`] is the single-round convenience
+//! wrapper (one session, one round). A frame whose envelope carries a
+//! *different* round id than the machine's is never parsed into the
+//! round's state: frames from older rounds (a slow peer catching up
+//! after a session transition) are discarded and counted in
+//! [`NetRoundReport::stale_frames`]; frames claiming future rounds are
+//! protocol violations.
+//!
 //! ## The per-(stage, chunk) data plane
 //!
 //! Control-plane stages (key advertisement, share routing, consistency,
@@ -25,17 +40,15 @@
 //!
 //! ## Readiness-driven collection
 //!
-//! By default ([`CollectMode::Reactor`]) the three collection loops —
-//! join, per-(stage, chunk) masked-input collection, and the
-//! unmasking/noise-share interleave — are driven by
-//! [`reactor`](crate::reactor) events: the coordinator thread sleeps in
-//! `epoll_pwait` until a frame, a disconnect, or a deadline is actually
-//! ready, so one thread serves hundreds of chunk-streaming clients with
-//! `O(events)` wake-ups. The legacy round-robin sweep over blocking
-//! channels (`recv_deadline` in [`CoordinatorConfig::tick`] slices,
-//! `O(clients × ticks)`) survives as [`CollectMode::PollSweep`] for the
-//! comparison benches. Both modes run the identical chunk state machine
-//! and produce bit-equal outcomes.
+//! By default ([`CollectMode::Reactor`]) the collection loops are driven
+//! by [`reactor`](crate::reactor) events: the coordinator thread sleeps
+//! in `epoll_pwait` until a frame, a disconnect, or a deadline is
+//! actually ready, so one thread serves hundreds of chunk-streaming
+//! clients with `O(events)` wake-ups. The legacy round-robin sweep over
+//! blocking channels (`recv_deadline` in [`CoordinatorConfig::tick`]
+//! slices, `O(clients × ticks)`) survives as
+//! [`CollectMode::PollSweep`] for the comparison benches. Both modes run
+//! the identical chunk state machine and produce bit-equal outcomes.
 //!
 //! [`DropoutSchedule`]: dordis_secagg::driver::DropoutSchedule
 
@@ -53,7 +66,8 @@ use crate::codec::{
     encode_list, Encode, Envelope, FrameContext, StageTag,
 };
 use crate::reactor::{Event, EventedChannel, Reactor, ReactorStats, Token};
-use crate::transport::{recv_env, send_env, Acceptor};
+use crate::session::{Seating, Session, SessionConfig};
+use crate::transport::{send_env, Acceptor};
 use crate::NetError;
 
 /// How the coordinator discovers frames and deadlines.
@@ -71,8 +85,10 @@ pub enum CollectMode {
 
 /// Configuration of one coordinated round.
 pub struct CoordinatorConfig {
-    /// Protocol parameters; `params.clients` is the sampled set — ids
-    /// that never join are advertise-stage dropouts.
+    /// Protocol parameters; `params.clients` is the round's cohort — ids
+    /// that never join are advertise-stage dropouts. In a session the
+    /// cohort (and `params.round`) come from the session's per-round
+    /// seating, not from a fixed roster.
     pub params: RoundParams,
     /// How long to wait for the full sampled set to join before starting
     /// with whoever arrived.
@@ -173,6 +189,9 @@ pub struct DetectedDropout {
 
 /// Result of a coordinated round.
 pub struct NetRoundReport {
+    /// The round this report describes (the session's counter; the id
+    /// every frame of the round carried).
+    pub round: u64,
     /// The protocol outcome (same type the in-memory driver returns).
     pub outcome: RoundOutcome,
     /// Per-stage traffic, measured as actual framed bytes on the wire
@@ -183,15 +202,19 @@ pub struct NetRoundReport {
     pub dropouts: Vec<DetectedDropout>,
     /// Realized chunk count of the round's data plane.
     pub chunks: usize,
+    /// Frames from *older* rounds discarded by the typed
+    /// [`NetError::StaleRound`] check instead of being parsed into this
+    /// round's state.
+    pub stale_frames: u64,
     /// Event-loop wake-up accounting ([`CollectMode::Reactor`] only) —
-    /// the scale tests assert `polls` stays `O(events)`, not
-    /// `O(clients × ticks)`.
+    /// cumulative over the session's reactor; the scale tests assert
+    /// `polls` stays `O(events)`, not `O(clients × ticks)`.
     pub reactor: Option<ReactorStats>,
 }
 
 /// Per-stage uplink accumulator.
 #[derive(Default)]
-struct Traffic {
+pub(crate) struct Traffic {
     total: u64,
     max: u64,
 }
@@ -204,7 +227,7 @@ impl Traffic {
 }
 
 /// Live connections, keyed by authenticated-at-join client id.
-type Peers = BTreeMap<ClientId, Box<dyn EventedChannel>>;
+pub(crate) type Peers = BTreeMap<ClientId, Box<dyn EventedChannel>>;
 
 /// Background work a collection loop interleaves between polls (chunk
 /// unmasking during noise-share collection). Returns whether it did
@@ -215,20 +238,22 @@ type IdleWork<'a> = dyn FnMut(&mut Server) -> Result<bool, SecAggError> + 'a;
 /// Reactor token namespace: client tokens are the id itself; tokens at
 /// or above `JOIN_BASE` are provisional (unauthenticated) connections;
 /// the topmost values are reserved for the stage timer and the waker.
-const JOIN_BASE: u64 = 1 << 40;
+pub(crate) const JOIN_BASE: u64 = 1 << 40;
 
 /// Timer token for the active stage/chunk deadline.
-const STAGE_TOKEN: Token = Token(u64::MAX - 2);
+pub(crate) const STAGE_TOKEN: Token = Token(u64::MAX - 2);
 
-fn client_token(id: ClientId) -> Token {
+pub(crate) fn client_token(id: ClientId) -> Token {
     Token(u64::from(id))
 }
 
-fn client_of(token: Token) -> Option<ClientId> {
+pub(crate) fn client_of(token: Token) -> Option<ClientId> {
     (token.0 < JOIN_BASE).then_some(token.0 as ClientId)
 }
 
-/// Runs one full round over `acceptor`.
+/// Runs one full round over `acceptor` — the single-round convenience
+/// wrapper around a one-round [`Session`] with legacy (roster,
+/// eager-join) seating.
 ///
 /// Accepts joins until every sampled client is present or
 /// `join_timeout` passes, then drives the stages. Clients that vanish
@@ -244,392 +269,1083 @@ pub fn run_coordinator(
     acceptor: &mut dyn Acceptor,
     cfg: &CoordinatorConfig,
 ) -> Result<NetRoundReport, NetError> {
-    cfg.params.validate().map_err(NetError::SecAgg)?;
-    let round = cfg.params.round;
-    let requested_chunks = cfg.chunks.clamp(1, usize::from(u16::MAX));
-    let plan = ChunkPlan::aligned(
-        cfg.params.vector_len,
-        requested_chunks,
-        cfg.params.bit_width,
-    )
-    .map_err(|e| NetError::Protocol(format!("chunk plan: {e}")))?;
-    let mut stats = RoundStats::default();
-    let mut dropouts: Vec<DetectedDropout> = Vec::new();
-
-    let mut engine = match cfg.mode {
-        CollectMode::Reactor => Some(Reactor::new(cfg.tick)?),
-        CollectMode::PollSweep => None,
+    let params = cfg.params.clone();
+    let session_cfg = SessionConfig {
+        first_round: params.round,
+        rounds: 1,
+        join_timeout: cfg.join_timeout,
+        stage_timeout: cfg.stage_timeout,
+        chunks: cfg.chunks,
+        chunk_compute: cfg.chunk_compute,
+        tick: cfg.tick,
+        mode: cfg.mode,
+        announce: false,
+        population: Vec::new(),
+        seating: Seating::Roster,
+        params_for: Box::new(move |_, _| params.clone()),
     };
+    let mut session = Session::new(acceptor, session_cfg)?;
+    session.run_round(&[])
+}
 
-    // ---- Join phase. ----
-    let mut peers = match engine.as_mut() {
-        Some(reactor) => accept_joins_reactor(reactor, acceptor, cfg)?,
-        None => accept_joins_sweep(acceptor, cfg)?,
-    };
-    for &id in &cfg.params.clients {
-        if !peers.contains_key(&id) {
-            dropouts.push(DetectedDropout {
-                client: id,
-                stage: "Join",
-                chunk: None,
-                kind: DropKind::NeverJoined,
-            });
-        }
+// ---------------------------------------------------------------------
+// The per-round state machine.
+// ---------------------------------------------------------------------
+
+/// All state belonging to one protocol round: the secagg server, the
+/// chunk plan, the round id every envelope is checked against, and the
+/// traffic / dropout / stale-frame accounting. Constructed fresh per
+/// round by the [`Session`], so nothing can leak between rounds.
+pub struct RoundMachine {
+    round: u64,
+    plan: ChunkPlan,
+    requested_chunks: u16,
+    server: Server,
+    stats: RoundStats,
+    dropouts: Vec<DetectedDropout>,
+    stale_frames: u64,
+}
+
+impl RoundMachine {
+    /// Builds the machine for `cfg`'s round: validates the parameters,
+    /// derives the chunk plan, and resets the secagg server state.
+    ///
+    /// # Errors
+    ///
+    /// Invalid round parameters or an unrealizable chunk plan.
+    pub fn new(cfg: &CoordinatorConfig) -> Result<RoundMachine, NetError> {
+        cfg.params.validate().map_err(NetError::SecAgg)?;
+        let requested_chunks = cfg.chunks.clamp(1, usize::from(u16::MAX)) as u16;
+        let plan = ChunkPlan::aligned(
+            cfg.params.vector_len,
+            usize::from(requested_chunks),
+            cfg.params.bit_width,
+        )
+        .map_err(|e| NetError::Protocol(format!("chunk plan: {e}")))?;
+        let server =
+            Server::with_chunks(cfg.params.clone(), plan.clone()).map_err(NetError::SecAgg)?;
+        Ok(RoundMachine {
+            round: cfg.params.round,
+            plan,
+            requested_chunks,
+            server,
+            stats: RoundStats::default(),
+            dropouts: Vec::new(),
+            stale_frames: 0,
+        })
     }
 
-    let mut server =
-        Server::with_chunks(cfg.params.clone(), plan.clone()).map_err(NetError::SecAgg)?;
-    let mut no_idle = |_: &mut Server| Ok(false);
+    /// The round id this machine executes; every envelope is checked
+    /// against it.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
 
-    // ---- Setup broadcast (params + the requested chunk count). ----
-    let setup = Envelope::new(
-        StageTag::Setup,
-        round,
-        codec::encode_setup(&cfg.params, requested_chunks as u16),
-    );
-    broadcast(&mut peers, &setup, &mut dropouts, "Setup");
-    flush_sends(engine.as_mut(), &mut peers, &mut dropouts, "Setup", cfg);
+    /// Drives the whole round over the already-seated `peers`:
+    /// Setup broadcast (carrying `payload`), the five protocol stages
+    /// with per-stage (per-chunk on the data plane) dropout detection,
+    /// and the Finished broadcast. On return `peers` holds exactly the
+    /// connections that survived the round; the session parks them for
+    /// the next one.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::SecAgg`] when the protocol aborts (below threshold,
+    /// tampering); engine failures. Individual client failures are
+    /// dropouts, not errors.
+    pub fn run(
+        mut self,
+        mut engine: Option<&mut Reactor>,
+        peers: &mut Peers,
+        cfg: &CoordinatorConfig,
+        payload: &[u8],
+    ) -> Result<NetRoundReport, NetError> {
+        let round = self.round;
+        for &id in &cfg.params.clients {
+            if !peers.contains_key(&id) {
+                self.dropouts.push(DetectedDropout {
+                    client: id,
+                    stage: "Join",
+                    chunk: None,
+                    kind: DropKind::NeverJoined,
+                });
+            }
+        }
+        let mut no_idle = |_: &mut Server| Ok(false);
 
-    let joined: Vec<ClientId> = peers.keys().copied().collect();
+        // ---- Setup broadcast (params + chunk count + payload). ----
+        let setup = Envelope::new(
+            StageTag::Setup,
+            round,
+            codec::encode_setup(&cfg.params, self.requested_chunks, payload),
+        );
+        broadcast(peers, &setup, &mut self.dropouts, "Setup");
+        flush_sends(
+            engine.as_deref_mut(),
+            peers,
+            &mut self.dropouts,
+            "Setup",
+            cfg,
+        );
 
-    // ---- Stage 0: AdvertiseKeys. ----
-    let mut up = Traffic::default();
-    let bodies = collect_stage(
-        engine.as_mut(),
-        &mut peers,
-        &joined,
-        StageTag::AdvertiseKeys,
-        round,
-        cfg,
-        "AdvertiseKeys",
-        &mut dropouts,
-        &mut up,
-        &mut server,
-        &mut no_idle,
-    )
-    .map_err(|e| abort_round(&mut peers, round, e))?;
-    let mut advs = Vec::with_capacity(bodies.len());
-    for (id, body) in &bodies {
-        match decode_advertised_keys(body) {
-            Ok(a) if a.client == *id => advs.push(a),
-            _ => drop_peer(
-                &mut peers,
-                *id,
+        let joined: Vec<ClientId> = peers.keys().copied().collect();
+
+        // ---- Stage 0: AdvertiseKeys. ----
+        let mut up = Traffic::default();
+        let bodies = self
+            .collect_stage(
+                engine.as_deref_mut(),
+                peers,
+                &joined,
+                StageTag::AdvertiseKeys,
+                cfg,
                 "AdvertiseKeys",
-                None,
-                DropKind::ProtocolViolation,
-                &mut dropouts,
-            ),
+                &mut up,
+                &mut no_idle,
+            )
+            .map_err(|e| abort_round(peers, round, e))?;
+        let mut advs = Vec::with_capacity(bodies.len());
+        for (id, body) in &bodies {
+            match decode_advertised_keys(body) {
+                Ok(a) if a.client == *id => advs.push(a),
+                _ => drop_peer(
+                    peers,
+                    *id,
+                    "AdvertiseKeys",
+                    None,
+                    DropKind::ProtocolViolation,
+                    &mut self.dropouts,
+                ),
+            }
         }
-    }
-    let roster = server.collect_advertisements(advs).map_err(|e| {
-        abort_all(&mut peers, round, &e);
-        NetError::SecAgg(e)
-    })?;
-    let roster_env = Envelope::new(StageTag::Roster, round, encode_list(&roster));
-    let down = broadcast(&mut peers, &roster_env, &mut dropouts, "AdvertiseKeys");
-    flush_sends(
-        engine.as_mut(),
-        &mut peers,
-        &mut dropouts,
-        "AdvertiseKeys",
-        cfg,
-    );
-    push_stage(&mut stats, "AdvertiseKeys", &up, down);
+        let roster = self.server.collect_advertisements(advs).map_err(|e| {
+            abort_all(peers, round, &e);
+            NetError::SecAgg(e)
+        })?;
+        let roster_env = Envelope::new(StageTag::Roster, round, encode_list(&roster));
+        let down = broadcast(peers, &roster_env, &mut self.dropouts, "AdvertiseKeys");
+        flush_sends(
+            engine.as_deref_mut(),
+            peers,
+            &mut self.dropouts,
+            "AdvertiseKeys",
+            cfg,
+        );
+        push_stage(&mut self.stats, "AdvertiseKeys", &up, down);
 
-    // ---- Stage 1: ShareKeys. ----
-    let expected: Vec<ClientId> = roster
-        .iter()
-        .map(|a| a.client)
-        .filter(|id| peers.contains_key(id))
-        .collect();
-    let mut up = Traffic::default();
-    let bodies = collect_stage(
-        engine.as_mut(),
-        &mut peers,
-        &expected,
-        StageTag::ShareKeys,
-        round,
-        cfg,
-        "ShareKeys",
-        &mut dropouts,
-        &mut up,
-        &mut server,
-        &mut no_idle,
-    )
-    .map_err(|e| abort_round(&mut peers, round, e))?;
-    let mut all_cts = Vec::new();
-    for (id, body) in &bodies {
-        match decode_list(body, decode_encrypted_shares) {
-            Ok(cts) if cts.iter().all(|ct| ct.from == *id) => all_cts.extend(cts),
-            _ => drop_peer(
-                &mut peers,
-                *id,
+        // ---- Stage 1: ShareKeys. ----
+        let expected: Vec<ClientId> = roster
+            .iter()
+            .map(|a| a.client)
+            .filter(|id| peers.contains_key(id))
+            .collect();
+        let mut up = Traffic::default();
+        let bodies = self
+            .collect_stage(
+                engine.as_deref_mut(),
+                peers,
+                &expected,
+                StageTag::ShareKeys,
+                cfg,
                 "ShareKeys",
-                None,
-                DropKind::ProtocolViolation,
-                &mut dropouts,
-            ),
+                &mut up,
+                &mut no_idle,
+            )
+            .map_err(|e| abort_round(peers, round, e))?;
+        let mut all_cts = Vec::new();
+        for (id, body) in &bodies {
+            match decode_list(body, decode_encrypted_shares) {
+                Ok(cts) if cts.iter().all(|ct| ct.from == *id) => all_cts.extend(cts),
+                _ => drop_peer(
+                    peers,
+                    *id,
+                    "ShareKeys",
+                    None,
+                    DropKind::ProtocolViolation,
+                    &mut self.dropouts,
+                ),
+            }
         }
-    }
-    let mut inboxes = server.route_shares(all_cts).map_err(|e| {
-        abort_all(&mut peers, round, &e);
-        NetError::SecAgg(e)
-    })?;
-    let mut down = Traffic::default();
-    let inbox_ids: Vec<ClientId> = peers.keys().copied().collect();
-    for id in inbox_ids {
-        let cts = inboxes.remove(&id).unwrap_or_default();
-        let env = Envelope::new(StageTag::Inbox, round, encode_list(&cts));
-        down.add(env.encode().len() as u64);
-        send_or_drop(&mut peers, id, &env, "ShareKeys", &mut dropouts);
-    }
-    flush_sends(engine.as_mut(), &mut peers, &mut dropouts, "ShareKeys", cfg);
-    push_stage(&mut stats, "ShareKeys", &up, down);
-
-    // ---- Stage 2: MaskedInputCollection, per (stage, chunk). ----
-    let u2: BTreeSet<ClientId> = server.u2().iter().copied().collect();
-    let expected: Vec<ClientId> = peers.keys().copied().filter(|id| u2.contains(id)).collect();
-    let up = match engine.as_mut() {
-        Some(reactor) => collect_masked_chunks_reactor(
-            reactor,
-            &mut peers,
-            &expected,
-            round,
+        let mut inboxes = self.server.route_shares(all_cts).map_err(|e| {
+            abort_all(peers, round, &e);
+            NetError::SecAgg(e)
+        })?;
+        let mut down = Traffic::default();
+        let inbox_ids: Vec<ClientId> = peers.keys().copied().collect();
+        for id in inbox_ids {
+            let cts = inboxes.remove(&id).unwrap_or_default();
+            let env = Envelope::new(StageTag::Inbox, round, encode_list(&cts));
+            down.add(env.encode().len() as u64);
+            send_or_drop(peers, id, &env, "ShareKeys", &mut self.dropouts);
+        }
+        flush_sends(
+            engine.as_deref_mut(),
+            peers,
+            &mut self.dropouts,
+            "ShareKeys",
             cfg,
-            &plan,
-            &mut server,
-            &mut dropouts,
-        ),
-        None => collect_masked_chunks_sweep(
-            &mut peers,
-            &expected,
-            round,
-            cfg,
-            &plan,
-            &mut server,
-            &mut dropouts,
-        ),
-    }
-    .map_err(|e| abort_round(&mut peers, round, e))?;
-    let u3 = server.finalize_masked().map_err(|e| {
-        abort_all(&mut peers, round, &e);
-        NetError::SecAgg(e)
-    })?;
-    let u3_env = Envelope::new(
-        StageTag::SurvivorSet,
-        round,
-        dordis_secagg::messages::IdList(u3.clone()).encoded(),
-    );
-    let down = broadcast(&mut peers, &u3_env, &mut dropouts, "MaskedInputCollection");
-    flush_sends(
-        engine.as_mut(),
-        &mut peers,
-        &mut dropouts,
-        "MaskedInputCollection",
-        cfg,
-    );
-    push_stage(&mut stats, "MaskedInputCollection", &up, down);
+        );
+        push_stage(&mut self.stats, "ShareKeys", &up, down);
 
-    // ---- Stage 3: ConsistencyCheck (malicious only). ----
-    if cfg.params.threat_model == ThreatModel::Malicious {
+        // ---- Stage 2: MaskedInputCollection, per (stage, chunk). ----
+        let u2: BTreeSet<ClientId> = self.server.u2().iter().copied().collect();
+        let expected: Vec<ClientId> = peers.keys().copied().filter(|id| u2.contains(id)).collect();
+        let up = match engine.as_deref_mut() {
+            Some(reactor) => self.collect_masked_chunks_reactor(reactor, peers, &expected, cfg),
+            None => self.collect_masked_chunks_sweep(peers, &expected, cfg),
+        }
+        .map_err(|e| abort_round(peers, round, e))?;
+        let u3 = self.server.finalize_masked().map_err(|e| {
+            abort_all(peers, round, &e);
+            NetError::SecAgg(e)
+        })?;
+        let u3_env = Envelope::new(
+            StageTag::SurvivorSet,
+            round,
+            dordis_secagg::messages::IdList(u3.clone()).encoded(),
+        );
+        let down = broadcast(peers, &u3_env, &mut self.dropouts, "MaskedInputCollection");
+        flush_sends(
+            engine.as_deref_mut(),
+            peers,
+            &mut self.dropouts,
+            "MaskedInputCollection",
+            cfg,
+        );
+        push_stage(&mut self.stats, "MaskedInputCollection", &up, down);
+
+        // ---- Stage 3: ConsistencyCheck (malicious only). ----
+        if cfg.params.threat_model == ThreatModel::Malicious {
+            let expected: Vec<ClientId> = u3
+                .iter()
+                .copied()
+                .filter(|v| peers.contains_key(v))
+                .collect();
+            let mut up = Traffic::default();
+            let bodies = self
+                .collect_stage(
+                    engine.as_deref_mut(),
+                    peers,
+                    &expected,
+                    StageTag::ConsistencySig,
+                    cfg,
+                    "ConsistencyCheck",
+                    &mut up,
+                    &mut no_idle,
+                )
+                .map_err(|e| abort_round(peers, round, e))?;
+            let mut sigs = Vec::new();
+            for (id, body) in &bodies {
+                match decode_consistency_signature(body) {
+                    Ok(s) if s.client == *id => sigs.push(s),
+                    _ => drop_peer(
+                        peers,
+                        *id,
+                        "ConsistencyCheck",
+                        None,
+                        DropKind::ProtocolViolation,
+                        &mut self.dropouts,
+                    ),
+                }
+            }
+            let list = self.server.collect_consistency(sigs).map_err(|e| {
+                abort_all(peers, round, &e);
+                NetError::SecAgg(e)
+            })?;
+            let env = Envelope::new(
+                StageTag::SignatureList,
+                round,
+                codec::encode_signature_list(&list),
+            );
+            let down = broadcast(peers, &env, &mut self.dropouts, "ConsistencyCheck");
+            flush_sends(
+                engine.as_deref_mut(),
+                peers,
+                &mut self.dropouts,
+                "ConsistencyCheck",
+                cfg,
+            );
+            push_stage(&mut self.stats, "ConsistencyCheck", &up, down);
+        }
+
+        // ---- Stage 4: Unmasking (share collection is round-global). ----
         let expected: Vec<ClientId> = u3
             .iter()
             .copied()
             .filter(|v| peers.contains_key(v))
             .collect();
         let mut up = Traffic::default();
-        let bodies = collect_stage(
-            engine.as_mut(),
-            &mut peers,
-            &expected,
-            StageTag::ConsistencySig,
-            round,
-            cfg,
-            "ConsistencyCheck",
-            &mut dropouts,
-            &mut up,
-            &mut server,
-            &mut no_idle,
-        )
-        .map_err(|e| abort_round(&mut peers, round, e))?;
-        let mut sigs = Vec::new();
-        for (id, body) in &bodies {
-            match decode_consistency_signature(body) {
-                Ok(s) if s.client == *id => sigs.push(s),
-                _ => drop_peer(
-                    &mut peers,
-                    *id,
-                    "ConsistencyCheck",
-                    None,
-                    DropKind::ProtocolViolation,
-                    &mut dropouts,
-                ),
-            }
-        }
-        let list = server.collect_consistency(sigs).map_err(|e| {
-            abort_all(&mut peers, round, &e);
-            NetError::SecAgg(e)
-        })?;
-        let env = Envelope::new(
-            StageTag::SignatureList,
-            round,
-            codec::encode_signature_list(&list),
-        );
-        let down = broadcast(&mut peers, &env, &mut dropouts, "ConsistencyCheck");
-        flush_sends(
-            engine.as_mut(),
-            &mut peers,
-            &mut dropouts,
-            "ConsistencyCheck",
-            cfg,
-        );
-        push_stage(&mut stats, "ConsistencyCheck", &up, down);
-    }
-
-    // ---- Stage 4: Unmasking (share collection is round-global). ----
-    let expected: Vec<ClientId> = u3
-        .iter()
-        .copied()
-        .filter(|v| peers.contains_key(v))
-        .collect();
-    let mut up = Traffic::default();
-    let bodies = collect_stage(
-        engine.as_mut(),
-        &mut peers,
-        &expected,
-        StageTag::Unmasking,
-        round,
-        cfg,
-        "Unmasking",
-        &mut dropouts,
-        &mut up,
-        &mut server,
-        &mut no_idle,
-    )
-    .map_err(|e| abort_round(&mut peers, round, e))?;
-    let mut responses = Vec::new();
-    for (id, body) in &bodies {
-        match decode_unmasking_response(body) {
-            Ok(r) if r.client == *id => responses.push(r),
-            _ => drop_peer(
-                &mut peers,
-                *id,
+        let bodies = self
+            .collect_stage(
+                engine.as_deref_mut(),
+                peers,
+                &expected,
+                StageTag::Unmasking,
+                cfg,
                 "Unmasking",
-                None,
-                DropKind::ProtocolViolation,
-                &mut dropouts,
-            ),
-        }
-    }
-    server.reconstruct_unmasking(responses).map_err(|e| {
-        abort_all(&mut peers, round, &e);
-        NetError::SecAgg(e)
-    })?;
-    let u5 = server.u5().to_vec();
-
-    // Per-chunk unmasking advances between noise-share polls (chunk
-    // c + 1 can be collected/unmasked while chunk c's compute runs).
-    let total_chunks = plan.chunks();
-    let mut next_unmask = 0usize;
-    let chunk_compute = cfg.chunk_compute;
-    let plan_ref = &plan;
-    let mut unmask_step = move |server: &mut Server| -> Result<bool, SecAggError> {
-        if next_unmask < total_chunks {
-            server.unmask_chunk(next_unmask)?;
-            chunk_sleep(chunk_compute, plan_ref, next_unmask);
-            next_unmask += 1;
-            Ok(true)
-        } else {
-            Ok(false)
-        }
-    };
-
-    // ---- Stage 5: ExcessiveNoiseRemoval (only if needed). ----
-    if server.pending_seed_owners().is_empty() {
-        let down_u5 = Traffic::default();
-        push_stage(&mut stats, "Unmasking", &up, down_u5);
-    } else {
-        let u5_env = Envelope::new(
-            StageTag::ReadySet,
-            round,
-            dordis_secagg::messages::IdList(u5.clone()).encoded(),
-        );
-        let down = broadcast(&mut peers, &u5_env, &mut dropouts, "Unmasking");
-        flush_sends(engine.as_mut(), &mut peers, &mut dropouts, "Unmasking", cfg);
-        push_stage(&mut stats, "Unmasking", &up, down);
-
-        let expected: Vec<ClientId> = u5
-            .iter()
-            .copied()
-            .filter(|v| peers.contains_key(v))
-            .collect();
-        let mut up = Traffic::default();
-        let bodies = collect_stage(
-            engine.as_mut(),
-            &mut peers,
-            &expected,
-            StageTag::NoiseShares,
-            round,
-            cfg,
-            "ExcessiveNoiseRemoval",
-            &mut dropouts,
-            &mut up,
-            &mut server,
-            &mut unmask_step,
-        )
-        .map_err(|e| abort_round(&mut peers, round, e))?;
+                &mut up,
+                &mut no_idle,
+            )
+            .map_err(|e| abort_round(peers, round, e))?;
         let mut responses = Vec::new();
         for (id, body) in &bodies {
-            match decode_noise_share_response(body) {
+            match decode_unmasking_response(body) {
                 Ok(r) if r.client == *id => responses.push(r),
                 _ => drop_peer(
-                    &mut peers,
+                    peers,
                     *id,
-                    "ExcessiveNoiseRemoval",
+                    "Unmasking",
                     None,
                     DropKind::ProtocolViolation,
-                    &mut dropouts,
+                    &mut self.dropouts,
                 ),
             }
         }
-        server.collect_noise_shares(responses).map_err(|e| {
-            abort_all(&mut peers, round, &e);
+        self.server.reconstruct_unmasking(responses).map_err(|e| {
+            abort_all(peers, round, &e);
             NetError::SecAgg(e)
         })?;
-        push_stage(&mut stats, "ExcessiveNoiseRemoval", &up, Traffic::default());
+        let u5 = self.server.u5().to_vec();
+
+        // Per-chunk unmasking advances between noise-share polls (chunk
+        // c + 1 can be collected/unmasked while chunk c's compute runs).
+        let total_chunks = self.plan.chunks();
+        let mut next_unmask = 0usize;
+        let chunk_compute = cfg.chunk_compute;
+        let plan = self.plan.clone();
+        let mut unmask_step = move |server: &mut Server| -> Result<bool, SecAggError> {
+            if next_unmask < total_chunks {
+                server.unmask_chunk(next_unmask)?;
+                chunk_sleep(chunk_compute, &plan, next_unmask);
+                next_unmask += 1;
+                Ok(true)
+            } else {
+                Ok(false)
+            }
+        };
+
+        // ---- Stage 5: ExcessiveNoiseRemoval (only if needed). ----
+        if self.server.pending_seed_owners().is_empty() {
+            let down_u5 = Traffic::default();
+            push_stage(&mut self.stats, "Unmasking", &up, down_u5);
+        } else {
+            let u5_env = Envelope::new(
+                StageTag::ReadySet,
+                round,
+                dordis_secagg::messages::IdList(u5.clone()).encoded(),
+            );
+            let down = broadcast(peers, &u5_env, &mut self.dropouts, "Unmasking");
+            flush_sends(
+                engine.as_deref_mut(),
+                peers,
+                &mut self.dropouts,
+                "Unmasking",
+                cfg,
+            );
+            push_stage(&mut self.stats, "Unmasking", &up, down);
+
+            let expected: Vec<ClientId> = u5
+                .iter()
+                .copied()
+                .filter(|v| peers.contains_key(v))
+                .collect();
+            let mut up = Traffic::default();
+            let bodies = self
+                .collect_stage(
+                    engine.as_deref_mut(),
+                    peers,
+                    &expected,
+                    StageTag::NoiseShares,
+                    cfg,
+                    "ExcessiveNoiseRemoval",
+                    &mut up,
+                    &mut unmask_step,
+                )
+                .map_err(|e| abort_round(peers, round, e))?;
+            let mut responses = Vec::new();
+            for (id, body) in &bodies {
+                match decode_noise_share_response(body) {
+                    Ok(r) if r.client == *id => responses.push(r),
+                    _ => drop_peer(
+                        peers,
+                        *id,
+                        "ExcessiveNoiseRemoval",
+                        None,
+                        DropKind::ProtocolViolation,
+                        &mut self.dropouts,
+                    ),
+                }
+            }
+            self.server.collect_noise_shares(responses).map_err(|e| {
+                abort_all(peers, round, &e);
+                NetError::SecAgg(e)
+            })?;
+            push_stage(
+                &mut self.stats,
+                "ExcessiveNoiseRemoval",
+                &up,
+                Traffic::default(),
+            );
+        }
+
+        // Unmask whatever chunks the idle interleaving did not reach.
+        for _ in 0..total_chunks {
+            unmask_step(&mut self.server).map_err(|e| {
+                abort_all(peers, round, &e);
+                NetError::SecAgg(e)
+            })?;
+        }
+
+        // ---- Finished broadcast. ----
+        let fin = Envelope::new(
+            StageTag::Finished,
+            round,
+            dordis_secagg::messages::IdList(u3.clone()).encoded(),
+        );
+        broadcast(peers, &fin, &mut self.dropouts, "Finished");
+        flush_sends(
+            engine.as_deref_mut(),
+            peers,
+            &mut self.dropouts,
+            "Finished",
+            cfg,
+        );
+
+        debug_assert!(self.server.privacy_invariant_holds());
+        for d in &self.dropouts {
+            if d.kind == DropKind::Aborted {
+                self.stats.aborted.push(d.client);
+            }
+        }
+        Ok(NetRoundReport {
+            round,
+            outcome: self.server.finish(),
+            stats: self.stats,
+            dropouts: self.dropouts,
+            chunks: total_chunks,
+            stale_frames: self.stale_frames,
+            reactor: engine.map(|r| r.stats),
+        })
     }
 
-    // Unmask whatever chunks the idle interleaving did not reach.
-    for _ in 0..total_chunks {
-        unmask_step(&mut server).map_err(|e| {
-            abort_all(&mut peers, round, &e);
-            NetError::SecAgg(e)
-        })?;
-    }
+    // -----------------------------------------------------------------
+    // Masked-input collection (per stage, chunk).
+    // -----------------------------------------------------------------
 
-    // ---- Finished broadcast. ----
-    let fin = Envelope::new(
-        StageTag::Finished,
-        round,
-        dordis_secagg::messages::IdList(u3.clone()).encoded(),
-    );
-    broadcast(&mut peers, &fin, &mut dropouts, "Finished");
-    flush_sends(engine.as_mut(), &mut peers, &mut dropouts, "Finished", cfg);
-
-    debug_assert!(server.privacy_invariant_holds());
-    for d in &dropouts {
-        if d.kind == DropKind::Aborted {
-            stats.aborted.push(d.client);
+    /// Files one already-received chunk frame. Returns `false` if the
+    /// client was dropped (stream is dead) and draining should stop.
+    fn file_chunk_frame(
+        &mut self,
+        st: &mut ChunkCollect,
+        peers: &mut Peers,
+        id: ClientId,
+        frame: &[u8],
+    ) -> bool {
+        let m = self.plan.chunks();
+        *st.per_client.entry(id).or_default() += frame.len() as u64;
+        let env = match Envelope::decode(frame) {
+            Ok(env) => env,
+            Err(_) => {
+                return self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
+            }
+        };
+        if env.stage == StageTag::Abort {
+            return self.drop_from_chunks(st, peers, id, DropKind::Aborted);
+        }
+        if let Err(NetError::StaleRound { got, expected }) = env.check_round(self.round) {
+            if got < expected {
+                // A leftover frame from an earlier round: discard it
+                // rather than misparse it into this round's state. The
+                // client's current-round stream continues.
+                self.stale_frames += 1;
+                return true;
+            }
+            return self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
+        }
+        if env.stage == StageTag::MaskedInput && usize::from(env.chunk) < m {
+            let c = usize::from(env.chunk);
+            st.pendings[c].remove(&id);
+            st.bodies[c].insert(id, env.body);
+            true
+        } else {
+            self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation)
         }
     }
-    Ok(NetRoundReport {
-        outcome: server.finish(),
-        stats,
-        dropouts,
-        chunks: total_chunks,
-        reactor: engine.map(|r| r.stats),
-    })
+
+    /// Drops `id` from every remaining chunk, attributing the departure
+    /// to the active chunk. Always returns `false` (stream dead).
+    fn drop_from_chunks(
+        &mut self,
+        st: &mut ChunkCollect,
+        peers: &mut Peers,
+        id: ClientId,
+        kind: DropKind,
+    ) -> bool {
+        let chunk = st.active as u16;
+        st.remove_everywhere(id);
+        drop_peer(
+            peers,
+            id,
+            "MaskedInputCollection",
+            Some(chunk),
+            kind,
+            &mut self.dropouts,
+        );
+        false
+    }
+
+    /// Aggregates the active chunk into the server (its pending set must
+    /// be empty) and advances to the next one.
+    fn aggregate_active(
+        &mut self,
+        st: &mut ChunkCollect,
+        peers: &mut Peers,
+        cfg: &CoordinatorConfig,
+    ) -> Result<(), NetError> {
+        let chunk_bodies = std::mem::take(&mut st.bodies[st.active]);
+        let ctx = FrameContext {
+            stage: StageTag::MaskedInput,
+            round: self.round,
+            chunk: st.active as u16,
+        };
+        let mut inputs = Vec::with_capacity(chunk_bodies.len());
+        for (id, body) in &chunk_bodies {
+            if !peers.contains_key(id) {
+                continue;
+            }
+            match decode_masked_input(
+                body,
+                self.plan.bit_width(),
+                self.plan.chunk_len(st.active),
+                ctx,
+            ) {
+                Ok(mi) if mi.client == *id => inputs.push(mi),
+                _ => {
+                    let chunk = st.active as u16;
+                    st.remove_everywhere(*id);
+                    drop_peer(
+                        peers,
+                        *id,
+                        "MaskedInputCollection",
+                        Some(chunk),
+                        DropKind::ProtocolViolation,
+                        &mut self.dropouts,
+                    );
+                }
+            }
+        }
+        self.server
+            .collect_masked_chunk(st.active, inputs)
+            .map_err(NetError::SecAgg)?;
+        chunk_sleep(cfg.chunk_compute, &self.plan, st.active);
+        st.active += 1;
+        Ok(())
+    }
+
+    /// The per-(stage, chunk) masked-input collector — blocking-sweep
+    /// engine. Chunk `c + 1`'s frames accumulate (from fast clients and
+    /// channel buffers) while chunk `c` is decoded, validated, and
+    /// aggregated into the server's per-chunk state; the stage deadline
+    /// restarts per chunk. A client whose stream stops — disconnect,
+    /// garbage, or silence past the active chunk's deadline — is dropped
+    /// from every remaining chunk; its partial deliveries never reach a
+    /// sum because U3 requires all chunks.
+    fn collect_masked_chunks_sweep(
+        &mut self,
+        peers: &mut Peers,
+        expected: &[ClientId],
+        cfg: &CoordinatorConfig,
+    ) -> Result<Traffic, NetError> {
+        let m = self.plan.chunks();
+        let stage_name = "MaskedInputCollection";
+        let mut st = ChunkCollect::new(expected, peers, m);
+        let mut deadline = Instant::now() + cfg.stage_timeout;
+
+        while st.active < m {
+            st.pendings[st.active].retain(|id| peers.contains_key(id));
+            if st.pendings[st.active].is_empty() {
+                // Chunk complete: aggregate it while later chunks keep
+                // arriving into the transport buffers.
+                self.aggregate_active(&mut st, peers, cfg)?;
+                deadline = Instant::now() + cfg.stage_timeout;
+                continue;
+            }
+            if Instant::now() >= deadline {
+                let late: Vec<ClientId> = st.pendings[st.active].iter().copied().collect();
+                for id in late {
+                    let chunk = st.active as u16;
+                    st.remove_everywhere(id);
+                    drop_peer(
+                        peers,
+                        id,
+                        stage_name,
+                        Some(chunk),
+                        DropKind::DeadlineMissed,
+                        &mut self.dropouts,
+                    );
+                }
+                continue;
+            }
+            let ids: Vec<ClientId> = st.pendings[st.active].iter().copied().collect();
+            for id in ids {
+                let Some(chan) = peers.get_mut(&id) else {
+                    st.remove_everywhere(id);
+                    continue;
+                };
+                let slice = (Instant::now() + cfg.tick).min(deadline);
+                match chan.recv_deadline(slice) {
+                    Ok(frame) => {
+                        self.file_chunk_frame(&mut st, peers, id, &frame);
+                    }
+                    Err(NetError::Timeout) => {}
+                    Err(_) => {
+                        let chunk = st.died_at(id);
+                        st.remove_everywhere(id);
+                        drop_peer(
+                            peers,
+                            id,
+                            stage_name,
+                            Some(chunk),
+                            DropKind::Disconnected,
+                            &mut self.dropouts,
+                        );
+                    }
+                }
+            }
+        }
+        Ok(st.uplink())
+    }
+
+    /// The per-(stage, chunk) masked-input collector — reactor engine.
+    /// Same state machine, but frames, disconnects, and per-chunk
+    /// deadlines arrive as events: the thread sleeps in the poller while
+    /// clients stream, instead of sweeping every pending channel per
+    /// tick.
+    fn collect_masked_chunks_reactor(
+        &mut self,
+        reactor: &mut Reactor,
+        peers: &mut Peers,
+        expected: &[ClientId],
+        cfg: &CoordinatorConfig,
+    ) -> Result<Traffic, NetError> {
+        let m = self.plan.chunks();
+        let stage_name = "MaskedInputCollection";
+        let mut st = ChunkCollect::new(expected, peers, m);
+        reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
+
+        // Initial sweep: frames may already be buffered (sent between
+        // the Inbox flush and this loop), and their readiness may have
+        // been consumed by an earlier poll.
+        let ids: Vec<ClientId> = st.pendings[0].iter().copied().collect();
+        for id in ids {
+            self.drain_chunk_frames(&mut st, peers, id);
+        }
+
+        let (mut events, mut expired) = (Vec::new(), Vec::new());
+        loop {
+            // Aggregate every chunk whose pending set has emptied; the
+            // deadline clock restarts per completed chunk.
+            let mut aggregated = false;
+            while st.active < m {
+                st.pendings[st.active].retain(|id| peers.contains_key(id));
+                if !st.pendings[st.active].is_empty() {
+                    break;
+                }
+                self.aggregate_active(&mut st, peers, cfg)?;
+                aggregated = true;
+            }
+            if st.active == m {
+                break;
+            }
+            if aggregated {
+                reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
+            }
+            reactor.poll(&mut events, &mut expired, cfg.stage_timeout)?;
+            for ev in &events {
+                handle_write_event(peers, ev, stage_name, &mut self.dropouts);
+                let Some(id) = client_of(ev.token) else {
+                    continue;
+                };
+                if !(ev.readable || ev.closed) || !peers.contains_key(&id) {
+                    continue;
+                }
+                self.drain_chunk_frames(&mut st, peers, id);
+            }
+            if expired.contains(&STAGE_TOKEN) {
+                let late: Vec<ClientId> = st.pendings[st.active].iter().copied().collect();
+                for id in late {
+                    let chunk = st.active as u16;
+                    st.remove_everywhere(id);
+                    drop_peer(
+                        peers,
+                        id,
+                        stage_name,
+                        Some(chunk),
+                        DropKind::DeadlineMissed,
+                        &mut self.dropouts,
+                    );
+                }
+                reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
+            }
+        }
+        reactor.cancel_deadline(STAGE_TOKEN);
+        Ok(st.uplink())
+    }
+
+    /// Drains every currently available frame from `id`'s channel into
+    /// the chunk state, detecting stream death (disconnect / abort /
+    /// garbage).
+    fn drain_chunk_frames(&mut self, st: &mut ChunkCollect, peers: &mut Peers, id: ClientId) {
+        loop {
+            let Some(chan) = peers.get_mut(&id) else {
+                return;
+            };
+            match chan.try_recv() {
+                Ok(Some(frame)) => {
+                    if !self.file_chunk_frame(st, peers, id, &frame) {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    let chunk = st.died_at(id);
+                    st.remove_everywhere(id);
+                    drop_peer(
+                        peers,
+                        id,
+                        "MaskedInputCollection",
+                        Some(chunk),
+                        DropKind::Disconnected,
+                        &mut self.dropouts,
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Round-global stage collection.
+    // -----------------------------------------------------------------
+
+    /// Collects exactly one body per expected client for `want`, until
+    /// the per-stage deadline. Silent or disconnected clients become
+    /// detected dropouts and are removed from `peers`. `idle` runs once
+    /// per loop turn so pending per-chunk work (unmasking) overlaps the
+    /// wait.
+    ///
+    /// # Errors
+    ///
+    /// Only `idle` failures (protocol aborts) — per-client failures are
+    /// dropouts, not errors.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_stage(
+        &mut self,
+        engine: Option<&mut Reactor>,
+        peers: &mut Peers,
+        expected: &[ClientId],
+        want: StageTag,
+        cfg: &CoordinatorConfig,
+        stage_name: &'static str,
+        up: &mut Traffic,
+        idle: &mut IdleWork<'_>,
+    ) -> Result<BTreeMap<ClientId, Vec<u8>>, NetError> {
+        match engine {
+            Some(reactor) => self
+                .collect_stage_reactor(reactor, peers, expected, want, cfg, stage_name, up, idle),
+            None => self.collect_stage_sweep(peers, expected, want, cfg, stage_name, up, idle),
+        }
+    }
+
+    /// Files one round-global stage frame; returns `false` if the client
+    /// was dropped.
+    #[allow(clippy::too_many_arguments)]
+    fn file_stage_frame(
+        &mut self,
+        peers: &mut Peers,
+        pending: &mut BTreeSet<ClientId>,
+        bodies: &mut BTreeMap<ClientId, Vec<u8>>,
+        id: ClientId,
+        frame: &[u8],
+        want: StageTag,
+        stage_name: &'static str,
+        up: &mut Traffic,
+    ) -> bool {
+        up.add(frame.len() as u64);
+        let env = match Envelope::decode(frame) {
+            Ok(env) => env,
+            Err(_) => {
+                pending.remove(&id);
+                drop_peer(
+                    peers,
+                    id,
+                    stage_name,
+                    None,
+                    DropKind::ProtocolViolation,
+                    &mut self.dropouts,
+                );
+                return false;
+            }
+        };
+        if env.stage == StageTag::Abort {
+            pending.remove(&id);
+            drop_peer(
+                peers,
+                id,
+                stage_name,
+                None,
+                DropKind::Aborted,
+                &mut self.dropouts,
+            );
+            return false;
+        }
+        if let Err(NetError::StaleRound { got, expected }) = env.check_round(self.round) {
+            if got < expected {
+                // Typed stale-frame rejection: discard, never file.
+                self.stale_frames += 1;
+                return true;
+            }
+            pending.remove(&id);
+            drop_peer(
+                peers,
+                id,
+                stage_name,
+                None,
+                DropKind::ProtocolViolation,
+                &mut self.dropouts,
+            );
+            return false;
+        }
+        if env.stage == want && pending.contains(&id) {
+            bodies.insert(id, env.body);
+            pending.remove(&id);
+            true
+        } else {
+            // A frame for a client that already answered (and is not an
+            // abort) is out-of-protocol.
+            pending.remove(&id);
+            drop_peer(
+                peers,
+                id,
+                stage_name,
+                None,
+                DropKind::ProtocolViolation,
+                &mut self.dropouts,
+            );
+            false
+        }
+    }
+
+    /// Blocking-sweep engine for [`RoundMachine::collect_stage`].
+    #[allow(clippy::too_many_arguments)]
+    fn collect_stage_sweep(
+        &mut self,
+        peers: &mut Peers,
+        expected: &[ClientId],
+        want: StageTag,
+        cfg: &CoordinatorConfig,
+        stage_name: &'static str,
+        up: &mut Traffic,
+        idle: &mut IdleWork<'_>,
+    ) -> Result<BTreeMap<ClientId, Vec<u8>>, NetError> {
+        let mut deadline = Instant::now() + cfg.stage_timeout;
+        let mut pending: BTreeSet<ClientId> = expected
+            .iter()
+            .copied()
+            .filter(|id| peers.contains_key(id))
+            .collect();
+        let mut bodies: BTreeMap<ClientId, Vec<u8>> = BTreeMap::new();
+        while !pending.is_empty() && Instant::now() < deadline {
+            // Interleaved background work (per-chunk unmasking, possibly
+            // with injected compute) must not eat the peers' response
+            // window: credit its wall time back to the stage deadline.
+            let idle_start = Instant::now();
+            idle(&mut self.server).map_err(NetError::SecAgg)?;
+            deadline += idle_start.elapsed();
+            let ids: Vec<ClientId> = pending.iter().copied().collect();
+            for id in ids {
+                let Some(chan) = peers.get_mut(&id) else {
+                    pending.remove(&id);
+                    continue;
+                };
+                let slice = (Instant::now() + cfg.tick).min(deadline);
+                match chan.recv_deadline(slice) {
+                    Ok(frame) => {
+                        self.file_stage_frame(
+                            peers,
+                            &mut pending,
+                            &mut bodies,
+                            id,
+                            &frame,
+                            want,
+                            stage_name,
+                            up,
+                        );
+                    }
+                    Err(NetError::Timeout) => {}
+                    Err(_) => {
+                        pending.remove(&id);
+                        drop_peer(
+                            peers,
+                            id,
+                            stage_name,
+                            None,
+                            DropKind::Disconnected,
+                            &mut self.dropouts,
+                        );
+                    }
+                }
+            }
+        }
+        for id in pending {
+            drop_peer(
+                peers,
+                id,
+                stage_name,
+                None,
+                DropKind::DeadlineMissed,
+                &mut self.dropouts,
+            );
+        }
+        Ok(bodies)
+    }
+
+    /// Reactor engine for [`RoundMachine::collect_stage`]: the thread
+    /// sleeps in the poller until frames, disconnects, or the stage
+    /// deadline are ready. Idle work runs between polls (non-blocking
+    /// polls while it reports more work, so collection stays responsive
+    /// during long interleaves).
+    #[allow(clippy::too_many_arguments)]
+    fn collect_stage_reactor(
+        &mut self,
+        reactor: &mut Reactor,
+        peers: &mut Peers,
+        expected: &[ClientId],
+        want: StageTag,
+        cfg: &CoordinatorConfig,
+        stage_name: &'static str,
+        up: &mut Traffic,
+        idle: &mut IdleWork<'_>,
+    ) -> Result<BTreeMap<ClientId, Vec<u8>>, NetError> {
+        let mut deadline = Instant::now() + cfg.stage_timeout;
+        let mut pending: BTreeSet<ClientId> = expected
+            .iter()
+            .copied()
+            .filter(|id| peers.contains_key(id))
+            .collect();
+        let mut bodies: BTreeMap<ClientId, Vec<u8>> = BTreeMap::new();
+        reactor.arm_deadline(STAGE_TOKEN, deadline);
+
+        // Initial sweep: responses may already be buffered, and their
+        // readiness may have been consumed by an earlier poll (e.g.
+        // during a broadcast flush).
+        let ids: Vec<ClientId> = pending.iter().copied().collect();
+        for id in ids {
+            self.drain_stage_frames(peers, &mut pending, &mut bodies, id, want, stage_name, up);
+        }
+
+        let (mut events, mut expired) = (Vec::new(), Vec::new());
+        'collect: while !pending.is_empty() {
+            // Interleaved background work must not eat the peers'
+            // response window: credit its wall time back to the stage
+            // deadline.
+            let idle_start = Instant::now();
+            let did_work = idle(&mut self.server).map_err(NetError::SecAgg)?;
+            let spent = idle_start.elapsed();
+            if !spent.is_zero() {
+                deadline += spent;
+                reactor.arm_deadline(STAGE_TOKEN, deadline);
+            }
+            // With idle work in flight, poll without blocking and come
+            // straight back; otherwise sleep until an event or the
+            // deadline.
+            let wait = if did_work {
+                Duration::ZERO
+            } else {
+                cfg.stage_timeout
+            };
+            reactor.poll(&mut events, &mut expired, wait)?;
+            for ev in &events {
+                handle_write_event(peers, ev, stage_name, &mut self.dropouts);
+                let Some(id) = client_of(ev.token) else {
+                    continue;
+                };
+                if !(ev.readable || ev.closed) || !peers.contains_key(&id) {
+                    continue;
+                }
+                self.drain_stage_frames(peers, &mut pending, &mut bodies, id, want, stage_name, up);
+            }
+            // A write-event failure (or any other path) may have dropped
+            // a peer without touching `pending` — retain, so the stage
+            // can complete and the leftover loop below can't
+            // double-record.
+            pending.retain(|id| peers.contains_key(id));
+            if expired.contains(&STAGE_TOKEN) {
+                break 'collect;
+            }
+        }
+        reactor.cancel_deadline(STAGE_TOKEN);
+        for id in pending {
+            if peers.contains_key(&id) {
+                drop_peer(
+                    peers,
+                    id,
+                    stage_name,
+                    None,
+                    DropKind::DeadlineMissed,
+                    &mut self.dropouts,
+                );
+            }
+        }
+        Ok(bodies)
+    }
+
+    /// Drains every currently available frame from `id` during a
+    /// round-global stage.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_stage_frames(
+        &mut self,
+        peers: &mut Peers,
+        pending: &mut BTreeSet<ClientId>,
+        bodies: &mut BTreeMap<ClientId, Vec<u8>>,
+        id: ClientId,
+        want: StageTag,
+        stage_name: &'static str,
+        up: &mut Traffic,
+    ) {
+        loop {
+            let Some(chan) = peers.get_mut(&id) else {
+                return;
+            };
+            match chan.try_recv() {
+                Ok(Some(frame)) => {
+                    if !self
+                        .file_stage_frame(peers, pending, bodies, id, &frame, want, stage_name, up)
+                    {
+                        return;
+                    }
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    if pending.remove(&id) {
+                        drop_peer(
+                            peers,
+                            id,
+                            stage_name,
+                            None,
+                            DropKind::Disconnected,
+                            &mut self.dropouts,
+                        );
+                    } else {
+                        // Already answered this stage; the disconnect
+                        // will be observed when it next matters.
+                    }
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// Maps a failed stage to a round abort (notifying live peers when the
@@ -652,183 +1368,6 @@ fn chunk_sleep(chunk_compute: Option<Duration>, plan: &ChunkPlan, chunk: usize) 
         std::thread::sleep(dur);
     }
 }
-
-// ---------------------------------------------------------------------
-// Join phase.
-// ---------------------------------------------------------------------
-
-/// Validates one Join envelope against the sampled set. `Ok` is the
-/// authenticated id; `Err` is an optional abort reply for the peer.
-fn vet_join(
-    env_result: Result<Envelope, NetError>,
-    sampled: &BTreeSet<ClientId>,
-    present: &Peers,
-    round: u64,
-) -> Result<ClientId, Option<Envelope>> {
-    match env_result {
-        Ok(env) if env.stage == StageTag::Join => match codec::decode_join(&env.body) {
-            Ok(id) if sampled.contains(&id) && !present.contains_key(&id) => Ok(id),
-            Ok(id) => {
-                let reason = if sampled.contains(&id) {
-                    "duplicate join"
-                } else {
-                    "not in the sampled set"
-                };
-                Err(Some(Envelope::new(
-                    StageTag::Abort,
-                    round,
-                    codec::encode_abort(reason),
-                )))
-            }
-            Err(_) => Err(None), // unidentifiable garbage: not a participant
-        },
-        Err(NetError::Version { got, expected }) => {
-            // A peer speaking another wire version must be told to
-            // upgrade, not silently counted as a never-join.
-            // Best-effort: its decoder may reject our frame too, but
-            // the connection closes with the reason on the wire.
-            Err(Some(Envelope::new(
-                StageTag::Abort,
-                round,
-                codec::encode_abort(&format!(
-                    "wire version mismatch: you speak v{got}, this coordinator v{expected}"
-                )),
-            )))
-        }
-        _ => Err(None), // wrong first message or nothing at all
-    }
-}
-
-/// Accepts connections and their Join envelopes until every sampled id
-/// is present or the join deadline passes — blocking-sweep engine.
-fn accept_joins_sweep(
-    acceptor: &mut dyn Acceptor,
-    cfg: &CoordinatorConfig,
-) -> Result<Peers, NetError> {
-    let deadline = Instant::now() + cfg.join_timeout;
-    let sampled: BTreeSet<ClientId> = cfg.params.clients.iter().copied().collect();
-    let mut peers: Peers = BTreeMap::new();
-    while peers.len() < sampled.len() {
-        let mut chan = match acceptor.accept(deadline) {
-            Ok(c) => c,
-            Err(NetError::Timeout) => break,
-            Err(e) => return Err(e),
-        };
-        // The Join must arrive promptly once connected.
-        let join_deadline = Instant::now()
-            + cfg
-                .stage_timeout
-                .min(deadline.saturating_duration_since(Instant::now()));
-        // Joins carry round 0: the client learns the real round id from
-        // the Setup broadcast.
-        match vet_join(
-            recv_env(chan.as_mut(), join_deadline),
-            &sampled,
-            &peers,
-            cfg.params.round,
-        ) {
-            Ok(id) => {
-                peers.insert(id, chan);
-            }
-            Err(Some(reply)) => {
-                let _ = send_env(chan.as_mut(), &reply);
-            }
-            Err(None) => {}
-        }
-    }
-    Ok(peers)
-}
-
-/// Reactor-driven join phase: accepted connections are registered under
-/// provisional tokens and their Join frames collected by readiness, so
-/// one slow joiner no longer serializes everyone behind it. A connection
-/// that produces no valid Join within the stage timeout is discarded.
-fn accept_joins_reactor(
-    reactor: &mut Reactor,
-    acceptor: &mut dyn Acceptor,
-    cfg: &CoordinatorConfig,
-) -> Result<Peers, NetError> {
-    let deadline = Instant::now() + cfg.join_timeout;
-    let sampled: BTreeSet<ClientId> = cfg.params.clients.iter().copied().collect();
-    let mut peers: Peers = BTreeMap::new();
-    let mut awaiting: BTreeMap<u64, Box<dyn EventedChannel>> = BTreeMap::new();
-    let mut next_provisional = JOIN_BASE;
-    let (mut events, mut expired) = (Vec::new(), Vec::new());
-    while peers.len() < sampled.len() {
-        let now = Instant::now();
-        if now >= deadline {
-            break;
-        }
-        // Accept for at most one tick so pending Join frames keep being
-        // serviced between arrivals.
-        match acceptor.accept((now + cfg.tick).min(deadline)) {
-            Ok(mut chan) => {
-                let token = Token(next_provisional);
-                next_provisional += 1;
-                chan.register(reactor, token)?;
-                reactor.arm_deadline(token, (Instant::now() + cfg.stage_timeout).min(deadline));
-                awaiting.insert(token.0, chan);
-            }
-            Err(NetError::Timeout) => {}
-            Err(e) => return Err(e),
-        }
-        reactor.poll(&mut events, &mut expired, Duration::ZERO)?;
-        for ev in &events {
-            let Some(mut chan) = awaiting.remove(&ev.token.0) else {
-                continue;
-            };
-            match chan.try_recv() {
-                Ok(Some(frame)) => {
-                    reactor.cancel_deadline(ev.token);
-                    match vet_join(Envelope::decode(&frame), &sampled, &peers, cfg.params.round) {
-                        Ok(id) => {
-                            chan.register(reactor, client_token(id))?;
-                            peers.insert(id, chan);
-                        }
-                        Err(Some(reply)) => {
-                            let _ = send_env(chan.as_mut(), &reply);
-                            let _ = chan.try_flush();
-                        }
-                        Err(None) => {}
-                    }
-                }
-                Ok(None) => {
-                    // Frame still incomplete: keep waiting.
-                    awaiting.insert(ev.token.0, chan);
-                }
-                Err(_) => {
-                    reactor.cancel_deadline(ev.token);
-                }
-            }
-        }
-        for token in &expired {
-            // Connected but never completed a Join: not a participant.
-            awaiting.remove(&token.0);
-        }
-    }
-    // The sampled set completed (or the join window closed) with some
-    // connections still awaiting a verdict. Any Join already on the wire
-    // gets vetted so a rejected peer hears *why* instead of hanging;
-    // rejection is the only possible verdict once the set is full, and
-    // on a deadline exit a late valid join is dropped exactly as the
-    // sweep engine drops it.
-    for (token, mut chan) in awaiting {
-        reactor.cancel_deadline(Token(token));
-        if let Ok(Some(frame)) = chan.try_recv() {
-            if let Err(Some(reply)) =
-                vet_join(Envelope::decode(&frame), &sampled, &peers, cfg.params.round)
-            {
-                let _ = send_env(chan.as_mut(), &reply);
-                let _ = chan.try_flush();
-            }
-        }
-    }
-    Ok(peers)
-}
-
-// ---------------------------------------------------------------------
-// Masked-input collection (per stage, chunk).
-// ---------------------------------------------------------------------
 
 /// Shared per-chunk collection state.
 struct ChunkCollect {
@@ -873,105 +1412,6 @@ impl ChunkCollect {
         }
     }
 
-    /// Files one already-received frame. Returns `false` if the client
-    /// was dropped (stream is dead) and draining should stop.
-    #[allow(clippy::too_many_arguments)]
-    fn file_frame(
-        &mut self,
-        peers: &mut Peers,
-        id: ClientId,
-        frame: &[u8],
-        round: u64,
-        m: usize,
-        dropouts: &mut Vec<DetectedDropout>,
-    ) -> bool {
-        *self.per_client.entry(id).or_default() += frame.len() as u64;
-        match Envelope::decode(frame) {
-            Ok(env)
-                if env.stage == StageTag::MaskedInput
-                    && env.round == round
-                    && usize::from(env.chunk) < m =>
-            {
-                let c = usize::from(env.chunk);
-                self.pendings[c].remove(&id);
-                self.bodies[c].insert(id, env.body);
-                true
-            }
-            Ok(env) if env.stage == StageTag::Abort => {
-                let chunk = self.active as u16;
-                self.remove_everywhere(id);
-                drop_peer(
-                    peers,
-                    id,
-                    "MaskedInputCollection",
-                    Some(chunk),
-                    DropKind::Aborted,
-                    dropouts,
-                );
-                false
-            }
-            _ => {
-                let chunk = self.active as u16;
-                self.remove_everywhere(id);
-                drop_peer(
-                    peers,
-                    id,
-                    "MaskedInputCollection",
-                    Some(chunk),
-                    DropKind::ProtocolViolation,
-                    dropouts,
-                );
-                false
-            }
-        }
-    }
-
-    /// Aggregates the active chunk into the server (its pending set must
-    /// be empty) and advances to the next one.
-    fn aggregate_active(
-        &mut self,
-        peers: &mut Peers,
-        round: u64,
-        cfg: &CoordinatorConfig,
-        plan: &ChunkPlan,
-        server: &mut Server,
-        dropouts: &mut Vec<DetectedDropout>,
-    ) -> Result<(), NetError> {
-        let chunk_bodies = std::mem::take(&mut self.bodies[self.active]);
-        let ctx = FrameContext {
-            stage: StageTag::MaskedInput,
-            round,
-            chunk: self.active as u16,
-        };
-        let mut inputs = Vec::with_capacity(chunk_bodies.len());
-        for (id, body) in &chunk_bodies {
-            if !peers.contains_key(id) {
-                continue;
-            }
-            match decode_masked_input(body, plan.bit_width(), plan.chunk_len(self.active), ctx) {
-                Ok(mi) if mi.client == *id => inputs.push(mi),
-                _ => {
-                    let chunk = self.active as u16;
-                    self.remove_everywhere(*id);
-                    drop_peer(
-                        peers,
-                        *id,
-                        "MaskedInputCollection",
-                        Some(chunk),
-                        DropKind::ProtocolViolation,
-                        dropouts,
-                    );
-                }
-            }
-        }
-        server
-            .collect_masked_chunk(self.active, inputs)
-            .map_err(NetError::SecAgg)?;
-        chunk_sleep(cfg.chunk_compute, plan, self.active);
-        self.active += 1;
-        Ok(())
-    }
-
     fn uplink(&self) -> Traffic {
         let mut up = Traffic::default();
         for &bytes in self.per_client.values() {
@@ -981,517 +1421,8 @@ impl ChunkCollect {
     }
 }
 
-/// The per-(stage, chunk) masked-input collector — blocking-sweep
-/// engine. Chunk `c + 1`'s frames accumulate (from fast clients and
-/// channel buffers) while chunk `c` is decoded, validated, and
-/// aggregated into the server's per-chunk state; the stage deadline
-/// restarts per chunk. A client whose stream stops — disconnect,
-/// garbage, or silence past the active chunk's deadline — is dropped
-/// from every remaining chunk; its partial deliveries never reach a sum
-/// because U3 requires all chunks.
-fn collect_masked_chunks_sweep(
-    peers: &mut Peers,
-    expected: &[ClientId],
-    round: u64,
-    cfg: &CoordinatorConfig,
-    plan: &ChunkPlan,
-    server: &mut Server,
-    dropouts: &mut Vec<DetectedDropout>,
-) -> Result<Traffic, NetError> {
-    let m = plan.chunks();
-    let stage_name = "MaskedInputCollection";
-    let mut st = ChunkCollect::new(expected, peers, m);
-    let mut deadline = Instant::now() + cfg.stage_timeout;
-
-    while st.active < m {
-        st.pendings[st.active].retain(|id| peers.contains_key(id));
-        if st.pendings[st.active].is_empty() {
-            // Chunk complete: aggregate it while later chunks keep
-            // arriving into the transport buffers.
-            st.aggregate_active(peers, round, cfg, plan, server, dropouts)?;
-            deadline = Instant::now() + cfg.stage_timeout;
-            continue;
-        }
-        if Instant::now() >= deadline {
-            let late: Vec<ClientId> = st.pendings[st.active].iter().copied().collect();
-            for id in late {
-                let chunk = st.active as u16;
-                st.remove_everywhere(id);
-                drop_peer(
-                    peers,
-                    id,
-                    stage_name,
-                    Some(chunk),
-                    DropKind::DeadlineMissed,
-                    dropouts,
-                );
-            }
-            continue;
-        }
-        let ids: Vec<ClientId> = st.pendings[st.active].iter().copied().collect();
-        for id in ids {
-            let Some(chan) = peers.get_mut(&id) else {
-                st.remove_everywhere(id);
-                continue;
-            };
-            let slice = (Instant::now() + cfg.tick).min(deadline);
-            match chan.recv_deadline(slice) {
-                Ok(frame) => {
-                    st.file_frame(peers, id, &frame, round, m, dropouts);
-                }
-                Err(NetError::Timeout) => {}
-                Err(_) => {
-                    let chunk = st.died_at(id);
-                    st.remove_everywhere(id);
-                    drop_peer(
-                        peers,
-                        id,
-                        stage_name,
-                        Some(chunk),
-                        DropKind::Disconnected,
-                        dropouts,
-                    );
-                }
-            }
-        }
-    }
-    Ok(st.uplink())
-}
-
-/// The per-(stage, chunk) masked-input collector — reactor engine. Same
-/// state machine, but frames, disconnects, and per-chunk deadlines
-/// arrive as events: the thread sleeps in the poller while clients
-/// stream, instead of sweeping every pending channel per tick.
-#[allow(clippy::too_many_arguments)]
-fn collect_masked_chunks_reactor(
-    reactor: &mut Reactor,
-    peers: &mut Peers,
-    expected: &[ClientId],
-    round: u64,
-    cfg: &CoordinatorConfig,
-    plan: &ChunkPlan,
-    server: &mut Server,
-    dropouts: &mut Vec<DetectedDropout>,
-) -> Result<Traffic, NetError> {
-    let m = plan.chunks();
-    let stage_name = "MaskedInputCollection";
-    let mut st = ChunkCollect::new(expected, peers, m);
-    reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
-
-    // Initial sweep: frames may already be buffered (sent between the
-    // Inbox flush and this loop), and their readiness may have been
-    // consumed by an earlier poll.
-    let ids: Vec<ClientId> = st.pendings[0].iter().copied().collect();
-    for id in ids {
-        drain_chunk_frames(&mut st, peers, id, round, m, stage_name, dropouts);
-    }
-
-    let (mut events, mut expired) = (Vec::new(), Vec::new());
-    loop {
-        // Aggregate every chunk whose pending set has emptied; the
-        // deadline clock restarts per completed chunk.
-        let mut aggregated = false;
-        while st.active < m {
-            st.pendings[st.active].retain(|id| peers.contains_key(id));
-            if !st.pendings[st.active].is_empty() {
-                break;
-            }
-            st.aggregate_active(peers, round, cfg, plan, server, dropouts)?;
-            aggregated = true;
-        }
-        if st.active == m {
-            break;
-        }
-        if aggregated {
-            reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
-        }
-        reactor.poll(&mut events, &mut expired, cfg.stage_timeout)?;
-        for ev in &events {
-            handle_write_event(peers, ev, stage_name, dropouts);
-            let Some(id) = client_of(ev.token) else {
-                continue;
-            };
-            if !(ev.readable || ev.closed) || !peers.contains_key(&id) {
-                continue;
-            }
-            drain_chunk_frames(&mut st, peers, id, round, m, stage_name, dropouts);
-        }
-        if expired.contains(&STAGE_TOKEN) {
-            let late: Vec<ClientId> = st.pendings[st.active].iter().copied().collect();
-            for id in late {
-                let chunk = st.active as u16;
-                st.remove_everywhere(id);
-                drop_peer(
-                    peers,
-                    id,
-                    stage_name,
-                    Some(chunk),
-                    DropKind::DeadlineMissed,
-                    dropouts,
-                );
-            }
-            reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
-        }
-    }
-    reactor.cancel_deadline(STAGE_TOKEN);
-    Ok(st.uplink())
-}
-
-/// Drains every currently available frame from `id`'s channel into the
-/// chunk state, detecting stream death (disconnect / abort / garbage).
-fn drain_chunk_frames(
-    st: &mut ChunkCollect,
-    peers: &mut Peers,
-    id: ClientId,
-    round: u64,
-    m: usize,
-    stage_name: &'static str,
-    dropouts: &mut Vec<DetectedDropout>,
-) {
-    loop {
-        let Some(chan) = peers.get_mut(&id) else {
-            return;
-        };
-        match chan.try_recv() {
-            Ok(Some(frame)) => {
-                if !st.file_frame(peers, id, &frame, round, m, dropouts) {
-                    return;
-                }
-            }
-            Ok(None) => return,
-            Err(_) => {
-                let chunk = st.died_at(id);
-                st.remove_everywhere(id);
-                drop_peer(
-                    peers,
-                    id,
-                    stage_name,
-                    Some(chunk),
-                    DropKind::Disconnected,
-                    dropouts,
-                );
-                return;
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Round-global stage collection.
-// ---------------------------------------------------------------------
-
-/// Collects exactly one body per expected client for `want`, until the
-/// per-stage deadline. Silent or disconnected clients become detected
-/// dropouts and are removed from `peers`. `idle` runs once per loop
-/// turn so pending per-chunk work (unmasking) overlaps the wait.
-///
-/// # Errors
-///
-/// Only `idle` failures (protocol aborts) — per-client failures are
-/// dropouts, not errors.
-#[allow(clippy::too_many_arguments)]
-fn collect_stage(
-    engine: Option<&mut Reactor>,
-    peers: &mut Peers,
-    expected: &[ClientId],
-    want: StageTag,
-    round: u64,
-    cfg: &CoordinatorConfig,
-    stage_name: &'static str,
-    dropouts: &mut Vec<DetectedDropout>,
-    up: &mut Traffic,
-    server: &mut Server,
-    idle: &mut IdleWork<'_>,
-) -> Result<BTreeMap<ClientId, Vec<u8>>, NetError> {
-    match engine {
-        Some(reactor) => collect_stage_reactor(
-            reactor, peers, expected, want, round, cfg, stage_name, dropouts, up, server, idle,
-        ),
-        None => collect_stage_sweep(
-            peers, expected, want, round, cfg, stage_name, dropouts, up, server, idle,
-        ),
-    }
-}
-
-/// Files one round-global stage frame; returns `false` if the client
-/// was dropped.
-#[allow(clippy::too_many_arguments)]
-fn file_stage_frame(
-    peers: &mut Peers,
-    pending: &mut BTreeSet<ClientId>,
-    bodies: &mut BTreeMap<ClientId, Vec<u8>>,
-    id: ClientId,
-    frame: &[u8],
-    want: StageTag,
-    round: u64,
-    stage_name: &'static str,
-    dropouts: &mut Vec<DetectedDropout>,
-    up: &mut Traffic,
-) -> bool {
-    up.add(frame.len() as u64);
-    match Envelope::decode(frame) {
-        Ok(env) if env.stage == want && env.round == round && pending.contains(&id) => {
-            bodies.insert(id, env.body);
-            pending.remove(&id);
-            true
-        }
-        Ok(env) if env.stage == StageTag::Abort => {
-            pending.remove(&id);
-            drop_peer(peers, id, stage_name, None, DropKind::Aborted, dropouts);
-            false
-        }
-        _ => {
-            pending.remove(&id);
-            drop_peer(
-                peers,
-                id,
-                stage_name,
-                None,
-                DropKind::ProtocolViolation,
-                dropouts,
-            );
-            false
-        }
-    }
-}
-
-/// Blocking-sweep engine for [`collect_stage`].
-#[allow(clippy::too_many_arguments)]
-fn collect_stage_sweep(
-    peers: &mut Peers,
-    expected: &[ClientId],
-    want: StageTag,
-    round: u64,
-    cfg: &CoordinatorConfig,
-    stage_name: &'static str,
-    dropouts: &mut Vec<DetectedDropout>,
-    up: &mut Traffic,
-    server: &mut Server,
-    idle: &mut IdleWork<'_>,
-) -> Result<BTreeMap<ClientId, Vec<u8>>, NetError> {
-    let mut deadline = Instant::now() + cfg.stage_timeout;
-    let mut pending: BTreeSet<ClientId> = expected
-        .iter()
-        .copied()
-        .filter(|id| peers.contains_key(id))
-        .collect();
-    let mut bodies: BTreeMap<ClientId, Vec<u8>> = BTreeMap::new();
-    while !pending.is_empty() && Instant::now() < deadline {
-        // Interleaved background work (per-chunk unmasking, possibly
-        // with injected compute) must not eat the peers' response
-        // window: credit its wall time back to the stage deadline.
-        let idle_start = Instant::now();
-        idle(server).map_err(NetError::SecAgg)?;
-        deadline += idle_start.elapsed();
-        let ids: Vec<ClientId> = pending.iter().copied().collect();
-        for id in ids {
-            let Some(chan) = peers.get_mut(&id) else {
-                pending.remove(&id);
-                continue;
-            };
-            let slice = (Instant::now() + cfg.tick).min(deadline);
-            match chan.recv_deadline(slice) {
-                Ok(frame) => {
-                    file_stage_frame(
-                        peers,
-                        &mut pending,
-                        &mut bodies,
-                        id,
-                        &frame,
-                        want,
-                        round,
-                        stage_name,
-                        dropouts,
-                        up,
-                    );
-                }
-                Err(NetError::Timeout) => {}
-                Err(_) => {
-                    pending.remove(&id);
-                    drop_peer(
-                        peers,
-                        id,
-                        stage_name,
-                        None,
-                        DropKind::Disconnected,
-                        dropouts,
-                    );
-                }
-            }
-        }
-    }
-    for id in pending {
-        drop_peer(
-            peers,
-            id,
-            stage_name,
-            None,
-            DropKind::DeadlineMissed,
-            dropouts,
-        );
-    }
-    Ok(bodies)
-}
-
-/// Reactor engine for [`collect_stage`]: the thread sleeps in the
-/// poller until frames, disconnects, or the stage deadline are ready.
-/// Idle work runs between polls (non-blocking polls while it reports
-/// more work, so collection stays responsive during long interleaves).
-#[allow(clippy::too_many_arguments)]
-fn collect_stage_reactor(
-    reactor: &mut Reactor,
-    peers: &mut Peers,
-    expected: &[ClientId],
-    want: StageTag,
-    round: u64,
-    cfg: &CoordinatorConfig,
-    stage_name: &'static str,
-    dropouts: &mut Vec<DetectedDropout>,
-    up: &mut Traffic,
-    server: &mut Server,
-    idle: &mut IdleWork<'_>,
-) -> Result<BTreeMap<ClientId, Vec<u8>>, NetError> {
-    let mut deadline = Instant::now() + cfg.stage_timeout;
-    let mut pending: BTreeSet<ClientId> = expected
-        .iter()
-        .copied()
-        .filter(|id| peers.contains_key(id))
-        .collect();
-    let mut bodies: BTreeMap<ClientId, Vec<u8>> = BTreeMap::new();
-    reactor.arm_deadline(STAGE_TOKEN, deadline);
-
-    // Initial sweep: responses may already be buffered, and their
-    // readiness may have been consumed by an earlier poll (e.g. during
-    // a broadcast flush).
-    let ids: Vec<ClientId> = pending.iter().copied().collect();
-    for id in ids {
-        drain_stage_frames(
-            peers,
-            &mut pending,
-            &mut bodies,
-            id,
-            want,
-            round,
-            stage_name,
-            dropouts,
-            up,
-        );
-    }
-
-    let (mut events, mut expired) = (Vec::new(), Vec::new());
-    'collect: while !pending.is_empty() {
-        // Interleaved background work must not eat the peers' response
-        // window: credit its wall time back to the stage deadline.
-        let idle_start = Instant::now();
-        let did_work = idle(server).map_err(NetError::SecAgg)?;
-        let spent = idle_start.elapsed();
-        if !spent.is_zero() {
-            deadline += spent;
-            reactor.arm_deadline(STAGE_TOKEN, deadline);
-        }
-        // With idle work in flight, poll without blocking and come
-        // straight back; otherwise sleep until an event or the deadline.
-        let wait = if did_work {
-            Duration::ZERO
-        } else {
-            cfg.stage_timeout
-        };
-        reactor.poll(&mut events, &mut expired, wait)?;
-        for ev in &events {
-            handle_write_event(peers, ev, stage_name, dropouts);
-            let Some(id) = client_of(ev.token) else {
-                continue;
-            };
-            if !(ev.readable || ev.closed) || !peers.contains_key(&id) {
-                continue;
-            }
-            drain_stage_frames(
-                peers,
-                &mut pending,
-                &mut bodies,
-                id,
-                want,
-                round,
-                stage_name,
-                dropouts,
-                up,
-            );
-        }
-        // A write-event failure (or any other path) may have dropped a
-        // peer without touching `pending` — retain, so the stage can
-        // complete and the leftover loop below can't double-record.
-        pending.retain(|id| peers.contains_key(id));
-        if expired.contains(&STAGE_TOKEN) {
-            break 'collect;
-        }
-    }
-    reactor.cancel_deadline(STAGE_TOKEN);
-    for id in pending {
-        if peers.contains_key(&id) {
-            drop_peer(
-                peers,
-                id,
-                stage_name,
-                None,
-                DropKind::DeadlineMissed,
-                dropouts,
-            );
-        }
-    }
-    Ok(bodies)
-}
-
-/// Drains every currently available frame from `id` during a
-/// round-global stage. A frame for a client that already answered (and
-/// is not an abort) is out-of-protocol, exactly as the sweep would
-/// conclude when it met the frame at the next stage.
-#[allow(clippy::too_many_arguments)]
-fn drain_stage_frames(
-    peers: &mut Peers,
-    pending: &mut BTreeSet<ClientId>,
-    bodies: &mut BTreeMap<ClientId, Vec<u8>>,
-    id: ClientId,
-    want: StageTag,
-    round: u64,
-    stage_name: &'static str,
-    dropouts: &mut Vec<DetectedDropout>,
-    up: &mut Traffic,
-) {
-    loop {
-        let Some(chan) = peers.get_mut(&id) else {
-            return;
-        };
-        match chan.try_recv() {
-            Ok(Some(frame)) => {
-                if !file_stage_frame(
-                    peers, pending, bodies, id, &frame, want, round, stage_name, dropouts, up,
-                ) {
-                    return;
-                }
-            }
-            Ok(None) => return,
-            Err(_) => {
-                if pending.remove(&id) {
-                    drop_peer(
-                        peers,
-                        id,
-                        stage_name,
-                        None,
-                        DropKind::Disconnected,
-                        dropouts,
-                    );
-                } else {
-                    // Already answered this stage; the disconnect will
-                    // be observed when it next matters, as in the sweep.
-                }
-                return;
-            }
-        }
-    }
-}
-
 /// Flushes a backlogged write surfaced by a write-readiness event.
-fn handle_write_event(
+pub(crate) fn handle_write_event(
     peers: &mut Peers,
     ev: &Event,
     stage_name: &'static str,
@@ -1518,7 +1449,7 @@ fn handle_write_event(
 }
 
 /// Removes a peer and records the detection.
-fn drop_peer(
+pub(crate) fn drop_peer(
     peers: &mut Peers,
     id: ClientId,
     stage: &'static str,
@@ -1539,7 +1470,7 @@ fn drop_peer(
 /// detected dropouts (a write timeout is a deadline miss, anything else
 /// a disconnect). On the reactor engine `send` only queues — callers
 /// follow up with [`flush_sends`]. Returns downlink traffic.
-fn broadcast(
+pub(crate) fn broadcast(
     peers: &mut Peers,
     env: &Envelope,
     dropouts: &mut Vec<DetectedDropout>,
@@ -1587,7 +1518,7 @@ fn send_failure_kind(e: &NetError) -> DropKind {
 /// broadcast frame has drained (peers that cannot absorb theirs within
 /// the stage timeout become detected dropouts). No-op on the sweep
 /// engine, whose sends are blocking.
-fn flush_sends(
+pub(crate) fn flush_sends(
     engine: Option<&mut Reactor>,
     peers: &mut Peers,
     dropouts: &mut Vec<DetectedDropout>,

@@ -51,6 +51,7 @@ pub mod coordinator;
 pub mod figure12;
 pub mod reactor;
 pub mod runtime;
+pub mod session;
 pub mod tcp;
 pub mod transport;
 
@@ -76,6 +77,18 @@ pub enum NetError {
         /// Version this build speaks ([`codec::WIRE_VERSION`]).
         expected: u8,
     },
+    /// A frame arrived for a round other than the one the state machine
+    /// is executing. Typed (rather than a generic protocol violation)
+    /// because in a multi-round session stale frames are *expected* —
+    /// a slow claim from round `r` can surface while round `r + 1` is
+    /// joining — and must be discarded, never parsed into the current
+    /// round's state.
+    StaleRound {
+        /// Round id the frame carried.
+        got: u64,
+        /// Round the machine is executing.
+        expected: u64,
+    },
     /// A peer violated the protocol (wrong stage, bad id, ...).
     Protocol(String),
     /// The protocol itself aborted (below threshold, tampering...).
@@ -95,6 +108,12 @@ impl core::fmt::Display for NetError {
                 write!(
                     f,
                     "wire version mismatch: peer speaks v{got}, this build v{expected}"
+                )
+            }
+            NetError::StaleRound { got, expected } => {
+                write!(
+                    f,
+                    "stale frame: round {got}, machine is on round {expected}"
                 )
             }
             NetError::Protocol(e) => write!(f, "protocol violation: {e}"),

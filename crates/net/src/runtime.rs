@@ -2,16 +2,31 @@
 //! symmetrically to the [`coordinator`](crate::coordinator), over any
 //! [`Channel`].
 //!
-//! The runtime joins, receives the round setup, computes its input via a
-//! caller-supplied closure (the update only exists once the round
-//! parameters are known), and then answers each server broadcast. A
-//! detected inconsistency makes the state machine abort; the runtime
+//! Two entry points:
+//!
+//! - [`run_client`]: the single-round runtime. Joins eagerly, receives
+//!   the round setup, computes its input via a caller-supplied closure
+//!   (the update only exists once the round parameters are known), and
+//!   answers each server broadcast.
+//! - [`run_session_client`]: the multi-round session runtime. Answers
+//!   every [`StageTag::RoundAnnounce`] with a participation claim (or a
+//!   decline), participates in each round it is seated for — building a
+//!   **fresh** per-round protocol state machine with per-round
+//!   randomness ([`round_rng_seed`]) — and keeps the connection warm
+//!   between rounds until the server's `SessionEnd`.
+//!
+//! A detected inconsistency makes the state machine abort; the runtime
 //! forwards that as an explicit `Abort` envelope and goes silent, which
-//! is exactly how the driver models aborting clients.
+//! is exactly how the driver models aborting clients. A frame whose
+//! round id differs from the round being executed surfaces as the typed
+//! [`NetError::StaleRound`], never as state of the wrong round.
 //!
 //! For tests and demos, a [`FailPoint`] makes the client misbehave on
 //! purpose: disconnect (process kill) or go silent while connected
-//! (network partition / hang) just before a chosen stage.
+//! (network partition / hang) just before a chosen stage. In a session,
+//! a failed client's process can reconnect and re-join from the next
+//! round's announce — the dropout-then-rejoin path the paper's workload
+//! is defined by.
 
 use std::time::{Duration, Instant};
 
@@ -20,7 +35,7 @@ use dordis_secagg::client::{Client, ClientInput, Identity};
 use dordis_secagg::messages::IdList;
 use dordis_secagg::{ClientId, RoundParams, SecAggError, ThreatModel};
 
-pub use dordis_secagg::driver::{client_rng, share_keys_rng};
+pub use dordis_secagg::driver::{client_rng, round_rng_seed, share_keys_rng};
 
 use crate::codec::{self, decode_list, split_masked_input, Encode, Envelope, StageTag};
 use crate::transport::{recv_env, send_env, Channel};
@@ -133,26 +148,62 @@ where
     FId: FnOnce(&RoundParams) -> Option<Identity>,
 {
     // ---- Join. ----
+    // Eager joins carry round 0: the client learns the real round id
+    // from the Setup broadcast.
     send_env(
         chan,
         &Envelope::new(StageTag::Join, 0, codec::encode_join(opts.id)),
     )?;
 
     // ---- Setup. ----
-    let env = recv_until(chan, opts)?;
-    let (params, requested_chunks) = match env.stage {
-        StageTag::Setup => codec::decode_setup(&env.body)?,
-        StageTag::Abort => {
-            return Ok(ClientRunOutcome::ServerAborted {
-                reason: codec::decode_abort(&env.body),
-            })
-        }
-        other => return Err(NetError::Protocol(format!("expected Setup, got {other:?}"))),
-    };
+    let env = recv_until(chan, opts.recv_timeout)?;
+    match env.stage {
+        StageTag::Setup => participate(
+            chan,
+            opts,
+            env.round,
+            &env.body,
+            |params, _payload| input_for(params),
+            identity_for,
+        ),
+        StageTag::Abort => Ok(ClientRunOutcome::ServerAborted {
+            reason: codec::decode_abort(&env.body),
+        }),
+        other => Err(NetError::Protocol(format!("expected Setup, got {other:?}"))),
+    }
+}
+
+/// Executes one round from its Setup body onward: builds a fresh
+/// protocol state machine for the round and serves broadcasts until
+/// Finished (or a failure outcome).
+///
+/// # Errors
+///
+/// Transport/codec failures, server protocol violations, and — typed —
+/// [`NetError::StaleRound`] when a broadcast carries the wrong round id.
+fn participate<FIn, FId>(
+    chan: &mut dyn Channel,
+    opts: &ClientOptions,
+    env_round: u64,
+    setup_body: &[u8],
+    input_for: FIn,
+    identity_for: FId,
+) -> Result<ClientRunOutcome, NetError>
+where
+    FIn: FnOnce(&RoundParams, &[u8]) -> Result<ClientInput, NetError>,
+    FId: FnOnce(&RoundParams) -> Option<Identity>,
+{
+    let (params, requested_chunks, payload) = codec::decode_setup(setup_body)?;
     // The server is untrusted: reject malformed round parameters (a
     // hostile bit_width/vector_len could otherwise panic or OOM us)
     // before building anything from them.
     params.validate().map_err(NetError::SecAgg)?;
+    let round = params.round;
+    if round != env_round {
+        return Err(NetError::Protocol(format!(
+            "Setup round {round} disagrees with its envelope ({env_round})"
+        )));
+    }
     // Re-derive the round's chunk plan from the requested count — the
     // same deterministic alignment the coordinator ran, so both sides
     // agree on every chunk boundary without the bounds traveling.
@@ -162,12 +213,11 @@ where
         params.bit_width,
     )
     .map_err(|e| NetError::Protocol(format!("chunk plan: {e}")))?;
-    let round = params.round;
     if !params.clients.contains(&opts.id) {
         return Err(NetError::Protocol("not in the sampled set".into()));
     }
 
-    let input = input_for(&params)?;
+    let input = input_for(&params, &payload)?;
     let identity = identity_for(&params);
     if params.threat_model == ThreatModel::Malicious && identity.is_none() {
         return Err(NetError::Protocol(
@@ -193,13 +243,8 @@ where
     // ---- Serve broadcasts until Finished. ----
     let mut last_u3: Vec<ClientId> = Vec::new();
     loop {
-        let env = recv_until(chan, opts)?;
-        if env.round != round && env.stage != StageTag::Abort {
-            return Err(NetError::Protocol(format!(
-                "round mismatch: expected {round}, got {}",
-                env.round
-            )));
-        }
+        let env = recv_until(chan, opts.recv_timeout)?;
+        env.check_round(round)?;
         match env.stage {
             StageTag::Roster => {
                 if let Some(out) = maybe_fail(chan, opts, FailStage::ShareKeys) {
@@ -345,8 +390,214 @@ where
     }
 }
 
-fn recv_until(chan: &mut dyn Channel, opts: &ClientOptions) -> Result<Envelope, NetError> {
-    recv_env(chan, Instant::now() + opts.recv_timeout)
+// ---------------------------------------------------------------------
+// The session client.
+// ---------------------------------------------------------------------
+
+/// Client-side options for a multi-round session.
+pub struct SessionClientOptions {
+    /// This client's id.
+    pub id: ClientId,
+    /// Base protocol seed; each round uses [`round_rng_seed`] of it, so
+    /// masks never repeat across rounds and each round reproduces the
+    /// in-memory driver round with the same derived seed bit for bit.
+    pub rng_seed: u64,
+    /// How long to wait for each server frame. Between rounds this must
+    /// cover a whole round the client is *not* seated in (it hears
+    /// nothing until the next announce).
+    pub recv_timeout: Duration,
+    /// See [`ClientOptions::silent_linger`].
+    pub silent_linger: Duration,
+}
+
+/// One round's result from the session client's perspective.
+#[derive(Clone, Debug)]
+pub struct SessionRoundResult {
+    /// The round id.
+    pub round: u64,
+    /// How participation ended.
+    pub outcome: ClientRunOutcome,
+}
+
+/// Why the session client returned.
+#[derive(Clone, Debug)]
+pub enum SessionEndKind {
+    /// The server closed the session (`SessionEnd`).
+    Ended,
+    /// A scripted [`FailPoint`] fired in `round`; the caller may
+    /// reconnect and re-join from the next round.
+    Failed {
+        /// The round the failure fired in.
+        round: u64,
+        /// The failing stage.
+        stage: FailStage,
+    },
+    /// The local state machine aborted in `round` (the server will have
+    /// dropped this connection).
+    Aborted {
+        /// The round the abort fired in.
+        round: u64,
+        /// The abort reason.
+        reason: String,
+    },
+    /// The server aborted (session- or round-level).
+    ServerAborted {
+        /// The server's reason.
+        reason: String,
+    },
+}
+
+/// Everything a session client observed.
+#[derive(Debug)]
+pub struct SessionClientReport {
+    /// Per-round results, in order, for the rounds this client was
+    /// seated in.
+    pub rounds: Vec<SessionRoundResult>,
+    /// Why the run ended.
+    pub end: SessionEndKind,
+}
+
+/// Participates in a multi-round session over one connection.
+///
+/// Per announced round `r`, `select(r)` returns the participation-claim
+/// bytes (`None` declines); in roster (claim-free) sessions the client
+/// always joins. When seated, `input_for(r, params, payload)` builds
+/// the round's input from the Setup payload (e.g. the current global
+/// model), and `fail_for(r)` may inject a scripted failure.
+///
+/// # Errors
+///
+/// Transport/codec failures and server protocol violations. Scripted
+/// failures, aborts, and session end are reported in the
+/// [`SessionClientReport`], not as errors.
+pub fn run_session_client<FSel, FFail, FIn, FId>(
+    chan: &mut dyn Channel,
+    opts: &SessionClientOptions,
+    mut select: FSel,
+    mut fail_for: FFail,
+    mut input_for: FIn,
+    mut identity_for: FId,
+) -> Result<SessionClientReport, NetError>
+where
+    FSel: FnMut(u64) -> Option<Vec<u8>>,
+    FFail: FnMut(u64) -> Option<FailPoint>,
+    FIn: FnMut(u64, &RoundParams, &[u8]) -> Result<ClientInput, NetError>,
+    FId: FnMut(&RoundParams) -> Option<Identity>,
+{
+    let mut rounds: Vec<SessionRoundResult> = Vec::new();
+    // The server is untrusted: rounds must advance strictly, or a
+    // replayed announce/Setup for an already-played round would make
+    // this client re-derive that round's [`round_rng_seed`] and reuse
+    // its masks — exactly the secret-reuse a recorded transcript could
+    // then unmask.
+    let mut last_round: Option<u64> = None;
+    loop {
+        let env = recv_until(chan, opts.recv_timeout)?;
+        if matches!(env.stage, StageTag::RoundAnnounce | StageTag::Setup) {
+            if let Some(prev) = last_round {
+                if env.round <= prev {
+                    return Err(NetError::StaleRound {
+                        got: env.round,
+                        expected: prev + 1,
+                    });
+                }
+            }
+        }
+        match env.stage {
+            StageTag::RoundAnnounce => {
+                let claims_required = codec::decode_announce(&env.body)?;
+                let round = env.round;
+                if claims_required {
+                    match select(round) {
+                        Some(claim) => send_env(
+                            chan,
+                            &Envelope::new(
+                                StageTag::Join,
+                                round,
+                                codec::encode_join_claim(opts.id, &claim),
+                            ),
+                        )?,
+                        None => send_env(
+                            chan,
+                            &Envelope::new(StageTag::Decline, round, codec::encode_join(opts.id)),
+                        )?,
+                    }
+                } else {
+                    send_env(
+                        chan,
+                        &Envelope::new(StageTag::Join, round, codec::encode_join(opts.id)),
+                    )?;
+                }
+            }
+            StageTag::Setup => {
+                let round = env.round;
+                let ropts = ClientOptions {
+                    id: opts.id,
+                    rng_seed: round_rng_seed(opts.rng_seed, round),
+                    fail: fail_for(round),
+                    recv_timeout: opts.recv_timeout,
+                    silent_linger: opts.silent_linger,
+                };
+                let outcome = participate(
+                    chan,
+                    &ropts,
+                    round,
+                    &env.body,
+                    |params, payload| input_for(round, params, payload),
+                    &mut identity_for,
+                )?;
+                last_round = Some(round);
+                rounds.push(SessionRoundResult {
+                    round,
+                    outcome: outcome.clone(),
+                });
+                match outcome {
+                    ClientRunOutcome::Finished { .. } => {}
+                    ClientRunOutcome::Failed { stage } => {
+                        return Ok(SessionClientReport {
+                            rounds,
+                            end: SessionEndKind::Failed { round, stage },
+                        });
+                    }
+                    ClientRunOutcome::Aborted { reason } => {
+                        return Ok(SessionClientReport {
+                            rounds,
+                            end: SessionEndKind::Aborted { round, reason },
+                        });
+                    }
+                    ClientRunOutcome::ServerAborted { reason } => {
+                        return Ok(SessionClientReport {
+                            rounds,
+                            end: SessionEndKind::ServerAborted { reason },
+                        });
+                    }
+                }
+            }
+            StageTag::SessionEnd => {
+                return Ok(SessionClientReport {
+                    rounds,
+                    end: SessionEndKind::Ended,
+                });
+            }
+            StageTag::Abort => {
+                return Ok(SessionClientReport {
+                    rounds,
+                    end: SessionEndKind::ServerAborted {
+                        reason: codec::decode_abort(&env.body),
+                    },
+                });
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "unexpected server stage {other:?} between rounds"
+                )))
+            }
+        }
+    }
+}
+
+fn recv_until(chan: &mut dyn Channel, timeout: Duration) -> Result<Envelope, NetError> {
+    recv_env(chan, Instant::now() + timeout)
 }
 
 /// Fires the fail point if configured for `stage`.

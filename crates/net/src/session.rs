@@ -1,0 +1,832 @@
+//! Multi-round FL sessions over persistent connections.
+//!
+//! `dordis serve` used to run exactly one networked round and exit; a
+//! *session* makes the round a repeated unit of execution, the way the
+//! paper's training experiments (Figures 1, 8, 9, Table 2) actually run:
+//! many SecAgg+XNoise rounds back to back, each with a freshly sampled
+//! cohort, over connections that stay warm between rounds.
+//!
+//! A [`Session`] owns what outlives a round:
+//!
+//! - the collection engine (one [`Reactor`] serving every round's
+//!   timers and channels, or the legacy poll sweep),
+//! - the *parked* connections: every authenticated client channel,
+//!   registered once and kept across rounds,
+//! - the round counter stamped into every envelope, and
+//! - the seating policy deciding who participates in each round.
+//!
+//! Everything per-round lives in a fresh
+//! [`RoundMachine`](crate::coordinator::RoundMachine) (secagg server,
+//! chunk plan, traffic/dropout accounting), so no protocol state can
+//! leak between rounds, and a frame carrying an old round id is
+//! discarded by the typed [`NetError::StaleRound`] check instead of
+//! being parsed into the current round.
+//!
+//! ## Round lifecycle
+//!
+//! 1. **Announce** (`announce: true`): the session broadcasts
+//!    [`StageTag::RoundAnnounce`] with the new round id to every parked
+//!    connection, and to every newly accepted one.
+//! 2. **Join / claim**: each client answers with [`StageTag::Join`] —
+//!    carrying a participation claim when the seating policy is
+//!    [`Seating::Claims`] — or [`StageTag::Decline`]. New connections
+//!    (first-time joiners *and* clients re-joining after dropping out of
+//!    an earlier round) are accepted throughout the join window. The
+//!    window closes early once every id in
+//!    [`SessionConfig::population`] has answered.
+//! 3. **Seating**: under [`Seating::Roster`] the cohort is the fixed
+//!    `params.clients` roster (first-come joins, as in the single-round
+//!    coordinator). Under [`Seating::Claims`] the collected claims go to
+//!    the verifier — for Dordis, `dordis-core`'s VRF
+//!    `verify_and_trim` (§7) — which seats a cohort and rejects forged
+//!    claims; valid-but-trimmed claimants stay parked for the next
+//!    round.
+//! 4. **Round execution**: a fresh `RoundMachine` drives the seated
+//!    cohort's connections through the SecAgg stages. Survivors'
+//!    channels return to the parked set; detected dropouts' channels are
+//!    gone — those clients can reconnect and re-join in a later round.
+//! 5. After the last round, [`Session::finish`] broadcasts
+//!    [`StageTag::SessionEnd`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+use dordis_secagg::{ClientId, RoundParams};
+
+use crate::codec::{self, Envelope, StageTag};
+use crate::coordinator::{
+    client_of, client_token, CollectMode, CoordinatorConfig, NetRoundReport, Peers, RoundMachine,
+    JOIN_BASE,
+};
+use crate::reactor::{EventedChannel, Reactor, Token};
+use crate::transport::{recv_env, send_env, Acceptor};
+use crate::NetError;
+
+/// Who a round's seating verifier admitted and who it threw out.
+#[derive(Clone, Debug, Default)]
+pub struct SeatingOutcome {
+    /// The round's cohort, in the order the verifier chose (this order
+    /// becomes `RoundParams::clients`).
+    pub seated: Vec<ClientId>,
+    /// Claimants whose claims were invalid (forged proof, wrong round,
+    /// undecodable); each gets an abort reply and its connection is
+    /// closed. Valid claimants that simply did not make the cut belong
+    /// in *neither* list — they stay parked for the next round.
+    pub rejected: Vec<(ClientId, String)>,
+}
+
+/// Verifies one round's participation claims and seats a cohort.
+/// Arguments: the round id and every `(claimant, claim bytes)` pair
+/// collected during the join window.
+pub type SeatingVerifier<'a> = Box<dyn FnMut(u64, &[(ClientId, Vec<u8>)]) -> SeatingOutcome + 'a>;
+
+/// How a session decides each round's cohort.
+pub enum Seating<'a> {
+    /// The cohort is the fixed `params.clients` roster; a join is a
+    /// first-come seat claim, exactly as in the single-round
+    /// coordinator.
+    Roster,
+    /// Clients present a participation claim per round (for Dordis, a
+    /// VRF self-selection proof, §7) and the verifier seats the cohort —
+    /// verify-and-trim instead of first-come-first-served.
+    Claims(SeatingVerifier<'a>),
+}
+
+/// Builds the round's [`RoundParams`] from the seated cohort. Under
+/// [`Seating::Roster`] the cohort slice is empty and the callback
+/// returns the fixed roster parameters; under [`Seating::Claims`] it
+/// derives threshold / graph / noise shape from the cohort. The returned
+/// `params.round` is overwritten with the session's round counter — the
+/// counter comes from the session, never from the callback.
+pub type ParamsFor<'a> = Box<dyn FnMut(u64, &[ClientId]) -> RoundParams + 'a>;
+
+/// Configuration of a multi-round session.
+pub struct SessionConfig<'a> {
+    /// Round id of the first round (stamped into every envelope; later
+    /// rounds increment it).
+    pub first_round: u64,
+    /// How many rounds the session runs.
+    pub rounds: u64,
+    /// Join/claim window per round.
+    pub join_timeout: Duration,
+    /// Per-stage response deadline within a round.
+    pub stage_timeout: Duration,
+    /// Requested chunk count `m` for every round's data plane.
+    pub chunks: usize,
+    /// Injected per-chunk s-comp cost (see
+    /// [`CoordinatorConfig::chunk_compute`]).
+    pub chunk_compute: Option<Duration>,
+    /// Scheduling granularity (reactor tick / sweep poll slice).
+    pub tick: Duration,
+    /// Collection engine for every round.
+    pub mode: CollectMode,
+    /// Whether to broadcast [`StageTag::RoundAnnounce`] at each round
+    /// start (required for multi-round sessions; the single-round
+    /// legacy wrapper runs without it, clients join eagerly).
+    pub announce: bool,
+    /// Known client population, used to close the join window early
+    /// once everyone has answered (claimed or declined). Empty = always
+    /// wait out `join_timeout` unless the roster fills.
+    pub population: Vec<ClientId>,
+    /// The seating policy.
+    pub seating: Seating<'a>,
+    /// Per-round parameter builder.
+    pub params_for: ParamsFor<'a>,
+}
+
+/// A client's answer to one round's announce: a claim (empty bytes for
+/// roster joins) or a decline.
+type Answer = Option<Vec<u8>>;
+
+/// A multi-round coordinator session over one acceptor.
+pub struct Session<'a> {
+    acceptor: &'a mut dyn Acceptor,
+    cfg: SessionConfig<'a>,
+    engine: Option<Reactor>,
+    /// Authenticated connections not currently inside a round.
+    parked: Peers,
+    next_round: u64,
+    rounds_done: u64,
+    next_provisional: u64,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session over `acceptor` (binds the collection engine;
+    /// accepts nothing yet).
+    ///
+    /// # Errors
+    ///
+    /// Reactor construction failures.
+    pub fn new(acceptor: &'a mut dyn Acceptor, cfg: SessionConfig<'a>) -> Result<Self, NetError> {
+        let engine = match cfg.mode {
+            CollectMode::Reactor => Some(Reactor::new(cfg.tick)?),
+            CollectMode::PollSweep => None,
+        };
+        let next_round = cfg.first_round;
+        Ok(Session {
+            acceptor,
+            cfg,
+            engine,
+            parked: BTreeMap::new(),
+            next_round,
+            rounds_done: 0,
+            next_provisional: JOIN_BASE,
+        })
+    }
+
+    /// The round id the next [`Session::run_round`] call will execute.
+    #[must_use]
+    pub fn current_round(&self) -> u64 {
+        self.next_round
+    }
+
+    /// Rounds left before the configured horizon.
+    #[must_use]
+    pub fn rounds_remaining(&self) -> u64 {
+        self.cfg.rounds.saturating_sub(self.rounds_done)
+    }
+
+    /// Runs the next round: announce, join/claim, seat, execute.
+    /// `payload` is broadcast to the cohort inside the Setup frame
+    /// (e.g. the current global model); clients receive it alongside the
+    /// round parameters.
+    ///
+    /// # Errors
+    ///
+    /// Protocol aborts (below threshold, tampering) and engine
+    /// failures. Per-client failures are detected dropouts inside the
+    /// report, not errors. After an error the surviving connections are
+    /// still parked, so a caller may retry with the next round.
+    pub fn run_round(&mut self, payload: &[u8]) -> Result<NetRoundReport, NetError> {
+        let round = self.next_round;
+        // Roster seating needs the sampled set up front to vet joins.
+        let roster_params = match self.cfg.seating {
+            Seating::Roster => {
+                let mut p = (self.cfg.params_for)(round, &[]);
+                p.round = round;
+                Some(p)
+            }
+            Seating::Claims(_) => None,
+        };
+        let roster: Option<BTreeSet<ClientId>> = roster_params
+            .as_ref()
+            .map(|p| p.clients.iter().copied().collect());
+
+        let (answers, join_stale) = self.join_phase(round, roster.as_ref())?;
+
+        // ---- Seat the cohort. ----
+        let params = match (&mut self.cfg.seating, roster_params) {
+            (Seating::Roster, Some(p)) => p,
+            (Seating::Claims(verifier), _) => {
+                let claims: Vec<(ClientId, Vec<u8>)> = answers
+                    .iter()
+                    .filter_map(|(&id, a)| a.clone().map(|claim| (id, claim)))
+                    .collect();
+                let outcome = verifier(round, &claims);
+                for (id, why) in &outcome.rejected {
+                    if let Some(mut chan) = self.parked.remove(id) {
+                        let env = Envelope::new(StageTag::Abort, round, codec::encode_abort(why));
+                        let _ = send_env(chan.as_mut(), &env);
+                        let _ = chan.try_flush();
+                    }
+                }
+                let mut p = (self.cfg.params_for)(round, &outcome.seated);
+                p.round = round;
+                p
+            }
+            (Seating::Roster, None) => unreachable!("roster params built above"),
+        };
+
+        // Move the cohort's channels out of the parked set; everyone
+        // else (declined, trimmed, late) stays parked for later rounds.
+        let mut round_peers: Peers = BTreeMap::new();
+        for &id in &params.clients {
+            if let Some(chan) = self.parked.remove(&id) {
+                round_peers.insert(id, chan);
+            }
+        }
+
+        let cc = CoordinatorConfig {
+            params,
+            join_timeout: self.cfg.join_timeout,
+            stage_timeout: self.cfg.stage_timeout,
+            chunks: self.cfg.chunks,
+            chunk_compute: self.cfg.chunk_compute,
+            tick: self.cfg.tick,
+            mode: self.cfg.mode,
+        };
+        let machine = RoundMachine::new(&cc)?;
+        let result = machine.run(self.engine.as_mut(), &mut round_peers, &cc, payload);
+
+        // Survivors' connections return to the parked set regardless of
+        // how the round ended.
+        self.parked.append(&mut round_peers);
+        self.next_round += 1;
+        self.rounds_done += 1;
+        result.map(|mut report| {
+            report.stale_frames += join_stale;
+            report
+        })
+    }
+
+    /// Ends the session: broadcasts [`StageTag::SessionEnd`] to every
+    /// parked connection — and to late (re)connections still waiting in
+    /// the accept queue, so a client that dropped out of the final
+    /// round and reconnected does not hang waiting for an announce —
+    /// then drops them all.
+    pub fn finish(mut self) {
+        let env = Envelope::new(StageTag::SessionEnd, self.next_round, Vec::new());
+        let frame = env.encode();
+        for chan in self.parked.values_mut() {
+            let _ = chan.send(&frame);
+            let _ = chan.try_flush();
+        }
+        let drain_deadline = Instant::now() + self.cfg.tick;
+        while let Ok(mut chan) = self.acceptor.accept(drain_deadline) {
+            let _ = chan.send(&frame);
+            let _ = chan.try_flush();
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Join / claim phase.
+    // -----------------------------------------------------------------
+
+    /// Announces `round` (when configured), collects Join/Decline
+    /// answers from parked peers, and accepts new connections, until
+    /// everyone answered or the join window closes. Returns the answers
+    /// and the number of stale frames discarded.
+    fn join_phase(
+        &mut self,
+        round: u64,
+        roster: Option<&BTreeSet<ClientId>>,
+    ) -> Result<(BTreeMap<ClientId, Answer>, u64), NetError> {
+        let claims_mode = matches!(self.cfg.seating, Seating::Claims(_));
+        let mut answers: BTreeMap<ClientId, Answer> = BTreeMap::new();
+        let mut stale = 0u64;
+
+        if self.cfg.announce {
+            let frame = announce_frame(round, claims_mode);
+            let ids: Vec<ClientId> = self.parked.keys().copied().collect();
+            for id in ids {
+                if let Some(chan) = self.parked.get_mut(&id) {
+                    if chan.send(&frame).is_err() || chan.try_flush().is_err() {
+                        self.parked.remove(&id);
+                    }
+                }
+            }
+        }
+
+        match self.engine.is_some() {
+            true => self.join_reactor(round, roster, claims_mode, &mut answers, &mut stale)?,
+            false => self.join_sweep(round, roster, claims_mode, &mut answers, &mut stale)?,
+        }
+        Ok((answers, stale))
+    }
+
+    /// Whether the join window can close early: the roster is fully
+    /// seated, or the whole known population has answered.
+    fn join_complete(
+        &self,
+        roster: Option<&BTreeSet<ClientId>>,
+        answers: &BTreeMap<ClientId, Answer>,
+    ) -> bool {
+        match roster {
+            Some(sampled) => sampled.iter().all(|id| answers.contains_key(id)),
+            None => {
+                !self.cfg.population.is_empty()
+                    && self
+                        .cfg
+                        .population
+                        .iter()
+                        .all(|id| answers.contains_key(id))
+            }
+        }
+    }
+
+    /// Reactor-driven join phase: parked peers' answers and provisional
+    /// connections' first frames arrive as readiness events, so one slow
+    /// joiner never serializes the others.
+    fn join_reactor(
+        &mut self,
+        round: u64,
+        roster: Option<&BTreeSet<ClientId>>,
+        claims_mode: bool,
+        answers: &mut BTreeMap<ClientId, Answer>,
+        stale: &mut u64,
+    ) -> Result<(), NetError> {
+        let deadline = Instant::now() + self.cfg.join_timeout;
+        let mut awaiting: BTreeMap<u64, Box<dyn EventedChannel>> = BTreeMap::new();
+
+        // Initial sweep of parked peers: answers may already be buffered
+        // and their readiness consumed by a previous round's poll.
+        let ids: Vec<ClientId> = self.parked.keys().copied().collect();
+        for id in ids {
+            self.drain_parked(round, id, answers, stale);
+        }
+
+        let (mut events, mut expired) = (Vec::new(), Vec::new());
+        // New connections are drained in short accept slices; the real
+        // waiting happens in the poller (answers from registered
+        // channels wake it immediately), so a session round's join
+        // phase costs microseconds once everyone has answered instead
+        // of a full accept tick.
+        let accept_slice = Duration::from_millis(1).min(self.cfg.tick);
+        while !self.join_complete(roster, answers) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            // Drain every queued connection in one go (each successful
+            // accept is immediate; only the terminating timeout pays
+            // the slice), so a burst of (re)connections never
+            // serializes behind poll sleeps.
+            loop {
+                match self
+                    .acceptor
+                    .accept((Instant::now() + accept_slice).min(deadline))
+                {
+                    Ok(mut chan) => {
+                        let token = Token(self.next_provisional);
+                        self.next_provisional += 1;
+                        let reactor = self.engine.as_mut().expect("reactor engine");
+                        chan.register(reactor, token)?;
+                        reactor.arm_deadline(
+                            token,
+                            (Instant::now() + self.cfg.stage_timeout).min(deadline),
+                        );
+                        if self.cfg.announce {
+                            if chan.send(&announce_frame(round, claims_mode)).is_err() {
+                                continue; // connection already dead
+                            }
+                            let _ = chan.try_flush();
+                        }
+                        awaiting.insert(token.0, chan);
+                    }
+                    Err(NetError::Timeout) => break,
+                    Err(e) => return Err(e),
+                }
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+            let reactor = self.engine.as_mut().expect("reactor engine");
+            reactor.poll(&mut events, &mut expired, self.cfg.tick)?;
+            for ev in &events {
+                if let Some(mut chan) = awaiting.remove(&ev.token.0) {
+                    match chan.try_recv() {
+                        Ok(Some(frame)) => {
+                            let verdict = self.vet_first_frame(
+                                Envelope::decode(&frame),
+                                round,
+                                roster,
+                                claims_mode,
+                                answers,
+                                stale,
+                            );
+                            match verdict {
+                                Verdict::Admit(id, answer) => {
+                                    let reactor = self.engine.as_mut().expect("reactor engine");
+                                    reactor.cancel_deadline(ev.token);
+                                    chan.register(reactor, client_token(id))?;
+                                    answers.insert(id, answer);
+                                    self.parked.insert(id, chan);
+                                }
+                                Verdict::Reject(reply) => {
+                                    let reactor = self.engine.as_mut().expect("reactor engine");
+                                    reactor.cancel_deadline(ev.token);
+                                    let _ = send_env(chan.as_mut(), &reply);
+                                    let _ = chan.try_flush();
+                                }
+                                Verdict::Stale => {
+                                    *stale += 1;
+                                    awaiting.insert(ev.token.0, chan);
+                                }
+                                Verdict::Discard => {
+                                    let reactor = self.engine.as_mut().expect("reactor engine");
+                                    reactor.cancel_deadline(ev.token);
+                                }
+                            }
+                        }
+                        Ok(None) => {
+                            // Frame still incomplete: keep waiting.
+                            awaiting.insert(ev.token.0, chan);
+                        }
+                        Err(_) => {
+                            let reactor = self.engine.as_mut().expect("reactor engine");
+                            reactor.cancel_deadline(ev.token);
+                        }
+                    }
+                } else if let Some(id) = client_of(ev.token) {
+                    if ev.writable {
+                        if let Some(chan) = self.parked.get_mut(&id) {
+                            if chan.try_flush().is_err() {
+                                self.parked.remove(&id);
+                                continue;
+                            }
+                        }
+                    }
+                    if (ev.readable || ev.closed) && self.parked.contains_key(&id) {
+                        self.drain_parked(round, id, answers, stale);
+                    }
+                }
+            }
+            for token in &expired {
+                // Connected but never completed a Join: not a
+                // participant (this round).
+                awaiting.remove(&token.0);
+            }
+        }
+        // The window closed with some connections still awaiting a
+        // verdict. Any first frame already on the wire gets vetted so a
+        // rejected peer hears *why* instead of hanging.
+        let leftovers: Vec<(u64, Box<dyn EventedChannel>)> = awaiting.into_iter().collect();
+        for (token, mut chan) in leftovers {
+            if let Some(reactor) = self.engine.as_mut() {
+                reactor.cancel_deadline(Token(token));
+            }
+            if let Ok(Some(frame)) = chan.try_recv() {
+                match self.vet_first_frame(
+                    Envelope::decode(&frame),
+                    round,
+                    roster,
+                    claims_mode,
+                    answers,
+                    stale,
+                ) {
+                    Verdict::Admit(id, answer) => {
+                        let reactor = self.engine.as_mut().expect("reactor engine");
+                        chan.register(reactor, client_token(id))?;
+                        answers.insert(id, answer);
+                        self.parked.insert(id, chan);
+                    }
+                    Verdict::Reject(reply) => {
+                        let _ = send_env(chan.as_mut(), &reply);
+                        let _ = chan.try_flush();
+                    }
+                    Verdict::Stale => *stale += 1,
+                    Verdict::Discard => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sweep-driven join phase: parked peers are polled in tick slices
+    /// between accepts; each provisional connection's first frame is
+    /// read with a blocking deadline (the legacy behaviour the
+    /// `reactor_scale` bench measures against).
+    fn join_sweep(
+        &mut self,
+        round: u64,
+        roster: Option<&BTreeSet<ClientId>>,
+        claims_mode: bool,
+        answers: &mut BTreeMap<ClientId, Answer>,
+        stale: &mut u64,
+    ) -> Result<(), NetError> {
+        let deadline = Instant::now() + self.cfg.join_timeout;
+        while !self.join_complete(roster, answers) {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            // Service parked peers that have not answered yet.
+            let waiting: Vec<ClientId> = self
+                .parked
+                .keys()
+                .copied()
+                .filter(|id| !answers.contains_key(id))
+                .collect();
+            for id in &waiting {
+                let Some(chan) = self.parked.get_mut(id) else {
+                    continue;
+                };
+                let slice = (Instant::now() + self.cfg.tick).min(deadline);
+                match chan.recv_deadline(slice) {
+                    Ok(frame) => self.file_parked_frame(round, *id, &frame, answers, stale),
+                    Err(NetError::Timeout) => {}
+                    Err(_) => {
+                        self.parked.remove(id);
+                    }
+                }
+            }
+            // Accept: block the full window only when nothing else needs
+            // service (the legacy single-round behaviour); otherwise one
+            // tick.
+            let accept_deadline = if waiting.is_empty() && !self.cfg.announce {
+                deadline
+            } else {
+                (Instant::now() + self.cfg.tick).min(deadline)
+            };
+            let mut chan = match self.acceptor.accept(accept_deadline) {
+                Ok(c) => c,
+                Err(NetError::Timeout) => continue,
+                Err(e) => return Err(e),
+            };
+            if self.cfg.announce && chan.send(&announce_frame(round, claims_mode)).is_err() {
+                continue;
+            }
+            // The first frame must arrive promptly once connected.
+            let first_deadline = Instant::now()
+                + self
+                    .cfg
+                    .stage_timeout
+                    .min(deadline.saturating_duration_since(Instant::now()));
+            loop {
+                match self.vet_first_frame(
+                    recv_env(chan.as_mut(), first_deadline),
+                    round,
+                    roster,
+                    claims_mode,
+                    answers,
+                    stale,
+                ) {
+                    Verdict::Admit(id, answer) => {
+                        answers.insert(id, answer);
+                        self.parked.insert(id, chan);
+                        break;
+                    }
+                    Verdict::Reject(reply) => {
+                        let _ = send_env(chan.as_mut(), &reply);
+                        break;
+                    }
+                    Verdict::Stale => {
+                        *stale += 1;
+                        if Instant::now() >= first_deadline {
+                            break;
+                        }
+                        // Keep reading: the current-round frame may be
+                        // right behind the stale one.
+                    }
+                    Verdict::Discard => break,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains every buffered frame from a parked peer during the join
+    /// window.
+    fn drain_parked(
+        &mut self,
+        round: u64,
+        id: ClientId,
+        answers: &mut BTreeMap<ClientId, Answer>,
+        stale: &mut u64,
+    ) {
+        loop {
+            let Some(chan) = self.parked.get_mut(&id) else {
+                return;
+            };
+            match chan.try_recv() {
+                Ok(Some(frame)) => self.file_parked_frame(round, id, &frame, answers, stale),
+                Ok(None) => return,
+                Err(_) => {
+                    self.parked.remove(&id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Files one frame from a parked (already-authenticated) peer:
+    /// a Join (claim) or Decline for the current round, a stale frame
+    /// from an earlier round (discarded, typed), or a violation.
+    fn file_parked_frame(
+        &mut self,
+        round: u64,
+        id: ClientId,
+        frame: &[u8],
+        answers: &mut BTreeMap<ClientId, Answer>,
+        stale: &mut u64,
+    ) {
+        let env = match Envelope::decode(frame) {
+            Ok(env) => env,
+            Err(_) => {
+                self.parked.remove(&id);
+                return;
+            }
+        };
+        if env.stage == StageTag::Abort {
+            self.parked.remove(&id);
+            return;
+        }
+        if let Err(NetError::StaleRound { got, expected }) = env.check_round(round) {
+            if got < expected {
+                // e.g. a claim for round r arriving after round r's
+                // window closed: discard, never treat as a claim for
+                // the current round.
+                *stale += 1;
+                return;
+            }
+            self.parked.remove(&id);
+            return;
+        }
+        match env.stage {
+            StageTag::Join => match codec::decode_join_claim(&env.body) {
+                Ok((claimed, claim)) if claimed == id => {
+                    answers.insert(id, Some(claim));
+                }
+                _ => {
+                    self.parked.remove(&id);
+                }
+            },
+            StageTag::Decline => {
+                answers.insert(id, None);
+            }
+            _ => {
+                self.parked.remove(&id);
+            }
+        }
+    }
+
+    /// Validates the first frame of a provisional connection.
+    fn vet_first_frame(
+        &mut self,
+        env_result: Result<Envelope, NetError>,
+        round: u64,
+        roster: Option<&BTreeSet<ClientId>>,
+        claims_mode: bool,
+        answers: &mut BTreeMap<ClientId, Answer>,
+        stale: &mut u64,
+    ) -> Verdict {
+        let env = match env_result {
+            Ok(env) => env,
+            Err(NetError::Version { got, expected }) => {
+                // A peer speaking another wire version must be told to
+                // upgrade, not silently counted as a never-join.
+                return Verdict::Reject(Envelope::new(
+                    StageTag::Abort,
+                    round,
+                    codec::encode_abort(&format!(
+                        "wire version mismatch: you speak v{got}, this coordinator v{expected}"
+                    )),
+                ));
+            }
+            Err(_) => return Verdict::Discard,
+        };
+        let reject = |why: &str| {
+            Verdict::Reject(Envelope::new(
+                StageTag::Abort,
+                round,
+                codec::encode_abort(why),
+            ))
+        };
+        // Answers are round-bound in claims mode: a Join or Decline for
+        // an older round is stale (the client will re-answer after the
+        // announce). Roster joins are round-agnostic (legacy clients
+        // join with round 0 and learn the real id from Setup).
+        if claims_mode
+            && matches!(env.stage, StageTag::Join | StageTag::Decline)
+            && env.round != round
+        {
+            if env.round < round {
+                return Verdict::Stale;
+            }
+            return reject("future round");
+        }
+        match env.stage {
+            StageTag::Join => {
+                let Ok((id, claim)) = codec::decode_join_claim(&env.body) else {
+                    return Verdict::Discard; // unidentifiable garbage
+                };
+                if !self.id_admissible(id, roster) {
+                    return reject("not in the sampled set");
+                }
+                if self.parked.contains_key(&id) {
+                    // A reconnect is only legitimate if the old channel
+                    // is actually dead (the client dropped and came
+                    // back); a live duplicate is rejected as before.
+                    if self.parked_alive(round, id, answers, stale) {
+                        return reject("duplicate join");
+                    }
+                    self.parked.remove(&id);
+                }
+                Verdict::Admit(id, Some(claim))
+            }
+            StageTag::Decline => {
+                // Declines are never claim-verified (decliners skip
+                // seating), so gate them by roster/population like
+                // joins — otherwise anyone could park a connection
+                // under an arbitrary id and block that id's real join.
+                let Ok((id, _)) = codec::decode_join_claim(&env.body) else {
+                    return Verdict::Discard;
+                };
+                if !self.id_admissible(id, roster)
+                    || answers.contains_key(&id)
+                    || self.parked.contains_key(&id)
+                {
+                    return Verdict::Discard;
+                }
+                Verdict::Admit(id, None)
+            }
+            _ => Verdict::Discard, // wrong first message
+        }
+    }
+
+    /// Whether `id` may hold a connection in this session: roster
+    /// membership when a roster exists, otherwise population membership
+    /// (when a population is configured; an empty population means open
+    /// enrollment — the seating verifier is then the only gate).
+    fn id_admissible(&self, id: ClientId, roster: Option<&BTreeSet<ClientId>>) -> bool {
+        match roster {
+            Some(sampled) => sampled.contains(&id),
+            None => self.cfg.population.is_empty() || self.cfg.population.contains(&id),
+        }
+    }
+
+    /// Probes whether `id`'s parked channel is still alive. Any
+    /// buffered frame the probe consumes is re-filed (it may be the
+    /// peer's answer for this round), never discarded. Only the reactor
+    /// engine probes: its channels are registered (non-blocking); sweep
+    /// channels may still be in blocking mode, and the sweep's
+    /// `recv_deadline` pass culls dead parked channels itself, so a
+    /// still-present one is treated as live.
+    fn parked_alive(
+        &mut self,
+        round: u64,
+        id: ClientId,
+        answers: &mut BTreeMap<ClientId, Answer>,
+        stale: &mut u64,
+    ) -> bool {
+        if self.engine.is_none() {
+            return true;
+        }
+        loop {
+            match self.parked.get_mut(&id).map(|c| c.try_recv()) {
+                Some(Ok(Some(frame))) => {
+                    self.file_parked_frame(round, id, &frame, answers, stale);
+                    if !self.parked.contains_key(&id) {
+                        return false; // the frame itself was fatal
+                    }
+                }
+                Some(Ok(None)) => return true,
+                Some(Err(_)) | None => return false,
+            }
+        }
+    }
+}
+
+/// The RoundAnnounce frame for a round, encoded once per use site so
+/// parked peers and newly accepted connections always receive the
+/// identical announce.
+fn announce_frame(round: u64, claims_mode: bool) -> Vec<u8> {
+    Envelope::new(
+        StageTag::RoundAnnounce,
+        round,
+        codec::encode_announce(claims_mode),
+    )
+    .encode()
+}
+
+/// Outcome of vetting a provisional connection's first frame.
+enum Verdict {
+    /// Authenticate the connection as this client, with its answer.
+    Admit(ClientId, Answer),
+    /// Send the reply and close the connection.
+    Reject(Envelope),
+    /// Frame from an older round: discard it, keep the connection.
+    Stale,
+    /// Drop the connection silently.
+    Discard,
+}

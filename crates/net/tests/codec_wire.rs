@@ -347,13 +347,18 @@ fn setup_body_carries_requested_chunk_count() {
         graph: MaskingGraph::Complete,
     };
     for chunks in [1u16, 4, 8, 20] {
-        let (back, m) = decode_setup(&encode_setup(&p, chunks)).unwrap();
+        let (back, m, payload) = decode_setup(&encode_setup(&p, chunks, &[])).unwrap();
         assert_eq!(m, chunks);
+        assert!(payload.is_empty());
         assert_eq!(back.vector_len, p.vector_len);
         assert_eq!(back.clients, p.clients);
     }
+    // The application payload travels opaquely after the chunk count.
+    let (_, m, payload) = decode_setup(&encode_setup(&p, 4, &[9, 8, 7])).unwrap();
+    assert_eq!(m, 4);
+    assert_eq!(payload, vec![9, 8, 7]);
     // Truncating the chunk count is rejected.
-    let body = encode_setup(&p, 4);
+    let body = encode_setup(&p, 4, &[]);
     assert!(decode_setup(&body[..body.len() - 1]).is_err());
 }
 

@@ -1,0 +1,354 @@
+//! Session-layer tests: multi-round execution over persistent
+//! connections, per-round state isolation, dropout-then-rejoin, and
+//! typed stale-frame rejection on both sides of the wire.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dordis_net::codec::{Envelope, StageTag};
+use dordis_net::coordinator::{
+    run_coordinator, CollectMode, CoordinatorConfig, DropKind, NetRoundReport,
+};
+use dordis_net::runtime::{
+    round_rng_seed, run_client, run_session_client, ClientOptions, ClientRunOutcome, FailAction,
+    FailPoint, FailStage, SessionClientOptions, SessionEndKind,
+};
+use dordis_net::session::{Seating, Session, SessionConfig};
+use dordis_net::transport::{Channel, LoopbackChannel, LoopbackHub};
+use dordis_net::NetError;
+use dordis_secagg::client::ClientInput;
+use dordis_secagg::driver::{run_round, DropStage, DropoutSchedule, RoundSpec};
+use dordis_secagg::graph::MaskingGraph;
+use dordis_secagg::server::RoundOutcome;
+use dordis_secagg::{ClientId, RoundParams, ThreatModel};
+
+const BITS: u32 = 16;
+const DIM: usize = 16;
+const SEED: u64 = 7_171_717;
+const N: u32 = 5;
+const CHUNKS: usize = 4;
+
+fn params_for_round(round: u64) -> RoundParams {
+    RoundParams {
+        round,
+        clients: (0..N).collect(),
+        threshold: 3,
+        bit_width: BITS,
+        vector_len: DIM,
+        noise_components: 0,
+        threat_model: ThreatModel::SemiHonest,
+        graph: MaskingGraph::Complete,
+    }
+}
+
+/// Deterministic per-(client, round) input so every session round has a
+/// distinct expected aggregate.
+fn input_for(id: ClientId, round: u64) -> ClientInput {
+    let mask = (1u64 << BITS) - 1;
+    ClientInput {
+        vector: (0..DIM)
+            .map(|i| (u64::from(id) * 131 + round * 977 + i as u64 * 17) & mask)
+            .collect(),
+        noise_seeds: Vec::new(),
+    }
+}
+
+/// The same round through the in-memory driver, with the session's
+/// per-round seed derivation.
+fn driver_round(round: u64, drops: &[ClientId]) -> RoundOutcome {
+    let mut dropout = DropoutSchedule::none();
+    for &id in drops {
+        dropout.drop_at(id, DropStage::BeforeMaskedInput);
+    }
+    let inputs: BTreeMap<ClientId, ClientInput> =
+        (0..N).map(|id| (id, input_for(id, round))).collect();
+    let (outcome, _) = run_round(RoundSpec {
+        params: params_for_round(round),
+        inputs,
+        dropout,
+        rng_seed: round_rng_seed(SEED, round),
+    })
+    .expect("driver round");
+    outcome
+}
+
+/// Runs an R-round roster session over persistent loopback connections;
+/// `dropper(round)` names the client that fails mid-stream that round
+/// (it reconnects and re-joins the next round).
+fn run_session(
+    rounds: u64,
+    mode: CollectMode,
+    dropper: impl Fn(u64) -> Option<(ClientId, u16)> + Send + Sync + 'static,
+) -> Vec<NetRoundReport> {
+    let (hub, mut acceptor) = LoopbackHub::new();
+    let dropper = Arc::new(dropper);
+    let mut handles = Vec::new();
+    for id in 0..N {
+        let hub = hub.clone();
+        let dropper = Arc::clone(&dropper);
+        handles.push(std::thread::spawn(move || -> Result<u32, String> {
+            let mut participated = 0u32;
+            loop {
+                let mut chan = hub
+                    .connect(&format!("c{id}"))
+                    .map_err(|e| format!("connect: {e}"))?;
+                let opts = SessionClientOptions {
+                    id,
+                    rng_seed: SEED,
+                    recv_timeout: Duration::from_secs(30),
+                    silent_linger: Duration::from_secs(1),
+                };
+                let report = run_session_client(
+                    &mut chan,
+                    &opts,
+                    |_| None,
+                    |r| {
+                        dropper(r).and_then(|(who, k)| {
+                            (who == id).then_some(FailPoint {
+                                stage: FailStage::MaskedInputAfterChunks(k),
+                                action: FailAction::Disconnect,
+                            })
+                        })
+                    },
+                    |r, _params, _payload| Ok(input_for(id, r)),
+                    |_| None,
+                )
+                .map_err(|e| format!("client {id}: {e}"))?;
+                participated += report.rounds.len() as u32;
+                match report.end {
+                    SessionEndKind::Ended => return Ok(participated),
+                    SessionEndKind::Failed { .. } => continue, // rejoin
+                    other => return Err(format!("client {id}: unexpected end {other:?}")),
+                }
+            }
+        }));
+    }
+
+    let cfg = SessionConfig {
+        first_round: 1,
+        rounds,
+        join_timeout: Duration::from_secs(10),
+        stage_timeout: Duration::from_secs(10),
+        chunks: CHUNKS,
+        chunk_compute: None,
+        tick: CoordinatorConfig::DEFAULT_TICK,
+        mode,
+        announce: true,
+        population: (0..N).collect(),
+        seating: Seating::Roster,
+        params_for: Box::new(|round, _| params_for_round(round)),
+    };
+    let mut session = Session::new(&mut acceptor, cfg).expect("session");
+    let mut reports = Vec::new();
+    for _ in 0..rounds {
+        reports.push(session.run_round(&[]).expect("round"));
+    }
+    session.finish();
+    for h in handles {
+        h.join().expect("client thread").expect("client result");
+    }
+    reports
+}
+
+#[test]
+fn multi_round_session_matches_per_round_driver() {
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let reports = run_session(3, mode, |_| None);
+        assert_eq!(reports.len(), 3);
+        for (i, report) in reports.iter().enumerate() {
+            let round = i as u64 + 1;
+            // The round counter comes from the session, not a config
+            // constant.
+            assert_eq!(report.round, round, "{mode:?}");
+            let mem = driver_round(round, &[]);
+            assert_eq!(report.outcome.sum, mem.sum, "{mode:?} round {round}");
+            assert_eq!(report.outcome.survivors, mem.survivors);
+            assert!(
+                report.dropouts.is_empty(),
+                "{mode:?}: {:?}",
+                report.dropouts
+            );
+        }
+        // Distinct rounds produce distinct aggregates (fresh per-round
+        // state, per-round seeds).
+        assert_ne!(reports[0].outcome.sum, reports[1].outcome.sum);
+    }
+}
+
+#[test]
+fn dropout_then_rejoin_completes_next_round() {
+    // Client 3 drops mid-chunk-stream in round 1 (after 1 of 4 chunk
+    // frames), reconnects, and completes rounds 2 and 3.
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let reports = run_session(3, mode, |r| (r == 1).then_some((3, 1)));
+
+        let r1 = &reports[0];
+        assert!(!r1.outcome.survivors.contains(&3), "{mode:?}");
+        assert_eq!(r1.outcome.dropped, vec![3], "{mode:?}");
+        let detected = r1
+            .dropouts
+            .iter()
+            .find(|d| d.client == 3)
+            .expect("detected dropout");
+        assert_eq!(detected.stage, "MaskedInputCollection");
+        assert_eq!(detected.kind, DropKind::Disconnected);
+        let mem1 = driver_round(1, &[3]);
+        assert_eq!(r1.outcome.sum, mem1.sum, "{mode:?} dropout round");
+        assert_eq!(r1.outcome.survivors, mem1.survivors);
+
+        // Rejoined over a fresh connection: full cohort again, bit-equal
+        // to the full-roster driver round.
+        for (i, report) in reports.iter().enumerate().skip(1) {
+            let round = i as u64 + 1;
+            assert!(
+                report.outcome.survivors.contains(&3),
+                "{mode:?}: client 3 did not rejoin round {round}"
+            );
+            let mem = driver_round(round, &[]);
+            assert_eq!(report.outcome.sum, mem.sum, "{mode:?} round {round}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed stale-round rejection.
+// ---------------------------------------------------------------------
+
+#[test]
+fn client_rejects_stale_round_frame_with_typed_error() {
+    let (mut server_end, mut client_end) = LoopbackChannel::pair("stale");
+    let client = std::thread::spawn(move || {
+        let opts = ClientOptions {
+            id: 0,
+            rng_seed: SEED,
+            fail: None,
+            recv_timeout: Duration::from_secs(5),
+            silent_linger: Duration::from_secs(1),
+        };
+        run_client(&mut client_end, &opts, |_| Ok(input_for(0, 5)), |_| None)
+    });
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    // Join…
+    let join = server_end.recv_deadline(deadline).unwrap();
+    assert_eq!(Envelope::decode(&join).unwrap().stage, StageTag::Join);
+    // …Setup for round 5…
+    let params = params_for_round(5);
+    server_end
+        .send(
+            &Envelope::new(
+                StageTag::Setup,
+                5,
+                dordis_net::codec::encode_setup(&params, 1, &[]),
+            )
+            .encode(),
+        )
+        .unwrap();
+    // …the client advertises…
+    let adv = server_end.recv_deadline(deadline).unwrap();
+    assert_eq!(
+        Envelope::decode(&adv).unwrap().stage,
+        StageTag::AdvertiseKeys
+    );
+    // …and the server replies with a frame from round 4.
+    server_end
+        .send(&Envelope::new(StageTag::Roster, 4, Vec::new()).encode())
+        .unwrap();
+
+    match client.join().expect("client thread") {
+        Err(NetError::StaleRound { got, expected }) => {
+            assert_eq!(got, 4);
+            assert_eq!(expected, 5);
+        }
+        other => panic!("expected NetError::StaleRound, got {other:?}"),
+    }
+}
+
+/// A channel wrapper that duplicates the client's first AdvertiseKeys
+/// frame with a *stale* round id just before the real one — the
+/// coordinator must discard the stale copy (typed, counted) and file
+/// the real frame, completing the round bit-equal to a clean run.
+struct StaleInjector {
+    inner: LoopbackChannel,
+    injected: Arc<AtomicU32>,
+}
+
+impl Channel for StaleInjector {
+    fn send(&mut self, frame: &[u8]) -> Result<(), NetError> {
+        if self.injected.load(Ordering::SeqCst) == 0 {
+            if let Ok(env) = Envelope::decode(frame) {
+                if env.stage == StageTag::AdvertiseKeys {
+                    self.injected.store(1, Ordering::SeqCst);
+                    let stale = Envelope::new(StageTag::AdvertiseKeys, env.round - 1, env.body);
+                    self.inner.send(&stale.encode())?;
+                }
+            }
+        }
+        self.inner.send(frame)
+    }
+
+    fn recv_deadline(&mut self, deadline: Instant) -> Result<Vec<u8>, NetError> {
+        self.inner.recv_deadline(deadline)
+    }
+
+    fn peer(&self) -> String {
+        self.inner.peer()
+    }
+}
+
+#[test]
+fn coordinator_discards_stale_frames_without_dropping_the_peer() {
+    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+        let (hub, mut acceptor) = LoopbackHub::new();
+        let injected = Arc::new(AtomicU32::new(0));
+        let mut handles = Vec::new();
+        for id in 0..N {
+            let hub = hub.clone();
+            let injected = Arc::clone(&injected);
+            handles.push(std::thread::spawn(move || {
+                let inner = hub.connect(&format!("c{id}")).expect("connect");
+                let opts = ClientOptions {
+                    id,
+                    rng_seed: SEED,
+                    fail: None,
+                    recv_timeout: Duration::from_secs(20),
+                    silent_linger: Duration::from_secs(1),
+                };
+                if id == 2 {
+                    let mut chan = StaleInjector { inner, injected };
+                    run_client(&mut chan, &opts, move |_| Ok(input_for(id, 5)), |_| None)
+                } else {
+                    let mut chan = inner;
+                    run_client(&mut chan, &opts, move |_| Ok(input_for(id, 5)), |_| None)
+                }
+            }));
+        }
+        let report = run_coordinator(
+            &mut acceptor,
+            &CoordinatorConfig::new(
+                params_for_round(5),
+                Duration::from_secs(10),
+                Duration::from_secs(10),
+                1,
+                None,
+            )
+            .with_mode(mode),
+        )
+        .expect("round");
+        for h in handles {
+            let outcome = h.join().expect("client thread").expect("client run");
+            assert!(matches!(outcome, ClientRunOutcome::Finished { .. }));
+        }
+        assert_eq!(report.stale_frames, 1, "{mode:?}");
+        assert!(
+            report.dropouts.is_empty(),
+            "{mode:?}: {:?}",
+            report.dropouts
+        );
+        let mem = driver_round(5, &[]);
+        assert_eq!(report.outcome.sum, mem.sum, "{mode:?}");
+        assert_eq!(report.outcome.survivors, mem.survivors, "{mode:?}");
+    }
+}

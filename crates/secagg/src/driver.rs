@@ -350,6 +350,20 @@ pub fn run_round(spec: RoundSpec) -> Result<(RoundOutcome, RoundStats), SecAggEr
     Ok((server.finish(), stats))
 }
 
+/// Derives one round's protocol seed from a session-level base seed.
+///
+/// A multi-round session must reset every per-round secret — self-mask
+/// seeds, pairwise key-agreement keys, Shamir polynomials — each round;
+/// reusing `base` directly would make every round's masks identical
+/// (and one recorded round would unmask all the others). Both the
+/// networked session runtime and the in-memory reference derive the
+/// per-round [`RoundSpec::rng_seed`] through this one function, so a
+/// session round stays bit-equal to the equivalent driver round.
+#[must_use]
+pub fn round_rng_seed(base: u64, round: u64) -> u64 {
+    base ^ round.rotate_left(17) ^ 0x00d0_ed15_5e55_u64.rotate_left((round % 31) as u32)
+}
+
 /// The per-client RNG for [`Client::new`]. Exported so the networked
 /// runtime (`dordis-net`) derives identical randomness and a loopback
 /// round reproduces a driver round bit for bit.
