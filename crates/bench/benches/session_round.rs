@@ -102,6 +102,7 @@ fn persistent(rounds: u64, dim: usize) -> Duration {
         chunk_compute: None,
         tick: CoordinatorConfig::DEFAULT_TICK,
         mode: CollectMode::Reactor,
+        workers: 0,
         announce: true,
         population: (0..N).collect(),
         seating: Seating::Roster,

@@ -1,0 +1,303 @@
+//! dordis-compute: a worker-pool compute plane for CPU-heavy protocol
+//! work.
+//!
+//! The Dordis pipeline (§5, Figure 12) overlaps communication with
+//! computation, but a single-threaded coordinator still serializes every
+//! CPU burst — ChaCha20 mask expansion, Shamir-recovery re-expansion,
+//! per-chunk unmask/aggregate — behind its event loop. This crate is the
+//! missing axis: a hand-rolled pool of `std::thread` workers (no
+//! crates.io, same constraint as the reactor) pulling jobs from a shared
+//! queue and pushing typed completions back, so the coordinator submits
+//! per-chunk jobs and returns to collecting frames while workers burn
+//! CPU on other cores.
+//!
+//! The pool knows nothing about reactors or protocols. Integration with
+//! an event loop happens through the [`Notifier`] hook: after a worker
+//! publishes a completion it invokes the notifier, and `dordis-net`
+//! installs one that pokes the reactor's `WakeQueue` — a job completion
+//! then arrives at the coordinator exactly like network readiness, in
+//! the same `epoll_pwait` sleep, with no polling.
+//!
+//! Results are delivered with the caller-chosen job id, so completions
+//! may be drained in any order ([`Pool::try_complete`] while overlapping
+//! other work, [`Pool::wait_complete`] at a barrier).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Completion hook invoked (from a worker thread) every time a job's
+/// result has been queued — the bridge into an event loop's waker.
+pub type Notifier = Arc<dyn Fn() + Send + Sync>;
+
+/// One unit of work: runs on a worker, its return value travels back
+/// with the submitted job id.
+type Job<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// How one job finished.
+#[derive(Debug)]
+pub enum JobOutcome<T> {
+    /// The job ran to completion.
+    Done(T),
+    /// The job panicked; the payload is the panic message. The worker
+    /// survives and keeps serving the queue.
+    Panicked(String),
+}
+
+/// Lifetime counters (monotonic; never reset).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Completions drained by the caller.
+    pub drained: u64,
+}
+
+/// A fixed-size worker pool with typed, id-tagged completions.
+///
+/// Dropping the pool closes the job queue, lets the workers finish
+/// whatever is in flight, and joins them.
+pub struct Pool<T: Send + 'static> {
+    /// `None` after shutdown begins (closing the channel is the stop
+    /// signal).
+    tx: Option<mpsc::Sender<(u64, Job<T>)>>,
+    done_rx: mpsc::Receiver<(u64, JobOutcome<T>)>,
+    workers: Vec<JoinHandle<()>>,
+    submitted: u64,
+    drained: u64,
+}
+
+impl<T: Send + 'static> Pool<T> {
+    /// Spawns `workers` threads (clamped to at least 1). `notifier`,
+    /// when given, is invoked after every completion is queued.
+    #[must_use]
+    pub fn new(workers: usize, notifier: Option<Notifier>) -> Pool<T> {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<(u64, Job<T>)>();
+        let (done_tx, done_rx) = mpsc::channel();
+        // `mpsc::Receiver` is single-consumer; the shared mutex is the
+        // hand-rolled work queue — a worker holds it only long enough
+        // to pop one job, then releases it before running the job.
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let done_tx = done_tx.clone();
+                let notifier = notifier.clone();
+                std::thread::Builder::new()
+                    .name(format!("dordis-compute-{i}"))
+                    .spawn(move || loop {
+                        let job = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => return, // a sibling panicked while popping
+                        };
+                        let Ok((id, job)) = job else {
+                            return; // queue closed: shutdown
+                        };
+                        let outcome = match catch_unwind(AssertUnwindSafe(job)) {
+                            Ok(v) => JobOutcome::Done(v),
+                            // `as_ref`, not `&p`: a `&Box<dyn Any>`
+                            // would unsize to `dyn Any` as the *box*,
+                            // hiding the payload from the downcasts.
+                            Err(p) => JobOutcome::Panicked(panic_message(p.as_ref())),
+                        };
+                        if done_tx.send((id, outcome)).is_err() {
+                            return; // pool gone
+                        }
+                        if let Some(n) = &notifier {
+                            n();
+                        }
+                    })
+                    .expect("spawn compute worker")
+            })
+            .collect();
+        Pool {
+            tx: Some(tx),
+            done_rx,
+            workers: handles,
+            submitted: 0,
+            drained: 0,
+        }
+    }
+
+    /// Queues a job under `id`. Ids are caller-meaning (e.g. a chunk
+    /// index); the pool never interprets them and does not require
+    /// uniqueness.
+    pub fn submit(&mut self, id: u64, job: impl FnOnce() -> T + Send + 'static) {
+        let tx = self.tx.as_ref().expect("pool is shut down");
+        tx.send((id, Box::new(job))).expect("workers alive");
+        self.submitted += 1;
+    }
+
+    /// Jobs submitted but not yet drained.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - self.drained
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            submitted: self.submitted,
+            drained: self.drained,
+        }
+    }
+
+    /// Non-blocking drain: the next queued completion, if any.
+    pub fn try_complete(&mut self) -> Option<(u64, JobOutcome<T>)> {
+        let done = self.done_rx.try_recv().ok()?;
+        self.drained += 1;
+        Some(done)
+    }
+
+    /// Blocking drain: waits for the next completion. Returns `None`
+    /// when nothing is in flight (so a barrier loop cannot deadlock on
+    /// an empty pool).
+    pub fn wait_complete(&mut self) -> Option<(u64, JobOutcome<T>)> {
+        if self.in_flight() == 0 {
+            return None;
+        }
+        let done = self.done_rx.recv().ok()?;
+        self.drained += 1;
+        Some(done)
+    }
+}
+
+impl<T: Send + 'static> Drop for Pool<T> {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the queue: workers drain and exit
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker job panicked".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_complete_with_their_ids() {
+        let mut pool: Pool<u64> = Pool::new(3, None);
+        for id in 0..20u64 {
+            pool.submit(id, move || id * id);
+        }
+        let mut got = Vec::new();
+        while let Some((id, outcome)) = pool.wait_complete() {
+            match outcome {
+                JobOutcome::Done(v) => got.push((id, v)),
+                JobOutcome::Panicked(m) => panic!("unexpected panic: {m}"),
+            }
+        }
+        got.sort_unstable();
+        let want: Vec<(u64, u64)> = (0..20).map(|i| (i, i * i)).collect();
+        assert_eq!(got, want);
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(pool.stats().submitted, 20);
+    }
+
+    #[test]
+    fn notifier_fires_once_per_completion() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let mut pool: Pool<()> = Pool::new(
+            2,
+            Some(Arc::new(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            })),
+        );
+        for id in 0..7 {
+            pool.submit(id, || ());
+        }
+        while pool.wait_complete().is_some() {}
+        // The notifier fires *after* the completion is queued, so the
+        // final call may still be in flight on the worker when the
+        // drain loop exits — wait for it rather than racing it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while hits.load(Ordering::SeqCst) < 7 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "only {} notifier hits",
+                hits.load(Ordering::SeqCst)
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn work_actually_runs_on_other_threads() {
+        let mut pool: Pool<String> = Pool::new(2, None);
+        let main = std::thread::current().id();
+        pool.submit(0, move || {
+            assert_ne!(std::thread::current().id(), main);
+            std::thread::current()
+                .name()
+                .unwrap_or_default()
+                .to_string()
+        });
+        let (_, outcome) = pool.wait_complete().expect("one job in flight");
+        match outcome {
+            JobOutcome::Done(name) => assert!(name.starts_with("dordis-compute-"), "{name}"),
+            JobOutcome::Panicked(m) => panic!("{m}"),
+        }
+    }
+
+    #[test]
+    fn panicking_job_reports_and_pool_survives() {
+        let mut pool: Pool<u32> = Pool::new(1, None);
+        pool.submit(1, || panic!("boom"));
+        pool.submit(2, || 42);
+        let mut outcomes = std::collections::BTreeMap::new();
+        while let Some((id, o)) = pool.wait_complete() {
+            outcomes.insert(id, o);
+        }
+        assert!(matches!(
+            outcomes.get(&1),
+            Some(JobOutcome::Panicked(m)) if m.contains("boom")
+        ));
+        assert!(matches!(outcomes.get(&2), Some(JobOutcome::Done(42))));
+    }
+
+    #[test]
+    fn try_complete_is_nonblocking_and_eventually_sees_results() {
+        let mut pool: Pool<u8> = Pool::new(1, None);
+        assert!(pool.try_complete().is_none());
+        pool.submit(9, || {
+            std::thread::sleep(Duration::from_millis(20));
+            1
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Some((id, JobOutcome::Done(v))) = pool.try_complete() {
+                assert_eq!((id, v), (9, 1));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "never completed");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn wait_complete_on_empty_pool_returns_none() {
+        let mut pool: Pool<()> = Pool::new(4, None);
+        assert!(pool.wait_complete().is_none()); // must not block
+    }
+}

@@ -45,7 +45,7 @@ fn main() -> ExitCode {
                  dordis plan <epsilon> <delta> <rounds> <sample_rate>\n  \
                  dordis serve --listen <addr> --clients <n> --threshold <t> [--rounds R] \
                  [--dim D] [--bits B] [--graph complete|harary] [--round R0] \
-                 [--noise-components T] [--chunks M] [--stage-timeout-ms MS] \
+                 [--noise-components T] [--chunks M] [--workers N] [--stage-timeout-ms MS] \
                  [--join-timeout-ms MS] [--collect reactor|sweep] [--verify-demo]\n  \
                  dordis join --connect <addr> --id <k> [--seed S] [--fail-round R] \
                  [--drop-at advertise|share-keys|masked-input|consistency|unmasking|noise-shares] \
@@ -94,6 +94,9 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     let noise_components: usize = flag_parse(args, "--noise-components", 0)?;
     // 0 = planner-chosen (§4.2 cost-model sweep).
     let chunks_flag: usize = flag_parse(args, "--chunks", 0)?;
+    // 0 = serial unmasking on the coordinator thread; N > 0 runs the
+    // per-chunk unmask jobs on N pooled workers (bit-equal results).
+    let workers: usize = flag_parse(args, "--workers", 0)?;
     let stage_timeout: u64 = flag_parse(args, "--stage-timeout-ms", 5000)?;
     let join_timeout: u64 = flag_parse(args, "--join-timeout-ms", 15000)?;
     let verify_demo = args.iter().any(|a| a == "--verify-demo");
@@ -132,7 +135,14 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     let mut acceptor = TcpAcceptor::bind(listen).map_err(|e| e.to_string())?;
     // The OS-assigned port must be announced before clients can join.
     println!("listening on {}", acceptor.local_addr());
-    println!("session:   {rounds} round(s), {chunks} chunk(s) requested");
+    println!(
+        "session:   {rounds} round(s), {chunks} chunk(s) requested, {}",
+        if workers == 0 {
+            "serial unmasking".to_string()
+        } else {
+            format!("{workers} unmask worker(s)")
+        }
+    );
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
@@ -145,6 +155,7 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
         chunk_compute: None,
         tick: CoordinatorConfig::DEFAULT_TICK,
         mode,
+        workers,
         announce: true,
         population: (0..clients).collect(),
         seating: Seating::Roster,

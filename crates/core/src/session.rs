@@ -86,6 +86,9 @@ pub struct FlSessionOptions {
     pub chunks: usize,
     /// Collection engine for the networked path.
     pub mode: CollectMode,
+    /// Compute-plane worker threads for the networked coordinator
+    /// (`0` = serial unmasking; results are bit-equal either way).
+    pub workers: usize,
     /// Scripted mid-stream dropouts.
     pub droppers: Vec<MidStreamDrop>,
     /// Join/claim window per round (networked path).
@@ -103,6 +106,7 @@ impl FlSessionOptions {
             sample,
             chunks: 4,
             mode: CollectMode::default(),
+            workers: 0,
             droppers: Vec::new(),
             join_timeout: Duration::from_secs(20),
             stage_timeout: Duration::from_secs(20),
@@ -687,6 +691,7 @@ pub fn train_session_networked(
         chunk_compute: None,
         tick: dordis_net::coordinator::CoordinatorConfig::DEFAULT_TICK,
         mode: opts.mode,
+        workers: opts.workers,
         announce: true,
         population: (0..population).collect(),
         seating: Seating::Claims(Box::new(move |r, raw_claims| {

@@ -139,6 +139,23 @@ fn networked_session_with_dropout_and_rejoin_matches_in_memory_sweep() {
     assert_reports_equal(&net, &mem, "sweep");
 }
 
+/// Pooled unmasking (the dordis-compute worker plane) across the full
+/// session stack — VRF resampling, XNoise encoding, dropout recovery,
+/// FedAvg — must stay bit-equal to the serial in-memory reference.
+#[test]
+fn networked_session_pooled_unmask_matches_in_memory() {
+    let mut o = with_droppers(opts(CollectMode::Reactor));
+    o.workers = 2;
+    let mem = train_session(&spec(), &o).expect("in-memory session");
+    let net = train_session_networked(&spec(), &o).expect("networked session");
+    assert_reports_equal(&net, &mem, "reactor+pooled");
+
+    let mut o = with_droppers(opts(CollectMode::PollSweep));
+    o.workers = 2;
+    let net = train_session_networked(&spec(), &o).expect("networked session");
+    assert_reports_equal(&net, &mem, "sweep+pooled");
+}
+
 #[test]
 fn clean_session_matches_in_memory() {
     // No dropouts: the pure resampling + persistent-connection path.

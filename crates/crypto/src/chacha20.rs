@@ -26,9 +26,14 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
-/// Computes one 64-byte ChaCha20 keystream block.
+/// Number of `u64` keystream words per ChaCha20 block.
+pub const BLOCK_WORDS: usize = BLOCK_LEN / 8;
+
+/// Computes one keystream block as its 16 little-endian `u32` state
+/// words — the allocation-free core that [`block`] and the batched
+/// [`KeyStream::fill_u64`] path share.
 #[must_use]
-pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+pub fn block_words(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&SIGMA);
     for i in 0..8 {
@@ -57,12 +62,34 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
         quarter_round(&mut state, 2, 7, 8, 13);
         quarter_round(&mut state, 3, 4, 9, 14);
     }
+    for (s, i) in state.iter_mut().zip(initial.iter()) {
+        *s = s.wrapping_add(*i);
+    }
+    state
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+#[must_use]
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let words = block_words(key, counter, nonce);
     let mut out = [0u8; BLOCK_LEN];
     for i in 0..16 {
-        let word = state[i].wrapping_add(initial[i]);
-        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        out[4 * i..4 * i + 4].copy_from_slice(&words[i].to_le_bytes());
     }
     out
+}
+
+/// Writes one keystream block as 8 little-endian `u64` words — two
+/// consecutive LE `u32` state words packed low-then-high, so the result
+/// is bit-identical to reading the byte stream with
+/// `u64::from_le_bytes`.
+#[inline]
+fn block_u64(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], out: &mut [u64]) {
+    debug_assert_eq!(out.len(), BLOCK_WORDS);
+    let words = block_words(key, counter, nonce);
+    for (o, pair) in out.iter_mut().zip(words.chunks_exact(2)) {
+        *o = u64::from(pair[0]) | (u64::from(pair[1]) << 32);
+    }
 }
 
 /// XORs the ChaCha20 keystream (starting at `counter`) into `data` in place.
@@ -124,6 +151,80 @@ impl KeyStream {
         let mut b = [0u8; 8];
         self.fill(&mut b);
         u64::from_le_bytes(b)
+    }
+
+    /// Fills `out` with the next keystream `u64`s (little-endian),
+    /// generating whole blocks straight into the caller's buffer.
+    ///
+    /// Bit-identical to calling [`KeyStream::next_u64`] `out.len()`
+    /// times — it consumes exactly `8 × out.len()` stream bytes from the
+    /// current position — but skips the per-word byte shuffling: aligned
+    /// spans are produced 8 words (one block) at a time directly into
+    /// `out`. This is the mask-expansion fast path
+    /// (`Prg::fill_mod2b`), where the stream position is normally
+    /// word-aligned and the spans are thousands of words long.
+    pub fn fill_u64(&mut self, out: &mut [u64]) {
+        let mut rest = out;
+        // Drain buffered block bytes first (and handle a misaligned
+        // position via the byte path) until the stream is block-aligned.
+        while !rest.is_empty() && self.buf_pos != BLOCK_LEN {
+            let avail = BLOCK_LEN - self.buf_pos;
+            if avail >= 8 {
+                let b: [u8; 8] = self.buf[self.buf_pos..self.buf_pos + 8]
+                    .try_into()
+                    .expect("8 bytes");
+                rest[0] = u64::from_le_bytes(b);
+                self.buf_pos += 8;
+            } else {
+                // 1..=7 leftover bytes: the word straddles a block
+                // boundary; the byte path handles the refill.
+                let mut b = [0u8; 8];
+                self.fill(&mut b);
+                rest[0] = u64::from_le_bytes(b);
+            }
+            rest = &mut rest[1..];
+        }
+        // Whole blocks straight into the caller's buffer.
+        let mut chunks = rest.chunks_exact_mut(BLOCK_WORDS);
+        for chunk in &mut chunks {
+            block_u64(&self.key, self.counter, &self.nonce, chunk);
+            self.counter = self.counter.wrapping_add(1);
+        }
+        let tail = chunks.into_remainder();
+        if !tail.is_empty() {
+            // Partial final block: generate it into the buffer so the
+            // unread remainder stays available to later reads.
+            self.buf = block(&self.key, self.counter, &self.nonce);
+            self.counter = self.counter.wrapping_add(1);
+            self.buf_pos = 0;
+            for t in tail.iter_mut() {
+                let b: [u8; 8] = self.buf[self.buf_pos..self.buf_pos + 8]
+                    .try_into()
+                    .expect("8 bytes");
+                *t = u64::from_le_bytes(b);
+                self.buf_pos += 8;
+            }
+        }
+    }
+
+    /// Repositions the stream to absolute `byte_offset` (from block 0).
+    ///
+    /// ChaCha20 is seekable by construction — block `i` depends only on
+    /// `(key, nonce, i)` — so a reader can start mid-stream for the cost
+    /// of at most one block computation. This is what lets the compute
+    /// plane expand *one chunk's slice* of a mask without generating the
+    /// prefix: element `i` of a mask vector lives at byte `8 i`.
+    pub fn seek(&mut self, byte_offset: u64) {
+        let block_idx = byte_offset / BLOCK_LEN as u64;
+        let within = (byte_offset % BLOCK_LEN as u64) as usize;
+        self.counter = block_idx as u32;
+        if within == 0 {
+            self.buf_pos = BLOCK_LEN; // next read generates the block
+        } else {
+            self.buf = block(&self.key, self.counter, &self.nonce);
+            self.counter = self.counter.wrapping_add(1);
+            self.buf_pos = within;
+        }
     }
 
     /// Returns the next keystream `u32` (little-endian).
@@ -208,6 +309,54 @@ mod tests {
         b.fill(&mut parts[33..90]);
         b.fill(&mut parts[90..]);
         assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn fill_u64_matches_next_u64_across_alignments() {
+        let key = [11u8; KEY_LEN];
+        let nonce = [4u8; NONCE_LEN];
+        // Misalign by 0..=9 bytes first, then batch-fill across several
+        // block boundaries; must equal the word-at-a-time path exactly.
+        for misalign in 0..=9usize {
+            let mut a = KeyStream::new(key, nonce);
+            let mut b = KeyStream::new(key, nonce);
+            let mut skip = vec![0u8; misalign];
+            a.fill(&mut skip);
+            b.fill(&mut skip);
+            let mut batched = vec![0u64; 37];
+            a.fill_u64(&mut batched);
+            let legacy: Vec<u64> = (0..37).map(|_| b.next_u64()).collect();
+            assert_eq!(batched, legacy, "misalign {misalign}");
+            // And the streams stay in lockstep afterwards.
+            assert_eq!(a.next_u64(), b.next_u64(), "misalign {misalign}");
+        }
+    }
+
+    #[test]
+    fn seek_reproduces_mid_stream_words() {
+        let key = [13u8; KEY_LEN];
+        let nonce = [6u8; NONCE_LEN];
+        let mut reference = KeyStream::new(key, nonce);
+        let mut all = vec![0u64; 64];
+        reference.fill_u64(&mut all);
+        for offset_words in [0usize, 1, 7, 8, 9, 16, 33] {
+            let mut seeked = KeyStream::new(key, nonce);
+            seeked.seek(offset_words as u64 * 8);
+            let mut got = vec![0u64; all.len() - offset_words];
+            seeked.fill_u64(&mut got);
+            assert_eq!(got, all[offset_words..], "offset {offset_words}");
+        }
+        // Byte-granular seek too (mid-word positions).
+        let mut bytes = KeyStream::new(key, nonce);
+        let mut stream = vec![0u8; 200];
+        bytes.fill(&mut stream);
+        for off in [1usize, 63, 64, 65, 100] {
+            let mut seeked = KeyStream::new(key, nonce);
+            seeked.seek(off as u64);
+            let mut got = vec![0u8; stream.len() - off];
+            seeked.fill(&mut got);
+            assert_eq!(got, stream[off..], "byte offset {off}");
+        }
     }
 
     #[test]

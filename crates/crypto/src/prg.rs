@@ -49,6 +49,23 @@ impl Prg {
         }
     }
 
+    /// Creates a PRG for `seed` positioned at element `elem_offset` of
+    /// the stream's `u64` sequence — the state [`Prg::new`] would reach
+    /// after `elem_offset` calls to [`Prg::next_u64`], for the cost of
+    /// at most one ChaCha20 block.
+    ///
+    /// This is the compute plane's entry point for partial mask
+    /// expansion: a worker unmasking chunk `c` seeks every mask stream
+    /// to the chunk's first element instead of generating (and
+    /// discarding) the prefix, so parallelizing by chunk costs no extra
+    /// PRG work.
+    #[must_use]
+    pub fn new_at(seed: &Seed, domain: &[u8], elem_offset: usize) -> Self {
+        let mut prg = Prg::new(seed, domain);
+        prg.stream.seek(elem_offset as u64 * 8);
+        prg
+    }
+
     /// Derives a fresh sub-seed; the returned seed is independent of the
     /// stream output consumed so far.
     #[must_use]
@@ -119,8 +136,13 @@ impl Prg {
         } else {
             (1u64 << bits) - 1
         };
+        // Batched keystream generation (whole ChaCha20 blocks straight
+        // into `out`), then one masking pass — bit-equal to the legacy
+        // per-`next_u64` path, which consumed exactly 8 bytes per
+        // element from the same stream position.
+        self.stream.fill_u64(out);
         for v in out.iter_mut() {
-            *v = self.next_u64() & mask;
+            *v &= mask;
         }
     }
 
@@ -219,6 +241,41 @@ mod tests {
         assert!(out.iter().any(|&v| v >= (1 << 19)));
         let mut out64 = vec![0u64; 8];
         p.fill_mod2b(64, &mut out64);
+    }
+
+    #[test]
+    fn new_at_matches_skipped_stream() {
+        let seed = [9u8; 32];
+        for offset in [0usize, 1, 5, 8, 13, 100] {
+            let mut skipped = Prg::new(&seed, b"seek");
+            for _ in 0..offset {
+                skipped.next_u64();
+            }
+            let mut seeked = Prg::new_at(&seed, b"seek", offset);
+            for i in 0..32 {
+                assert_eq!(
+                    seeked.next_u64(),
+                    skipped.next_u64(),
+                    "offset {offset}, word {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mod2b_suffix_equals_offset_expansion() {
+        // The slice-expansion property the per-chunk unmask jobs rely
+        // on: expanding from element k reproduces the tail of the
+        // whole-vector expansion exactly.
+        let seed = [10u8; 32];
+        let bits = 20;
+        let mut whole = vec![0u64; 50];
+        Prg::new(&seed, b"chunk").fill_mod2b(bits, &mut whole);
+        for k in [0usize, 1, 7, 8, 9, 31] {
+            let mut tail = vec![0u64; 50 - k];
+            Prg::new_at(&seed, b"chunk", k).fill_mod2b(bits, &mut tail);
+            assert_eq!(tail, whole[k..], "offset {k}");
+        }
     }
 
     #[test]

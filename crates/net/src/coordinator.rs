@@ -53,12 +53,16 @@
 //! [`DropoutSchedule`]: dordis_secagg::driver::DropoutSchedule
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dordis_compute::JobOutcome;
 use dordis_pipeline::ChunkPlan;
 use dordis_secagg::driver::{RoundStats, StageTraffic};
-use dordis_secagg::server::{RoundOutcome, Server};
+use dordis_secagg::server::{unmask_chunk_task, RoundOutcome, Server};
 use dordis_secagg::{ClientId, RoundParams, SecAggError, ThreatModel};
+
+use crate::compute::ComputePlane;
 
 use crate::codec::{
     self, decode_advertised_keys, decode_consistency_signature, decode_encrypted_shares,
@@ -116,6 +120,13 @@ pub struct CoordinatorConfig {
     pub tick: Duration,
     /// Which collection engine drives the round.
     pub mode: CollectMode,
+    /// Compute-plane worker threads for per-chunk unmask jobs. `0`
+    /// (the default) keeps the serial reference path: mask expansion
+    /// and chunk aggregation run inline on the coordinator thread.
+    /// With `N > 0` those jobs run on `N` pooled workers and their
+    /// completions are drained between polls — bit-equal outcomes,
+    /// pinned by the equivalence suites.
+    pub workers: usize,
 }
 
 impl CoordinatorConfig {
@@ -139,6 +150,7 @@ impl CoordinatorConfig {
             chunk_compute,
             tick: Self::DEFAULT_TICK,
             mode: CollectMode::default(),
+            workers: 0,
         }
     }
 
@@ -153,6 +165,13 @@ impl CoordinatorConfig {
     #[must_use]
     pub fn with_mode(mut self, mode: CollectMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Overrides the compute-plane worker count (builder-style).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
     }
 }
@@ -279,6 +298,7 @@ pub fn run_coordinator(
         chunk_compute: cfg.chunk_compute,
         tick: cfg.tick,
         mode: cfg.mode,
+        workers: cfg.workers,
         announce: false,
         population: Vec::new(),
         seating: Seating::Roster,
@@ -349,6 +369,12 @@ impl RoundMachine {
     /// connections that survived the round; the session parks them for
     /// the next one.
     ///
+    /// With a `compute` plane, the unmasking stage's CPU work — mask
+    /// expansion and per-chunk aggregation — runs as pooled per-chunk
+    /// jobs whose completions are installed between polls, so the
+    /// coordinator thread keeps serving frames while workers burn CPU;
+    /// without one it runs inline (the serial reference, bit-equal).
+    ///
     /// # Errors
     ///
     /// [`NetError::SecAgg`] when the protocol aborts (below threshold,
@@ -357,6 +383,7 @@ impl RoundMachine {
     pub fn run(
         mut self,
         mut engine: Option<&mut Reactor>,
+        compute: Option<&mut ComputePlane>,
         peers: &mut Peers,
         cfg: &CoordinatorConfig,
         payload: &[u8],
@@ -602,26 +629,78 @@ impl RoundMachine {
                 ),
             }
         }
-        self.server.reconstruct_unmasking(responses).map_err(|e| {
-            abort_all(peers, round, &e);
-            NetError::SecAgg(e)
-        })?;
-        let u5 = self.server.u5().to_vec();
-
-        // Per-chunk unmasking advances between noise-share polls (chunk
-        // c + 1 can be collected/unmasked while chunk c's compute runs).
+        // ---- Unmask execution plan: serial (inline full-length
+        // correction, the reference) or pooled (reconstruction and
+        // privacy bookkeeping stay here; the `O(dropped × neighbors ×
+        // d)` mask expansion fans out as one job per chunk, each
+        // seeking every mask stream to its chunk's element offset). ----
         let total_chunks = self.plan.chunks();
-        let mut next_unmask = 0usize;
         let chunk_compute = cfg.chunk_compute;
         let plan = self.plan.clone();
-        let mut unmask_step = move |server: &mut Server| -> Result<bool, SecAggError> {
-            if next_unmask < total_chunks {
-                server.unmask_chunk(next_unmask)?;
-                chunk_sleep(chunk_compute, &plan, next_unmask);
-                next_unmask += 1;
-                Ok(true)
-            } else {
-                Ok(false)
+        let mut compute = compute;
+        if let Some(plane) = compute.as_deref_mut() {
+            // A previous round that aborted mid-unmask may have left
+            // its chunk sums queued (or still running) in the
+            // session-warm pool; their chunk indices would alias this
+            // round's. Flush them before submitting.
+            plane.discard_stale();
+            let jobs = self.server.plan_unmasking(responses).map_err(|e| {
+                abort_all(peers, round, &e);
+                NetError::SecAgg(e)
+            })?;
+            let jobs = Arc::new(jobs);
+            for c in 0..total_chunks {
+                let inputs = self.server.take_chunk_inputs(c).map_err(|e| {
+                    abort_all(peers, round, &e);
+                    NetError::SecAgg(e)
+                })?;
+                let jobs = Arc::clone(&jobs);
+                let range = self.plan.range(c);
+                let bits = self.plan.bit_width();
+                let plan = plan.clone();
+                plane.submit(c, move || {
+                    let sum = unmask_chunk_task(&inputs, &jobs, range.start, range.len(), bits);
+                    chunk_sleep(chunk_compute, &plan, c);
+                    sum
+                });
+            }
+        } else {
+            self.server.reconstruct_unmasking(responses).map_err(|e| {
+                abort_all(peers, round, &e);
+                NetError::SecAgg(e)
+            })?;
+        }
+        let u5 = self.server.u5().to_vec();
+
+        // Per-chunk unmask progress advances between noise-share polls:
+        // serial mode unmasks the next chunk inline (chunk c + 1 can be
+        // collected while chunk c's compute runs); pooled mode installs
+        // whatever the workers have finished (their completions also
+        // wake the reactor via COMPUTE_TOKEN, so the thread sleeps in
+        // the poller, never polling the pool).
+        let mut next_unmask = 0usize; // serial cursor
+        let mut installed = 0usize; // pooled install count
+        let mut unmask_step = |server: &mut Server| -> Result<bool, SecAggError> {
+            match compute.as_deref_mut() {
+                Some(plane) => {
+                    let mut did = false;
+                    while let Some((c, outcome)) = plane.try_complete() {
+                        install_chunk(server, c, outcome)?;
+                        installed += 1;
+                        did = true;
+                    }
+                    Ok(did)
+                }
+                None => {
+                    if next_unmask < total_chunks {
+                        server.unmask_chunk(next_unmask)?;
+                        chunk_sleep(chunk_compute, &plan, next_unmask);
+                        next_unmask += 1;
+                        Ok(true)
+                    } else {
+                        Ok(false)
+                    }
+                }
             }
         };
 
@@ -689,12 +768,34 @@ impl RoundMachine {
             );
         }
 
-        // Unmask whatever chunks the idle interleaving did not reach.
+        // Unmask whatever chunks the idle interleaving did not reach
+        // (serial: run them inline; pooled: drain anything already
+        // queued without blocking).
         for _ in 0..total_chunks {
             unmask_step(&mut self.server).map_err(|e| {
                 abort_all(peers, round, &e);
                 NetError::SecAgg(e)
             })?;
+        }
+        // Pooled barrier: await the chunks still on the workers. The
+        // block is pure wait — the expansions keep running on other
+        // cores — and only the tail of the round ever reaches it.
+        // (`unmask_step`'s borrow of `compute` and `installed` ends
+        // with its last call above.)
+        if let Some(plane) = compute {
+            while installed < total_chunks {
+                let Some((c, outcome)) = plane.wait_complete() else {
+                    return Err(NetError::Protocol(format!(
+                        "compute plane lost {} unmask job(s)",
+                        total_chunks - installed
+                    )));
+                };
+                install_chunk(&mut self.server, c, outcome).map_err(|e| {
+                    abort_all(peers, round, &e);
+                    NetError::SecAgg(e)
+                })?;
+                installed += 1;
+            }
         }
 
         // ---- Finished broadcast. ----
@@ -1005,6 +1106,12 @@ impl RoundMachine {
                 Ok(Some(frame)) => {
                     if !self.file_chunk_frame(st, peers, id, &frame) {
                         return;
+                    }
+                    // The frame's bytes were decoded (the body is
+                    // copied out by `Envelope::decode`); hand the
+                    // allocation back for the next chunk frame.
+                    if let Some(chan) = peers.get_mut(&id) {
+                        chan.recycle_frame(frame);
                     }
                 }
                 Ok(None) => return,
@@ -1325,6 +1432,9 @@ impl RoundMachine {
                     {
                         return;
                     }
+                    if let Some(chan) = peers.get_mut(&id) {
+                        chan.recycle_frame(frame);
+                    }
                 }
                 Ok(None) => return,
                 Err(_) => {
@@ -1345,6 +1455,22 @@ impl RoundMachine {
                 }
             }
         }
+    }
+}
+
+/// Installs one pooled chunk completion into the server; a worker
+/// panic is surfaced as a protocol abort (the chunk sum is
+/// unrecoverable without re-running the job).
+fn install_chunk(
+    server: &mut Server,
+    chunk: usize,
+    outcome: JobOutcome<Vec<u64>>,
+) -> Result<(), SecAggError> {
+    match outcome {
+        JobOutcome::Done(sum) => server.install_chunk_sum(chunk, sum),
+        JobOutcome::Panicked(msg) => Err(SecAggError::Config(format!(
+            "compute worker panicked unmasking chunk {chunk}: {msg}"
+        ))),
     }
 }
 

@@ -23,6 +23,13 @@
 //!   poller, deadline timer wheel, loopback waker) so one coordinator
 //!   thread serves hundreds of chunk-streaming clients with `O(events)`
 //!   wake-ups instead of the legacy `O(clients × ticks)` poll sweep.
+//! - [`compute`]: the coordinator's compute plane — a
+//!   [`dordis_compute::Pool`] of worker threads running per-chunk
+//!   unmask jobs (mask expansion sliced to each chunk's element offset
+//!   via the seekable PRG), with completions published back into the
+//!   reactor through the `WakeQueue` under
+//!   [`compute::COMPUTE_TOKEN`], so a finished chunk wakes the
+//!   coordinator exactly like network readiness.
 //! - [`coordinator`]: the server task. It drives
 //!   [`dordis_secagg::server::Server`] over any transport with a
 //!   per-(stage, chunk) state machine: chunk `c` is aggregated while
@@ -47,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod compute;
 pub mod coordinator;
 pub mod figure12;
 pub mod reactor;

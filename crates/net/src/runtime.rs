@@ -485,6 +485,20 @@ where
     FId: FnMut(&RoundParams) -> Option<Identity>,
 {
     let mut rounds: Vec<SessionRoundResult> = Vec::new();
+    // Eager join: announce-then-answer costs a round-trip before the
+    // session's *first* round can even be seated, which is exactly the
+    // overhead a one-round session pays over the legacy eager
+    // `run_client`. So the client joins optimistically at connect time,
+    // stamped round 0 (round ids start at 1): a roster session admits
+    // it immediately — its first RoundAnnounce is then answered by this
+    // already-filed join, no extra round-trip — while a claims session
+    // discards it as typed-stale and waits for the real claim after the
+    // announce.
+    send_env(
+        chan,
+        &Envelope::new(StageTag::Join, 0, codec::encode_join(opts.id)),
+    )?;
+    let mut eager_join_pending = true;
     // The server is untrusted: rounds must advance strictly, or a
     // replayed announce/Setup for an already-played round would make
     // this client re-derive that round's [`round_rng_seed`] and reuse
@@ -508,6 +522,9 @@ where
                 let claims_required = codec::decode_announce(&env.body)?;
                 let round = env.round;
                 if claims_required {
+                    // The eager join (if any) was discarded as stale by
+                    // the coordinator; answer with the real claim.
+                    eager_join_pending = false;
                     match select(round) {
                         Some(claim) => send_env(
                             chan,
@@ -522,6 +539,12 @@ where
                             &Envelope::new(StageTag::Decline, round, codec::encode_join(opts.id)),
                         )?,
                     }
+                } else if eager_join_pending {
+                    // The first roster announce is already answered by
+                    // the eager join sent at connect; answering again
+                    // would land a duplicate Join in the round's stage
+                    // collection and read as a protocol violation.
+                    eager_join_pending = false;
                 } else {
                     send_env(
                         chan,

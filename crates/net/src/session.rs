@@ -54,6 +54,7 @@ use std::time::{Duration, Instant};
 use dordis_secagg::{ClientId, RoundParams};
 
 use crate::codec::{self, Envelope, StageTag};
+use crate::compute::ComputePlane;
 use crate::coordinator::{
     client_of, client_token, CollectMode, CoordinatorConfig, NetRoundReport, Peers, RoundMachine,
     JOIN_BASE,
@@ -120,6 +121,11 @@ pub struct SessionConfig<'a> {
     pub tick: Duration,
     /// Collection engine for every round.
     pub mode: CollectMode,
+    /// Compute-plane worker threads shared by every round (`0` =
+    /// serial unmasking on the coordinator thread; see
+    /// [`CoordinatorConfig::workers`]). Workers stay warm across
+    /// rounds.
+    pub workers: usize,
     /// Whether to broadcast [`StageTag::RoundAnnounce`] at each round
     /// start (required for multi-round sessions; the single-round
     /// legacy wrapper runs without it, clients join eagerly).
@@ -143,11 +149,20 @@ pub struct Session<'a> {
     acceptor: &'a mut dyn Acceptor,
     cfg: SessionConfig<'a>,
     engine: Option<Reactor>,
+    /// Worker pool for pooled unmasking (kept warm across rounds);
+    /// `None` runs the serial reference path.
+    compute: Option<ComputePlane>,
     /// Authenticated connections not currently inside a round.
     parked: Peers,
     next_round: u64,
     rounds_done: u64,
     next_provisional: u64,
+    /// Whether any executed round detected dropouts — only then does
+    /// [`Session::finish`] hold its accept-drain grace window open (a
+    /// dropped client may be mid-reconnect and still owed a
+    /// `SessionEnd`); a fully clean session tears down without the
+    /// wait.
+    finish_grace: bool,
 }
 
 impl<'a> Session<'a> {
@@ -162,15 +177,22 @@ impl<'a> Session<'a> {
             CollectMode::Reactor => Some(Reactor::new(cfg.tick)?),
             CollectMode::PollSweep => None,
         };
+        // The compute plane publishes completions through the reactor's
+        // waker when there is one; under the sweep, completions queue
+        // and are drained in the idle slots.
+        let compute = (cfg.workers > 0)
+            .then(|| ComputePlane::new(cfg.workers, engine.as_ref().map(Reactor::waker)));
         let next_round = cfg.first_round;
         Ok(Session {
             acceptor,
             cfg,
             engine,
+            compute,
             parked: BTreeMap::new(),
             next_round,
             rounds_done: 0,
             next_provisional: JOIN_BASE,
+            finish_grace: false,
         })
     }
 
@@ -254,19 +276,39 @@ impl<'a> Session<'a> {
             chunk_compute: self.cfg.chunk_compute,
             tick: self.cfg.tick,
             mode: self.cfg.mode,
+            workers: self.cfg.workers,
         };
         let machine = RoundMachine::new(&cc)?;
-        let result = machine.run(self.engine.as_mut(), &mut round_peers, &cc, payload);
+        let result = machine.run(
+            self.engine.as_mut(),
+            self.compute.as_mut(),
+            &mut round_peers,
+            &cc,
+            payload,
+        );
 
         // Survivors' connections return to the parked set regardless of
         // how the round ended.
         self.parked.append(&mut round_peers);
         self.next_round += 1;
         self.rounds_done += 1;
-        result.map(|mut report| {
-            report.stale_frames += join_stale;
-            report
-        })
+        match result {
+            Ok(mut report) => {
+                report.stale_frames += join_stale;
+                // Sticky: a client dropped in *any* round may still be
+                // mid-reconnect at finish (it need not have rejoined in
+                // between), so one dropout anywhere keeps the grace
+                // window armed for the session's teardown.
+                self.finish_grace |= !report.dropouts.is_empty();
+                Ok(report)
+            }
+            Err(e) => {
+                // Conservative: after an aborted round anyone might
+                // still be reconnecting.
+                self.finish_grace = true;
+                Err(e)
+            }
+        }
     }
 
     /// Ends the session: broadcasts [`StageTag::SessionEnd`] to every
@@ -281,7 +323,14 @@ impl<'a> Session<'a> {
             let _ = chan.send(&frame);
             let _ = chan.try_flush();
         }
-        let drain_deadline = Instant::now() + self.cfg.tick;
+        // Already-queued connections are drained either way; the
+        // tick-length wait for stragglers is only held open when some
+        // round actually lost someone.
+        let drain_deadline = if self.finish_grace {
+            Instant::now() + self.cfg.tick
+        } else {
+            Instant::now()
+        };
         while let Ok(mut chan) = self.acceptor.accept(drain_deadline) {
             let _ = chan.send(&frame);
             let _ = chan.try_flush();
@@ -414,47 +463,62 @@ impl<'a> Session<'a> {
             reactor.poll(&mut events, &mut expired, self.cfg.tick)?;
             for ev in &events {
                 if let Some(mut chan) = awaiting.remove(&ev.token.0) {
-                    match chan.try_recv() {
-                        Ok(Some(frame)) => {
-                            let verdict = self.vet_first_frame(
-                                Envelope::decode(&frame),
-                                round,
-                                roster,
-                                claims_mode,
-                                answers,
-                                stale,
-                            );
-                            match verdict {
-                                Verdict::Admit(id, answer) => {
-                                    let reactor = self.engine.as_mut().expect("reactor engine");
-                                    reactor.cancel_deadline(ev.token);
-                                    chan.register(reactor, client_token(id))?;
-                                    answers.insert(id, answer);
-                                    self.parked.insert(id, chan);
-                                }
-                                Verdict::Reject(reply) => {
-                                    let reactor = self.engine.as_mut().expect("reactor engine");
-                                    reactor.cancel_deadline(ev.token);
-                                    let _ = send_env(chan.as_mut(), &reply);
-                                    let _ = chan.try_flush();
-                                }
-                                Verdict::Stale => {
-                                    *stale += 1;
-                                    awaiting.insert(ev.token.0, chan);
-                                }
-                                Verdict::Discard => {
-                                    let reactor = self.engine.as_mut().expect("reactor engine");
-                                    reactor.cancel_deadline(ev.token);
+                    // Drain *through* stale frames: an eager `Join(0)`
+                    // and the real claim can both be buffered before a
+                    // single wake, and a wake — unlike level-triggered
+                    // fd readiness — is consumed whole. Stopping at the
+                    // stale frame would strand the claim until the
+                    // provisional deadline kills the connection.
+                    loop {
+                        match chan.try_recv() {
+                            Ok(Some(frame)) => {
+                                let verdict = self.vet_first_frame(
+                                    Envelope::decode(&frame),
+                                    round,
+                                    roster,
+                                    claims_mode,
+                                    answers,
+                                    stale,
+                                );
+                                match verdict {
+                                    Verdict::Admit(id, answer) => {
+                                        let reactor = self.engine.as_mut().expect("reactor engine");
+                                        reactor.cancel_deadline(ev.token);
+                                        chan.register(reactor, client_token(id))?;
+                                        answers.insert(id, answer);
+                                        self.parked.insert(id, chan);
+                                        break;
+                                    }
+                                    Verdict::Reject(reply) => {
+                                        let reactor = self.engine.as_mut().expect("reactor engine");
+                                        reactor.cancel_deadline(ev.token);
+                                        let _ = send_env(chan.as_mut(), &reply);
+                                        let _ = chan.try_flush();
+                                        break;
+                                    }
+                                    Verdict::Stale => {
+                                        *stale += 1;
+                                        // Keep draining: the real
+                                        // answer may be right behind.
+                                    }
+                                    Verdict::Discard => {
+                                        let reactor = self.engine.as_mut().expect("reactor engine");
+                                        reactor.cancel_deadline(ev.token);
+                                        break;
+                                    }
                                 }
                             }
-                        }
-                        Ok(None) => {
-                            // Frame still incomplete: keep waiting.
-                            awaiting.insert(ev.token.0, chan);
-                        }
-                        Err(_) => {
-                            let reactor = self.engine.as_mut().expect("reactor engine");
-                            reactor.cancel_deadline(ev.token);
+                            Ok(None) => {
+                                // No (further) complete frame yet: keep
+                                // waiting.
+                                awaiting.insert(ev.token.0, chan);
+                                break;
+                            }
+                            Err(_) => {
+                                let reactor = self.engine.as_mut().expect("reactor engine");
+                                reactor.cancel_deadline(ev.token);
+                                break;
+                            }
                         }
                     }
                 } else if let Some(id) = client_of(ev.token) {
@@ -485,7 +549,8 @@ impl<'a> Session<'a> {
             if let Some(reactor) = self.engine.as_mut() {
                 reactor.cancel_deadline(Token(token));
             }
-            if let Ok(Some(frame)) = chan.try_recv() {
+            // Drain through stale frames here too (see the loop above).
+            while let Ok(Some(frame)) = chan.try_recv() {
                 match self.vet_first_frame(
                     Envelope::decode(&frame),
                     round,
@@ -499,13 +564,18 @@ impl<'a> Session<'a> {
                         chan.register(reactor, client_token(id))?;
                         answers.insert(id, answer);
                         self.parked.insert(id, chan);
+                        break;
                     }
                     Verdict::Reject(reply) => {
                         let _ = send_env(chan.as_mut(), &reply);
                         let _ = chan.try_flush();
+                        break;
                     }
-                    Verdict::Stale => *stale += 1,
-                    Verdict::Discard => {}
+                    Verdict::Stale => {
+                        *stale += 1;
+                        continue;
+                    }
+                    Verdict::Discard => break,
                 }
             }
         }
@@ -619,7 +689,12 @@ impl<'a> Session<'a> {
                 return;
             };
             match chan.try_recv() {
-                Ok(Some(frame)) => self.file_parked_frame(round, id, &frame, answers, stale),
+                Ok(Some(frame)) => {
+                    self.file_parked_frame(round, id, &frame, answers, stale);
+                    if let Some(chan) = self.parked.get_mut(&id) {
+                        chan.recycle_frame(frame);
+                    }
+                }
                 Ok(None) => return,
                 Err(_) => {
                     self.parked.remove(&id);

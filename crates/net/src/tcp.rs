@@ -30,11 +30,31 @@ pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// stopped. This is the single reassembly path for both the blocking
 /// and the non-blocking (reactor) receive modes, so the proptests that
 /// feed it arbitrary split sequences cover both.
+///
+/// Allocation reuse: consumed bytes advance a read cursor instead of
+/// `drain`-shifting the stream buffer per frame, and frames handed back
+/// via [`recycle`](FrameBuffer::recycle) join a small pool that
+/// [`take_frame`](FrameBuffer::take_frame) draws from — a coordinator
+/// that recycles after decoding stops allocating a fresh `Vec` per
+/// chunk frame per client.
 #[derive(Debug, Default)]
 pub struct FrameBuffer {
-    /// Raw stream bytes not yet consumed (length prefix included).
+    /// Raw stream bytes (length prefixes included); everything before
+    /// `pos` is already consumed.
     buf: Vec<u8>,
+    /// Read cursor into `buf`.
+    pos: usize,
+    /// Recycled frame allocations, cleared and ready for reuse.
+    pool: Vec<Vec<u8>>,
 }
+
+/// Recycled-frame pool bound: enough to cover a drain burst, small
+/// enough that a dropped peer's buffers don't linger.
+const FRAME_POOL_MAX: usize = 8;
+
+/// Consumed-prefix length at which `push` compacts the stream buffer
+/// (below it, the memmove costs more than the memory is worth).
+const COMPACT_THRESHOLD: usize = 16 * 1024;
 
 impl FrameBuffer {
     /// An empty buffer.
@@ -45,6 +65,10 @@ impl FrameBuffer {
 
     /// Appends raw stream bytes.
     pub fn push(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= COMPACT_THRESHOLD) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
         self.buf.extend_from_slice(bytes);
     }
 
@@ -52,24 +76,32 @@ impl FrameBuffer {
     /// prefix, then enough for the full frame.
     #[must_use]
     pub fn needed(&self) -> usize {
-        if self.buf.len() < 4 {
+        if self.len() < 4 {
             4
         } else {
-            let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+            let p = self.pos;
+            let len = u32::from_le_bytes(self.buf[p..p + 4].try_into().expect("4 bytes")) as usize;
             4 + len
         }
     }
 
-    /// Buffered byte count (for diagnostics/tests).
+    /// Unconsumed byte count (for diagnostics/tests).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 
-    /// True when no bytes are buffered.
+    /// True when no unconsumed bytes are buffered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len() == 0
+    }
+
+    /// Returns a decoded frame's allocation to the reuse pool.
+    pub fn recycle(&mut self, frame: Vec<u8>) {
+        if self.pool.len() < FRAME_POOL_MAX && frame.capacity() > 0 {
+            self.pool.push(frame);
+        }
     }
 
     /// Pops the next complete frame, or `None` if more bytes are needed.
@@ -80,18 +112,26 @@ impl FrameBuffer {
     /// [`MAX_FRAME_BYTES`] — the stream is poisoned at that point and
     /// the connection should be dropped.
     pub fn take_frame(&mut self) -> Result<Option<Vec<u8>>, NetError> {
-        if self.buf.len() < 4 {
+        if self.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        let p = self.pos;
+        let len = u32::from_le_bytes(self.buf[p..p + 4].try_into().expect("4 bytes")) as usize;
         if len > MAX_FRAME_BYTES {
             return Err(NetError::Codec(format!("oversized frame: {len}")));
         }
-        if self.buf.len() < 4 + len {
+        if self.len() < 4 + len {
             return Ok(None);
         }
-        let frame = self.buf[4..4 + len].to_vec();
-        self.buf.drain(..4 + len);
+        let mut frame = self.pool.pop().unwrap_or_default();
+        frame.clear();
+        frame.extend_from_slice(&self.buf[p + 4..p + 4 + len]);
+        self.pos += 4 + len;
+        if self.pos == self.buf.len() {
+            // Fully consumed: reset in place, keeping the capacity.
+            self.buf.clear();
+            self.pos = 0;
+        }
         Ok(Some(frame))
     }
 }
@@ -356,6 +396,10 @@ impl Channel for TcpChannel {
         }
     }
 
+    fn recycle_frame(&mut self, frame: Vec<u8>) {
+        self.inbox.recycle(frame);
+    }
+
     fn peer(&self) -> String {
         self.peer.clone()
     }
@@ -475,6 +519,62 @@ impl Acceptor for TcpAcceptor {
 mod tests {
     use super::*;
     use crate::transport::deadline_in;
+
+    #[test]
+    fn frame_buffer_reuses_recycled_allocations() {
+        let mut buf = FrameBuffer::new();
+        // Recycle a buffer with a recognizable (over-sized) capacity.
+        buf.recycle(Vec::with_capacity(4096));
+        let mut stream = Vec::new();
+        for payload in [&b"abc"[..], b"defgh"] {
+            stream.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            stream.extend_from_slice(payload);
+        }
+        buf.push(&stream);
+        let first = buf.take_frame().unwrap().expect("first frame");
+        assert_eq!(first, b"abc");
+        assert!(
+            first.capacity() >= 4096,
+            "pooled allocation not reused (capacity {})",
+            first.capacity()
+        );
+        // Recycle it again: the next frame rides the same allocation.
+        buf.recycle(first);
+        let second = buf.take_frame().unwrap().expect("second frame");
+        assert_eq!(second, b"defgh");
+        assert!(second.capacity() >= 4096);
+        assert!(buf.is_empty(), "stream fully consumed");
+        assert!(buf.take_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_buffer_cursor_survives_interleaved_push_and_take() {
+        // Frames are consumed via the read cursor while later bytes
+        // keep arriving; the reassembly must stay byte-exact across
+        // compactions.
+        let frames: Vec<Vec<u8>> = (0..50u8)
+            .map(|i| vec![i; 1 + usize::from(i) * 7 % 40])
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&(f.len() as u32).to_le_bytes());
+            stream.extend_from_slice(f);
+        }
+        let mut buf = FrameBuffer::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let n = (pos * 13 % 9 + 1).min(stream.len() - pos);
+            buf.push(&stream[pos..pos + n]);
+            pos += n;
+            while let Some(frame) = buf.take_frame().unwrap() {
+                got.push(frame.clone());
+                buf.recycle(frame); // exercise reuse mid-stream
+            }
+        }
+        assert_eq!(got, frames);
+        assert!(buf.is_empty());
+    }
 
     #[test]
     fn tcp_frames_roundtrip() {

@@ -45,6 +45,14 @@ pub trait Channel: Send {
     /// usable), [`NetError::Closed`] when the peer disconnected.
     fn recv_deadline(&mut self, deadline: Instant) -> Result<Vec<u8>, NetError>;
 
+    /// Hands a received frame's allocation back to the channel once the
+    /// caller is done with it, so the next reassembled frame can reuse
+    /// it instead of allocating. Purely an optimization — the default
+    /// drops the buffer, which is always correct.
+    fn recycle_frame(&mut self, frame: Vec<u8>) {
+        drop(frame);
+    }
+
     /// Human-readable peer address for diagnostics.
     fn peer(&self) -> String;
 }

@@ -21,6 +21,9 @@ use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::server::RoundOutcome;
 use dordis_secagg::{ClientId, RoundParams, ThreatModel};
 
+mod common;
+use common::ENGINES;
+
 const BITS: u32 = 16;
 const DIM: usize = 48;
 const SEED: u64 = 31_337;
@@ -84,7 +87,7 @@ fn net_round(
     fails: &BTreeMap<ClientId, FailPoint>,
     chunks: usize,
     stage_timeout: Duration,
-    mode: CollectMode,
+    (mode, workers): (CollectMode, usize),
 ) -> NetRoundReport {
     let (hub, mut acceptor) = LoopbackHub::new();
     let registry: Option<Arc<BTreeMap<ClientId, _>>> =
@@ -136,7 +139,8 @@ fn net_round(
             chunks,
             None,
         )
-        .with_mode(mode),
+        .with_mode(mode)
+        .with_workers(workers),
     )
     .expect("coordinator");
     for h in handles {
@@ -170,7 +174,7 @@ fn chunked_rounds_match_unchunked_driver_across_m() {
     let p = params(8, 5, 2);
     let ins = inputs(8, 2);
     let d = driver_round(&p, &ins, &[]);
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+    for mode in ENGINES {
         for m in [1usize, 4, 8] {
             let n = net_round(&p, &ins, &BTreeMap::new(), m, Duration::from_secs(5), mode);
             assert_equivalent(&d, &n);
@@ -182,7 +186,7 @@ fn chunked_rounds_match_unchunked_driver_across_m() {
             assert!(n.dropouts.is_empty(), "{mode:?} m={m}: {:?}", n.dropouts);
             assert_eq!(
                 n.reactor.is_some(),
-                mode == CollectMode::Reactor,
+                mode.0 == CollectMode::Reactor,
                 "stats reported by the wrong engine"
             );
         }
@@ -206,7 +210,7 @@ fn midstream_disconnect_is_a_detected_chunk_dropout() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &[(2, DropStage::BeforeMaskedInput)]);
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+    for mode in ENGINES {
         let n = net_round(&p, &ins, &fails, 4, Duration::from_secs(5), mode);
         assert_equivalent(&d, &n);
         assert_eq!(n.outcome.dropped, vec![2]);
@@ -241,7 +245,7 @@ fn midstream_silence_hits_the_per_chunk_deadline() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &[(3, DropStage::BeforeMaskedInput)]);
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+    for mode in ENGINES {
         let n = net_round(&p, &ins, &fails, 4, Duration::from_millis(700), mode);
         assert_equivalent(&d, &n);
         let det = n
@@ -272,7 +276,7 @@ fn chunked_xnoise_recovery_with_unmasking_dropout() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &[(4, DropStage::BeforeUnmasking)]);
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
+    for mode in ENGINES {
         let n = net_round(&p, &ins, &fails, 4, Duration::from_secs(5), mode);
         assert_equivalent(&d, &n);
         // Client 4 is in U3 (its chunks all arrived) but not in U5.

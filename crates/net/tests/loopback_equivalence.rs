@@ -21,6 +21,9 @@ use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::server::RoundOutcome;
 use dordis_secagg::{ClientId, RoundParams, ThreatModel};
 
+mod common;
+use common::ENGINES;
+
 const BITS: u32 = 16;
 const DIM: usize = 12;
 const SEED: u64 = 424_242;
@@ -81,6 +84,7 @@ fn net_round(
     fails: &BTreeMap<ClientId, FailPoint>,
     stage_timeout: Duration,
     mode: CollectMode,
+    workers: usize,
 ) -> NetRoundReport {
     let (hub, mut acceptor) = LoopbackHub::new();
     let registry: Option<Arc<BTreeMap<ClientId, _>>> =
@@ -127,7 +131,8 @@ fn net_round(
     let report = run_coordinator(
         &mut acceptor,
         &CoordinatorConfig::single(params.clone(), Duration::from_secs(10), stage_timeout)
-            .with_mode(mode),
+            .with_mode(mode)
+            .with_workers(workers),
     )
     .expect("coordinator");
     for h in handles {
@@ -173,8 +178,15 @@ fn equivalent_no_dropout_xnoise_round() {
     let p = params(8, 5, MaskingGraph::Complete, ThreatModel::SemiHonest);
     let ins = inputs(8);
     let d = driver_round(&p, &ins, &[]);
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
-        let n = net_round(&p, &ins, &BTreeMap::new(), Duration::from_secs(5), mode);
+    for (mode, workers) in ENGINES {
+        let n = net_round(
+            &p,
+            &ins,
+            &BTreeMap::new(),
+            Duration::from_secs(5),
+            mode,
+            workers,
+        );
         assert_equivalent(&d, &n);
         assert_eq!(d.sum, expected_sum(&ins, &d.survivors));
         assert_eq!(n.outcome.survivors.len(), 8);
@@ -205,8 +217,8 @@ fn equivalent_with_disconnect_dropouts() {
         })
         .collect();
     let d = driver_round(&p, &ins, &drops);
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
-        let n = net_round(&p, &ins, &fails, Duration::from_secs(5), mode);
+    for (mode, workers) in ENGINES {
+        let n = net_round(&p, &ins, &fails, Duration::from_secs(5), mode, workers);
         assert_equivalent(&d, &n);
         assert_eq!(n.outcome.dropped, vec![2, 6]);
         assert!(n
@@ -231,8 +243,8 @@ fn equivalent_secagg_plus_sparse_graph() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &drops);
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
-        let n = net_round(&p, &ins, &fails, Duration::from_secs(5), mode);
+    for (mode, workers) in ENGINES {
+        let n = net_round(&p, &ins, &fails, Duration::from_secs(5), mode, workers);
         assert_equivalent(&d, &n);
     }
 }
@@ -252,8 +264,8 @@ fn equivalent_malicious_model_round() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &drops);
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
-        let n = net_round(&p, &ins, &fails, Duration::from_secs(5), mode);
+    for (mode, workers) in ENGINES {
+        let n = net_round(&p, &ins, &fails, Duration::from_secs(5), mode, workers);
         assert_equivalent(&d, &n);
         assert!(n.stats.stage("ConsistencyCheck").is_some());
     }
@@ -275,8 +287,8 @@ fn silent_client_detected_by_stage_deadline() {
     .into_iter()
     .collect();
     let d = driver_round(&p, &ins, &[(3, DropStage::BeforeMaskedInput)]);
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
-        let n = net_round(&p, &ins, &fails, Duration::from_millis(900), mode);
+    for (mode, workers) in ENGINES {
+        let n = net_round(&p, &ins, &fails, Duration::from_millis(900), mode, workers);
         assert_equivalent(&d, &n);
         let detection = n
             .dropouts

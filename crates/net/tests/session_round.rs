@@ -24,6 +24,9 @@ use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::server::RoundOutcome;
 use dordis_secagg::{ClientId, RoundParams, ThreatModel};
 
+mod common;
+use common::ENGINES;
+
 const BITS: u32 = 16;
 const DIM: usize = 16;
 const SEED: u64 = 7_171_717;
@@ -80,6 +83,7 @@ fn driver_round(round: u64, drops: &[ClientId]) -> RoundOutcome {
 fn run_session(
     rounds: u64,
     mode: CollectMode,
+    workers: usize,
     dropper: impl Fn(u64) -> Option<(ClientId, u16)> + Send + Sync + 'static,
 ) -> Vec<NetRoundReport> {
     let (hub, mut acceptor) = LoopbackHub::new();
@@ -135,6 +139,7 @@ fn run_session(
         chunk_compute: None,
         tick: CoordinatorConfig::DEFAULT_TICK,
         mode,
+        workers,
         announce: true,
         population: (0..N).collect(),
         seating: Seating::Roster,
@@ -154,8 +159,10 @@ fn run_session(
 
 #[test]
 fn multi_round_session_matches_per_round_driver() {
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
-        let reports = run_session(3, mode, |_| None);
+    // Both collection engines × serial and pooled unmasking: all four
+    // must stay bit-equal to the in-memory driver.
+    for (mode, workers) in ENGINES {
+        let reports = run_session(3, mode, workers, |_| None);
         assert_eq!(reports.len(), 3);
         for (i, report) in reports.iter().enumerate() {
             let round = i as u64 + 1;
@@ -163,7 +170,10 @@ fn multi_round_session_matches_per_round_driver() {
             // constant.
             assert_eq!(report.round, round, "{mode:?}");
             let mem = driver_round(round, &[]);
-            assert_eq!(report.outcome.sum, mem.sum, "{mode:?} round {round}");
+            assert_eq!(
+                report.outcome.sum, mem.sum,
+                "{mode:?}/{workers}w round {round}"
+            );
             assert_eq!(report.outcome.survivors, mem.survivors);
             assert!(
                 report.dropouts.is_empty(),
@@ -180,9 +190,11 @@ fn multi_round_session_matches_per_round_driver() {
 #[test]
 fn dropout_then_rejoin_completes_next_round() {
     // Client 3 drops mid-chunk-stream in round 1 (after 1 of 4 chunk
-    // frames), reconnects, and completes rounds 2 and 3.
-    for mode in [CollectMode::Reactor, CollectMode::PollSweep] {
-        let reports = run_session(3, mode, |r| (r == 1).then_some((3, 1)));
+    // frames), reconnects, and completes rounds 2 and 3. Pooled
+    // unmasking must survive the dropout-recovery path too (that is
+    // where the pairwise re-expansion jobs come from).
+    for (mode, workers) in ENGINES {
+        let reports = run_session(3, mode, workers, |r| (r == 1).then_some((3, 1)));
 
         let r1 = &reports[0];
         assert!(!r1.outcome.survivors.contains(&3), "{mode:?}");

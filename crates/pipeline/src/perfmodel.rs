@@ -28,6 +28,25 @@ impl StageModel {
     pub fn predict(&self, m: usize) -> f64 {
         self.beta1 * self.d / m as f64 + self.beta2 * m as f64 + self.beta3
     }
+
+    /// Predicted latency at chunk count `m` with a `workers`-thread
+    /// compute plane:
+    /// `τ_s(m, W) = β₁ · d / (m · W_eff) + β₂ · m + β₃`.
+    ///
+    /// Only the work term parallelizes — a chunk's `β₁ · d/m` expansion
+    /// splits across workers, while the per-chunk intervention `β₂ · m`
+    /// (scheduling, completion hand-off, cache interference) and the
+    /// constant `β₃` (RTTs, reconstruction) stay serial, Amdahl-style.
+    /// `W_eff = min(W, m)` because a round fans out at most one job per
+    /// chunk: extra workers beyond the chunk count idle. `workers = 0`
+    /// (serial) predicts identically to [`StageModel::predict`].
+    #[must_use]
+    pub fn predict_parallel(&self, m: usize, workers: usize) -> f64 {
+        // Not `clamp(1, m)`: m = 0 would panic (min > max); this form
+        // degrades to the same ±inf `predict(0)` does.
+        let w_eff = workers.max(1).min(m.max(1)) as f64;
+        self.beta1 * self.d / (m as f64 * w_eff) + self.beta2 * m as f64 + self.beta3
+    }
 }
 
 /// One profiling observation: chunk count and measured latency.
@@ -197,6 +216,32 @@ mod tests {
         let t40 = model.predict(40);
         assert!(t4 < t1);
         assert!(t40 > t4);
+    }
+
+    #[test]
+    fn parallel_prediction_shape() {
+        let model = StageModel {
+            beta1: 1e-6,
+            beta2: 0.2,
+            beta3: 1.0,
+            d: 1e7,
+        };
+        // Serial and 1-worker agree with the base model.
+        for m in [1usize, 4, 16] {
+            assert_eq!(model.predict_parallel(m, 0), model.predict(m));
+            assert_eq!(model.predict_parallel(m, 1), model.predict(m));
+        }
+        // More workers monotonically shrink the work term...
+        assert!(model.predict_parallel(8, 4) < model.predict_parallel(8, 2));
+        assert!(model.predict_parallel(8, 2) < model.predict_parallel(8, 1));
+        // ...but never below the serial floor β₂·m + β₃ (Amdahl).
+        let floor = 0.2 * 8.0 + 1.0;
+        assert!(model.predict_parallel(8, 1_000_000) > floor);
+        // Workers beyond the chunk count are wasted: one job per chunk.
+        assert_eq!(model.predict_parallel(4, 4), model.predict_parallel(4, 64));
+        // Degenerate m = 0 degrades like predict(0) instead of
+        // panicking in clamp.
+        assert!(model.predict_parallel(0, 4).is_infinite());
     }
 
     #[test]

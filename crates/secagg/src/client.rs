@@ -344,16 +344,16 @@ impl Client {
 
         let bits = self.params.bit_width;
         let mut y = self.input.vector.clone();
-        // Self mask.
-        let p_u = mask::self_mask(&self.b_seed, y.len(), bits);
-        mask::add_signed_assign(&mut y, &p_u, true, bits);
+        // Self mask, fused: the keystream accumulates straight into `y`
+        // (no per-mask vector is materialized; bit-equal by
+        // `mask::tests::fused_expansion_equals_materialized`).
+        mask::add_self_mask_assign(&mut y, &self.b_seed, 0, true, bits);
         // Pairwise masks with every live neighbor.
         let neighbors = self.neighbors_in(&self.u2.clone());
         for v in neighbors {
             let (_, s_pk_v) = self.u1[&v];
             let s_uv = self.s_kp.agree(&s_pk_v);
-            let m = mask::pairwise_mask(&s_uv, y.len(), bits);
-            mask::add_signed_assign(&mut y, &m, self.id > v, bits);
+            mask::add_pairwise_mask_assign(&mut y, &s_uv, 0, self.id > v, bits);
         }
         Ok(MaskedInput {
             client: self.id,

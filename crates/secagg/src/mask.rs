@@ -1,12 +1,39 @@
 //! Mask expansion and modular vector arithmetic in `Z_{2^b}`.
+//!
+//! Two API layers:
+//!
+//! - The materializing layer ([`pairwise_mask`], [`self_mask`] +
+//!   [`add_signed_assign`]) builds a full mask vector and then folds it
+//!   in — the shape the original protocol code was written in.
+//! - The fused layer ([`expand_and_add`] and the
+//!   [`add_pairwise_mask_assign`] / [`add_self_mask_assign`] wrappers)
+//!   accumulates the PRG keystream **directly into the running sum** in
+//!   cache-sized strips, never materializing a `Vec<u64>` per mask per
+//!   neighbor — the dominant allocation in unmasking recovery, where a
+//!   dropout costs `O(neighbors)` full-dimension expansions. The
+//!   `elem_offset` parameter seeks the mask stream (ChaCha20 is
+//!   seekable), so a per-chunk compute job expands exactly its slice of
+//!   every mask.
+//!
+//! Both layers are bit-equal: element `i` of every mask is keystream
+//! word `i` masked to the ring, and addition in `Z_{2^b}` commutes.
 
 use dordis_crypto::prg::{Prg, Seed};
+
+/// PRG domain for pairwise masks `PRG(s_{u,v})`.
+const DOMAIN_PAIRWISE: &[u8] = b"secagg.pairwise";
+/// PRG domain for self-masks `PRG(b_u)`.
+const DOMAIN_SELFMASK: &[u8] = b"secagg.selfmask";
+
+/// Strip length (in `u64`s) for fused expansion: large enough to
+/// amortize the ChaCha20 block loop, small enough to stay in L1.
+const STRIP: usize = 512;
 
 /// Expands a pairwise mask vector from an agreed key.
 #[must_use]
 pub fn pairwise_mask(shared_key: &[u8; 32], len: usize, bit_width: u32) -> Vec<u64> {
     let mut out = vec![0u64; len];
-    Prg::new(shared_key, b"secagg.pairwise").fill_mod2b(bit_width, &mut out);
+    Prg::new(shared_key, DOMAIN_PAIRWISE).fill_mod2b(bit_width, &mut out);
     out
 }
 
@@ -14,12 +41,94 @@ pub fn pairwise_mask(shared_key: &[u8; 32], len: usize, bit_width: u32) -> Vec<u
 #[must_use]
 pub fn self_mask(seed: &Seed, len: usize, bit_width: u32) -> Vec<u64> {
     let mut out = vec![0u64; len];
-    Prg::new(seed, b"secagg.selfmask").fill_mod2b(bit_width, &mut out);
+    Prg::new(seed, DOMAIN_SELFMASK).fill_mod2b(bit_width, &mut out);
     out
 }
 
+/// Fused expand-and-accumulate: `acc ± PRG-stream (mod 2^b)`, strip by
+/// strip, without materializing the mask vector. `prg` must already be
+/// positioned at the stream element corresponding to `acc[0]`.
+pub fn expand_and_add(prg: &mut Prg, acc: &mut [u64], positive: bool, bit_width: u32) {
+    let mut strip = [0u64; STRIP];
+    let mut rest = acc;
+    while !rest.is_empty() {
+        let n = rest.len().min(STRIP);
+        prg.fill_mod2b(bit_width, &mut strip[..n]);
+        add_signed_assign(&mut rest[..n], &strip[..n], positive, bit_width);
+        rest = &mut rest[n..];
+    }
+}
+
+/// `acc ± PRG(s_{u,v})[offset .. offset + acc.len()] (mod 2^b)` — the
+/// fused, seekable form of [`pairwise_mask`] + [`add_signed_assign`].
+pub fn add_pairwise_mask_assign(
+    acc: &mut [u64],
+    shared_key: &[u8; 32],
+    elem_offset: usize,
+    positive: bool,
+    bit_width: u32,
+) {
+    let mut prg = Prg::new_at(shared_key, DOMAIN_PAIRWISE, elem_offset);
+    expand_and_add(&mut prg, acc, positive, bit_width);
+}
+
+/// `acc ± PRG(b_u)[offset .. offset + acc.len()] (mod 2^b)` — the
+/// fused, seekable form of [`self_mask`] + [`add_signed_assign`].
+pub fn add_self_mask_assign(
+    acc: &mut [u64],
+    seed: &Seed,
+    elem_offset: usize,
+    positive: bool,
+    bit_width: u32,
+) {
+    let mut prg = Prg::new_at(seed, DOMAIN_SELFMASK, elem_offset);
+    expand_and_add(&mut prg, acc, positive, bit_width);
+}
+
 /// `acc += sign * mask (mod 2^b)` where `sign` is `+1` or `-1`.
+///
+/// The sign branch is hoisted out of the loop (negation in `Z_{2^b}` is
+/// `wrapping_neg` before the ring mask, so each arm is pure adds), and
+/// the hot arms run in 4-element unrolled strips. Bit-equal to the
+/// naive branch-in-loop shape, pinned by `matches_reference_shape`.
 pub fn add_signed_assign(acc: &mut [u64], mask: &[u64], positive: bool, bit_width: u32) {
+    debug_assert_eq!(acc.len(), mask.len());
+    let ring = ring_mask(bit_width);
+    let n = acc.len().min(mask.len());
+    let (a_strips, a_tail) = acc[..n].split_at_mut(n - n % 4);
+    let (m_strips, m_tail) = mask[..n].split_at(n - n % 4);
+    if positive {
+        for (a, m) in a_strips.chunks_exact_mut(4).zip(m_strips.chunks_exact(4)) {
+            a[0] = a[0].wrapping_add(m[0]) & ring;
+            a[1] = a[1].wrapping_add(m[1]) & ring;
+            a[2] = a[2].wrapping_add(m[2]) & ring;
+            a[3] = a[3].wrapping_add(m[3]) & ring;
+        }
+        for (a, &m) in a_tail.iter_mut().zip(m_tail.iter()) {
+            *a = a.wrapping_add(m) & ring;
+        }
+    } else {
+        for (a, m) in a_strips.chunks_exact_mut(4).zip(m_strips.chunks_exact(4)) {
+            a[0] = a[0].wrapping_add(m[0].wrapping_neg()) & ring;
+            a[1] = a[1].wrapping_add(m[1].wrapping_neg()) & ring;
+            a[2] = a[2].wrapping_add(m[2].wrapping_neg()) & ring;
+            a[3] = a[3].wrapping_add(m[3].wrapping_neg()) & ring;
+        }
+        for (a, &m) in a_tail.iter_mut().zip(m_tail.iter()) {
+            *a = a.wrapping_add(m.wrapping_neg()) & ring;
+        }
+    }
+}
+
+/// The original branch-in-loop shape of [`add_signed_assign`], kept as
+/// the bit-equality reference for the hoisted/unrolled version.
+#[cfg(test)]
+pub(crate) fn add_signed_assign_reference(
+    acc: &mut [u64],
+    mask: &[u64],
+    positive: bool,
+    bit_width: u32,
+) {
     debug_assert_eq!(acc.len(), mask.len());
     let ring = ring_mask(bit_width);
     for (a, &m) in acc.iter_mut().zip(mask.iter()) {
@@ -75,5 +184,70 @@ mod tests {
         assert_eq!(acc, vec![4]); // 260 mod 256.
         add_signed_assign(&mut acc, &[10], false, bits);
         assert_eq!(acc, vec![250]);
+    }
+
+    #[test]
+    fn matches_reference_shape() {
+        // The unrolled/hoisted add must be bit-equal to the original
+        // branch-in-loop shape across lengths (tail handling), signs,
+        // and bit widths including 64.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for bits in [1u32, 8, 20, 63, 64] {
+            for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 31, 64, 100] {
+                for positive in [true, false] {
+                    let ring = ring_mask(bits);
+                    let base: Vec<u64> = (0..len).map(|_| next() & ring).collect();
+                    let mask: Vec<u64> = (0..len).map(|_| next() & ring).collect();
+                    let mut fast = base.clone();
+                    let mut slow = base.clone();
+                    add_signed_assign(&mut fast, &mask, positive, bits);
+                    add_signed_assign_reference(&mut slow, &mask, positive, bits);
+                    assert_eq!(fast, slow, "bits {bits}, len {len}, positive {positive}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_expansion_equals_materialized() {
+        let key = [3u8; 32];
+        let seed = [4u8; 32];
+        let bits = 24;
+        let len = 1200; // spans multiple strips
+        for positive in [true, false] {
+            let mut fused = vec![7u64; len];
+            let mut materialized = fused.clone();
+            add_pairwise_mask_assign(&mut fused, &key, 0, positive, bits);
+            let m = pairwise_mask(&key, len, bits);
+            add_signed_assign(&mut materialized, &m, positive, bits);
+            assert_eq!(fused, materialized, "pairwise, positive {positive}");
+
+            let mut fused = vec![9u64; len];
+            let mut materialized = fused.clone();
+            add_self_mask_assign(&mut fused, &seed, 0, positive, bits);
+            let p = self_mask(&seed, len, bits);
+            add_signed_assign(&mut materialized, &p, positive, bits);
+            assert_eq!(fused, materialized, "self, positive {positive}");
+        }
+    }
+
+    #[test]
+    fn offset_expansion_is_a_slice_of_the_whole() {
+        // Per-chunk jobs expand [offset, offset + len) of each mask;
+        // that must equal the same slice of the whole-vector expansion.
+        let key = [5u8; 32];
+        let bits = 18;
+        let whole = pairwise_mask(&key, 1000, bits);
+        for (offset, len) in [(0usize, 1000usize), (1, 37), (512, 488), (513, 200)] {
+            let mut acc = vec![0u64; len];
+            add_pairwise_mask_assign(&mut acc, &key, offset, true, bits);
+            assert_eq!(acc, whole[offset..offset + len], "offset {offset}");
+        }
     }
 }

@@ -1,0 +1,106 @@
+//! Compute-plane equivalence at the state-machine layer: unmasking via
+//! `plan_unmasking` + per-chunk `unmask_chunk_task` + `install_chunk_sum`
+//! (the pooled path, with each chunk computed independently at its
+//! element offset — possibly on another thread) must be bit-equal to
+//! the serial `reconstruct_unmasking` + `unmask_chunk` path, including
+//! under mid-round dropout where recovery re-expands pairwise masks.
+
+use std::sync::Arc;
+
+use dordis_pipeline::ChunkPlan;
+use dordis_secagg::client::ClientInput;
+use dordis_secagg::driver::run_until_unmasking;
+use dordis_secagg::graph::MaskingGraph;
+use dordis_secagg::server::unmask_chunk_task;
+use dordis_secagg::{ClientId, RoundParams, ThreatModel};
+
+const BITS: u32 = 16;
+const DIM: usize = 200;
+const SEED: u64 = 77_777;
+
+fn params(n: u32, graph: MaskingGraph) -> RoundParams {
+    RoundParams {
+        round: 3,
+        clients: (0..n).collect(),
+        threshold: (n as usize) / 2 + 1,
+        bit_width: BITS,
+        vector_len: DIM,
+        noise_components: 0,
+        threat_model: ThreatModel::SemiHonest,
+        graph,
+    }
+}
+
+fn input_for(id: ClientId) -> ClientInput {
+    ClientInput {
+        vector: (0..DIM)
+            .map(|i| (u64::from(id) * 131 + i as u64 * 17) & ((1 << BITS) - 1))
+            .collect(),
+        noise_seeds: Vec::new(),
+    }
+}
+
+fn pooled_equals_serial(n: u32, graph: MaskingGraph, chunks: usize, dropped: &[ClientId]) {
+    let p = params(n, graph);
+    let plan = ChunkPlan::aligned(DIM, chunks, BITS).expect("plan");
+
+    // Serial reference.
+    let (mut serial, responses, _) =
+        run_until_unmasking(&p, &plan, dropped, SEED, input_for).expect("serial setup");
+    serial
+        .collect_unmasking(responses)
+        .expect("serial unmasking");
+    let serial_outcome = serial.finish();
+
+    // Pooled path: same messages (everything is seed-deterministic),
+    // chunks computed independently — here on spawned threads, exactly
+    // as the worker pool runs them.
+    let (mut pooled, responses, _) =
+        run_until_unmasking(&p, &plan, dropped, SEED, input_for).expect("pooled setup");
+    let jobs = Arc::new(pooled.plan_unmasking(responses).expect("plan"));
+    let mut handles = Vec::new();
+    for c in 0..plan.chunks() {
+        let inputs = pooled.take_chunk_inputs(c).expect("take inputs");
+        let jobs = Arc::clone(&jobs);
+        let range = plan.range(c);
+        handles.push(std::thread::spawn(move || {
+            (
+                c,
+                unmask_chunk_task(&inputs, &jobs, range.start, range.len(), BITS),
+            )
+        }));
+    }
+    // Install in arbitrary (join) order.
+    for h in handles {
+        let (c, sum) = h.join().expect("worker");
+        pooled.install_chunk_sum(c, sum).expect("install");
+    }
+    assert!(pooled.privacy_invariant_holds());
+    let pooled_outcome = pooled.finish();
+
+    assert_eq!(serial_outcome.sum, pooled_outcome.sum, "sums differ");
+    assert_eq!(serial_outcome.survivors, pooled_outcome.survivors);
+    assert_eq!(serial_outcome.dropped, pooled_outcome.dropped);
+}
+
+#[test]
+fn pooled_unmask_no_dropout() {
+    for chunks in [1usize, 4, 7] {
+        pooled_equals_serial(8, MaskingGraph::Complete, chunks, &[]);
+    }
+}
+
+#[test]
+fn pooled_unmask_with_mid_round_dropout() {
+    // Dropouts between ShareKeys and MaskedInput force pairwise
+    // re-expansion — the `O(dropped × neighbors × d)` recovery the
+    // compute plane exists for.
+    for chunks in [1usize, 4] {
+        pooled_equals_serial(8, MaskingGraph::Complete, chunks, &[2, 5]);
+    }
+}
+
+#[test]
+fn pooled_unmask_sparse_graph_dropout() {
+    pooled_equals_serial(12, MaskingGraph::harary_for(12), 4, &[3]);
+}
