@@ -33,6 +33,7 @@ use dordis_net::transport::Acceptor as _;
 use dordis_secagg::client::ClientInput;
 use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::{ClientId, RoundParams, ThreatModel};
+use dordis_telemetry::Telemetry;
 
 const N: u32 = 8;
 const BITS: u32 = 16;
@@ -65,7 +66,7 @@ fn input_for(id: ClientId, round: u64, dim: usize) -> ClientInput {
 }
 
 /// R rounds over one persistent connection per client.
-fn persistent(rounds: u64, dim: usize) -> Duration {
+fn persistent(rounds: u64, dim: usize, telemetry: Telemetry) -> Duration {
     let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind");
     let addr = acceptor.local_addr();
     let start = Instant::now();
@@ -107,6 +108,8 @@ fn persistent(rounds: u64, dim: usize) -> Duration {
         population: (0..N).collect(),
         seating: Seating::Roster,
         params_for: Box::new(move |round, _| params_for_round(round, dim)),
+        telemetry,
+        metrics_addr: None,
     };
     let mut session = Session::new(&mut acceptor, cfg).expect("session");
     for _ in 0..rounds {
@@ -187,7 +190,9 @@ fn main() {
             reconnect: Duration::MAX,
         };
         for _ in 0..best_of {
-            row.persistent = row.persistent.min(persistent(rounds, dim));
+            row.persistent = row
+                .persistent
+                .min(persistent(rounds, dim, Telemetry::disabled()));
             row.reconnect = row.reconnect.min(reconnect_per_round(rounds, dim));
         }
         println!(
@@ -202,10 +207,35 @@ fn main() {
         rows.push(row);
     }
 
+    // Telemetry overhead: the same persistent session with every probe
+    // live (spans + metrics) against the disabled-handle baseline the
+    // schedule above already measured. The disabled handle is the
+    // default everywhere, so this is the price of *asking* for
+    // observability, not of shipping it.
+    let t_rounds = rows.last().expect("rows").rounds;
+    let t_off = rows.last().expect("rows").persistent;
+    let mut t_on = Duration::MAX;
+    for _ in 0..best_of {
+        t_on = t_on.min(persistent(t_rounds, dim, Telemetry::enabled()));
+    }
+    let overhead_pct = (t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0) * 100.0;
+    println!(
+        "telemetry: disabled {:8.2} ms | enabled {:8.2} ms | overhead {overhead_pct:+.1}% (R = {t_rounds})",
+        t_off.as_secs_f64() * 1e3,
+        t_on.as_secs_f64() * 1e3,
+    );
+
     if smoke {
         println!("smoke mode: skipping BENCH_session_round.json");
         return;
     }
+    // Loose guard (sockets + scheduler noise): enabled telemetry may
+    // cost something, but it must never dominate the round time.
+    assert!(
+        t_on.as_secs_f64() <= t_off.as_secs_f64() * 2.0,
+        "enabled telemetry more than doubled the session time \
+         ({t_on:?} vs {t_off:?})"
+    );
     let last = rows.last().expect("rows");
     assert!(
         last.persistent < last.reconnect,
@@ -226,10 +256,16 @@ fn main() {
             row.reconnect.as_secs_f64() / row.persistent.as_secs_f64().max(1e-9),
         ));
     }
+    let telemetry_section = format!(
+        "  \"telemetry\": {{\n    \"rounds\": {t_rounds},\n    \"disabled_ms\": {:.3},\n    \
+         \"enabled_ms\": {:.3},\n    \"overhead_pct\": {overhead_pct:.2}\n  }},\n",
+        t_off.as_secs_f64() * 1e3,
+        t_on.as_secs_f64() * 1e3,
+    );
     let json = format!(
         "{{\n  \"bench\": \"session_round\",\n  \"transport\": \"tcp\",\n  \"clients\": {N},\n  \
-         \"dim\": {dim},\n  \"bit_width\": {BITS},\n  \"chunks\": {CHUNKS},\n  \
-         \"configs\": [\n{entries}\n  ]\n}}\n"
+         \"dim\": {dim},\n  \"bit_width\": {BITS},\n  \"chunks\": {CHUNKS},\n\
+         {telemetry_section}  \"configs\": [\n{entries}\n  ]\n}}\n"
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),

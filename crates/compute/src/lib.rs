@@ -26,8 +26,10 @@
 #![warn(missing_docs)]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Completion hook invoked (from a worker thread) every time a job's
 /// result has been queued — the bridge into an event loop's waker.
@@ -48,12 +50,59 @@ pub enum JobOutcome<T> {
 }
 
 /// Lifetime counters (monotonic; never reset).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PoolStats {
     /// Jobs submitted.
     pub submitted: u64,
     /// Completions drained by the caller.
     pub drained: u64,
+    /// Jobs that panicked (the pool survives each one).
+    pub panics: u64,
+    /// High-water mark of jobs queued but not yet picked up by a
+    /// worker — how far behind the pool has ever fallen.
+    pub queue_peak: u64,
+    /// Per-worker nanoseconds spent *running* jobs (indexed by worker;
+    /// excludes time blocked on the queue).
+    pub worker_busy_ns: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total busy nanoseconds across all workers.
+    #[must_use]
+    pub fn total_busy_ns(&self) -> u64 {
+        self.worker_busy_ns.iter().sum()
+    }
+}
+
+/// Counters shared between the pool handle and its worker threads.
+#[derive(Debug)]
+struct Shared {
+    /// Jobs sent but not yet popped by a worker.
+    queued: AtomicU64,
+    /// High-water mark of `queued`.
+    queue_peak: AtomicU64,
+    panics: AtomicU64,
+    busy_ns: Vec<AtomicU64>,
+}
+
+impl Shared {
+    fn note_queued(&self) {
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        // CAS-max: racing submitters may both observe a stale peak, but
+        // the loop converges on the true maximum.
+        let mut peak = self.queue_peak.load(Ordering::Relaxed);
+        while depth > peak {
+            match self.queue_peak.compare_exchange_weak(
+                peak,
+                depth,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => peak = seen,
+            }
+        }
+    }
 }
 
 /// A fixed-size worker pool with typed, id-tagged completions.
@@ -68,6 +117,7 @@ pub struct Pool<T: Send + 'static> {
     workers: Vec<JoinHandle<()>>,
     submitted: u64,
     drained: u64,
+    shared: Arc<Shared>,
 }
 
 impl<T: Send + 'static> Pool<T> {
@@ -82,11 +132,18 @@ impl<T: Send + 'static> Pool<T> {
         // hand-rolled work queue — a worker holds it only long enough
         // to pop one job, then releases it before running the job.
         let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            queued: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            busy_ns: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let done_tx = done_tx.clone();
                 let notifier = notifier.clone();
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("dordis-compute-{i}"))
                     .spawn(move || loop {
@@ -97,13 +154,20 @@ impl<T: Send + 'static> Pool<T> {
                         let Ok((id, job)) = job else {
                             return; // queue closed: shutdown
                         };
+                        shared.queued.fetch_sub(1, Ordering::Relaxed);
+                        let started = Instant::now();
                         let outcome = match catch_unwind(AssertUnwindSafe(job)) {
                             Ok(v) => JobOutcome::Done(v),
                             // `as_ref`, not `&p`: a `&Box<dyn Any>`
                             // would unsize to `dyn Any` as the *box*,
                             // hiding the payload from the downcasts.
-                            Err(p) => JobOutcome::Panicked(panic_message(p.as_ref())),
+                            Err(p) => {
+                                shared.panics.fetch_add(1, Ordering::Relaxed);
+                                JobOutcome::Panicked(panic_message(p.as_ref()))
+                            }
                         };
+                        let busy = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        shared.busy_ns[i].fetch_add(busy, Ordering::Relaxed);
                         if done_tx.send((id, outcome)).is_err() {
                             return; // pool gone
                         }
@@ -120,6 +184,7 @@ impl<T: Send + 'static> Pool<T> {
             workers: handles,
             submitted: 0,
             drained: 0,
+            shared,
         }
     }
 
@@ -128,6 +193,10 @@ impl<T: Send + 'static> Pool<T> {
     /// uniqueness.
     pub fn submit(&mut self, id: u64, job: impl FnOnce() -> T + Send + 'static) {
         let tx = self.tx.as_ref().expect("pool is shut down");
+        // Count the job *before* it becomes poppable: a worker may grab
+        // it the instant `send` returns, and its decrement must never
+        // observe (and underflow past) a not-yet-incremented counter.
+        self.shared.note_queued();
         tx.send((id, Box::new(job))).expect("workers alive");
         self.submitted += 1;
     }
@@ -138,12 +207,26 @@ impl<T: Send + 'static> Pool<T> {
         self.submitted - self.drained
     }
 
+    /// Jobs queued but not yet picked up by a worker (point-in-time).
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.queued.load(Ordering::Relaxed)
+    }
+
     /// Lifetime counters.
     #[must_use]
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             submitted: self.submitted,
             drained: self.drained,
+            panics: self.shared.panics.load(Ordering::Relaxed),
+            queue_peak: self.shared.queue_peak.load(Ordering::Relaxed),
+            worker_busy_ns: self
+                .shared
+                .busy_ns
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -299,5 +382,48 @@ mod tests {
     fn wait_complete_on_empty_pool_returns_none() {
         let mut pool: Pool<()> = Pool::new(4, None);
         assert!(pool.wait_complete().is_none()); // must not block
+    }
+
+    #[test]
+    fn stats_track_busy_time_queue_peak_and_panics() {
+        // One worker + a gate the first job blocks on: every later
+        // submit piles up in the queue, so the peak is deterministic.
+        let gate = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        let mut pool: Pool<u32> = Pool::new(1, None);
+        pool.submit(0, move || {
+            while g.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+            0
+        });
+        for id in 1..=4u64 {
+            pool.submit(id, move || id as u32);
+        }
+        pool.submit(5, || panic!("boom"));
+        gate.store(1, Ordering::SeqCst);
+        while pool.wait_complete().is_some() {}
+
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.drained, 6);
+        assert_eq!(stats.panics, 1);
+        // Jobs 1..=5 were all queued while job 0 held the worker.
+        assert!(stats.queue_peak >= 5, "peak {}", stats.queue_peak);
+        assert_eq!(stats.worker_busy_ns.len(), 1);
+        assert!(stats.total_busy_ns() > 0, "busy time never accrued");
+        assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn busy_time_lands_on_the_worker_that_ran_the_job() {
+        let mut pool: Pool<()> = Pool::new(3, None);
+        pool.submit(0, || std::thread::sleep(Duration::from_millis(5)));
+        while pool.wait_complete().is_some() {}
+        let stats = pool.stats();
+        assert_eq!(stats.worker_busy_ns.len(), 3);
+        let busy: Vec<&u64> = stats.worker_busy_ns.iter().filter(|&&b| b > 0).collect();
+        assert_eq!(busy.len(), 1, "exactly one worker ran the job: {stats:?}");
+        assert!(*busy[0] >= 4_000_000, "slept ~5ms: {stats:?}");
     }
 }

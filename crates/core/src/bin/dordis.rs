@@ -30,6 +30,7 @@ use dordis_net::transport::Acceptor as _;
 use dordis_secagg::client::ClientInput;
 use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::{RoundParams, ThreatModel};
+use dordis_telemetry::Telemetry;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,7 +47,8 @@ fn main() -> ExitCode {
                  dordis serve --listen <addr> --clients <n> --threshold <t> [--rounds R] \
                  [--dim D] [--bits B] [--graph complete|harary] [--round R0] \
                  [--noise-components T] [--chunks M] [--workers N] [--stage-timeout-ms MS] \
-                 [--join-timeout-ms MS] [--collect reactor|sweep] [--verify-demo]\n  \
+                 [--join-timeout-ms MS] [--collect reactor|sweep] [--verify-demo] \
+                 [--trace FILE] [--metrics-addr ADDR]\n  \
                  dordis join --connect <addr> --id <k> [--seed S] [--fail-round R] \
                  [--drop-at advertise|share-keys|masked-input|consistency|unmasking|noise-shares] \
                  [--drop-after-chunks K] [--drop-mode disconnect|silent] [--timeout-ms MS]"
@@ -100,6 +102,14 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     let stage_timeout: u64 = flag_parse(args, "--stage-timeout-ms", 5000)?;
     let join_timeout: u64 = flag_parse(args, "--join-timeout-ms", 15000)?;
     let verify_demo = args.iter().any(|a| a == "--verify-demo");
+    let trace_path = flag_value(args, "--trace").map(str::to_string);
+    let metrics_addr = flag_value(args, "--metrics-addr").map(str::to_string);
+    // Telemetry costs nothing unless someone asked to look at it.
+    let telemetry = if trace_path.is_some() || metrics_addr.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
     let mode = match flag_value(args, "--collect").unwrap_or("reactor") {
         "reactor" => CollectMode::Reactor,
         "sweep" => CollectMode::PollSweep,
@@ -164,8 +174,14 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
             p.round = round;
             p
         }),
+        telemetry: telemetry.clone(),
+        metrics_addr,
     };
     let mut session = Session::new(&mut acceptor, cfg).map_err(|e| e.to_string())?;
+    if let Some(addr) = session.metrics_addr() {
+        println!("metrics:   http://{addr}/metrics");
+        let _ = std::io::stdout().flush();
+    }
     let mut failed = false;
     for _ in 0..rounds {
         let report = session.run_round(&[]).map_err(|e| e.to_string())?;
@@ -174,6 +190,14 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     session.finish();
+    if let Some(path) = trace_path {
+        std::fs::write(&path, telemetry.export_chrome_trace())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!(
+            "trace:     {} span(s) written to {path} (load in Perfetto / chrome://tracing)",
+            telemetry.spans_recorded()
+        );
+    }
     println!("session complete ({rounds} round(s))");
     Ok(if failed {
         ExitCode::FAILURE
@@ -187,7 +211,7 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
 fn print_round(report: &NetRoundReport, dim: usize, bits: u32, verify_demo: bool) -> bool {
     if let Some(r) = &report.reactor {
         println!(
-            "reactor:   {} polls, {} events, {} timer fires (cumulative)",
+            "reactor:   {} polls, {} events, {} timer fires (this round)",
             r.polls, r.events, r.timer_fires
         );
     }

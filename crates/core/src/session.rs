@@ -48,6 +48,7 @@ use dordis_secagg::client::ClientInput;
 use dordis_secagg::driver::{round_rng_seed, run_round, DropStage, DropoutSchedule, RoundSpec};
 use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::{ClientId, RoundParams, ThreatModel};
+use dordis_telemetry::Telemetry;
 use dordis_xnoise::decomposition::XNoisePlan;
 use dordis_xnoise::enforcement::{derive_component_seeds, perturb, remove_excess};
 
@@ -95,6 +96,9 @@ pub struct FlSessionOptions {
     pub join_timeout: Duration,
     /// Per-stage deadline within a round (networked path).
     pub stage_timeout: Duration,
+    /// Telemetry handle threaded through the networked session (spans
+    /// and metrics); the default disabled handle costs nothing.
+    pub telemetry: Telemetry,
 }
 
 impl FlSessionOptions {
@@ -110,6 +114,7 @@ impl FlSessionOptions {
             droppers: Vec::new(),
             join_timeout: Duration::from_secs(20),
             stage_timeout: Duration::from_secs(20),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -712,6 +717,8 @@ pub fn train_session_networked(
             SeatingOutcome { seated, rejected }
         })),
         params_for: Box::new(move |r, seated| round_params(&params_st, r, seated)),
+        telemetry: opts.telemetry.clone(),
+        metrics_addr: None,
     };
     let mut session = Session::new(&mut acceptor, session_cfg)
         .map_err(|e| DordisError::Config(format!("session: {e}")))?;

@@ -98,6 +98,39 @@ impl ComputePlane {
     pub fn stats(&self) -> PoolStats {
         self.pool.stats()
     }
+
+    /// Publishes the pool's counters into the metrics registry. Called
+    /// by the coordinator at each round's unmask barrier — gauges want
+    /// a point-in-time publisher, and the barrier is when the numbers
+    /// mean something (every job of the round accounted for). No-op
+    /// with disabled telemetry.
+    pub fn sync_metrics(&self, telemetry: &dordis_telemetry::Telemetry) {
+        if !telemetry.is_enabled() {
+            return;
+        }
+        let stats = self.stats();
+        telemetry
+            .gauge("dordis_compute_queue_depth", &[])
+            .set(self.pool.queue_depth());
+        telemetry
+            .gauge("dordis_compute_queue_depth_peak", &[])
+            .set(stats.queue_peak);
+        telemetry
+            .gauge("dordis_compute_jobs_submitted", &[])
+            .set(stats.submitted);
+        telemetry
+            .gauge("dordis_compute_jobs_drained", &[])
+            .set(stats.drained);
+        telemetry
+            .gauge("dordis_compute_jobs_panicked", &[])
+            .set(stats.panics);
+        for (i, busy) in stats.worker_busy_ns.iter().enumerate() {
+            let worker = i.to_string();
+            telemetry
+                .gauge("dordis_compute_worker_busy_ns", &[("worker", &worker)])
+                .set(*busy);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,7 @@ use dordis_pipeline::ChunkPlan;
 use dordis_secagg::driver::{RoundStats, StageTraffic};
 use dordis_secagg::server::{unmask_chunk_task, RoundOutcome, Server};
 use dordis_secagg::{ClientId, RoundParams, SecAggError, ThreatModel};
+use dordis_telemetry::{MetricsSnapshot, Telemetry};
 
 use crate::compute::ComputePlane;
 
@@ -127,6 +128,10 @@ pub struct CoordinatorConfig {
     /// completions are drained between polls — bit-equal outcomes,
     /// pinned by the equivalence suites.
     pub workers: usize,
+    /// Observability sink: span timeline + metrics registry. The
+    /// default ([`Telemetry::disabled`]) makes every instrumentation
+    /// point a no-op.
+    pub telemetry: Telemetry,
 }
 
 impl CoordinatorConfig {
@@ -151,6 +156,7 @@ impl CoordinatorConfig {
             tick: Self::DEFAULT_TICK,
             mode: CollectMode::default(),
             workers: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -172,6 +178,13 @@ impl CoordinatorConfig {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Installs a telemetry sink (builder-style).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -225,10 +238,23 @@ pub struct NetRoundReport {
     /// [`NetError::StaleRound`] check instead of being parsed into this
     /// round's state.
     pub stale_frames: u64,
-    /// Event-loop wake-up accounting ([`CollectMode::Reactor`] only) —
-    /// cumulative over the session's reactor; the scale tests assert
-    /// `polls` stays `O(events)`, not `O(clients × ticks)`.
+    /// Event-loop wake-up accounting ([`CollectMode::Reactor`] only),
+    /// as a **per-round delta**: only the polls/events/timer fires this
+    /// round produced (join phase included when the round ran inside a
+    /// [`Session`]). The scale tests assert `polls` stays `O(events)`,
+    /// not `O(clients × ticks)`.
     pub reactor: Option<ReactorStats>,
+    /// The same counters cumulative since the session's reactor was
+    /// built — the pre-existing semantics, kept for whole-session
+    /// accounting.
+    pub reactor_session: Option<ReactorStats>,
+    /// Per-round delta of every registered metrics series (keyed by
+    /// canonical series id), when the round ran with enabled telemetry
+    /// inside a [`Session`]. One schema for the session driver, the
+    /// benches, and the tests.
+    ///
+    /// [`Session`]: crate::session::Session
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 /// Per-stage uplink accumulator.
@@ -299,6 +325,8 @@ pub fn run_coordinator(
         tick: cfg.tick,
         mode: cfg.mode,
         workers: cfg.workers,
+        telemetry: cfg.telemetry.clone(),
+        metrics_addr: None,
         announce: false,
         population: Vec::new(),
         seating: Seating::Roster,
@@ -389,6 +417,11 @@ impl RoundMachine {
         payload: &[u8],
     ) -> Result<NetRoundReport, NetError> {
         let round = self.round;
+        // Per-round reactor accounting: the report's `reactor` field is
+        // the delta over this machine's run (the session widens the
+        // base to include its join phase).
+        let reactor_base = engine.as_deref().map(|r| r.stats);
+        let round_span = cfg.telemetry.span("round", "round", round, None);
         for &id in &cfg.params.clients {
             if !peers.contains_key(&id) {
                 self.dropouts.push(DetectedDropout {
@@ -402,6 +435,7 @@ impl RoundMachine {
         let mut no_idle = |_: &mut Server| Ok(false);
 
         // ---- Setup broadcast (params + chunk count + payload). ----
+        let stage_span = cfg.telemetry.span("stage", "Setup", round, None);
         let setup = Envelope::new(
             StageTag::Setup,
             round,
@@ -415,10 +449,12 @@ impl RoundMachine {
             "Setup",
             cfg,
         );
+        drop(stage_span);
 
         let joined: Vec<ClientId> = peers.keys().copied().collect();
 
         // ---- Stage 0: AdvertiseKeys. ----
+        let stage_span = cfg.telemetry.span("stage", "AdvertiseKeys", round, None);
         let mut up = Traffic::default();
         let bodies = self
             .collect_stage(
@@ -459,9 +495,11 @@ impl RoundMachine {
             "AdvertiseKeys",
             cfg,
         );
-        push_stage(&mut self.stats, "AdvertiseKeys", &up, down);
+        push_stage(&mut self.stats, &cfg.telemetry, "AdvertiseKeys", &up, down);
+        drop(stage_span);
 
         // ---- Stage 1: ShareKeys. ----
+        let stage_span = cfg.telemetry.span("stage", "ShareKeys", round, None);
         let expected: Vec<ClientId> = roster
             .iter()
             .map(|a| a.client)
@@ -513,9 +551,13 @@ impl RoundMachine {
             "ShareKeys",
             cfg,
         );
-        push_stage(&mut self.stats, "ShareKeys", &up, down);
+        push_stage(&mut self.stats, &cfg.telemetry, "ShareKeys", &up, down);
+        drop(stage_span);
 
         // ---- Stage 2: MaskedInputCollection, per (stage, chunk). ----
+        let stage_span = cfg
+            .telemetry
+            .span("stage", "MaskedInputCollection", round, None);
         let u2: BTreeSet<ClientId> = self.server.u2().iter().copied().collect();
         let expected: Vec<ClientId> = peers.keys().copied().filter(|id| u2.contains(id)).collect();
         let up = match engine.as_deref_mut() {
@@ -540,10 +582,18 @@ impl RoundMachine {
             "MaskedInputCollection",
             cfg,
         );
-        push_stage(&mut self.stats, "MaskedInputCollection", &up, down);
+        push_stage(
+            &mut self.stats,
+            &cfg.telemetry,
+            "MaskedInputCollection",
+            &up,
+            down,
+        );
+        drop(stage_span);
 
         // ---- Stage 3: ConsistencyCheck (malicious only). ----
         if cfg.params.threat_model == ThreatModel::Malicious {
+            let _stage_span = cfg.telemetry.span("stage", "ConsistencyCheck", round, None);
             let expected: Vec<ClientId> = u3
                 .iter()
                 .copied()
@@ -593,10 +643,17 @@ impl RoundMachine {
                 "ConsistencyCheck",
                 cfg,
             );
-            push_stage(&mut self.stats, "ConsistencyCheck", &up, down);
+            push_stage(
+                &mut self.stats,
+                &cfg.telemetry,
+                "ConsistencyCheck",
+                &up,
+                down,
+            );
         }
 
         // ---- Stage 4: Unmasking (share collection is round-global). ----
+        let stage_span = cfg.telemetry.span("stage", "Unmasking", round, None);
         let expected: Vec<ClientId> = u3
             .iter()
             .copied()
@@ -637,6 +694,10 @@ impl RoundMachine {
         let total_chunks = self.plan.chunks();
         let chunk_compute = cfg.chunk_compute;
         let plan = self.plan.clone();
+        let telem = cfg.telemetry.clone();
+        let job_hist = cfg
+            .telemetry
+            .histogram("dordis_unmask_job_duration_ns", &[]);
         let mut compute = compute;
         if let Some(plane) = compute.as_deref_mut() {
             // A previous round that aborted mid-unmask may have left
@@ -658,9 +719,17 @@ impl RoundMachine {
                 let range = self.plan.range(c);
                 let bits = self.plan.bit_width();
                 let plan = plan.clone();
+                let telem = telem.clone();
+                let job_hist = job_hist.clone();
                 plane.submit(c, move || {
+                    // The span/histogram record from the worker thread,
+                    // so the trace shows the job on its worker's track.
+                    let span = telem.span("compute", "unmask_job", round, Some(c as u16));
+                    let t0 = telem.now_ns();
                     let sum = unmask_chunk_task(&inputs, &jobs, range.start, range.len(), bits);
                     chunk_sleep(chunk_compute, &plan, c);
+                    job_hist.observe(telem.now_ns().saturating_sub(t0));
+                    drop(span);
                     sum
                 });
             }
@@ -693,8 +762,13 @@ impl RoundMachine {
                 }
                 None => {
                     if next_unmask < total_chunks {
+                        let span =
+                            telem.span("compute", "unmask_chunk", round, Some(next_unmask as u16));
+                        let t0 = telem.now_ns();
                         server.unmask_chunk(next_unmask)?;
                         chunk_sleep(chunk_compute, &plan, next_unmask);
+                        job_hist.observe(telem.now_ns().saturating_sub(t0));
+                        drop(span);
                         next_unmask += 1;
                         Ok(true)
                     } else {
@@ -707,7 +781,8 @@ impl RoundMachine {
         // ---- Stage 5: ExcessiveNoiseRemoval (only if needed). ----
         if self.server.pending_seed_owners().is_empty() {
             let down_u5 = Traffic::default();
-            push_stage(&mut self.stats, "Unmasking", &up, down_u5);
+            push_stage(&mut self.stats, &cfg.telemetry, "Unmasking", &up, down_u5);
+            drop(stage_span);
         } else {
             let u5_env = Envelope::new(
                 StageTag::ReadySet,
@@ -722,7 +797,11 @@ impl RoundMachine {
                 "Unmasking",
                 cfg,
             );
-            push_stage(&mut self.stats, "Unmasking", &up, down);
+            push_stage(&mut self.stats, &cfg.telemetry, "Unmasking", &up, down);
+            drop(stage_span);
+            let _stage_span = cfg
+                .telemetry
+                .span("stage", "ExcessiveNoiseRemoval", round, None);
 
             let expected: Vec<ClientId> = u5
                 .iter()
@@ -762,6 +841,7 @@ impl RoundMachine {
             })?;
             push_stage(
                 &mut self.stats,
+                &cfg.telemetry,
                 "ExcessiveNoiseRemoval",
                 &up,
                 Traffic::default(),
@@ -796,6 +876,7 @@ impl RoundMachine {
                 })?;
                 installed += 1;
             }
+            plane.sync_metrics(&cfg.telemetry);
         }
 
         // ---- Finished broadcast. ----
@@ -819,6 +900,28 @@ impl RoundMachine {
                 self.stats.aborted.push(d.client);
             }
         }
+        if cfg.telemetry.is_enabled() {
+            for d in &self.dropouts {
+                let kind = match d.kind {
+                    DropKind::NeverJoined => "never_joined",
+                    DropKind::Disconnected => "disconnected",
+                    DropKind::DeadlineMissed => "deadline_missed",
+                    DropKind::Aborted => "aborted",
+                    DropKind::ProtocolViolation => "protocol_violation",
+                };
+                cfg.telemetry
+                    .counter(
+                        "dordis_dropouts_total",
+                        &[("kind", kind), ("stage", d.stage)],
+                    )
+                    .inc();
+            }
+            cfg.telemetry
+                .counter("dordis_stale_frames_total", &[])
+                .add(self.stale_frames);
+        }
+        drop(round_span);
+        let reactor_now = engine.map(|r| r.stats);
         Ok(NetRoundReport {
             round,
             outcome: self.server.finish(),
@@ -826,7 +929,12 @@ impl RoundMachine {
             dropouts: self.dropouts,
             chunks: total_chunks,
             stale_frames: self.stale_frames,
-            reactor: engine.map(|r| r.stats),
+            reactor: match (reactor_now, reactor_base) {
+                (Some(now), Some(base)) => Some(now.delta_since(base)),
+                (now, _) => now,
+            },
+            reactor_session: reactor_now,
+            metrics: None,
         })
     }
 
@@ -904,6 +1012,9 @@ impl RoundMachine {
         peers: &mut Peers,
         cfg: &CoordinatorConfig,
     ) -> Result<(), NetError> {
+        let _span = cfg
+            .telemetry
+            .span("chunk", "chunk", self.round, Some(st.active as u16));
         let chunk_bodies = std::mem::take(&mut st.bodies[st.active]);
         let ctx = FrameContext {
             stage: StageTag::MaskedInput,
@@ -1703,7 +1814,27 @@ fn abort_all(peers: &mut Peers, round: u64, err: &SecAggError) {
     }
 }
 
-fn push_stage(stats: &mut RoundStats, name: &'static str, up: &Traffic, down: Traffic) {
+fn push_stage(
+    stats: &mut RoundStats,
+    telemetry: &Telemetry,
+    name: &'static str,
+    up: &Traffic,
+    down: Traffic,
+) {
+    if telemetry.is_enabled() {
+        telemetry
+            .counter(
+                "dordis_frame_bytes_total",
+                &[("direction", "in"), ("stage", name)],
+            )
+            .add(up.total);
+        telemetry
+            .counter(
+                "dordis_frame_bytes_total",
+                &[("direction", "out"), ("stage", name)],
+            )
+            .add(down.total);
+    }
     stats.stages.push(StageTraffic {
         stage: name,
         uplink_total: up.total,

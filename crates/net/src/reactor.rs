@@ -40,6 +40,8 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dordis_telemetry::{Counter, Telemetry};
+
 use crate::transport::Channel;
 use crate::NetError;
 
@@ -578,6 +580,15 @@ impl Drop for WakeQueue {
 /// The wake pipe's registration token (reserved; never surfaced).
 const WAKE_TOKEN: Token = Token(u64::MAX);
 
+/// The metrics scrape listener's registration token (reserved; its
+/// events are consumed inside [`Reactor::poll`], never surfaced).
+const METRICS_LISTENER_TOKEN: Token = Token(u64::MAX - 4);
+
+/// Metrics scrape connections get tokens counted up from this base —
+/// far above any client id (`JOIN_BASE` is `1 << 40`) and below the
+/// reserved singletons at the very top of the space.
+const METRICS_CONN_BASE: u64 = u64::MAX - (1 << 20);
+
 /// Wake-up accounting, to prove the event loop does `O(events)` work:
 /// the scale tests assert `polls` stays within a small factor of
 /// `events + timer_fires`, where the old sweep did
@@ -592,8 +603,26 @@ pub struct ReactorStats {
     pub timer_fires: u64,
 }
 
+impl ReactorStats {
+    /// Counters accumulated since `base` was captured (saturating, so
+    /// a mismatched base degrades to the cumulative view instead of
+    /// wrapping). This is how [`NetRoundReport`] reports per-round
+    /// reactor work from a session-lived reactor.
+    ///
+    /// [`NetRoundReport`]: crate::coordinator::NetRoundReport
+    #[must_use]
+    pub fn delta_since(self, base: ReactorStats) -> ReactorStats {
+        ReactorStats {
+            polls: self.polls.saturating_sub(base.polls),
+            events: self.events.saturating_sub(base.events),
+            timer_fires: self.timer_fires.saturating_sub(base.timer_fires),
+        }
+    }
+}
+
 /// The event loop facade the coordinator drives: epoll + timer wheel +
-/// loopback waker, with wake-up accounting.
+/// loopback waker, with wake-up accounting and (optionally) a metrics
+/// scrape endpoint serviced on the same epoll loop.
 #[derive(Debug)]
 pub struct Reactor {
     poller: Poller,
@@ -602,15 +631,33 @@ pub struct Reactor {
     waker: Arc<WakeQueue>,
     /// Wake-up counters (see [`ReactorStats`]).
     pub stats: ReactorStats,
+    telemetry: Telemetry,
+    /// Pre-resolved registry cells mirroring [`ReactorStats`] — no-op
+    /// increments when telemetry is disabled.
+    m_polls: Counter,
+    m_events: Counter,
+    m_timer_fires: Counter,
+    metrics: Option<MetricsServer>,
 }
 
 impl Reactor {
-    /// Builds a reactor whose timers run at `tick` granularity.
+    /// Builds a reactor whose timers run at `tick` granularity, with
+    /// telemetry disabled.
     ///
     /// # Errors
     ///
     /// Propagates epoll/pipe creation failures.
     pub fn new(tick: Duration) -> Result<Reactor, NetError> {
+        Reactor::with_telemetry(tick, Telemetry::disabled())
+    }
+
+    /// Builds a reactor that counts its wake-ups into `telemetry`
+    /// (in addition to the always-on [`ReactorStats`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates epoll/pipe creation failures.
+    pub fn with_telemetry(tick: Duration, telemetry: Telemetry) -> Result<Reactor, NetError> {
         let poller = Poller::new()?;
         let (rx, tx) = sys::pipe2_nonblocking()?;
         let waker = Arc::new(WakeQueue {
@@ -618,13 +665,57 @@ impl Reactor {
             ready: Mutex::new(Vec::new()),
         });
         poller.handle().register(rx, WAKE_TOKEN, Interest::READ)?;
+        let m_polls = telemetry.counter("dordis_reactor_polls_total", &[]);
+        let m_events = telemetry.counter("dordis_reactor_events_total", &[]);
+        let m_timer_fires = telemetry.counter("dordis_reactor_timer_fires_total", &[]);
         Ok(Reactor {
             poller,
             wheel: TimerWheel::new(tick),
             wake_rx: rx,
             waker,
             stats: ReactorStats::default(),
+            telemetry,
+            m_polls,
+            m_events,
+            m_timer_fires,
+            metrics: None,
         })
+    }
+
+    /// The telemetry handle this reactor records into (disabled unless
+    /// built via [`Reactor::with_telemetry`]).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Binds a Prometheus scrape endpoint on `addr` and registers it as
+    /// just another token on this reactor's epoll loop: GETs are
+    /// answered from inside [`Reactor::poll`], with no dedicated thread
+    /// and without breaking the `O(events)` wake-up property (a scrape
+    /// wake-up delivers at least one counted event). Returns the bound
+    /// address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/registration failures.
+    pub fn serve_metrics(&mut self, addr: &str) -> Result<std::net::SocketAddr, NetError> {
+        use std::os::unix::io::AsRawFd as _;
+        let listener = std::net::TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        self.poller.handle().register(
+            listener.as_raw_fd(),
+            METRICS_LISTENER_TOKEN,
+            Interest::READ,
+        )?;
+        self.metrics = Some(MetricsServer {
+            listener,
+            conns: BTreeMap::new(),
+            next_slot: 0,
+            scrapes: self.telemetry.counter("dordis_metrics_scrapes_total", &[]),
+        });
+        Ok(local)
     }
 
     /// Handle for fd-backed channels to manage their own registration.
@@ -671,6 +762,7 @@ impl Reactor {
             wait = wait.min(next.saturating_duration_since(now));
         }
         self.stats.polls += 1;
+        self.m_polls.inc();
         self.poller.wait(events, Some(wait))?;
         // Translate waker hits into readable events for queued tokens.
         let mut woke = false;
@@ -703,9 +795,176 @@ impl Reactor {
             }
         }
         self.wheel.advance(Instant::now(), expired);
+        // Count events *before* filtering scrape traffic out: a poll
+        // woken only by a scrape still delivered >= 1 counted event, so
+        // the `polls = O(events)` accounting the scale tests assert
+        // stays sound with the endpoint enabled.
         self.stats.events += events.len() as u64;
         self.stats.timer_fires += expired.len() as u64;
+        self.m_events.add(events.len() as u64);
+        self.m_timer_fires.add(expired.len() as u64);
+        if let Some(server) = self.metrics.as_mut() {
+            let handle = self.poller.handle();
+            let mut mine = Vec::new();
+            events.retain(|ev| {
+                let is_metrics =
+                    ev.token == METRICS_LISTENER_TOKEN || server.conns.contains_key(&ev.token.0);
+                if is_metrics {
+                    mine.push(*ev);
+                }
+                !is_metrics
+            });
+            for ev in mine {
+                server.service(ev, handle, &self.telemetry);
+            }
+        }
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics scrape endpoint.
+// ---------------------------------------------------------------------
+
+/// One in-flight scrape connection: request bytes accumulate in `buf`
+/// until the header terminator arrives, then `out[written..]` drains
+/// under write readiness.
+#[derive(Debug)]
+struct MetricsConn {
+    stream: std::net::TcpStream,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    written: usize,
+}
+
+/// The `--metrics-addr` endpoint: a non-blocking listener plus its
+/// connections, all keyed into the reactor's own epoll instance, so
+/// answering a Prometheus GET is just more events on the one loop.
+#[derive(Debug)]
+struct MetricsServer {
+    listener: std::net::TcpListener,
+    conns: BTreeMap<u64, MetricsConn>,
+    next_slot: u64,
+    scrapes: Counter,
+}
+
+/// Requests larger than this are dropped — a scrape GET is < 1 KiB.
+const METRICS_REQUEST_MAX: usize = 16 * 1024;
+
+impl MetricsServer {
+    /// Advances whatever the event makes possible: accepts on the
+    /// listener token, reads/responds/drains on connection tokens.
+    /// Connections are dropped when served or broken; closing the fd
+    /// deregisters it from epoll implicitly.
+    fn service(&mut self, ev: Event, handle: PollerHandle, telemetry: &Telemetry) {
+        use std::io::{Read as _, Write as _};
+        use std::os::unix::io::AsRawFd as _;
+
+        if ev.token == METRICS_LISTENER_TOKEN {
+            // Drain the accept backlog; WouldBlock (and any transient
+            // accept error) ends the burst.
+            while let Ok((stream, _)) = self.listener.accept() {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // Slots recycle modulo 2^16 — far more simultaneous
+                // scrapes than any deployment has, and stale tokens
+                // cannot collide because dead connections leave the
+                // map.
+                let tok = METRICS_CONN_BASE + (self.next_slot & 0xFFFF);
+                self.next_slot += 1;
+                if handle
+                    .register(stream.as_raw_fd(), Token(tok), Interest::READ)
+                    .is_ok()
+                {
+                    self.conns.insert(
+                        tok,
+                        MetricsConn {
+                            stream,
+                            buf: Vec::new(),
+                            out: Vec::new(),
+                            written: 0,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+
+        let tok = ev.token.0;
+        let scrapes = self.scrapes.clone();
+        let Some(conn) = self.conns.get_mut(&tok) else {
+            return;
+        };
+        let mut done = false;
+        if ev.readable && conn.out.is_empty() {
+            let mut tmp = [0u8; 1024];
+            loop {
+                match conn.stream.read(&mut tmp) {
+                    Ok(0) => {
+                        done = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.buf.extend_from_slice(&tmp[..n]);
+                        if conn.buf.len() > METRICS_REQUEST_MAX {
+                            done = true;
+                            break;
+                        }
+                        if conn.buf.windows(4).any(|w| w == b"\r\n\r\n") {
+                            let body = telemetry.render_prometheus();
+                            conn.out = format!(
+                                "HTTP/1.1 200 OK\r\n\
+                                 Content-Type: text/plain; version=0.0.4\r\n\
+                                 Content-Length: {}\r\n\
+                                 Connection: close\r\n\r\n{body}",
+                                body.len()
+                            )
+                            .into_bytes();
+                            scrapes.inc();
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !done && !conn.out.is_empty() {
+            loop {
+                match conn.stream.write(&conn.out[conn.written..]) {
+                    Ok(0) => {
+                        done = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.written += n;
+                        if conn.written == conn.out.len() {
+                            done = true;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        let _ = handle.reregister(
+                            conn.stream.as_raw_fd(),
+                            Token(tok),
+                            Interest::READ_WRITE,
+                        );
+                        break;
+                    }
+                    Err(_) => {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if done || (ev.closed && conn.out.is_empty()) {
+            self.conns.remove(&tok);
+        }
     }
 }
 
@@ -828,6 +1087,56 @@ mod tests {
         assert!(out.is_empty(), "fired {out:?} before its deadline");
         w.advance(Instant::now() + Duration::from_millis(800), &mut out);
         assert_eq!(out, vec![Token(3)]);
+    }
+
+    #[test]
+    fn metrics_endpoint_answers_on_the_reactor_loop() {
+        use std::io::Read as _;
+
+        let telemetry = Telemetry::enabled();
+        telemetry
+            .counter("demo_total", &[("stage", "Setup")])
+            .add(3);
+        let mut r = Reactor::with_telemetry(Duration::from_millis(2), telemetry).unwrap();
+        let addr = r.serve_metrics("127.0.0.1:0").unwrap();
+
+        let scraper = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut page = String::new();
+            s.read_to_string(&mut page).unwrap();
+            page
+        });
+
+        // Drive the loop until the scraper's connection has been
+        // accepted, read, and answered — all inside poll().
+        let (mut events, mut expired) = (Vec::new(), Vec::new());
+        let start = Instant::now();
+        while !scraper.is_finished() {
+            r.poll(&mut events, &mut expired, Duration::from_millis(20))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "scrape traffic leaked to the coordinator: {events:?}"
+            );
+            assert!(start.elapsed() < Duration::from_secs(5), "scrape hung");
+        }
+        let page = scraper.join().unwrap();
+        assert!(page.starts_with("HTTP/1.1 200 OK\r\n"), "{page}");
+        assert!(page.contains("demo_total{stage=\"Setup\"} 3"), "{page}");
+        assert!(page.contains("dordis_reactor_polls_total"), "{page}");
+
+        // The scrape was counted, and polls stayed O(events).
+        let snap = r.telemetry().snapshot().unwrap();
+        assert_eq!(snap.get("dordis_metrics_scrapes_total"), 1);
+        assert!(
+            r.stats.polls <= r.stats.events + r.stats.timer_fires + 16,
+            "polls {} vs events {} + fires {}",
+            r.stats.polls,
+            r.stats.events,
+            r.stats.timer_fires
+        );
     }
 
     #[test]

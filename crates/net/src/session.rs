@@ -52,6 +52,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 use dordis_secagg::{ClientId, RoundParams};
+use dordis_telemetry::Telemetry;
 
 use crate::codec::{self, Envelope, StageTag};
 use crate::compute::ComputePlane;
@@ -138,6 +139,15 @@ pub struct SessionConfig<'a> {
     pub seating: Seating<'a>,
     /// Per-round parameter builder.
     pub params_for: ParamsFor<'a>,
+    /// Telemetry handle shared by the reactor, the compute plane, and
+    /// every round machine. [`Telemetry::disabled`] (the usual default)
+    /// turns every probe into a no-op.
+    pub telemetry: Telemetry,
+    /// Bind address (`host:port`) for the Prometheus scrape endpoint,
+    /// served by the reactor itself as one more epoll registration.
+    /// Requires [`CollectMode::Reactor`]; the sweep has no poller to
+    /// hang a listener on.
+    pub metrics_addr: Option<String>,
 }
 
 /// A client's answer to one round's announce: a claim (empty bytes for
@@ -163,6 +173,15 @@ pub struct Session<'a> {
     /// `SessionEnd`); a fully clean session tears down without the
     /// wait.
     finish_grace: bool,
+    /// Where the scrape endpoint actually bound (port 0 resolves here).
+    metrics_bound: Option<std::net::SocketAddr>,
+    /// Every client id that ever held an authenticated connection; a
+    /// provisional join by a known id is a *rejoin* (reconnect after a
+    /// dropout) and counts toward `dordis_rejoins_total`.
+    seen: BTreeSet<ClientId>,
+    /// Timeline bookkeeping: when the inter-round park window opened
+    /// (telemetry clock). The next round's start closes the span.
+    parked_since: Option<u64>,
 }
 
 impl<'a> Session<'a> {
@@ -171,11 +190,21 @@ impl<'a> Session<'a> {
     ///
     /// # Errors
     ///
-    /// Reactor construction failures.
+    /// Reactor construction failures, scrape-listener bind failures,
+    /// and a `metrics_addr` configured without the reactor engine.
     pub fn new(acceptor: &'a mut dyn Acceptor, cfg: SessionConfig<'a>) -> Result<Self, NetError> {
-        let engine = match cfg.mode {
-            CollectMode::Reactor => Some(Reactor::new(cfg.tick)?),
+        let mut engine = match cfg.mode {
+            CollectMode::Reactor => Some(Reactor::with_telemetry(cfg.tick, cfg.telemetry.clone())?),
             CollectMode::PollSweep => None,
+        };
+        let metrics_bound = match (&cfg.metrics_addr, engine.as_mut()) {
+            (Some(addr), Some(reactor)) => Some(reactor.serve_metrics(addr)?),
+            (Some(_), None) => {
+                return Err(NetError::Protocol(
+                    "metrics endpoint needs the reactor engine (mode: Reactor)".into(),
+                ));
+            }
+            (None, _) => None,
         };
         // The compute plane publishes completions through the reactor's
         // waker when there is one; under the sweep, completions queue
@@ -193,7 +222,24 @@ impl<'a> Session<'a> {
             rounds_done: 0,
             next_provisional: JOIN_BASE,
             finish_grace: false,
+            metrics_bound,
+            seen: BTreeSet::new(),
+            parked_since: None,
         })
+    }
+
+    /// Where the Prometheus scrape endpoint bound, when one was
+    /// configured (port 0 in [`SessionConfig::metrics_addr`] resolves
+    /// to the kernel-assigned port here).
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics_bound
+    }
+
+    /// The session's telemetry handle.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.cfg.telemetry
     }
 
     /// The round id the next [`Session::run_round`] call will execute.
@@ -221,6 +267,24 @@ impl<'a> Session<'a> {
     /// still parked, so a caller may retry with the next round.
     pub fn run_round(&mut self, payload: &[u8]) -> Result<NetRoundReport, NetError> {
         let round = self.next_round;
+        // Close the inter-round park window on the timeline, and open
+        // the per-round accounting windows: the report's reactor and
+        // metrics deltas are measured from *here*, so the join phase —
+        // which the round machine never sees — is part of the round's
+        // cost.
+        if let Some(since) = self.parked_since.take() {
+            self.cfg.telemetry.record_span(
+                "session",
+                "park",
+                round,
+                None,
+                since,
+                self.cfg.telemetry.now_ns(),
+            );
+        }
+        let reactor_base = self.engine.as_ref().map(|r| r.stats);
+        let metrics_base = self.cfg.telemetry.snapshot();
+        let join_span = self.cfg.telemetry.span("session", "join", round, None);
         // Roster seating needs the sampled set up front to vet joins.
         let roster_params = match self.cfg.seating {
             Seating::Roster => {
@@ -235,6 +299,8 @@ impl<'a> Session<'a> {
             .map(|p| p.clients.iter().copied().collect());
 
         let (answers, join_stale) = self.join_phase(round, roster.as_ref())?;
+        drop(join_span);
+        let seat_span = self.cfg.telemetry.span("session", "seating", round, None);
 
         // ---- Seat the cohort. ----
         let params = match (&mut self.cfg.seating, roster_params) {
@@ -267,6 +333,7 @@ impl<'a> Session<'a> {
                 round_peers.insert(id, chan);
             }
         }
+        drop(seat_span);
 
         let cc = CoordinatorConfig {
             params,
@@ -277,6 +344,7 @@ impl<'a> Session<'a> {
             tick: self.cfg.tick,
             mode: self.cfg.mode,
             workers: self.cfg.workers,
+            telemetry: self.cfg.telemetry.clone(),
         };
         let machine = RoundMachine::new(&cc)?;
         let result = machine.run(
@@ -292,9 +360,25 @@ impl<'a> Session<'a> {
         self.parked.append(&mut round_peers);
         self.next_round += 1;
         self.rounds_done += 1;
+        if self.cfg.telemetry.is_enabled() {
+            self.parked_since = Some(self.cfg.telemetry.now_ns());
+        }
         match result {
             Ok(mut report) => {
                 report.stale_frames += join_stale;
+                // Widen the machine's per-round reactor delta to cover
+                // the join phase too, and attach the round's metrics
+                // delta; cumulative reactor counters ride alongside.
+                let reactor_now = self.engine.as_ref().map(|r| r.stats);
+                report.reactor = match (reactor_now, reactor_base) {
+                    (Some(now), Some(base)) => Some(now.delta_since(base)),
+                    (now, _) => now,
+                };
+                report.reactor_session = reactor_now;
+                report.metrics = match (self.cfg.telemetry.snapshot(), &metrics_base) {
+                    (Some(now), Some(base)) => Some(now.delta(base)),
+                    _ => None,
+                };
                 // Sticky: a client dropped in *any* round may still be
                 // mid-reconnect at finish (it need not have rejoined in
                 // between), so one dropout anywhere keeps the grace
@@ -370,6 +454,7 @@ impl<'a> Session<'a> {
             true => self.join_reactor(round, roster, claims_mode, &mut answers, &mut stale)?,
             false => self.join_sweep(round, roster, claims_mode, &mut answers, &mut stale)?,
         }
+        self.seen.extend(answers.keys().copied());
         Ok((answers, stale))
     }
 
@@ -816,6 +901,14 @@ impl<'a> Session<'a> {
                         return reject("duplicate join");
                     }
                     self.parked.remove(&id);
+                }
+                // A fresh connection from an id this session has seen
+                // before is a dropout coming back.
+                if self.seen.contains(&id) {
+                    self.cfg
+                        .telemetry
+                        .counter("dordis_rejoins_total", &[])
+                        .inc();
                 }
                 Verdict::Admit(id, Some(claim))
             }

@@ -10,6 +10,8 @@ use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
 use std::time::{Duration, Instant};
 
+use dordis_telemetry::Counter;
+
 use crate::codec::MAX_FRAME_BYTES;
 use crate::reactor::{EventedChannel, Interest, PollerHandle, Reactor, Token};
 use crate::transport::{Acceptor, Channel};
@@ -46,6 +48,10 @@ pub struct FrameBuffer {
     pos: usize,
     /// Recycled frame allocations, cleared and ready for reuse.
     pool: Vec<Vec<u8>>,
+    /// Frames served from the reuse pool (default-constructed = no-op).
+    recycled: Counter,
+    /// Frames that needed a fresh allocation.
+    allocated: Counter,
 }
 
 /// Recycled-frame pool bound: enough to cover a drain burst, small
@@ -97,6 +103,14 @@ impl FrameBuffer {
         self.len() == 0
     }
 
+    /// Points the buffer's pool-hit/fresh-allocation accounting at
+    /// registry counters (the channel wires this up when it joins a
+    /// telemetry-carrying reactor).
+    pub fn set_counters(&mut self, recycled: Counter, allocated: Counter) {
+        self.recycled = recycled;
+        self.allocated = allocated;
+    }
+
     /// Returns a decoded frame's allocation to the reuse pool.
     pub fn recycle(&mut self, frame: Vec<u8>) {
         if self.pool.len() < FRAME_POOL_MAX && frame.capacity() > 0 {
@@ -123,7 +137,16 @@ impl FrameBuffer {
         if self.len() < 4 + len {
             return Ok(None);
         }
-        let mut frame = self.pool.pop().unwrap_or_default();
+        let mut frame = match self.pool.pop() {
+            Some(reused) => {
+                self.recycled.inc();
+                reused
+            }
+            None => {
+                self.allocated.inc();
+                Vec::new()
+            }
+        };
         frame.clear();
         frame.extend_from_slice(&self.buf[p + 4..p + 4 + len]);
         self.pos += 4 + len;
@@ -407,6 +430,13 @@ impl Channel for TcpChannel {
 
 impl EventedChannel for TcpChannel {
     fn register(&mut self, reactor: &mut Reactor, token: Token) -> Result<(), NetError> {
+        let telemetry = reactor.telemetry();
+        if telemetry.is_enabled() {
+            self.inbox.set_counters(
+                telemetry.counter("dordis_frames_recycled_total", &[]),
+                telemetry.counter("dordis_frames_allocated_total", &[]),
+            );
+        }
         self.stream.set_nonblocking(true)?;
         let fd = self.stream.as_raw_fd();
         let interest = if self.outbox.is_empty() {

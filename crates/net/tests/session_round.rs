@@ -23,6 +23,7 @@ use dordis_secagg::driver::{run_round, DropStage, DropoutSchedule, RoundSpec};
 use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::server::RoundOutcome;
 use dordis_secagg::{ClientId, RoundParams, ThreatModel};
+use dordis_telemetry::Telemetry;
 
 mod common;
 use common::ENGINES;
@@ -144,6 +145,10 @@ fn run_session(
         population: (0..N).collect(),
         seating: Seating::Roster,
         params_for: Box::new(|round, _| params_for_round(round)),
+        // Enabled so every engine combination exercises the span /
+        // metrics probes alongside the protocol itself.
+        telemetry: Telemetry::enabled(),
+        metrics_addr: None,
     };
     let mut session = Session::new(&mut acceptor, cfg).expect("session");
     let mut reports = Vec::new();
@@ -184,6 +189,41 @@ fn multi_round_session_matches_per_round_driver() {
         // Distinct rounds produce distinct aggregates (fresh per-round
         // state, per-round seeds).
         assert_ne!(reports[0].outcome.sum, reports[1].outcome.sum);
+
+        // Per-round accounting rides in every report: the metrics
+        // snapshot is this round's *delta*, so each round must show its
+        // own uplink bytes and unmask jobs rather than a running total.
+        for report in &reports {
+            let m = report.metrics.as_ref().expect("metrics delta");
+            assert!(
+                m.get("dordis_frame_bytes_total{direction=\"in\",stage=\"MaskedInputCollection\"}")
+                    > 0,
+                "{mode:?}/{workers}w round {}: no uplink bytes in the delta",
+                report.round
+            );
+            assert!(
+                m.get("dordis_unmask_job_duration_ns::count") >= report.chunks as u64,
+                "{mode:?}/{workers}w round {}: unmask jobs missing from the delta",
+                report.round
+            );
+        }
+        // The reactor counters in the report are per-round deltas; the
+        // session-cumulative view rides alongside and must dominate
+        // their sum.
+        if matches!(mode, CollectMode::Reactor) {
+            let cumulative = reports.last().unwrap().reactor_session.expect("cumulative");
+            let mut summed = 0u64;
+            for report in &reports {
+                let delta = report.reactor.expect("per-round delta");
+                assert!(delta.polls > 0, "{mode:?} round {}", report.round);
+                summed += delta.polls;
+            }
+            assert!(
+                summed <= cumulative.polls,
+                "{mode:?}: per-round deltas ({summed}) exceed the cumulative count ({})",
+                cumulative.polls
+            );
+        }
     }
 }
 

@@ -104,3 +104,59 @@ fn pooled_unmask_with_mid_round_dropout() {
 fn pooled_unmask_sparse_graph_dropout() {
     pooled_equals_serial(12, MaskingGraph::harary_for(12), 4, &[3]);
 }
+
+#[test]
+fn pool_driven_unmask_is_bit_equal_and_accounts_its_work() {
+    // The same per-chunk jobs, but routed through the real
+    // `dordis_compute::Pool` (the coordinator's compute plane) instead
+    // of ad-hoc threads — and the pool's extended stats must account
+    // for the work: every job submitted, drained, and timed on some
+    // worker, with no panics and a drained queue at the barrier.
+    let chunks = 4usize;
+    let p = params(8, MaskingGraph::Complete);
+    let plan = ChunkPlan::aligned(DIM, chunks, BITS).expect("plan");
+
+    let (mut serial, responses, _) =
+        run_until_unmasking(&p, &plan, &[2], SEED, input_for).expect("serial setup");
+    serial
+        .collect_unmasking(responses)
+        .expect("serial unmasking");
+    let serial_outcome = serial.finish();
+
+    let (mut pooled, responses, _) =
+        run_until_unmasking(&p, &plan, &[2], SEED, input_for).expect("pooled setup");
+    let jobs = Arc::new(pooled.plan_unmasking(responses).expect("plan"));
+    let mut pool: dordis_compute::Pool<Vec<u64>> = dordis_compute::Pool::new(2, None);
+    for c in 0..plan.chunks() {
+        let inputs = pooled.take_chunk_inputs(c).expect("take inputs");
+        let jobs = Arc::clone(&jobs);
+        let range = plan.range(c);
+        pool.submit(c as u64, move || {
+            unmask_chunk_task(&inputs, &jobs, range.start, range.len(), BITS)
+        });
+    }
+    while let Some((c, outcome)) = pool.wait_complete() {
+        let dordis_compute::JobOutcome::Done(sum) = outcome else {
+            panic!("unmask job panicked");
+        };
+        pooled.install_chunk_sum(c as usize, sum).expect("install");
+    }
+    let pooled_outcome = pooled.finish();
+    assert_eq!(serial_outcome.sum, pooled_outcome.sum, "sums differ");
+
+    let stats = pool.stats();
+    assert_eq!(stats.submitted, plan.chunks() as u64);
+    assert_eq!(stats.drained, plan.chunks() as u64);
+    assert_eq!(stats.panics, 0);
+    assert_eq!(pool.queue_depth(), 0, "queue drained at the barrier");
+    assert!(
+        stats.queue_peak >= 1 && stats.queue_peak <= plan.chunks() as u64,
+        "queue peak out of range: {}",
+        stats.queue_peak
+    );
+    assert_eq!(stats.worker_busy_ns.len(), 2, "one slot per worker");
+    assert!(
+        stats.total_busy_ns() > 0,
+        "unmask work left no busy time on any worker"
+    );
+}

@@ -1,0 +1,148 @@
+//! Property tests for the Prometheus text exposition format: whatever
+//! mix of counters, gauges, and histograms a run registers, the
+//! rendered page must parse line by line, never repeat a series, and
+//! keep every histogram's cumulative buckets monotone with `le`.
+
+use std::collections::BTreeSet;
+
+use dordis_telemetry::Telemetry;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Parses a non-comment exposition line into its series id (name +
+/// label block), failing on any malformed shape — including a value
+/// that does not parse as an integer.
+fn parse_line(line: &str) -> Result<&str, String> {
+    let (series, value) = line
+        .rsplit_once(' ')
+        .ok_or_else(|| format!("no value separator in {line:?}"))?;
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("non-numeric value in {line:?}"))?;
+    if series.is_empty() || series.starts_with(' ') {
+        return Err(format!("empty series id in {line:?}"));
+    }
+    // A label block, when present, must be balanced and trailing.
+    match (series.find('{'), series.ends_with('}')) {
+        (Some(_), true) | (None, false) => Ok(series),
+        _ => Err(format!("unbalanced label block in {line:?}")),
+    }
+}
+
+/// Drives a telemetry registry from random words: each word picks an
+/// instrument kind, a label variant, and an observed value, so the
+/// rendered page mixes families, label sets, and histogram buckets.
+fn registry_from(ops: &[u64]) -> Telemetry {
+    let t = Telemetry::enabled();
+    for op in ops {
+        let v = op >> 8;
+        let label = if (op >> 2) & 1 == 0 { "a" } else { "b" };
+        match op % 3 {
+            0 => t.counter("t_requests_total", &[("kind", label)]).add(v),
+            1 => t.gauge("t_depth", &[]).set(v),
+            _ => t.histogram("t_latency_ns", &[("kind", label)]).observe(v),
+        }
+    }
+    t
+}
+
+proptest! {
+    #[test]
+    fn every_line_parses_and_no_series_repeats(
+        ops in collection::vec(any::<u64>(), 1..64),
+    ) {
+        let t = registry_from(&ops);
+        let page = t.render_prometheus();
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        for line in page.lines() {
+            if line.starts_with('#') {
+                prop_assert!(
+                    line.starts_with("# TYPE "),
+                    "unknown comment shape: {line:?}"
+                );
+                continue;
+            }
+            let series = match parse_line(line) {
+                Ok(s) => s,
+                Err(why) => return Err(TestCaseError::fail(why)),
+            };
+            prop_assert!(
+                seen.insert(series.to_string()),
+                "duplicate series {:?}",
+                series
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone(
+        ops in collection::vec(any::<u64>(), 1..64),
+    ) {
+        let t = registry_from(&ops);
+        let page = t.render_prometheus();
+        // Collect each histogram's bucket ladder, keyed by its series
+        // id minus the `le` label (the renderer always appends `le`
+        // last). Ladders come out in ascending-`le` page order ending
+        // at `+Inf`, so the counts must be nondecreasing and the last
+        // one must equal the histogram's `_count` series.
+        let mut samples: Vec<(String, u64)> = Vec::new();
+        let mut ladders: Vec<(String, Vec<u64>)> = Vec::new();
+        for line in page.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            let value: u64 = value.parse().expect("numeric value");
+            samples.push((series.to_string(), value));
+            let Some(bucket_at) = series.find("_bucket{") else {
+                continue;
+            };
+            let family = &series[..bucket_at];
+            let labels = &series[bucket_at + "_bucket".len()..];
+            let without_le = match labels.find(",le=") {
+                Some(i) => format!("{}}}", &labels[..i]),
+                None => String::new(), // `le` was the only label
+            };
+            let key = format!("{family}{without_le}");
+            match ladders.last_mut() {
+                Some((k, counts)) if *k == key => counts.push(value),
+                _ => ladders.push((key, vec![value])),
+            }
+        }
+        for (key, counts) in &ladders {
+            prop_assert!(
+                counts.windows(2).all(|w| w[0] <= w[1]),
+                "bucket counts regressed for {key:?}: {counts:?}"
+            );
+            let count_series = match key.find('{') {
+                Some(i) => format!("{}_count{}", &key[..i], &key[i..]),
+                None => format!("{key}_count"),
+            };
+            let total = samples
+                .iter()
+                .find(|(s, _)| *s == count_series)
+                .map(|(_, v)| *v)
+                .expect("histogram _count series");
+            // `+Inf` (the ladder's last entry) must agree with `_count`.
+            prop_assert_eq!(*counts.last().expect("nonempty ladder"), total);
+        }
+    }
+
+    #[test]
+    fn snapshot_deltas_match_interleaved_increments(
+        before in collection::vec(1u64..1_000, 1..16),
+        after in collection::vec(1u64..1_000, 1..16),
+    ) {
+        let t = Telemetry::enabled();
+        let c = t.counter("t_delta_total", &[]);
+        for v in &before {
+            c.add(*v);
+        }
+        let base = t.snapshot().expect("enabled");
+        for v in &after {
+            c.add(*v);
+        }
+        let delta = t.snapshot().expect("enabled").delta(&base);
+        prop_assert_eq!(delta.get("t_delta_total"), after.iter().sum::<u64>());
+    }
+}
