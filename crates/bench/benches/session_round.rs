@@ -86,7 +86,7 @@ fn persistent(rounds: u64, dim: usize, telemetry: Telemetry) -> Duration {
                 &opts,
                 |_| None,
                 |_| None,
-                |r, _params, _payload| Ok(input_for(id, r, dim)),
+                |r, _params, _cohort, _payload| Ok(input_for(id, r, dim)),
                 |_| None,
             )
             .expect("session client");
@@ -104,6 +104,7 @@ fn persistent(rounds: u64, dim: usize, telemetry: Telemetry) -> Duration {
         tick: CoordinatorConfig::DEFAULT_TICK,
         mode: CollectMode::Reactor,
         workers: 0,
+        shards: 1,
         announce: true,
         population: (0..N).collect(),
         seating: Seating::Roster,

@@ -1,0 +1,245 @@
+//! Round throughput versus aggregation shard count, on a fixed cohort.
+//!
+//! A sharded session partitions the cohort into S independent
+//! aggregation shards (own `RoundMachine`, reactor, and — with the
+//! Complete graph — own pairwise-mask neighborhood) and merges the
+//! per-shard sums. Two effects compound:
+//!
+//!   * **parallelism** — the S shard machines run on their own threads;
+//!   * **complexity** — pairwise masking is quadratic in the roster, so
+//!     S shards of ~n/S clients do ~n²/S total mask-expansion work
+//!     instead of n².
+//!
+//! This bench runs the identical cohort, inputs, and per-round seeds at
+//! S ∈ {1, 2, 4} over loopback transport, and reports wall time plus
+//! process CPU (utime + stime around the session, covering the shard
+//! coordinator threads and the in-process clients — whose masking work
+//! shrinks with the shard roster too, which is the point).
+//!
+//! On hosts with ≥ 4 cores the near-linear claim is armed: S = 4 must
+//! at least halve the S = 1 wall time. On smaller hosts the parallel
+//! half of the win cannot materialize, so the run only prints the
+//! ratios (a ≤ 1x result on a 1-core box is expected, not a failure —
+//! the complexity half still shows up in the CPU column).
+//!
+//! Results land in `BENCH_shard_scale.json` at the workspace root;
+//! `SHARD_SCALE_SMOKE=1` shrinks the cohort for CI and skips the JSON
+//! write.
+//!
+//! ```sh
+//! cargo bench -p dordis-bench --bench shard_scale
+//! SHARD_SCALE_SMOKE=1 cargo bench -p dordis-bench --bench shard_scale
+//! ```
+
+use std::time::{Duration, Instant};
+
+use dordis_net::coordinator::{CollectMode, CoordinatorConfig};
+use dordis_net::runtime::{run_session_client, SessionClientOptions, SessionEndKind};
+use dordis_net::session::{Seating, Session, SessionConfig};
+use dordis_net::transport::LoopbackHub;
+use dordis_secagg::client::ClientInput;
+use dordis_secagg::graph::MaskingGraph;
+use dordis_secagg::{ClientId, RoundParams, ThreatModel};
+use dordis_telemetry::Telemetry;
+
+const BITS: u32 = 16;
+const SEED: u64 = 9_090_909;
+const CHUNKS: usize = 4;
+const JOIN_TIMEOUT: Duration = Duration::from_secs(60);
+const STAGE_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn params_for_round(round: u64, n: u32, dim: usize) -> RoundParams {
+    RoundParams {
+        round,
+        clients: (0..n).collect(),
+        threshold: (n as usize) / 2 + 1,
+        bit_width: BITS,
+        vector_len: dim,
+        noise_components: 0,
+        threat_model: ThreatModel::SemiHonest,
+        graph: MaskingGraph::Complete,
+    }
+}
+
+fn input_for(id: ClientId, round: u64, dim: usize) -> ClientInput {
+    let mask = (1u64 << BITS) - 1;
+    ClientInput {
+        vector: (0..dim)
+            .map(|i| (u64::from(id) * 131 + round * 977 + i as u64 * 17) & mask)
+            .collect(),
+        noise_seeds: Vec::new(),
+    }
+}
+
+/// Process CPU (utime + stime) from `/proc/self/stat`, in seconds.
+/// Covers every thread: the session, the shard coordinators, and the
+/// in-process loopback clients.
+fn process_cpu() -> f64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    // Fields 14/15 (1-indexed) after the parenthesized comm, which may
+    // itself contain spaces.
+    let after = stat.rsplit(')').next().unwrap_or("");
+    let fields: Vec<&str> = after.split_whitespace().collect();
+    let ticks: u64 = fields
+        .get(11) // utime: field 14 overall, index 11 past state
+        .and_then(|f| f.parse().ok())
+        .unwrap_or(0);
+    let sticks: u64 = fields.get(12).and_then(|f| f.parse().ok()).unwrap_or(0);
+    (ticks + sticks) as f64 / 100.0
+}
+
+/// One full session at the given shard count: R rounds, fixed cohort,
+/// identical per-round seeds. Returns (wall, process-CPU delta).
+fn run_at(shards: usize, n: u32, rounds: u64, dim: usize) -> (Duration, f64) {
+    let (hub, mut acceptor) = LoopbackHub::new();
+    let cpu0 = process_cpu();
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for id in 0..n {
+        let hub = hub.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut chan = hub.connect(&format!("c{id}")).expect("connect");
+            let opts = SessionClientOptions {
+                id,
+                rng_seed: SEED,
+                recv_timeout: Duration::from_secs(120),
+                silent_linger: Duration::from_secs(1),
+            };
+            let report = run_session_client(
+                &mut chan,
+                &opts,
+                |_| None,
+                |_| None,
+                |r, _params, _cohort, _payload| Ok(input_for(id, r, dim)),
+                |_| None,
+            )
+            .expect("session client");
+            assert!(matches!(report.end, SessionEndKind::Ended));
+        }));
+    }
+    let cfg = SessionConfig {
+        first_round: 1,
+        rounds,
+        join_timeout: JOIN_TIMEOUT,
+        stage_timeout: STAGE_TIMEOUT,
+        chunks: CHUNKS,
+        chunk_compute: None,
+        tick: CoordinatorConfig::DEFAULT_TICK,
+        mode: CollectMode::Reactor,
+        workers: 0,
+        shards,
+        announce: true,
+        population: (0..n).collect(),
+        seating: Seating::Roster,
+        params_for: Box::new(move |round, _| params_for_round(round, n, dim)),
+        telemetry: Telemetry::disabled(),
+        metrics_addr: None,
+    };
+    let mut session = Session::new(&mut acceptor, cfg).expect("session");
+    for _ in 0..rounds {
+        let report = session.run_round(&[]).expect("round");
+        assert_eq!(report.outcome.survivors.len(), n as usize);
+    }
+    session.finish();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    (start.elapsed(), process_cpu() - cpu0)
+}
+
+struct Row {
+    shards: usize,
+    wall: Duration,
+    cpu_s: f64,
+}
+
+fn main() {
+    let smoke = std::env::var("SHARD_SCALE_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    // The tentpole configuration: a fixed 128-client cohort. Smoke mode
+    // shrinks it so CI spends seconds, not minutes, but keeps every
+    // shard ≥ 2 members at S = 4 (splitmix64 splits 0..32 into sizes
+    // {7, 5, 13, 7}).
+    let n: u32 = if smoke { 32 } else { 128 };
+    let dim = if smoke { 256 } else { 1024 };
+    let rounds: u64 = if smoke { 1 } else { 2 };
+    let best_of = if smoke { 1 } else { 3 };
+
+    let mut rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let mut wall = Duration::MAX;
+        let mut cpu_s = f64::MAX;
+        for _ in 0..best_of {
+            let (w, c) = run_at(shards, n, rounds, dim);
+            wall = wall.min(w);
+            cpu_s = cpu_s.min(c);
+        }
+        println!(
+            "S = {shards}: wall {:8.2} ms | process cpu {:8.0} ms | ({n} clients, {rounds} rounds)",
+            wall.as_secs_f64() * 1e3,
+            cpu_s * 1e3,
+        );
+        rows.push(Row {
+            shards,
+            wall,
+            cpu_s,
+        });
+    }
+
+    let base = rows[0].wall.as_secs_f64();
+    for row in &rows[1..] {
+        println!(
+            "S = {}: {:.2}x wall speedup over S = 1 ({:.2}x cpu)",
+            row.shards,
+            base / row.wall.as_secs_f64().max(1e-9),
+            rows[0].cpu_s / row.cpu_s.max(1e-9),
+        );
+    }
+    if host_cores < 4 {
+        println!(
+            "host has {host_cores} core(s): shard threads serialize, so a ≤ 1x wall ratio here \
+             is expected — the scaling assertion needs ≥ 4 cores and is skipped"
+        );
+    }
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_shard_scale.json");
+        return;
+    }
+    if host_cores >= 4 {
+        // Near-linear, with generous headroom for the merge phase and
+        // the join/announce segments that stay serial: 4 shards must at
+        // least halve the unsharded wall time.
+        let s4 = rows.iter().find(|r| r.shards == 4).expect("S=4 row");
+        assert!(
+            s4.wall.as_secs_f64() <= base / 2.0,
+            "S = 4 should at least halve the S = 1 round time on a {host_cores}-core host \
+             ({:?} vs {:?})",
+            s4.wall,
+            rows[0].wall
+        );
+    }
+    let mut entries = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\n      \"shards\": {},\n      \"wall_ms\": {:.3},\n      \
+             \"process_cpu_ms\": {:.1},\n      \"wall_speedup\": {:.4}\n    }}",
+            row.shards,
+            row.wall.as_secs_f64() * 1e3,
+            row.cpu_s * 1e3,
+            base / row.wall.as_secs_f64().max(1e-9),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"shard_scale\",\n  \"transport\": \"loopback\",\n  \
+         \"host_cores\": {host_cores},\n  \"clients\": {n},\n  \"dim\": {dim},\n  \
+         \"bit_width\": {BITS},\n  \"chunks\": {CHUNKS},\n  \"rounds_per_run\": {rounds},\n  \
+         \"configs\": [\n{entries}\n  ]\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard_scale.json");
+    std::fs::write(path, json).expect("write BENCH_shard_scale.json");
+    println!("wrote {path}");
+}

@@ -46,7 +46,8 @@ fn main() -> ExitCode {
                  dordis plan <epsilon> <delta> <rounds> <sample_rate>\n  \
                  dordis serve --listen <addr> --clients <n> --threshold <t> [--rounds R] \
                  [--dim D] [--bits B] [--graph complete|harary] [--round R0] \
-                 [--noise-components T] [--chunks M] [--workers N] [--stage-timeout-ms MS] \
+                 [--noise-components T] [--chunks M] [--workers N] [--shards S] \
+                 [--stage-timeout-ms MS] \
                  [--join-timeout-ms MS] [--collect reactor|sweep] [--verify-demo] \
                  [--trace FILE] [--metrics-addr ADDR]\n  \
                  dordis join --connect <addr> --id <k> [--seed S] [--fail-round R] \
@@ -99,6 +100,10 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     // 0 = serial unmasking on the coordinator thread; N > 0 runs the
     // per-chunk unmask jobs on N pooled workers (bit-equal results).
     let workers: usize = flag_parse(args, "--workers", 0)?;
+    // 1 = the classic single round machine; S > 1 partitions each
+    // round's cohort across S parallel aggregation shards (bit-equal
+    // results; near-linear round throughput in S on multi-core hosts).
+    let shards: usize = flag_parse(args, "--shards", 1)?;
     let stage_timeout: u64 = flag_parse(args, "--stage-timeout-ms", 5000)?;
     let join_timeout: u64 = flag_parse(args, "--join-timeout-ms", 15000)?;
     let verify_demo = args.iter().any(|a| a == "--verify-demo");
@@ -146,11 +151,16 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     // The OS-assigned port must be announced before clients can join.
     println!("listening on {}", acceptor.local_addr());
     println!(
-        "session:   {rounds} round(s), {chunks} chunk(s) requested, {}",
+        "session:   {rounds} round(s), {chunks} chunk(s) requested, {}{}",
         if workers == 0 {
             "serial unmasking".to_string()
         } else {
             format!("{workers} unmask worker(s)")
+        },
+        if shards > 1 {
+            format!(", {shards} aggregation shard(s)")
+        } else {
+            String::new()
         }
     );
     use std::io::Write as _;
@@ -166,6 +176,7 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
         tick: CoordinatorConfig::DEFAULT_TICK,
         mode,
         workers,
+        shards,
         announce: true,
         population: (0..clients).collect(),
         seating: Seating::Roster,
@@ -327,7 +338,7 @@ fn join_inner(args: &[String]) -> Result<ExitCode, String> {
         &opts,
         |_| None, // roster sessions are claim-free
         |round| fail.filter(|_| round == fail_round),
-        |round, params, _payload| {
+        |round, params, _cohort, _payload| {
             println!("client {id}: seated in round {round}");
             Ok(ClientInput {
                 vector: demo_update(id, params.vector_len, params.bit_width),

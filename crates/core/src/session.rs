@@ -90,6 +90,10 @@ pub struct FlSessionOptions {
     /// Compute-plane worker threads for the networked coordinator
     /// (`0` = serial unmasking; results are bit-equal either way).
     pub workers: usize,
+    /// Aggregation shard count `S` for the networked coordinator
+    /// (`1` = the classic single round machine; results are bit-equal
+    /// for any `S` — see `dordis-net`'s session module docs).
+    pub shards: usize,
     /// Scripted mid-stream dropouts.
     pub droppers: Vec<MidStreamDrop>,
     /// Join/claim window per round (networked path).
@@ -111,6 +115,7 @@ impl FlSessionOptions {
             chunks: 4,
             mode: CollectMode::default(),
             workers: 0,
+            shards: 1,
             droppers: Vec::new(),
             join_timeout: Duration::from_secs(20),
             stage_timeout: Duration::from_secs(20),
@@ -655,10 +660,15 @@ pub fn train_session_networked(
                                 action: FailAction::Disconnect,
                             })
                     },
-                    |r, params, payload| {
+                    |r, _params, cohort, payload| {
                         let global = bytes_to_global(payload)?;
                         let i = (r - 1) as u32;
-                        let n = params.clients.len();
+                        // XNoise planning and encoding key off the
+                        // *union* cohort size from Setup: in a sharded
+                        // round `params.clients` is just this client's
+                        // shard roster, and a shard-sized noise plan
+                        // would corrupt the privacy accounting.
+                        let n = usize::from(cohort);
                         let update = client_update(&st, i, id, &global);
                         let xplan = xplan_for(&st, n)
                             .map_err(|e| NetError::Protocol(format!("xnoise plan: {e}")))?;
@@ -697,6 +707,7 @@ pub fn train_session_networked(
         tick: dordis_net::coordinator::CoordinatorConfig::DEFAULT_TICK,
         mode: opts.mode,
         workers: opts.workers,
+        shards: opts.shards,
         announce: true,
         population: (0..population).collect(),
         seating: Seating::Claims(Box::new(move |r, raw_claims| {

@@ -37,7 +37,12 @@ use crate::NetError;
 /// claim after the client id, and Setup bodies carry an opaque
 /// application payload (e.g. the current global model) after the chunk
 /// count.
-pub const WIRE_VERSION: u8 = 3;
+/// v4: sharded coordinators — Setup bodies carry the *union* cohort
+/// size (`cohort u16`) between the chunk count and the payload, so a
+/// client seated in one aggregation shard still derives its XNoise
+/// plan and encoding from the full sampled cohort, not the shard
+/// roster in `RoundParams::clients`.
+pub const WIRE_VERSION: u8 = 4;
 
 /// Envelope header bytes: version, stage, round, chunk.
 pub const HEADER_BYTES: usize = 1 + 1 + 8 + 2;
@@ -254,6 +259,72 @@ impl Envelope {
             chunk,
             body: frame[HEADER_BYTES..].to_vec(),
         })
+    }
+}
+
+/// A zero-copy view of a framed message: same header parse as
+/// [`Envelope::decode`], but the body *borrows* the frame buffer
+/// instead of cloning it. The data plane uses this to steal whole
+/// masked-input frames (decoding the bit-packed payload straight out of
+/// the frame at `frame[HEADER_BYTES..]`) so the per-chunk body copy
+/// never happens; the frame itself is recycled to its channel once the
+/// chunk is aggregated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnvelopeView<'a> {
+    /// Wire version ([`WIRE_VERSION`]).
+    pub version: u8,
+    /// Stage discriminator for the body.
+    pub stage: StageTag,
+    /// Round the message belongs to (replay/mix-up protection).
+    pub round: u64,
+    /// Chunk the body belongs to (0 for unchunked stages).
+    pub chunk: u16,
+    /// Encoded message body, borrowed from the frame.
+    pub body: &'a [u8],
+}
+
+impl<'a> EnvelopeView<'a> {
+    /// Parses a frame without copying the body.
+    ///
+    /// # Errors
+    ///
+    /// Rejects exactly what [`Envelope::decode`] rejects: short frames,
+    /// unknown stage tags, and mismatched protocol versions.
+    pub fn decode(frame: &'a [u8]) -> Result<EnvelopeView<'a>, NetError> {
+        if frame.is_empty() {
+            return Err(NetError::Codec("empty frame".into()));
+        }
+        let version = frame[0];
+        if version != WIRE_VERSION {
+            return Err(NetError::Version {
+                got: version,
+                expected: WIRE_VERSION,
+            });
+        }
+        if frame.len() < HEADER_BYTES {
+            return Err(NetError::Codec(format!("frame too short: {}", frame.len())));
+        }
+        let stage = StageTag::from_u8(frame[1])
+            .ok_or_else(|| NetError::Codec(format!("unknown stage tag {}", frame[1])))?;
+        let round = u64::from_le_bytes(frame[2..10].try_into().expect("8 bytes"));
+        let chunk = u16::from_le_bytes(frame[10..12].try_into().expect("2 bytes"));
+        Ok(EnvelopeView {
+            version,
+            stage,
+            round,
+            chunk,
+            body: &frame[HEADER_BYTES..],
+        })
+    }
+
+    /// The frame's (stage, round, chunk) coordinates for error context.
+    #[must_use]
+    pub fn context(&self) -> FrameContext {
+        FrameContext {
+            stage: self.stage,
+            round: self.round,
+            chunk: self.chunk,
+        }
     }
 }
 
@@ -842,33 +913,38 @@ pub fn encode_params(p: &RoundParams) -> Vec<u8> {
 }
 
 /// Encodes the full Setup body: the [`RoundParams`], the round's
-/// **requested** chunk count, and an opaque application payload (e.g.
-/// the session's current global model; empty for plain rounds). Both
-/// sides re-derive the identical [`ChunkPlan`] by calling
-/// `ChunkPlan::aligned` with this count and the round's
+/// **requested** chunk count, the *union* cohort size, and an opaque
+/// application payload (e.g. the session's current global model; empty
+/// for plain rounds). Both sides re-derive the identical [`ChunkPlan`]
+/// by calling `ChunkPlan::aligned` with this count and the round's
 /// (vector_len, bit_width) — the requested count travels, not the
 /// realized bounds, so alignment clamping cannot diverge between
-/// coordinator and clients.
+/// coordinator and clients. The cohort size is the full sampled cohort
+/// across every aggregation shard (equal to `p.clients.len()` for
+/// unsharded rounds): XNoise planning and update encoding key off it,
+/// not the shard roster.
 #[must_use]
-pub fn encode_setup(p: &RoundParams, chunks: u16, payload: &[u8]) -> Vec<u8> {
+pub fn encode_setup(p: &RoundParams, chunks: u16, cohort: u16, payload: &[u8]) -> Vec<u8> {
     let mut out = encode_params(p);
     out.extend_from_slice(&chunks.to_le_bytes());
+    out.extend_from_slice(&cohort.to_le_bytes());
     out.extend_from_slice(payload);
     out
 }
 
 /// Decodes a Setup body into the round parameters, the requested chunk
-/// count, and the application payload tail.
+/// count, the union cohort size, and the application payload tail.
 ///
 /// # Errors
 ///
 /// Rejects malformed bodies and unknown tags.
-pub fn decode_setup(body: &[u8]) -> Result<(RoundParams, u16, Vec<u8>), NetError> {
+pub fn decode_setup(body: &[u8]) -> Result<(RoundParams, u16, u16, Vec<u8>), NetError> {
     let mut r = Reader::new(body);
     let params = decode_params_fields(&mut r)?;
     let chunks = r.u16()?;
+    let cohort = r.u16()?;
     let payload = r.take(r.remaining())?.to_vec();
-    Ok((params, chunks, payload))
+    Ok((params, chunks, cohort, payload))
 }
 
 /// Decodes a params-only body (no chunk count; see [`decode_setup`] for

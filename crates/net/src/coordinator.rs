@@ -68,7 +68,7 @@ use crate::compute::ComputePlane;
 use crate::codec::{
     self, decode_advertised_keys, decode_consistency_signature, decode_encrypted_shares,
     decode_list, decode_masked_input, decode_noise_share_response, decode_unmasking_response,
-    encode_list, Encode, Envelope, FrameContext, StageTag,
+    encode_list, Encode, Envelope, EnvelopeView, FrameContext, StageTag, HEADER_BYTES,
 };
 use crate::reactor::{Event, EventedChannel, Reactor, ReactorStats, Token};
 use crate::session::{Seating, Session, SessionConfig};
@@ -132,6 +132,12 @@ pub struct CoordinatorConfig {
     /// default ([`Telemetry::disabled`]) makes every instrumentation
     /// point a no-op.
     pub telemetry: Telemetry,
+    /// The *union* cohort size broadcast in Setup. Equal to
+    /// `params.clients.len()` for an unsharded round; a sharded session
+    /// overrides it with the full seated-cohort size so clients derive
+    /// XNoise planning and update encoding from the cohort the privacy
+    /// ledger sees, not from their shard's roster.
+    pub cohort: u16,
 }
 
 impl CoordinatorConfig {
@@ -147,6 +153,7 @@ impl CoordinatorConfig {
         chunks: usize,
         chunk_compute: Option<Duration>,
     ) -> Self {
+        let cohort = params.clients.len().min(usize::from(u16::MAX)) as u16;
         CoordinatorConfig {
             params,
             join_timeout,
@@ -157,6 +164,7 @@ impl CoordinatorConfig {
             mode: CollectMode::default(),
             workers: 0,
             telemetry: Telemetry::disabled(),
+            cohort,
         }
     }
 
@@ -185,6 +193,15 @@ impl CoordinatorConfig {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Overrides the union cohort size broadcast in Setup
+    /// (builder-style) — sharded sessions pass the full seated-cohort
+    /// size here while `params.clients` holds the shard roster.
+    #[must_use]
+    pub fn with_cohort(mut self, cohort: u16) -> Self {
+        self.cohort = cohort;
         self
     }
 }
@@ -325,6 +342,7 @@ pub fn run_coordinator(
         tick: cfg.tick,
         mode: cfg.mode,
         workers: cfg.workers,
+        shards: 1,
         telemetry: cfg.telemetry.clone(),
         metrics_addr: None,
         announce: false,
@@ -439,7 +457,7 @@ impl RoundMachine {
         let setup = Envelope::new(
             StageTag::Setup,
             round,
-            codec::encode_setup(&cfg.params, self.requested_chunks, payload),
+            codec::encode_setup(&cfg.params, self.requested_chunks, cfg.cohort, payload),
         );
         broadcast(peers, &setup, &mut self.dropouts, "Setup");
         flush_sends(
@@ -942,43 +960,55 @@ impl RoundMachine {
     // Masked-input collection (per stage, chunk).
     // -----------------------------------------------------------------
 
-    /// Files one already-received chunk frame. Returns `false` if the
-    /// client was dropped (stream is dead) and draining should stop.
+    /// Files one already-received chunk frame, *stealing* the buffer
+    /// when it is a current-round masked-input frame: the whole frame
+    /// (header included) is parked until aggregation, where the
+    /// bit-packed payload is decoded straight out of it — the per-chunk
+    /// body copy the old `Envelope::decode` path paid never happens.
+    /// Returns whether the client's stream is still alive, plus the
+    /// frame back whenever it was *not* stolen (stale, control, or
+    /// garbage) so the caller can recycle the allocation.
     fn file_chunk_frame(
         &mut self,
         st: &mut ChunkCollect,
         peers: &mut Peers,
         id: ClientId,
-        frame: &[u8],
-    ) -> bool {
+        frame: Vec<u8>,
+    ) -> (bool, Option<Vec<u8>>) {
         let m = self.plan.chunks();
         *st.per_client.entry(id).or_default() += frame.len() as u64;
-        let env = match Envelope::decode(frame) {
-            Ok(env) => env,
+        let (stage, frame_round, chunk) = match EnvelopeView::decode(&frame) {
+            Ok(env) => (env.stage, env.round, env.chunk),
             Err(_) => {
-                return self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
+                let alive = self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
+                return (alive, Some(frame));
             }
         };
-        if env.stage == StageTag::Abort {
-            return self.drop_from_chunks(st, peers, id, DropKind::Aborted);
+        if stage == StageTag::Abort {
+            let alive = self.drop_from_chunks(st, peers, id, DropKind::Aborted);
+            return (alive, Some(frame));
         }
-        if let Err(NetError::StaleRound { got, expected }) = env.check_round(self.round) {
-            if got < expected {
+        // Same round gate as `Envelope::check_round` (aborts already
+        // handled above, so a round mismatch here is never abort-exempt).
+        if frame_round != self.round {
+            if frame_round < self.round {
                 // A leftover frame from an earlier round: discard it
                 // rather than misparse it into this round's state. The
                 // client's current-round stream continues.
                 self.stale_frames += 1;
-                return true;
+                return (true, Some(frame));
             }
-            return self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
+            let alive = self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
+            return (alive, Some(frame));
         }
-        if env.stage == StageTag::MaskedInput && usize::from(env.chunk) < m {
-            let c = usize::from(env.chunk);
+        if stage == StageTag::MaskedInput && usize::from(chunk) < m {
+            let c = usize::from(chunk);
             st.pendings[c].remove(&id);
-            st.bodies[c].insert(id, env.body);
-            true
+            st.bodies[c].insert(id, frame);
+            (true, None)
         } else {
-            self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation)
+            let alive = self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
+            (alive, Some(frame))
         }
     }
 
@@ -1015,30 +1045,37 @@ impl RoundMachine {
         let _span = cfg
             .telemetry
             .span("chunk", "chunk", self.round, Some(st.active as u16));
-        let chunk_bodies = std::mem::take(&mut st.bodies[st.active]);
+        let chunk_frames = std::mem::take(&mut st.bodies[st.active]);
         let ctx = FrameContext {
             stage: StageTag::MaskedInput,
             round: self.round,
             chunk: st.active as u16,
         };
-        let mut inputs = Vec::with_capacity(chunk_bodies.len());
-        for (id, body) in &chunk_bodies {
-            if !peers.contains_key(id) {
+        let mut inputs = Vec::with_capacity(chunk_frames.len());
+        for (id, frame) in chunk_frames {
+            if !peers.contains_key(&id) {
                 continue;
             }
+            // Stolen whole frames: the bit-packed payload decodes in
+            // place past the envelope header — no body copy was made.
             match decode_masked_input(
-                body,
+                &frame[HEADER_BYTES..],
                 self.plan.bit_width(),
                 self.plan.chunk_len(st.active),
                 ctx,
             ) {
-                Ok(mi) if mi.client == *id => inputs.push(mi),
+                Ok(mi) if mi.client == id => {
+                    inputs.push(mi);
+                    if let Some(chan) = peers.get_mut(&id) {
+                        chan.recycle_frame(frame);
+                    }
+                }
                 _ => {
                     let chunk = st.active as u16;
-                    st.remove_everywhere(*id);
+                    st.remove_everywhere(id);
                     drop_peer(
                         peers,
-                        *id,
+                        id,
                         "MaskedInputCollection",
                         Some(chunk),
                         DropKind::ProtocolViolation,
@@ -1108,7 +1145,12 @@ impl RoundMachine {
                 let slice = (Instant::now() + cfg.tick).min(deadline);
                 match chan.recv_deadline(slice) {
                     Ok(frame) => {
-                        self.file_chunk_frame(&mut st, peers, id, &frame);
+                        let (_, leftover) = self.file_chunk_frame(&mut st, peers, id, frame);
+                        if let Some(frame) = leftover {
+                            if let Some(chan) = peers.get_mut(&id) {
+                                chan.recycle_frame(frame);
+                            }
+                        }
                     }
                     Err(NetError::Timeout) => {}
                     Err(_) => {
@@ -1215,14 +1257,17 @@ impl RoundMachine {
             };
             match chan.try_recv() {
                 Ok(Some(frame)) => {
-                    if !self.file_chunk_frame(st, peers, id, &frame) {
-                        return;
+                    let (alive, leftover) = self.file_chunk_frame(st, peers, id, frame);
+                    // Only frames that were NOT stolen come back for
+                    // immediate recycling; stolen masked-input frames
+                    // return to their channel after aggregation.
+                    if let Some(frame) = leftover {
+                        if let Some(chan) = peers.get_mut(&id) {
+                            chan.recycle_frame(frame);
+                        }
                     }
-                    // The frame's bytes were decoded (the body is
-                    // copied out by `Envelope::decode`); hand the
-                    // allocation back for the next chunk frame.
-                    if let Some(chan) = peers.get_mut(&id) {
-                        chan.recycle_frame(frame);
+                    if !alive {
+                        return;
                     }
                 }
                 Ok(None) => return,
@@ -1610,7 +1655,8 @@ fn chunk_sleep(chunk_compute: Option<Duration>, plan: &ChunkPlan, chunk: usize) 
 struct ChunkCollect {
     /// Clients still owing each chunk.
     pendings: Vec<BTreeSet<ClientId>>,
-    /// Buffered chunk bodies awaiting aggregation.
+    /// Stolen whole frames (envelope header + bit-packed payload)
+    /// awaiting aggregation; the payload decodes in place, zero-copy.
     bodies: Vec<BTreeMap<ClientId, Vec<u8>>>,
     /// Uplink bytes per client (the per-stage max is over whole chunk
     /// streams, not individual frames).

@@ -998,6 +998,21 @@ pub trait EventedChannel: Channel {
     /// Propagates registration failures.
     fn register(&mut self, reactor: &mut Reactor, token: Token) -> Result<(), NetError>;
 
+    /// Detaches this channel from whatever reactor it is registered
+    /// with, clearing the stored registration so the next
+    /// [`register`](EventedChannel::register) call binds fresh. This is
+    /// how a session hands a connection to a *different* reactor (a
+    /// shard's) and back: re-registering without deregistering would
+    /// re-key the fd on the *old* reactor's poller. Channels with no
+    /// registration state need not implement it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates deregistration failures.
+    fn deregister(&mut self) -> Result<(), NetError> {
+        Ok(())
+    }
+
     /// Non-blocking receive: the next fully reassembled frame, or `None`
     /// when more bytes are needed.
     ///

@@ -163,7 +163,7 @@ where
             opts,
             env.round,
             &env.body,
-            |params, _payload| input_for(params),
+            |params, _cohort, _payload| input_for(params),
             identity_for,
         ),
         StageTag::Abort => Ok(ClientRunOutcome::ServerAborted {
@@ -190,14 +190,23 @@ fn participate<FIn, FId>(
     identity_for: FId,
 ) -> Result<ClientRunOutcome, NetError>
 where
-    FIn: FnOnce(&RoundParams, &[u8]) -> Result<ClientInput, NetError>,
+    FIn: FnOnce(&RoundParams, u16, &[u8]) -> Result<ClientInput, NetError>,
     FId: FnOnce(&RoundParams) -> Option<Identity>,
 {
-    let (params, requested_chunks, payload) = codec::decode_setup(setup_body)?;
+    let (params, requested_chunks, cohort, payload) = codec::decode_setup(setup_body)?;
     // The server is untrusted: reject malformed round parameters (a
     // hostile bit_width/vector_len could otherwise panic or OOM us)
     // before building anything from them.
     params.validate().map_err(NetError::SecAgg)?;
+    // The union cohort size can only exceed this round's client set
+    // (sharded rounds: `params.clients` is one shard's roster, the
+    // cohort is the full sampled set every shard partitions).
+    if usize::from(cohort) < params.clients.len() {
+        return Err(NetError::Protocol(format!(
+            "Setup cohort {cohort} smaller than its own client set ({})",
+            params.clients.len()
+        )));
+    }
     let round = params.round;
     if round != env_round {
         return Err(NetError::Protocol(format!(
@@ -217,7 +226,7 @@ where
         return Err(NetError::Protocol("not in the sampled set".into()));
     }
 
-    let input = input_for(&params, &payload)?;
+    let input = input_for(&params, cohort, &payload)?;
     let identity = identity_for(&params);
     if params.threat_model == ThreatModel::Malicious && identity.is_none() {
         return Err(NetError::Protocol(
@@ -461,9 +470,12 @@ pub struct SessionClientReport {
 ///
 /// Per announced round `r`, `select(r)` returns the participation-claim
 /// bytes (`None` declines); in roster (claim-free) sessions the client
-/// always joins. When seated, `input_for(r, params, payload)` builds
-/// the round's input from the Setup payload (e.g. the current global
-/// model), and `fail_for(r)` may inject a scripted failure.
+/// always joins. When seated, `input_for(r, params, cohort, payload)`
+/// builds the round's input from the Setup payload (e.g. the current
+/// global model) — `cohort` is the *union* seated-cohort size, which in
+/// a sharded round exceeds `params.clients.len()` (the shard roster)
+/// and is what XNoise planning must key off — and `fail_for(r)` may
+/// inject a scripted failure.
 ///
 /// # Errors
 ///
@@ -481,7 +493,7 @@ pub fn run_session_client<FSel, FFail, FIn, FId>(
 where
     FSel: FnMut(u64) -> Option<Vec<u8>>,
     FFail: FnMut(u64) -> Option<FailPoint>,
-    FIn: FnMut(u64, &RoundParams, &[u8]) -> Result<ClientInput, NetError>,
+    FIn: FnMut(u64, &RoundParams, u16, &[u8]) -> Result<ClientInput, NetError>,
     FId: FnMut(&RoundParams) -> Option<Identity>,
 {
     let mut rounds: Vec<SessionRoundResult> = Vec::new();
@@ -566,7 +578,7 @@ where
                     &ropts,
                     round,
                     &env.body,
-                    |params, payload| input_for(round, params, payload),
+                    |params, cohort, payload| input_for(round, params, cohort, payload),
                     &mut identity_for,
                 )?;
                 last_round = Some(round);

@@ -47,10 +47,36 @@
 //!    gone — those clients can reconnect and re-join in a later round.
 //! 5. After the last round, [`Session::finish`] broadcasts
 //!    [`StageTag::SessionEnd`].
+//!
+//! ## Sharded rounds
+//!
+//! With [`SessionConfig::shards`] `S > 1` the seated cohort is
+//! partitioned by [`shard_of`] (a hash of the client id) into `S`
+//! rosters, each hosting its own [`RoundMachine`] — fresh secagg
+//! server, fresh chunk plan — on its own thread, with its own reactor
+//! under [`CollectMode::Reactor`]. Join, seating, and the parked set
+//! stay global; only the aggregation data plane fans out. Afterwards
+//! the per-shard outcomes merge: chunk sums add element-wise in
+//! `Z_{2^b}`, survivor sets union (sorted, exactly as the unsharded
+//! server reports them), and dropped clients are recomputed against
+//! the *union* cohort in cohort order — so a sharded round is
+//! bit-equal to the unsharded one over the same cohort and inputs.
+//!
+//! Two invariants keep the XNoise privacy ledger honest under
+//! sharding. Every Setup frame carries the *union* cohort size (wire
+//! v4), so clients derive their noise plan from the full sampled
+//! cohort, never their shard roster; and each shard keeps the union's
+//! `noise_components`, so its removal-seed reconstruction covers a
+//! superset of the union removal range — downstream excess-noise
+//! removal keys off the union dropout count and ignores the extras.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use dordis_secagg::driver::RoundStats;
+use dordis_secagg::graph::MaskingGraph;
+use dordis_secagg::server::{merge_shard_outcomes, RoundOutcome};
 use dordis_secagg::{ClientId, RoundParams};
 use dordis_telemetry::Telemetry;
 
@@ -60,7 +86,7 @@ use crate::coordinator::{
     client_of, client_token, CollectMode, CoordinatorConfig, NetRoundReport, Peers, RoundMachine,
     JOIN_BASE,
 };
-use crate::reactor::{EventedChannel, Reactor, Token};
+use crate::reactor::{EventedChannel, Reactor, ReactorStats, Token};
 use crate::transport::{recv_env, send_env, Acceptor};
 use crate::NetError;
 
@@ -127,6 +153,13 @@ pub struct SessionConfig<'a> {
     /// [`CoordinatorConfig::workers`]). Workers stay warm across
     /// rounds.
     pub workers: usize,
+    /// Aggregation shard count `S`. `0` or `1` runs the classic single
+    /// machine; `S > 1` partitions each round's seated cohort by
+    /// [`shard_of`] into `S` parallel [`RoundMachine`]s whose outcomes
+    /// merge bit-equal to the unsharded round (see the module docs).
+    /// A partition that would leave any shard below the secagg minimum
+    /// of 2 clients falls back to the single machine for that round.
+    pub shards: usize,
     /// Whether to broadcast [`StageTag::RoundAnnounce`] at each round
     /// start (required for multi-round sessions; the single-round
     /// legacy wrapper runs without it, clients join eagerly).
@@ -335,25 +368,42 @@ impl<'a> Session<'a> {
         }
         drop(seat_span);
 
-        let cc = CoordinatorConfig {
-            params,
-            join_timeout: self.cfg.join_timeout,
-            stage_timeout: self.cfg.stage_timeout,
-            chunks: self.cfg.chunks,
-            chunk_compute: self.cfg.chunk_compute,
-            tick: self.cfg.tick,
-            mode: self.cfg.mode,
-            workers: self.cfg.workers,
-            telemetry: self.cfg.telemetry.clone(),
+        let cohort = params.clients.len().min(usize::from(u16::MAX)) as u16;
+        let rosters = shard_rosters(&params.clients, self.cfg.shards);
+        // A shard below the secagg minimum (2 clients) cannot host a
+        // round machine; fall back to the single machine for this
+        // round rather than abort.
+        let sharded = rosters.len() > 1 && rosters.iter().all(|r| r.len() >= 2);
+        let mut shard_reactor: Option<ReactorStats> = None;
+        let result = if sharded {
+            let result =
+                self.run_shards(round, &params, rosters, cohort, &mut round_peers, payload);
+            if let Ok(report) = &result {
+                shard_reactor = report.reactor;
+            }
+            result
+        } else {
+            let cc = CoordinatorConfig {
+                params,
+                join_timeout: self.cfg.join_timeout,
+                stage_timeout: self.cfg.stage_timeout,
+                chunks: self.cfg.chunks,
+                chunk_compute: self.cfg.chunk_compute,
+                tick: self.cfg.tick,
+                mode: self.cfg.mode,
+                workers: self.cfg.workers,
+                telemetry: self.cfg.telemetry.clone(),
+                cohort,
+            };
+            let machine = RoundMachine::new(&cc)?;
+            machine.run(
+                self.engine.as_mut(),
+                self.compute.as_mut(),
+                &mut round_peers,
+                &cc,
+                payload,
+            )
         };
-        let machine = RoundMachine::new(&cc)?;
-        let result = machine.run(
-            self.engine.as_mut(),
-            self.compute.as_mut(),
-            &mut round_peers,
-            &cc,
-            payload,
-        );
 
         // Survivors' connections return to the parked set regardless of
         // how the round ended.
@@ -374,6 +424,20 @@ impl<'a> Session<'a> {
                     (Some(now), Some(base)) => Some(now.delta_since(base)),
                     (now, _) => now,
                 };
+                // A sharded round's wake-up work happened on the shard
+                // reactors; add it to the session reactor's own delta
+                // (join phase + completion waiting) so `reactor` stays
+                // "everything this round cost", sharded or not.
+                if let Some(extra) = shard_reactor {
+                    report.reactor = Some(match report.reactor {
+                        Some(own) => ReactorStats {
+                            polls: own.polls + extra.polls,
+                            events: own.events + extra.events,
+                            timer_fires: own.timer_fires + extra.timer_fires,
+                        },
+                        None => extra,
+                    });
+                }
                 report.reactor_session = reactor_now;
                 report.metrics = match (self.cfg.telemetry.snapshot(), &metrics_base) {
                     (Some(now), Some(base)) => Some(now.delta(base)),
@@ -393,6 +457,176 @@ impl<'a> Session<'a> {
                 Err(e)
             }
         }
+    }
+
+    /// Runs one round partitioned across `rosters.len()` aggregation
+    /// shards: each shard hosts a fresh [`RoundMachine`] over its
+    /// roster on its own thread (with its own reactor and compute
+    /// plane when so configured), then the per-shard reports merge
+    /// into one union report. See the module docs' *Sharded rounds*
+    /// section for the bit-equality and privacy-ledger arguments.
+    fn run_shards(
+        &mut self,
+        round: u64,
+        params: &RoundParams,
+        rosters: Vec<Vec<ClientId>>,
+        cohort: u16,
+        round_peers: &mut Peers,
+        payload: &[u8],
+    ) -> Result<NetRoundReport, NetError> {
+        let shards = rosters.len();
+        let shards_span = self.cfg.telemetry.span("session", "shards", round, None);
+
+        // Build each shard's config and peel its channels off the
+        // cohort on this thread. Channels must leave the session poller
+        // before they cross to a shard thread (re-registering without
+        // deregistering would re-key the fd on the *old* poller); one
+        // that cannot is dropped and becomes a detected dropout.
+        let mut work: Vec<(CoordinatorConfig, Peers)> = Vec::with_capacity(shards);
+        for (s, roster) in rosters.iter().enumerate() {
+            let cc = CoordinatorConfig {
+                params: shard_params(params, roster),
+                join_timeout: self.cfg.join_timeout,
+                stage_timeout: self.cfg.stage_timeout,
+                chunks: self.cfg.chunks,
+                chunk_compute: self.cfg.chunk_compute,
+                tick: self.cfg.tick,
+                mode: self.cfg.mode,
+                workers: self.cfg.workers,
+                telemetry: self.cfg.telemetry.shard_scope(s as u16),
+                cohort,
+            };
+            let mut peers: Peers = BTreeMap::new();
+            for &id in roster {
+                if let Some(mut chan) = round_peers.remove(&id) {
+                    if chan.deregister().is_ok() {
+                        peers.insert(id, chan);
+                    }
+                }
+            }
+            work.push((cc, peers));
+        }
+
+        let waker = self.engine.as_ref().map(Reactor::waker);
+        let results: Mutex<Vec<ShardSlot>> = Mutex::new((0..shards).map(|_| None).collect());
+
+        std::thread::scope(|scope| -> Result<(), NetError> {
+            for (s, (cc, mut peers)) in work.into_iter().enumerate() {
+                let results = &results;
+                let waker = waker.clone();
+                std::thread::Builder::new()
+                    // The thread name becomes the span track name in
+                    // the Chrome-tracing export.
+                    .name(format!("dordis-shard{s}"))
+                    .spawn_scoped(scope, move || {
+                        let outcome = run_one_shard(&cc, &mut peers, payload);
+                        if let Ok(mut slots) = results.lock() {
+                            slots[s] = Some((outcome, peers));
+                        }
+                        if let Some(w) = &waker {
+                            w.wake(Token(SHARD_DONE_BASE + s as u64));
+                        }
+                    })
+                    .map_err(|e| NetError::Io(format!("spawn shard {s}: {e}")))?;
+            }
+            // Keep the session reactor turning while the shards run, so
+            // the scrape endpoint stays responsive mid-round; each
+            // shard's completion wake cuts the poll short. The sweep
+            // has no poller — there the scope's implicit join below is
+            // the barrier.
+            if let Some(reactor) = self.engine.as_mut() {
+                let (mut events, mut expired) = (Vec::new(), Vec::new());
+                loop {
+                    let done = results
+                        .lock()
+                        .map_or(shards, |slots| slots.iter().filter(|s| s.is_some()).count());
+                    if done == shards {
+                        break;
+                    }
+                    reactor.poll(&mut events, &mut expired, self.cfg.tick)?;
+                }
+            }
+            Ok(())
+        })?;
+        drop(shards_span);
+
+        let merge_span = self.cfg.telemetry.span("session", "merge", round, None);
+        let slots = results
+            .into_inner()
+            .map_err(|_| NetError::Protocol("shard result lock poisoned".into()))?;
+        let mut first_err: Option<NetError> = None;
+        let mut reports: Vec<NetRoundReport> = Vec::with_capacity(shards);
+        for slot in slots {
+            let Some((result, mut peers)) = slot else {
+                first_err.get_or_insert(NetError::Protocol("shard thread died".into()));
+                continue;
+            };
+            // Re-home survivors on the session poller *before* any
+            // error can propagate: a channel left unregistered would
+            // stall the next round's join.
+            if let Some(reactor) = self.engine.as_mut() {
+                let ids: Vec<ClientId> = peers.keys().copied().collect();
+                for id in ids {
+                    let registered = peers
+                        .get_mut(&id)
+                        .is_some_and(|chan| chan.register(reactor, client_token(id)).is_ok());
+                    if !registered {
+                        peers.remove(&id);
+                    }
+                }
+            }
+            round_peers.append(&mut peers);
+            match result {
+                Ok(report) => reports.push(report),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        // Merge. Chunk sums add element-wise in `Z_{2^b}` and survivor
+        // sets union inside `merge_shard_outcomes`; removal seeds
+        // concatenate (each shard reconstructed a superset of the union
+        // removal range — excess-noise removal downstream keys off the
+        // union dropout count and ignores the extras). Traffic stats
+        // fold per stage; every shard realizes the identical chunk
+        // plan, so the chunk count carries over from any one of them.
+        let mut outcomes: Vec<RoundOutcome> = Vec::with_capacity(reports.len());
+        let mut stats = RoundStats::default();
+        let mut dropouts = Vec::new();
+        let mut chunks = 0;
+        let mut stale_frames = 0;
+        let mut reactor: Option<ReactorStats> = None;
+        for report in reports {
+            outcomes.push(report.outcome);
+            merge_stats_into(&mut stats, report.stats);
+            dropouts.extend(report.dropouts);
+            chunks = report.chunks;
+            stale_frames += report.stale_frames;
+            if let Some(delta) = report.reactor {
+                let acc = reactor.get_or_insert_with(ReactorStats::default);
+                acc.polls += delta.polls;
+                acc.events += delta.events;
+                acc.timer_fires += delta.timer_fires;
+            }
+        }
+        stats.aborted.sort_unstable();
+        let outcome = merge_shard_outcomes(&params.clients, outcomes).map_err(NetError::SecAgg)?;
+        drop(merge_span);
+        Ok(NetRoundReport {
+            round,
+            outcome,
+            stats,
+            dropouts,
+            chunks,
+            stale_frames,
+            reactor,
+            reactor_session: None,
+            metrics: None,
+        })
     }
 
     /// Ends the session: broadcasts [`StageTag::SessionEnd`] to every
@@ -973,6 +1207,134 @@ impl<'a> Session<'a> {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded rounds.
+// ---------------------------------------------------------------------
+
+/// One shard thread's deposit: its round result plus the surviving
+/// channels to re-park on the session reactor.
+type ShardSlot = Option<(Result<NetRoundReport, NetError>, Peers)>;
+
+/// Wake-token namespace for shard-completion notifications posted to
+/// the *session* reactor: shard `s` wakes `SHARD_DONE_BASE + s`. Sits
+/// below the reactor's internal metrics-connection namespace and far
+/// above client ids and provisional join tokens ([`JOIN_BASE`]).
+pub const SHARD_DONE_BASE: u64 = u64::MAX - (2 << 20);
+
+/// Which aggregation shard a client belongs to, for a cohort
+/// partitioned into `shards` shards: a splitmix64-style finalizer over
+/// the client id, reduced mod `shards`. Deterministic across
+/// coordinator and tests; well-mixed, so adjacent ids spread instead of
+/// clumping.
+#[must_use]
+pub fn shard_of(id: ClientId, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut x = u64::from(id).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// Partitions a cohort into per-shard rosters by [`shard_of`],
+/// preserving cohort order within each roster (the order becomes the
+/// shard's `RoundParams::clients`). `shards <= 1` yields one roster:
+/// the cohort itself.
+#[must_use]
+pub fn shard_rosters(cohort: &[ClientId], shards: usize) -> Vec<Vec<ClientId>> {
+    let shards = shards.max(1);
+    let mut rosters = vec![Vec::new(); shards];
+    for &id in cohort {
+        rosters[shard_of(id, shards)].push(id);
+    }
+    rosters
+}
+
+/// Derives one shard's [`RoundParams`] from the union round's.
+///
+/// The roster is the shard's slice of the cohort (cohort order); the
+/// dropout threshold scales proportionally, rounded up (which preserves
+/// the malicious model's `2t > |U|` invariant) and clamped to
+/// `2..=roster`. `noise_components` stays the *union*'s `T`, so the
+/// shard server reconstructs removal seeds over a superset of the union
+/// removal range — the privacy ledger accounts dropouts against the
+/// full cohort, never a shard roster. The masking graph is complete
+/// within the shard: rosters are hash-partitioned slices with no
+/// meaningful neighbor structure to inherit, and pairwise masks only
+/// ever cancel within a shard anyway.
+fn shard_params(union: &RoundParams, roster: &[ClientId]) -> RoundParams {
+    let threshold = (union.threshold * roster.len())
+        .div_ceil(union.clients.len().max(1))
+        .max(2)
+        .min(roster.len());
+    RoundParams {
+        round: union.round,
+        clients: roster.to_vec(),
+        threshold,
+        bit_width: union.bit_width,
+        vector_len: union.vector_len,
+        noise_components: union.noise_components,
+        threat_model: union.threat_model,
+        graph: MaskingGraph::Complete,
+    }
+}
+
+/// One shard's round, on the shard's thread: a fresh engine (its own
+/// reactor under [`CollectMode::Reactor`]; the sweep needs none), a
+/// fresh compute plane when workers are configured, and a fresh
+/// [`RoundMachine`] over the shard roster. Channels arrive deregistered
+/// and leave deregistered — the session re-homes survivors on its own
+/// poller afterwards.
+fn run_one_shard(
+    cc: &CoordinatorConfig,
+    peers: &mut Peers,
+    payload: &[u8],
+) -> Result<NetRoundReport, NetError> {
+    let mut engine = match cc.mode {
+        CollectMode::Reactor => Some(Reactor::with_telemetry(cc.tick, cc.telemetry.clone())?),
+        CollectMode::PollSweep => None,
+    };
+    let mut compute = (cc.workers > 0)
+        .then(|| ComputePlane::new(cc.workers, engine.as_ref().map(Reactor::waker)));
+    if let Some(reactor) = engine.as_mut() {
+        let ids: Vec<ClientId> = peers.keys().copied().collect();
+        for id in ids {
+            let registered = peers
+                .get_mut(&id)
+                .is_some_and(|chan| chan.register(reactor, client_token(id)).is_ok());
+            if !registered {
+                peers.remove(&id);
+            }
+        }
+    }
+    let machine = RoundMachine::new(cc)?;
+    let result = machine.run(engine.as_mut(), compute.as_mut(), peers, cc, payload);
+    for chan in peers.values_mut() {
+        let _ = chan.deregister();
+    }
+    result
+}
+
+/// Folds one shard's per-stage traffic into the union report's: totals
+/// add, per-client maxima take the max (the heaviest client in any
+/// shard is the heaviest client overall).
+fn merge_stats_into(into: &mut RoundStats, from: RoundStats) {
+    for stage in from.stages {
+        match into.stages.iter_mut().find(|s| s.stage == stage.stage) {
+            Some(acc) => {
+                acc.uplink_total += stage.uplink_total;
+                acc.uplink_max = acc.uplink_max.max(stage.uplink_max);
+                acc.downlink_total += stage.downlink_total;
+                acc.downlink_max = acc.downlink_max.max(stage.downlink_max);
+            }
+            None => into.stages.push(stage),
+        }
+    }
+    into.aborted.extend(from.aborted);
 }
 
 /// The RoundAnnounce frame for a round, encoded once per use site so

@@ -183,6 +183,16 @@ impl EventedChannel for LoopbackChannel {
         Ok(())
     }
 
+    fn deregister(&mut self) -> Result<(), NetError> {
+        // Clearing the slot stops the peer waking a reactor this
+        // channel no longer belongs to (e.g. a shard reactor that has
+        // since shut down).
+        if let Ok(mut guard) = self.my_reg.lock() {
+            *guard = None;
+        }
+        Ok(())
+    }
+
     fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
         match self.rx.try_recv() {
             Ok(frame) => Ok(Some(frame)),

@@ -9,8 +9,8 @@ use dordis_net::codec::{
     decode_id_list, decode_join, decode_list, decode_masked_input, decode_noise_share_response,
     decode_params, decode_setup, decode_signature_list, decode_unmasking_response, encode_abort,
     encode_join, encode_list, encode_params, encode_setup, encode_signature_list,
-    reassemble_masked_input, split_masked_input, Encode, Envelope, FrameContext, StageTag,
-    HEADER_BYTES, WIRE_VERSION,
+    reassemble_masked_input, split_masked_input, Encode, Envelope, EnvelopeView, FrameContext,
+    StageTag, HEADER_BYTES, WIRE_VERSION,
 };
 use dordis_net::NetError;
 use dordis_pipeline::ChunkPlan;
@@ -347,18 +347,21 @@ fn setup_body_carries_requested_chunk_count() {
         graph: MaskingGraph::Complete,
     };
     for chunks in [1u16, 4, 8, 20] {
-        let (back, m, payload) = decode_setup(&encode_setup(&p, chunks, &[])).unwrap();
+        let (back, m, cohort, payload) = decode_setup(&encode_setup(&p, chunks, 6, &[])).unwrap();
         assert_eq!(m, chunks);
+        assert_eq!(cohort, 6);
         assert!(payload.is_empty());
         assert_eq!(back.vector_len, p.vector_len);
         assert_eq!(back.clients, p.clients);
     }
-    // The application payload travels opaquely after the chunk count.
-    let (_, m, payload) = decode_setup(&encode_setup(&p, 4, &[9, 8, 7])).unwrap();
+    // The application payload travels opaquely after the counters, and
+    // the union cohort may exceed the (shard-local) client set.
+    let (_, m, cohort, payload) = decode_setup(&encode_setup(&p, 4, 128, &[9, 8, 7])).unwrap();
     assert_eq!(m, 4);
+    assert_eq!(cohort, 128);
     assert_eq!(payload, vec![9, 8, 7]);
-    // Truncating the chunk count is rejected.
-    let body = encode_setup(&p, 4, &[]);
+    // Truncating the trailing counters is rejected.
+    let body = encode_setup(&p, 4, 6, &[]);
     assert!(decode_setup(&body[..body.len() - 1]).is_err());
 }
 
@@ -442,6 +445,50 @@ mod chunked_frame_props {
                 decoded.push(mi);
             }
             prop_assert_eq!(reassemble_masked_input(&decoded, &plan).unwrap(), full);
+        }
+
+        /// The zero-copy view is byte-equal to the owning decoder on
+        /// every frame the owning decoder accepts: same header fields,
+        /// and `view.body` is exactly the borrowed tail of the frame
+        /// that `Envelope::decode` copies out. Decoding a masked input
+        /// straight from the borrowed slice yields the same chunk.
+        #[test]
+        fn prop_envelope_view_matches_owning_decode(
+            len in 0usize..200,
+            bits in 1u32..63,
+            round in 0u64..10_000,
+            chunk in 0u16..64,
+            client in 0u32..1000,
+        ) {
+            let mask = (1u64 << bits) - 1;
+            let part = MaskedInput {
+                client,
+                vector: (0..len as u64).map(|i| i.wrapping_mul(0x9e37_79b9) & mask).collect(),
+                bit_width: bits,
+            };
+            let frame = Envelope::chunked(StageTag::MaskedInput, round, chunk, part.encoded())
+                .encode();
+            let owned = Envelope::decode(&frame).unwrap();
+            let view = EnvelopeView::decode(&frame).unwrap();
+            prop_assert_eq!(view.stage, owned.stage);
+            prop_assert_eq!(view.round, owned.round);
+            prop_assert_eq!(view.chunk, owned.chunk);
+            prop_assert_eq!(view.body, owned.body.as_slice());
+            prop_assert_eq!(view.body.as_ptr(), frame[HEADER_BYTES..].as_ptr());
+            prop_assert_eq!(view.context(), owned.context());
+            let from_view = decode_masked_input(view.body, bits, len, view.context()).unwrap();
+            let from_owned = decode_masked_input(&owned.body, bits, len, owned.context()).unwrap();
+            prop_assert_eq!(&from_view, &from_owned);
+            prop_assert_eq!(from_view, part);
+
+            // Corrupt frames are rejected identically (same typed
+            // error) by both decoders.
+            for cut in 1..=frame.len().min(3) {
+                let truncated = &frame[..frame.len() - cut];
+                let o = Envelope::decode(truncated);
+                let v = EnvelopeView::decode(truncated);
+                prop_assert_eq!(o.is_err(), v.is_err());
+            }
         }
     }
 }

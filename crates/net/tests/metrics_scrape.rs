@@ -83,7 +83,7 @@ fn live_scrape_mid_round_with_full_trace_coverage() {
                 &opts,
                 |_| None,
                 |_| None,
-                |r, _params, _payload| Ok(input_for(id, r)),
+                |r, _params, _cohort, _payload| Ok(input_for(id, r)),
                 |_| None,
             )
             .expect("session client");
@@ -104,6 +104,7 @@ fn live_scrape_mid_round_with_full_trace_coverage() {
         tick: CoordinatorConfig::DEFAULT_TICK,
         mode: CollectMode::Reactor,
         workers: 2,
+        shards: 1,
         announce: true,
         population: (0..N).collect(),
         seating: Seating::Roster,
@@ -227,4 +228,148 @@ fn live_scrape_mid_round_with_full_trace_coverage() {
     assert!(trace.starts_with("{\"traceEvents\":["));
     assert!(trace.contains("\"ph\":\"X\""));
     assert!(trace.contains("\"name\":\"MaskedInputCollection\""));
+}
+
+#[test]
+fn sharded_session_federates_shard_metrics_through_one_endpoint() {
+    // Two aggregation shards share the session's telemetry registry:
+    // the single reactor-served scrape endpoint must answer while the
+    // shard threads run, the rendered page must carry per-shard label
+    // coverage, and the span timeline must place each shard's stage
+    // work under its own trace process (pid).
+    const SN: u32 = 6; // splitmix64 splits 0..6 into {2,4,5} / {0,1,3}
+    let telemetry = Telemetry::enabled();
+    let (hub, mut acceptor) = LoopbackHub::new();
+    let mut client_handles = Vec::new();
+    for id in 0..SN {
+        let hub = hub.clone();
+        client_handles.push(std::thread::spawn(move || {
+            let mut chan = hub.connect(&format!("c{id}")).expect("connect");
+            let opts = SessionClientOptions {
+                id,
+                rng_seed: SEED,
+                recv_timeout: Duration::from_secs(30),
+                silent_linger: Duration::from_secs(1),
+            };
+            let report = run_session_client(
+                &mut chan,
+                &opts,
+                |_| None,
+                |_| None,
+                |r, _params, _cohort, _payload| Ok(input_for(id, r)),
+                |_| None,
+            )
+            .expect("session client");
+            assert!(matches!(report.end, SessionEndKind::Ended));
+        }));
+    }
+
+    let cfg = SessionConfig {
+        first_round: 1,
+        rounds: ROUNDS,
+        join_timeout: Duration::from_secs(10),
+        stage_timeout: Duration::from_secs(10),
+        chunks: CHUNKS,
+        chunk_compute: Some(Duration::from_millis(10)),
+        tick: CoordinatorConfig::DEFAULT_TICK,
+        mode: CollectMode::Reactor,
+        workers: 0,
+        shards: 2,
+        announce: true,
+        population: (0..SN).collect(),
+        seating: Seating::Roster,
+        params_for: Box::new(|round, _| RoundParams {
+            round,
+            clients: (0..SN).collect(),
+            threshold: SN as usize / 2 + 1,
+            bit_width: BITS,
+            vector_len: DIM,
+            noise_components: 0,
+            threat_model: ThreatModel::SemiHonest,
+            graph: MaskingGraph::Complete,
+        }),
+        telemetry: telemetry.clone(),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+    };
+    let mut session = Session::new(&mut acceptor, cfg).expect("session");
+    let addr = session.metrics_addr().expect("scrape endpoint bound");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut pages = 0u64;
+            while !stop.load(Ordering::SeqCst) {
+                let page = scrape(addr);
+                assert!(page.starts_with("HTTP/1.1 200 OK"), "bad response");
+                pages += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            pages
+        })
+    };
+
+    session.run_round(&[]).expect("round 1");
+    stop.store(true, Ordering::SeqCst);
+    session.run_round(&[]).expect("round 2");
+    let pages = scraper.join().expect("scraper thread");
+    session.finish();
+    for h in client_handles {
+        h.join().expect("client thread");
+    }
+    assert!(pages > 0, "the endpoint never answered while shards ran");
+
+    // Per-shard label coverage on the (shared) rendered page: the
+    // shard reactors and machines record through shard-scoped handles,
+    // so both shards' frame counters must be visible with their label.
+    let page = telemetry.render_prometheus();
+    for shard in ["shard=\"0\"", "shard=\"1\""] {
+        assert!(page.contains(shard), "no {shard} metrics on the page");
+    }
+
+    // Span timeline: session phases stay on the session process
+    // (pid 1); each shard's protocol stages run under its own pid.
+    let spans = telemetry.spans();
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.cat == "session" && s.name == "join" && s.pid == 1),
+        "join span not on the session process"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.cat == "session" && s.name == "shards" && s.pid == 1),
+        "shard fan-out span missing"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.cat == "session" && s.name == "merge" && s.pid == 1),
+        "cross-shard merge span missing"
+    );
+    for pid in [2u32, 3] {
+        assert!(
+            spans.iter().any(|s| s.cat == "stage" && s.pid == pid),
+            "no stage spans for shard process pid {pid}"
+        );
+        assert!(
+            spans.iter().any(|s| s.cat == "chunk" && s.pid == pid),
+            "no chunk spans for shard process pid {pid}"
+        );
+    }
+
+    // The Chrome-tracing export names the shard processes and keys
+    // their slices to the right pid.
+    let trace = telemetry.export_chrome_trace();
+    assert!(
+        trace.contains("\"name\":\"shard-0\""),
+        "shard-0 process metadata"
+    );
+    assert!(
+        trace.contains("\"name\":\"shard-1\""),
+        "shard-1 process metadata"
+    );
+    assert!(trace.contains("\"pid\":2"), "no slices on shard pid 2");
+    assert!(trace.contains("\"pid\":3"), "no slices on shard pid 3");
 }

@@ -117,7 +117,7 @@ fn run_session(
                             })
                         })
                     },
-                    |r, _params, _payload| Ok(input_for(id, r)),
+                    |r, _params, _cohort, _payload| Ok(input_for(id, r)),
                     |_| None,
                 )
                 .map_err(|e| format!("client {id}: {e}"))?;
@@ -141,6 +141,7 @@ fn run_session(
         tick: CoordinatorConfig::DEFAULT_TICK,
         mode,
         workers,
+        shards: 1,
         announce: true,
         population: (0..N).collect(),
         seating: Seating::Roster,
@@ -293,7 +294,7 @@ fn client_rejects_stale_round_frame_with_typed_error() {
             &Envelope::new(
                 StageTag::Setup,
                 5,
-                dordis_net::codec::encode_setup(&params, 1, &[]),
+                dordis_net::codec::encode_setup(&params, 1, N as u16, &[]),
             )
             .encode(),
         )

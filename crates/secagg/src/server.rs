@@ -125,6 +125,70 @@ pub struct RoundOutcome {
     pub bit_width: u32,
 }
 
+/// Merges per-shard [`RoundOutcome`]s of the same logical round into
+/// the union outcome a single coordinator would have produced.
+///
+/// Each shard aggregates a disjoint subset of the sampled cohort, so
+/// after unmasking the shard sums are plain sums of survivor vectors in
+/// `Z_{2^b}` — merging is element-wise modular addition. Survivors are
+/// the sorted union of the shard survivor sets (each shard's are
+/// already sorted; a client sits in exactly one shard). Dropped clients
+/// are re-derived in `union_clients` order, matching the unsharded
+/// server's cohort-order accounting. Removal seeds concatenate: seed
+/// keys are `(owner, component)` and owners are shard-disjoint, so no
+/// duplicates arise — the privacy ledger sees the union cohort's seeds,
+/// never a per-shard view.
+///
+/// # Errors
+///
+/// [`SecAggError::Config`] when the shard list is empty or the shards
+/// disagree on bit width or vector length.
+pub fn merge_shard_outcomes(
+    union_clients: &[ClientId],
+    shards: Vec<RoundOutcome>,
+) -> Result<RoundOutcome, SecAggError> {
+    let Some(first) = shards.first() else {
+        return Err(SecAggError::Config("no shard outcomes to merge".into()));
+    };
+    let bit_width = first.bit_width;
+    let len = first.sum.len();
+    let mask = if bit_width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bit_width) - 1
+    };
+    let mut sum = vec![0u64; len];
+    let mut survivors = Vec::new();
+    let mut removal_seeds = Vec::new();
+    for shard in shards {
+        if shard.bit_width != bit_width || shard.sum.len() != len {
+            return Err(SecAggError::Config(format!(
+                "shard outcome shape mismatch: ({}, {}) vs ({bit_width}, {len})",
+                shard.bit_width,
+                shard.sum.len()
+            )));
+        }
+        for (acc, v) in sum.iter_mut().zip(&shard.sum) {
+            *acc = acc.wrapping_add(*v) & mask;
+        }
+        survivors.extend(shard.survivors);
+        removal_seeds.extend(shard.removal_seeds);
+    }
+    survivors.sort_unstable();
+    let dropped: Vec<ClientId> = union_clients
+        .iter()
+        .copied()
+        .filter(|c| !survivors.contains(c))
+        .collect();
+    Ok(RoundOutcome {
+        sum,
+        survivors,
+        dropped,
+        removal_seeds,
+        bit_width,
+    })
+}
+
 /// Server state machine.
 pub struct Server {
     params: RoundParams,

@@ -41,6 +41,10 @@ pub struct SpanRecord {
     pub end_ns: u64,
     /// Track (thread) id the span was recorded on.
     pub track: u32,
+    /// Chrome-tracing process id: 1 for the session itself, one per
+    /// aggregation shard (via `Telemetry::shard_scope`) so a round's
+    /// critical path stays visible across shards.
+    pub pid: u32,
 }
 
 #[derive(Debug, Default)]
@@ -48,8 +52,13 @@ struct Ring {
     /// Overwrite-oldest storage: `slots[next % capacity]`.
     slots: Vec<SpanRecord>,
     next: usize,
-    /// Track id → thread name, captured at first span per thread.
-    tracks: BTreeMap<u32, String>,
+    /// Track id → (pid, thread name), captured at first span per
+    /// thread. A track belongs to the process that first recorded on
+    /// it — shard worker threads are born inside their shard scope, so
+    /// first-pid-wins groups them correctly.
+    tracks: BTreeMap<u32, (u32, String)>,
+    /// Pid → process name, for `ph:M` `process_name` metadata.
+    processes: BTreeMap<u32, String>,
 }
 
 /// Where closed spans land. Shared by every instrumented layer through
@@ -70,7 +79,7 @@ impl SpanSink {
 
     /// Stable per-thread track id, allocating (and naming the track)
     /// on this thread's first span.
-    fn track_id(&self, ring: &mut Ring) -> u32 {
+    fn track_id(&self, ring: &mut Ring, pid: u32) -> u32 {
         TRACK_ID.with(|slot| {
             let mut id = slot.get();
             if id == u32::MAX {
@@ -78,15 +87,31 @@ impl SpanSink {
                 slot.set(id);
             }
             ring.tracks.entry(id).or_insert_with(|| {
-                std::thread::current()
-                    .name()
-                    .unwrap_or("unnamed")
-                    .to_string()
+                (
+                    pid,
+                    std::thread::current()
+                        .name()
+                        .unwrap_or("unnamed")
+                        .to_string(),
+                )
             });
             id
         })
     }
 
+    /// Names a Chrome-tracing process (shard scopes call this once so
+    /// the exported timeline labels each shard's track group).
+    pub(crate) fn set_process_name(&self, pid: u32, name: &str) {
+        let mut ring = self.ring.lock().expect("span ring poisoned");
+        ring.processes
+            .entry(pid)
+            .or_insert_with(|| name.to_string());
+    }
+
+    // A span is genuinely seven-dimensional (cat/name/round/chunk ×
+    // the time pair × the trace process); a builder here would only
+    // add allocation to the hot path.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record(
         &self,
         cat: &'static str,
@@ -95,9 +120,10 @@ impl SpanSink {
         chunk: Option<u16>,
         start_ns: u64,
         end_ns: u64,
+        pid: u32,
     ) {
         let mut ring = self.ring.lock().expect("span ring poisoned");
-        let track = self.track_id(&mut ring);
+        let track = self.track_id(&mut ring, pid);
         let rec = SpanRecord {
             cat,
             name,
@@ -106,6 +132,7 @@ impl SpanSink {
             start_ns,
             end_ns,
             track,
+            pid,
         };
         if ring.slots.len() < self.capacity {
             ring.slots.push(rec);
@@ -151,13 +178,24 @@ impl SpanSink {
         };
         let mut out = String::from("{\"traceEvents\":[");
         let mut first = true;
-        for (tid, name) in &ring.tracks {
+        for (pid, name) in &ring.processes {
             if !first {
                 out.push(',');
             }
             first = false;
             out.push_str(&format!(
-                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(name)
+            ));
+        }
+        for (tid, (pid, name)) in &ring.tracks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
                  \"args\":{{\"name\":\"{}\"}}}}",
                 escape_json(name)
             ));
@@ -170,8 +208,9 @@ impl SpanSink {
             let ts_us = s.start_ns / 1_000;
             let dur_us = (s.end_ns.saturating_sub(s.start_ns)).max(1_000) / 1_000;
             out.push_str(&format!(
-                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"cat\":\"{}\",\"name\":\"{}\",\
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"cat\":\"{}\",\"name\":\"{}\",\
                  \"ts\":{ts_us},\"dur\":{dur_us},\"args\":{{\"round\":{}",
+                s.pid,
                 s.track,
                 escape_json(s.cat),
                 escape_json(s.name),
@@ -211,7 +250,7 @@ mod tests {
     fn ring_overwrites_oldest() {
         let sink = SpanSink::new(4);
         for i in 0..6u64 {
-            sink.record("t", "s", i, None, i * 10, i * 10 + 5);
+            sink.record("t", "s", i, None, i * 10, i * 10 + 5, 1);
         }
         let spans = sink.collect();
         assert_eq!(spans.len(), 4);
@@ -224,8 +263,8 @@ mod tests {
     #[test]
     fn chrome_trace_shape() {
         let sink = SpanSink::new(16);
-        sink.record("stage", "Setup", 3, None, 1_000_000, 2_000_000);
-        sink.record("chunk", "chunk", 3, Some(2), 2_000_000, 3_500_000);
+        sink.record("stage", "Setup", 3, None, 1_000_000, 2_000_000, 1);
+        sink.record("chunk", "chunk", 3, Some(2), 2_000_000, 3_500_000, 1);
         let json = sink.export_chrome_trace();
         assert!(json.starts_with("{\"traceEvents\":["), "{json}");
         assert!(json.ends_with("]}"), "{json}");
@@ -239,9 +278,23 @@ mod tests {
     #[test]
     fn sub_microsecond_spans_get_min_duration() {
         let sink = SpanSink::new(4);
-        sink.record("t", "tiny", 0, None, 100, 200);
+        sink.record("t", "tiny", 0, None, 100, 200, 1);
         let json = sink.export_chrome_trace();
         // 100ns would floor to dur 0 and vanish in Perfetto; clamp up.
-        assert!(json.contains("\"dur\":1"), "{json}");
+        assert!(json.contains("\"dur\":1,"), "{json}");
+    }
+
+    #[test]
+    fn spans_carry_their_process_id() {
+        let sink = SpanSink::new(8);
+        sink.set_process_name(2, "shard-0");
+        sink.record("stage", "Setup", 1, None, 1_000_000, 2_000_000, 2);
+        let json = sink.export_chrome_trace();
+        assert!(
+            json.contains("\"name\":\"process_name\""),
+            "process metadata missing: {json}"
+        );
+        assert!(json.contains("\"name\":\"shard-0\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\",\"pid\":2,"), "{json}");
     }
 }
