@@ -67,6 +67,12 @@ fn bench_shamir(c: &mut Criterion) {
     c.bench_function("shamir_share_32B_t50_n100", |b| {
         b.iter(|| shamir::share(&secret, 50, 100, &mut rng).unwrap());
     });
+    // Neighborhood-sized sharing: with neighborhood-scoped x-coordinates
+    // a client only evaluates `deg + 1` points — 25 at n = 1024 under
+    // the recommended Harary graph — regardless of roster size.
+    c.bench_function("shamir_share_32B_t24_n25", |b| {
+        b.iter(|| shamir::share(&secret, 24, 25, &mut rng).unwrap());
+    });
     let shares = shamir::share(&secret, 50, 100, &mut rng).unwrap();
     c.bench_function("shamir_reconstruct_32B_t50", |b| {
         b.iter(|| shamir::reconstruct(&shares[..50], 50).unwrap());

@@ -176,7 +176,10 @@ fn timed_round(n: u32, mode: CollectMode) -> RunResult {
 
 fn main() {
     let smoke = std::env::var("REACTOR_SCALE_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
-    // 255 is the protocol's per-round maximum (Shamir over GF(256)).
+    // 255 was the per-round maximum when every Shamir polynomial was
+    // evaluated at global GF(256) coordinates; neighborhood indexing
+    // lifted that (see cohort_scale), but 255 stays the top rung here
+    // so the sweep-vs-reactor series remains comparable over time.
     let cohorts: &[u32] = if smoke { &[8, 16] } else { &[32, 128, 255] };
     let best_of = if smoke { 1 } else { 2 };
 

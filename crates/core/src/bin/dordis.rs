@@ -45,7 +45,7 @@ fn main() -> ExitCode {
                 "usage:\n  dordis example-config\n  dordis train <task.json> [--json]\n  \
                  dordis plan <epsilon> <delta> <rounds> <sample_rate>\n  \
                  dordis serve --listen <addr> --clients <n> --threshold <t> [--rounds R] \
-                 [--dim D] [--bits B] [--graph complete|harary] [--round R0] \
+                 [--dim D] [--bits B] [--graph auto|complete|harary] [--round R0] \
                  [--noise-components T] [--chunks M] [--workers N] [--shards S] \
                  [--stage-timeout-ms MS] \
                  [--join-timeout-ms MS] [--collect reactor|sweep] [--verify-demo] \
@@ -120,7 +120,8 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
         "sweep" => CollectMode::PollSweep,
         other => return Err(format!("unknown collect mode `{other}`")),
     };
-    let graph = match flag_value(args, "--graph").unwrap_or("harary") {
+    let graph = match flag_value(args, "--graph").unwrap_or("auto") {
+        "auto" => MaskingGraph::recommended(clients as usize),
         "complete" => MaskingGraph::Complete,
         "harary" => MaskingGraph::harary_for(clients as usize),
         other => return Err(format!("unknown graph `{other}`")),

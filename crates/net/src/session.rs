@@ -1262,10 +1262,14 @@ pub fn shard_rosters(cohort: &[ClientId], shards: usize) -> Vec<Vec<ClientId>> {
 /// `2..=roster`. `noise_components` stays the *union*'s `T`, so the
 /// shard server reconstructs removal seeds over a superset of the union
 /// removal range — the privacy ledger accounts dropouts against the
-/// full cohort, never a shard roster. The masking graph is complete
-/// within the shard: rosters are hash-partitioned slices with no
-/// meaningful neighbor structure to inherit, and pairwise masks only
-/// ever cancel within a shard anyway.
+/// full cohort, never a shard roster. The masking graph is re-derived
+/// from the roster size ([`MaskingGraph::recommended`]): rosters are
+/// hash-partitioned slices with no meaningful neighbor structure to
+/// inherit, and pairwise masks only ever cancel within a shard anyway —
+/// small shards keep the complete graph (bit-identical to the old
+/// pinned behaviour), while large shards get the sparse Harary graph,
+/// which with neighborhood-scoped Shamir indexing is what lets a single
+/// shard seat rosters past 255 clients.
 fn shard_params(union: &RoundParams, roster: &[ClientId]) -> RoundParams {
     let threshold = (union.threshold * roster.len())
         .div_ceil(union.clients.len().max(1))
@@ -1279,7 +1283,7 @@ fn shard_params(union: &RoundParams, roster: &[ClientId]) -> RoundParams {
         vector_len: union.vector_len,
         noise_components: union.noise_components,
         threat_model: union.threat_model,
-        graph: MaskingGraph::Complete,
+        graph: MaskingGraph::recommended(roster.len()),
     }
 }
 

@@ -2,8 +2,10 @@
 //! loopback clients, with wake-ups that stay `O(events)` — not the
 //! `O(clients × ticks)` receive attempts of the legacy poll sweep.
 //!
-//! The round runs the protocol's maximum cohort of 255 clients (Shamir
-//! x-coordinates live in GF(256), so 255 is the hard per-round cap) plus
+//! The round runs a 255-client cohort (the old GF(256) cap — still the
+//! ceiling for *complete-graph* rounds, though neighborhood-scoped
+//! Shamir indexing lets sparse graphs seat thousands; see
+//! `bench/cohort_scale`) plus
 //! a 256th connection from an *unsampled* client, which the join loop
 //! must reject mid-accept without disturbing anyone — 256 concurrent
 //! connections into a single thread. The data plane is chunked and
@@ -22,7 +24,7 @@ use dordis_secagg::client::ClientInput;
 use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::{ClientId, RoundParams, ThreatModel};
 
-const N: u32 = 255; // GF(256): the protocol's per-round maximum
+const N: u32 = 255; // The complete-graph (GF(256)) ceiling; sparse rounds go higher.
 const DIM: usize = 64;
 const BITS: u32 = 16;
 const CHUNKS: usize = 4;

@@ -454,3 +454,169 @@ fn shard_discards_stale_frame_and_merged_report_counts_it() {
         assert_eq!(report.outcome.survivors, mem.survivors, "S={shards}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Sparse shard graphs.
+// ---------------------------------------------------------------------
+
+/// A cohort big enough that the splitmix64 split at S = 2 leaves both
+/// shards (40/40) above [`MaskingGraph::RECOMMENDED_COMPLETE_MAX`], so
+/// `shard_params` hands each shard the Harary graph instead of
+/// Complete.
+const BIG_N: u32 = 80;
+/// Mid-stream dropout victim for the big cohort; lands in shard 0.
+const BIG_VICTIM: ClientId = 4;
+
+fn big_params(round: u64) -> RoundParams {
+    RoundParams {
+        round,
+        clients: (0..BIG_N).collect(),
+        threshold: BIG_N as usize / 2 + 1,
+        bit_width: BITS,
+        vector_len: DIM,
+        noise_components: NOISE_T,
+        threat_model: ThreatModel::SemiHonest,
+        graph: MaskingGraph::recommended(BIG_N as usize),
+    }
+}
+
+fn big_driver_round(round: u64, drops: &[ClientId]) -> RoundOutcome {
+    let mut dropout = DropoutSchedule::none();
+    for &id in drops {
+        dropout.drop_at(id, DropStage::BeforeMaskedInput);
+    }
+    let inputs: BTreeMap<ClientId, ClientInput> = (0..BIG_N)
+        .map(|id| (id, input_for(id, round, true)))
+        .collect();
+    let (outcome, _) = run_round(RoundSpec {
+        params: big_params(round),
+        inputs,
+        dropout,
+        rng_seed: round_rng_seed(SEED, round),
+    })
+    .expect("big driver round");
+    outcome
+}
+
+#[test]
+fn sparse_shards_match_unsharded_driver() {
+    // PR 7 pinned shard params to `MaskingGraph::Complete`; now shards
+    // above `RECOMMENDED_COMPLETE_MAX` members get the sparse Harary
+    // graph (which is also what lets a shard roster exceed 255). The
+    // merged outcome must still equal the unsharded driver — with an
+    // XNoise round and a mid-stream dropout to force neighborhood
+    // share reconstruction inside a sparse shard.
+    let cohort: Vec<ClientId> = (0..BIG_N).collect();
+    let rosters = shard_rosters(&cohort, 2);
+    for (s, roster) in rosters.iter().enumerate() {
+        assert!(
+            roster.len() > MaskingGraph::RECOMMENDED_COMPLETE_MAX,
+            "shard {s} has only {} members; bump BIG_N",
+            roster.len()
+        );
+        assert!(
+            matches!(
+                MaskingGraph::recommended(roster.len()),
+                MaskingGraph::Harary { .. }
+            ),
+            "shard {s} would not get a sparse graph"
+        );
+    }
+    assert!(
+        rosters[0].contains(&BIG_VICTIM),
+        "victim moved shards; pick another"
+    );
+
+    let (hub, mut acceptor) = LoopbackHub::new();
+    let mut handles = Vec::new();
+    for id in 0..BIG_N {
+        let hub = hub.clone();
+        handles.push(std::thread::spawn(move || -> Result<(), String> {
+            loop {
+                let mut chan = hub
+                    .connect(&format!("c{id}"))
+                    .map_err(|e| format!("connect: {e}"))?;
+                let opts = SessionClientOptions {
+                    id,
+                    rng_seed: SEED,
+                    recv_timeout: Duration::from_secs(60),
+                    silent_linger: Duration::from_secs(1),
+                };
+                let report = run_session_client(
+                    &mut chan,
+                    &opts,
+                    |_| None,
+                    |r| {
+                        (r == 1 && id == BIG_VICTIM).then_some(FailPoint {
+                            stage: FailStage::MaskedInputAfterChunks(1),
+                            action: FailAction::Disconnect,
+                        })
+                    },
+                    |r, _params, _cohort, _payload| Ok(input_for(id, r, true)),
+                    |_| None,
+                )
+                .map_err(|e| format!("client {id}: {e}"))?;
+                match report.end {
+                    SessionEndKind::Ended => return Ok(()),
+                    SessionEndKind::Failed { .. } => continue, // rejoin
+                    other => return Err(format!("client {id}: unexpected end {other:?}")),
+                }
+            }
+        }));
+    }
+
+    let cfg = SessionConfig {
+        first_round: 1,
+        rounds: 2,
+        join_timeout: Duration::from_secs(30),
+        stage_timeout: Duration::from_secs(60),
+        chunks: CHUNKS,
+        chunk_compute: None,
+        tick: CoordinatorConfig::DEFAULT_TICK,
+        mode: CollectMode::Reactor,
+        workers: 0,
+        shards: 2,
+        announce: true,
+        population: (0..BIG_N).collect(),
+        seating: Seating::Roster,
+        params_for: Box::new(|round, _| big_params(round)),
+        telemetry: Telemetry::enabled(),
+        metrics_addr: None,
+    };
+    let mut session = Session::new(&mut acceptor, cfg).expect("session");
+    let mut reports = Vec::new();
+    for _ in 0..2 {
+        reports.push(session.run_round(&[]).expect("round"));
+    }
+    session.finish();
+    for h in handles {
+        h.join().expect("client thread").expect("client result");
+    }
+
+    // Round 1: victim dropped mid-stream inside its sparse shard, so
+    // its neighbors' shares reconstruct its pairwise masks — the merge
+    // must equal the unsharded driver with the same drop.
+    let r1 = &reports[0];
+    assert!(!r1.outcome.survivors.contains(&BIG_VICTIM));
+    assert_eq!(r1.outcome.dropped, vec![BIG_VICTIM]);
+    let mem1 = big_driver_round(1, &[BIG_VICTIM]);
+    assert_eq!(r1.outcome.sum, mem1.sum, "sparse dropout round");
+    assert_eq!(r1.outcome.survivors, mem1.survivors);
+    let union_dropped = r1.outcome.dropped.len();
+    assert_eq!(
+        seeds_in_union_range(&r1.outcome.removal_seeds, union_dropped),
+        seeds_in_union_range(&mem1.removal_seeds, union_dropped),
+        "sparse shards: union-range removal seeds diverge"
+    );
+
+    // Round 2: victim rejoined; full sparse cohort, no drops.
+    let r2 = &reports[1];
+    assert!(r2.outcome.survivors.contains(&BIG_VICTIM));
+    let mem2 = big_driver_round(2, &[]);
+    assert_eq!(r2.outcome.sum, mem2.sum, "sparse full round");
+    assert_eq!(r2.outcome.survivors, mem2.survivors);
+    assert_eq!(
+        seeds_in_union_range(&r2.outcome.removal_seeds, 0),
+        seeds_in_union_range(&mem2.removal_seeds, 0),
+    );
+}

@@ -161,11 +161,6 @@ impl Client {
         self.params.clients.iter().position(|&c| c == id)
     }
 
-    /// Shamir x-coordinate of a client (index + 1; never 0).
-    fn x_of(&self, id: ClientId) -> Option<u8> {
-        self.index_of(id).map(|i| (i + 1) as u8)
-    }
-
     /// Neighbor ids in the masking graph, restricted to a live set.
     fn neighbors_in(&self, live: &[ClientId]) -> Vec<ClientId> {
         let n = self.params.clients.len();
@@ -262,24 +257,36 @@ impl Client {
             return Err(self.abort("no live masking neighbors"));
         }
 
-        // Shamir-share s_sk, b, and the noise seeds. Shares are generated
-        // for the full sampled set so that share `i` is evaluated at the
-        // global x-coordinate `i + 1`; only the neighbors' slots are sent.
+        // Shamir-share s_sk, b, and the noise seeds — indexed by
+        // **neighborhood position**, not global roster index. Shares of a
+        // client's secrets only ever reach (and return from) its holder
+        // set `{self} ∪ neighbors`, so x-coordinates need only be unique
+        // within that set: shares are evaluated at the local coordinates
+        // `1..=degree+1`, recipient `v` getting the slot at `v`'s position
+        // in the sorted holder list. The server's per-owner share pooling
+        // is oblivious to the mapping (shares carry `x` on the wire), and
+        // under the complete graph the holder list is the full roster so
+        // the local x equals the historical global one bit-for-bit. This
+        // cuts share generation from `O(n)` to `O(degree)` evaluations
+        // per secret and frees the roster size from GF(256): only
+        // `degree + 1 ≤ 255` is required (enforced by `validate`).
         // The client keeps its own b-share (it will return it at
         // Unmasking, per Figure 5's `b_{v,u}` for all `v ∈ U3`). The
-        // effective threshold is capped at the masking-graph degree plus
-        // one (the owner) so sparse-graph (SecAgg+) reconstruction
-        // remains possible.
+        // effective threshold is capped at the masking-graph degree so
+        // sparse-graph (SecAgg+) reconstruction remains possible.
         let n = self.params.clients.len();
+        let my_idx = self.index_of(self.id).expect("own id sampled");
+        let holders = self.params.graph.holders(n, my_idx);
+        let local_slot = |idx: usize| holders.binary_search(&idx).ok();
         let t = crate::share_threshold(&self.params);
-        let sk_shares = shamir::share(&self.s_kp.secret, t, n, rng)?;
-        let b_shares = shamir::share(&self.b_seed, t, n, rng)?;
-        let own_slot = self.index_of(self.id).expect("own id sampled");
+        let sk_shares = shamir::share(&self.s_kp.secret, t, holders.len(), rng)?;
+        let b_shares = shamir::share(&self.b_seed, t, holders.len(), rng)?;
+        let own_slot = local_slot(my_idx).expect("owner in holder set");
         self.own_b_share = Some(b_shares[own_slot].clone());
         let mut seed_share_lists: Vec<Vec<Share>> = Vec::new();
         if !self.input.noise_seeds.is_empty() {
             for seed in &self.input.noise_seeds[1..] {
-                seed_share_lists.push(shamir::share(seed, t, n, rng)?);
+                seed_share_lists.push(shamir::share(seed, t, holders.len(), rng)?);
             }
         }
 
@@ -287,8 +294,9 @@ impl Client {
         for &to in recipients.iter() {
             let slot = self
                 .index_of(to)
+                .and_then(local_slot)
                 .ok_or_else(|| SecAggError::Config(format!("unknown recipient {to}")))?;
-            debug_assert_eq!(sk_shares[slot].x, self.x_of(to).unwrap());
+            debug_assert_eq!(sk_shares[slot].x, (slot + 1) as u8);
             let bundle = ShareBundle {
                 from: self.id,
                 to,

@@ -24,6 +24,13 @@ pub enum MaskingGraph {
 }
 
 impl MaskingGraph {
+    /// Largest roster for which [`MaskingGraph::recommended`] keeps the
+    /// complete graph. Above it the Harary graph's `O(log n)` degree is
+    /// already well below `n - 1`, and — with neighborhood-scoped Shamir
+    /// indexing — a sparse graph is what lifts the per-round client cap
+    /// past 255 (x-coordinates only need to cover `degree + 1` holders).
+    pub const RECOMMENDED_COMPLETE_MAX: usize = 32;
+
     /// Recommended SecAgg+ degree for `n` clients: `k ≈ 2⌈log₂ n⌉ + 2`,
     /// the `O(log n)` regime of Bell et al.
     #[must_use]
@@ -31,6 +38,22 @@ impl MaskingGraph {
         let lg = (usize::BITS - n.max(2).leading_zeros()) as usize; // ceil-ish log2
         MaskingGraph::Harary {
             half_degree: (lg + 1).min(n.saturating_sub(1) / 2).max(1),
+        }
+    }
+
+    /// The graph a round of `n` clients should use when the caller has
+    /// no preference: complete up to
+    /// [`MaskingGraph::RECOMMENDED_COMPLETE_MAX`] clients (maximal mask
+    /// density, and bit-identical to the historical default for small
+    /// rounds), the Harary `O(log n)` graph beyond — which is also what
+    /// keeps `degree + 1 ≤ 255` and therefore makes rosters in the
+    /// thousands pass [`crate::RoundParams::validate`].
+    #[must_use]
+    pub fn recommended(n: usize) -> MaskingGraph {
+        if n <= Self::RECOMMENDED_COMPLETE_MAX {
+            MaskingGraph::Complete
+        } else {
+            Self::harary_for(n)
         }
     }
 
@@ -72,6 +95,28 @@ impl MaskingGraph {
                 out
             }
         }
+    }
+
+    /// The share-holder set of node `idx`: the node itself plus its
+    /// masking neighbors, sorted by global index. This is the owner's
+    /// *reconstruction set* — the only parties that ever hold (and
+    /// return) Shamir shares of `idx`'s secrets — so Shamir
+    /// x-coordinates are indexed by **position in this list** (`x =
+    /// position + 1`), not by global roster index. Uniqueness within
+    /// every owner's holder set is all the server's per-owner share
+    /// pooling needs, which is what lifts the roster cap from 255 to
+    /// whatever the wire's roster width allows: only `degree + 1` must
+    /// fit in GF(256).
+    ///
+    /// For the complete graph the holder list is the whole roster, so
+    /// local and global indexing coincide (and pre-neighborhood rounds
+    /// stay bit-identical).
+    #[must_use]
+    pub fn holders(&self, n: usize, idx: usize) -> Vec<usize> {
+        let mut h = self.neighbors(n, idx);
+        let pos = h.partition_point(|&j| j < idx);
+        h.insert(pos, idx);
+        h
     }
 
     /// True if `a` and `b` exchange masks.
@@ -145,12 +190,7 @@ mod tests {
         }
     }
 
-    #[test]
-    fn harary_is_connected() {
-        // BFS from node 0 must reach everyone (needed so Shamir shares of
-        // any client reach enough peers).
-        let n = 30;
-        let g = MaskingGraph::harary_for(n);
+    fn bfs_reaches_all(g: &MaskingGraph, n: usize) -> bool {
         let mut seen = vec![false; n];
         let mut queue = vec![0usize];
         seen[0] = true;
@@ -162,7 +202,78 @@ mod tests {
                 }
             }
         }
-        assert!(seen.iter().all(|&s| s));
+        seen.iter().all(|&s| s)
+    }
+
+    #[test]
+    fn harary_is_connected() {
+        // BFS from node 0 must reach everyone (needed so Shamir shares of
+        // any client reach enough peers).
+        let n = 30;
+        assert!(bfs_reaches_all(&MaskingGraph::harary_for(n), n));
+    }
+
+    #[test]
+    fn recommended_is_connected_up_to_4096() {
+        // The recommended graph must stay connected at every scale the
+        // neighborhood-indexed rounds now admit — including the awkward
+        // sizes just past each power of two where the Harary degree
+        // steps. Connectivity is what guarantees any client's shares
+        // reach enough live holders.
+        for n in [
+            2usize, 3, 32, 33, 64, 65, 255, 256, 257, 511, 512, 1000, 1024, 2048, 4095, 4096,
+        ] {
+            let g = MaskingGraph::recommended(n);
+            assert!(bfs_reaches_all(&g, n), "n={n} graph {g:?} disconnected");
+            assert!(
+                g.degree(n) < 255, // degree + 1 holders must fit GF(256)
+                "n={n}: recommended degree {} cannot index in GF(256)",
+                g.degree(n)
+            );
+        }
+    }
+
+    #[test]
+    fn recommended_keeps_small_rounds_complete() {
+        for n in 1..=MaskingGraph::RECOMMENDED_COMPLETE_MAX {
+            assert_eq!(MaskingGraph::recommended(n), MaskingGraph::Complete);
+        }
+        assert!(matches!(
+            MaskingGraph::recommended(MaskingGraph::RECOMMENDED_COMPLETE_MAX + 1),
+            MaskingGraph::Harary { .. }
+        ));
+    }
+
+    #[test]
+    fn holders_is_sorted_neighbors_plus_self() {
+        for n in [2usize, 5, 12, 33, 100, 300] {
+            for g in [MaskingGraph::Complete, MaskingGraph::recommended(n)] {
+                for idx in 0..n {
+                    let h = g.holders(n, idx);
+                    assert_eq!(h.len(), g.degree(n) + 1, "n={n} idx={idx}");
+                    assert!(h.windows(2).all(|w| w[0] < w[1]), "unsorted/dup n={n}");
+                    assert!(h.contains(&idx), "owner missing n={n} idx={idx}");
+                    for &j in &h {
+                        assert!(
+                            j == idx || g.are_neighbors(n, idx, j),
+                            "n={n}: {j} in holders({idx}) but not a neighbor"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complete_holders_match_global_indexing() {
+        // The bit-equality keystone: under the complete graph a node's
+        // holder list is the whole roster in index order, so the local
+        // x-coordinate (position + 1) equals the historical global one.
+        let n = 9;
+        let g = MaskingGraph::Complete;
+        for idx in 0..n {
+            assert_eq!(g.holders(n, idx), (0..n).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -144,10 +144,23 @@ impl RoundParams {
         if sorted.len() != n {
             return Err(SecAggError::Config("duplicate client ids".into()));
         }
-        if n > 255 {
+        // Shamir x-coordinates are scoped to each owner's share-holder
+        // neighborhood (`graph::MaskingGraph::holders`), so GF(256) only
+        // has to seat `degree + 1` holders — the roster itself is bounded
+        // by the wire's u16 roster/cohort counts, not by the field.
+        if n > usize::from(u16::MAX) {
             return Err(SecAggError::Config(
-                "at most 255 clients per round (Shamir x-coordinates are bytes)".into(),
+                "at most 65535 clients per round (roster counts are u16 on the wire)".into(),
             ));
+        }
+        if self.graph.degree(n) > 254 {
+            return Err(SecAggError::Config(format!(
+                "masking-graph degree {} needs {} neighborhood Shamir x-coordinates, \
+                 but at most 255 fit in GF(256); use a sparse graph (e.g. \
+                 MaskingGraph::recommended) for rounds this large",
+                self.graph.degree(n),
+                self.graph.degree(n) + 1,
+            )));
         }
         if self.threshold == 0 || self.threshold > n {
             return Err(SecAggError::Config(format!(
@@ -232,6 +245,50 @@ mod tests {
         assert!(p.validate().is_err());
         p.threshold = 5;
         assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn complete_graph_stops_at_255() {
+        // The old wall, now expressed as a degree bound: the complete
+        // graph's neighborhood is the whole roster, so 255 is still its
+        // ceiling — but only *its* ceiling.
+        let mut p = params();
+        p.clients = (0..255).collect();
+        p.threshold = 128;
+        p.noise_components = 0;
+        p.validate().unwrap();
+        p.clients = (0..256).collect();
+        assert!(matches!(p.validate(), Err(SecAggError::Config(_))));
+    }
+
+    #[test]
+    fn sparse_graph_admits_rounds_past_255() {
+        let mut p = params();
+        p.clients = (0..1024).collect();
+        p.threshold = 512;
+        p.noise_components = 0;
+        p.graph = graph::MaskingGraph::recommended(1024);
+        p.validate().unwrap();
+        // The Harary degree at n = 1024 leaves plenty of field headroom.
+        assert!(share_threshold(&p) <= p.graph.degree(1024));
+    }
+
+    #[test]
+    fn roster_wider_than_wire_rejected() {
+        let mut p = params();
+        p.clients = (0..70_000).collect();
+        p.threshold = 2;
+        p.graph = graph::MaskingGraph::Harary { half_degree: 8 };
+        assert!(matches!(p.validate(), Err(SecAggError::Config(_))));
+    }
+
+    #[test]
+    fn oversized_harary_degree_rejected() {
+        let mut p = params();
+        p.clients = (0..1000).collect();
+        p.threshold = 500;
+        p.graph = graph::MaskingGraph::Harary { half_degree: 130 };
+        assert!(matches!(p.validate(), Err(SecAggError::Config(_))));
     }
 
     #[test]

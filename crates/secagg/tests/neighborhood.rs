@@ -1,0 +1,130 @@
+//! Neighborhood-scoped Shamir indexing: x-coordinates are positions in
+//! the owner's share-holder set (`graph::MaskingGraph::holders`), not
+//! global roster indices. Two things must hold for reconstruction to
+//! stay correct: every owner's holder set assigns *unique* x's that fit
+//! GF(256), and a full protocol round past the old 255-client wall
+//! still sums exactly the survivors' inputs.
+
+use std::collections::BTreeMap;
+
+use dordis_secagg::client::ClientInput;
+use dordis_secagg::driver::{run_round, DropStage, DropoutSchedule, RoundSpec};
+use dordis_secagg::graph::MaskingGraph;
+use dordis_secagg::{ClientId, RoundParams, ThreatModel};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any roster size and any graph we'd actually run (the
+    /// recommended one, or an explicit Harary of arbitrary half-degree),
+    /// every owner's holder set yields unique local x-coordinates
+    /// `1..=deg+1` that fit in a `u8`, and every masking neighbor of
+    /// the owner resolves to exactly one slot.
+    #[test]
+    fn holder_x_coordinates_are_unique_per_owner(
+        n in 2usize..420,
+        half in 1usize..12,
+        use_recommended in any::<bool>(),
+    ) {
+        let g = if use_recommended {
+            MaskingGraph::recommended(n)
+        } else {
+            MaskingGraph::Harary { half_degree: half }
+        };
+        for owner in 0..n {
+            let holders = g.holders(n, owner);
+            // Unique and sorted: positions (and thus x = pos + 1) are
+            // distinct within this owner's reconstruction set.
+            prop_assert!(holders.windows(2).all(|w| w[0] < w[1]), "n={n} owner={owner}");
+            prop_assert_eq!(holders.len(), g.degree(n) + 1);
+            // x must fit the wire's u8 share coordinate.
+            prop_assert!(holders.len() <= 255, "n={n}: neighborhood overflows GF(256)");
+            // The owner and each of its neighbors occupy exactly one slot.
+            prop_assert!(holders.binary_search(&owner).is_ok());
+            for &j in &g.neighbors(n, owner) {
+                prop_assert!(holders.binary_search(&j).is_ok(), "n={n} owner={owner} j={j}");
+            }
+        }
+    }
+}
+
+#[test]
+fn round_past_255_sums_exactly_the_survivors() {
+    // The old `validate` wall rejected this roster outright. With
+    // neighborhood indexing a 300-client round on the recommended
+    // sparse graph must run end to end — through dropouts at both
+    // reconstruction-sensitive stages and XNoise bookkeeping — and
+    // produce exactly the survivors' modular sum.
+    const N: u32 = 300;
+    const BITS: u32 = 12;
+    const DIM: usize = 4;
+    const NOISE_T: usize = 2;
+
+    let graph = MaskingGraph::recommended(N as usize);
+    assert!(
+        matches!(graph, MaskingGraph::Harary { .. }),
+        "a 300-client round must get the sparse graph"
+    );
+
+    let mut dropout = DropoutSchedule::none();
+    // Mid-round drops force pairwise-mask reconstruction from
+    // neighborhood shares; late drops force the b-share path.
+    for id in [7, 70, 170, 270] {
+        dropout.drop_at(id, DropStage::BeforeMaskedInput);
+    }
+    for id in [30, 230] {
+        dropout.drop_at(id, DropStage::BeforeUnmasking);
+    }
+
+    let mask = (1u64 << BITS) - 1;
+    let inputs: BTreeMap<ClientId, ClientInput> = (0..N)
+        .map(|id| {
+            (
+                id,
+                ClientInput {
+                    vector: (0..DIM)
+                        .map(|i| (u64::from(id) * 37 + i as u64 * 5) & mask)
+                        .collect(),
+                    noise_seeds: vec![[(id % 251) as u8 + 1; 32]; NOISE_T + 1],
+                },
+            )
+        })
+        .collect();
+
+    let (outcome, _) = run_round(RoundSpec {
+        params: RoundParams {
+            round: 3,
+            clients: (0..N).collect(),
+            threshold: N as usize / 2 + 1,
+            bit_width: BITS,
+            vector_len: DIM,
+            noise_components: NOISE_T,
+            threat_model: ThreatModel::SemiHonest,
+            graph,
+        },
+        inputs: inputs.clone(),
+        dropout,
+        rng_seed: 424_242,
+    })
+    .expect("300-client sparse round");
+
+    // Clients dropping BeforeUnmasking still contributed masked input,
+    // so they count as survivors of the sum; only the four
+    // BeforeMaskedInput drops are excluded.
+    assert_eq!(outcome.survivors.len(), N as usize - 4);
+    assert_eq!(outcome.dropped, vec![7, 70, 170, 270]);
+    let mut expect = vec![0u64; DIM];
+    for id in &outcome.survivors {
+        for (e, v) in expect.iter_mut().zip(inputs[id].vector.iter()) {
+            *e = (*e + *v) & mask;
+        }
+    }
+    assert_eq!(outcome.sum, expect, "sum diverges past the GF(256) wall");
+    // XNoise removal seeds: recovered for survivors over components
+    // `dropped + 1 ..= T`.
+    for (c, k, _) in &outcome.removal_seeds {
+        assert!(outcome.survivors.contains(c));
+        assert!(*k >= 1 && *k <= NOISE_T);
+    }
+}

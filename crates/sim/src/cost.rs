@@ -205,7 +205,6 @@ impl CostModel {
     pub fn stage_costs(&self, inp: &RoundCostInput) -> Vec<StageCost> {
         let u = &self.units;
         let d = inp.vector_len as f64;
-        let n = inp.clients as f64;
         let deg = inp.protocol.degree(inp.clients) as f64;
         let t_noise = inp.xnoise_components as f64;
         let cf = inp.straggler.compute_factor;
@@ -228,8 +227,10 @@ impl CostModel {
             s1 += deg * u.ka_agree_us * us; // Shared secrets.
                                             // Pairwise masks with each neighbor plus the self mask.
             s1 += (deg + 1.0) * d * 8.0 * u.prg_byte_ns * ns;
-            // Shamir shares: s_sk, b, and T seeds, for every roster member.
-            s1 += (2.0 + t_noise) * n * u.shamir_share_us * us;
+            // Shamir shares: s_sk, b, and T seeds — evaluated only at
+            // the `deg + 1` neighborhood x-coordinates (the owner's
+            // share-holder set), not the whole roster.
+            s1 += (2.0 + t_noise) * (deg + 1.0) * u.shamir_share_us * us;
             // AEAD over the share bundles.
             let bundle_bytes = 8.0 + 34.0 * (2.0 + t_noise) + 44.0;
             s1 += deg * bundle_bytes * u.aead_byte_ns * ns;
