@@ -105,6 +105,7 @@ fn persistent(rounds: u64, dim: usize, telemetry: Telemetry) -> Duration {
         mode: CollectMode::Reactor,
         workers: 0,
         shards: 1,
+        ingress_budget: 0,
         announce: true,
         population: (0..N).collect(),
         seating: Seating::Roster,

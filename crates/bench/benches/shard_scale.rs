@@ -128,6 +128,7 @@ fn run_at(shards: usize, n: u32, rounds: u64, dim: usize) -> (Duration, f64) {
         mode: CollectMode::Reactor,
         workers: 0,
         shards,
+        ingress_budget: 0,
         announce: true,
         population: (0..n).collect(),
         seating: Seating::Roster,

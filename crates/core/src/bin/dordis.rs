@@ -47,7 +47,7 @@ fn main() -> ExitCode {
                  dordis serve --listen <addr> --clients <n> --threshold <t> [--rounds R] \
                  [--dim D] [--bits B] [--graph auto|complete|harary] [--round R0] \
                  [--noise-components T] [--chunks M] [--workers N] [--shards S] \
-                 [--stage-timeout-ms MS] \
+                 [--ingress-budget BYTES] [--stage-timeout-ms MS] \
                  [--join-timeout-ms MS] [--collect reactor|sweep] [--verify-demo] \
                  [--trace FILE] [--metrics-addr ADDR]\n  \
                  dordis join --connect <addr> --id <k> [--seed S] [--fail-round R] \
@@ -104,6 +104,11 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     // round's cohort across S parallel aggregation shards (bit-equal
     // results; near-linear round throughput in S on multi-core hosts).
     let shards: usize = flag_parse(args, "--shards", 1)?;
+    // 0 = unlimited (the bit-equal reference); a byte count caps how
+    // much decoded-but-unprocessed ingress the reactor's shared frame
+    // pool holds before over-budget connections are paused (TCP flow
+    // control pushes back until the backlog drains).
+    let ingress_budget: u64 = flag_parse(args, "--ingress-budget", 0)?;
     let stage_timeout: u64 = flag_parse(args, "--stage-timeout-ms", 5000)?;
     let join_timeout: u64 = flag_parse(args, "--join-timeout-ms", 15000)?;
     let verify_demo = args.iter().any(|a| a == "--verify-demo");
@@ -164,6 +169,9 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
             String::new()
         }
     );
+    if ingress_budget > 0 {
+        println!("ingress:   {ingress_budget} byte budget (over-budget connections pause)");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
@@ -178,6 +186,7 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
         mode,
         workers,
         shards,
+        ingress_budget,
         announce: true,
         population: (0..clients).collect(),
         seating: Seating::Roster,

@@ -103,6 +103,9 @@ pub struct FlSessionOptions {
     /// Telemetry handle threaded through the networked session (spans
     /// and metrics); the default disabled handle costs nothing.
     pub telemetry: Telemetry,
+    /// Ingress byte budget for the coordinator reactor's shared frame
+    /// pool (`0` = unlimited, the bit-equal reference path).
+    pub ingress_budget: u64,
 }
 
 impl FlSessionOptions {
@@ -120,6 +123,7 @@ impl FlSessionOptions {
             join_timeout: Duration::from_secs(20),
             stage_timeout: Duration::from_secs(20),
             telemetry: Telemetry::disabled(),
+            ingress_budget: 0,
         }
     }
 }
@@ -708,6 +712,7 @@ pub fn train_session_networked(
         mode: opts.mode,
         workers: opts.workers,
         shards: opts.shards,
+        ingress_budget: opts.ingress_budget,
         announce: true,
         population: (0..population).collect(),
         seating: Seating::Claims(Box::new(move |r, raw_claims| {

@@ -52,7 +52,7 @@
 //!
 //! [`DropoutSchedule`]: dordis_secagg::driver::DropoutSchedule
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -72,7 +72,7 @@ use crate::codec::{
 };
 use crate::reactor::{Event, EventedChannel, Reactor, ReactorStats, Token};
 use crate::session::{Seating, Session, SessionConfig};
-use crate::transport::{send_env, Acceptor};
+use crate::transport::{send_env, wire_message, Acceptor};
 use crate::NetError;
 
 /// How the coordinator discovers frames and deadlines.
@@ -138,6 +138,14 @@ pub struct CoordinatorConfig {
     /// XNoise planning and update encoding from the cohort the privacy
     /// ledger sees, not from their shard's roster.
     pub cohort: u16,
+    /// Global ingress budget in bytes for the reactor's shared frame
+    /// pool ([`crate::pool::BytePool`]). `0` (the default) disables
+    /// backpressure — unlimited buffering, the bit-equal reference.
+    /// With a budget, a connection whose buffered bytes cross its fair
+    /// share has its read interest dropped until the coordinator's
+    /// recycles drain it below the low-water mark, so a frame burst
+    /// degrades to pacing instead of unbounded memory.
+    pub ingress_budget: u64,
 }
 
 impl CoordinatorConfig {
@@ -165,6 +173,7 @@ impl CoordinatorConfig {
             workers: 0,
             telemetry: Telemetry::disabled(),
             cohort,
+            ingress_budget: 0,
         }
     }
 
@@ -202,6 +211,14 @@ impl CoordinatorConfig {
     #[must_use]
     pub fn with_cohort(mut self, cohort: u16) -> Self {
         self.cohort = cohort;
+        self
+    }
+
+    /// Sets the reactor's global ingress budget in bytes
+    /// (builder-style); `0` disables backpressure.
+    #[must_use]
+    pub fn with_ingress_budget(mut self, bytes: u64) -> Self {
+        self.ingress_budget = bytes;
         self
     }
 }
@@ -343,6 +360,7 @@ pub fn run_coordinator(
         mode: cfg.mode,
         workers: cfg.workers,
         shards: 1,
+        ingress_budget: cfg.ingress_budget,
         telemetry: cfg.telemetry.clone(),
         metrics_addr: None,
         announce: false,
@@ -459,7 +477,7 @@ impl RoundMachine {
             round,
             codec::encode_setup(&cfg.params, self.requested_chunks, cfg.cohort, payload),
         );
-        broadcast(peers, &setup, &mut self.dropouts, "Setup");
+        broadcast(peers, &setup, &mut self.dropouts, "Setup", &cfg.telemetry);
         flush_sends(
             engine.as_deref_mut(),
             peers,
@@ -505,7 +523,13 @@ impl RoundMachine {
             NetError::SecAgg(e)
         })?;
         let roster_env = Envelope::new(StageTag::Roster, round, encode_list(&roster));
-        let down = broadcast(peers, &roster_env, &mut self.dropouts, "AdvertiseKeys");
+        let down = broadcast(
+            peers,
+            &roster_env,
+            &mut self.dropouts,
+            "AdvertiseKeys",
+            &cfg.telemetry,
+        );
         flush_sends(
             engine.as_deref_mut(),
             peers,
@@ -592,7 +616,13 @@ impl RoundMachine {
             round,
             dordis_secagg::messages::IdList(u3.clone()).encoded(),
         );
-        let down = broadcast(peers, &u3_env, &mut self.dropouts, "MaskedInputCollection");
+        let down = broadcast(
+            peers,
+            &u3_env,
+            &mut self.dropouts,
+            "MaskedInputCollection",
+            &cfg.telemetry,
+        );
         flush_sends(
             engine.as_deref_mut(),
             peers,
@@ -653,7 +683,13 @@ impl RoundMachine {
                 round,
                 codec::encode_signature_list(&list),
             );
-            let down = broadcast(peers, &env, &mut self.dropouts, "ConsistencyCheck");
+            let down = broadcast(
+                peers,
+                &env,
+                &mut self.dropouts,
+                "ConsistencyCheck",
+                &cfg.telemetry,
+            );
             flush_sends(
                 engine.as_deref_mut(),
                 peers,
@@ -807,7 +843,13 @@ impl RoundMachine {
                 round,
                 dordis_secagg::messages::IdList(u5.clone()).encoded(),
             );
-            let down = broadcast(peers, &u5_env, &mut self.dropouts, "Unmasking");
+            let down = broadcast(
+                peers,
+                &u5_env,
+                &mut self.dropouts,
+                "Unmasking",
+                &cfg.telemetry,
+            );
             flush_sends(
                 engine.as_deref_mut(),
                 peers,
@@ -903,7 +945,7 @@ impl RoundMachine {
             round,
             dordis_secagg::messages::IdList(u3.clone()).encoded(),
         );
-        broadcast(peers, &fin, &mut self.dropouts, "Finished");
+        broadcast(peers, &fin, &mut self.dropouts, "Finished", &cfg.telemetry);
         flush_sends(
             engine.as_deref_mut(),
             peers,
@@ -960,33 +1002,36 @@ impl RoundMachine {
     // Masked-input collection (per stage, chunk).
     // -----------------------------------------------------------------
 
-    /// Files one already-received chunk frame, *stealing* the buffer
-    /// when it is a current-round masked-input frame: the whole frame
-    /// (header included) is parked until aggregation, where the
-    /// bit-packed payload is decoded straight out of it — the per-chunk
-    /// body copy the old `Envelope::decode` path paid never happens.
-    /// Returns whether the client's stream is still alive, plus the
-    /// frame back whenever it was *not* stolen (stale, control, or
-    /// garbage) so the caller can recycle the allocation.
+    /// Files one already-received chunk frame: the bit-packed payload
+    /// is decoded in place past the envelope header and fed straight
+    /// into the server's per-chunk state, where a completed stream
+    /// folds into the running chunk sums — the frame allocation goes
+    /// back to the pool immediately instead of parking until a chunk
+    /// barrier. Returns whether the client's stream is still alive,
+    /// plus the frame for the caller to recycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server-side collection failures (protocol aborts).
     fn file_chunk_frame(
         &mut self,
         st: &mut ChunkCollect,
         peers: &mut Peers,
         id: ClientId,
         frame: Vec<u8>,
-    ) -> (bool, Option<Vec<u8>>) {
+    ) -> Result<(bool, Vec<u8>), NetError> {
         let m = self.plan.chunks();
         *st.per_client.entry(id).or_default() += frame.len() as u64;
         let (stage, frame_round, chunk) = match EnvelopeView::decode(&frame) {
             Ok(env) => (env.stage, env.round, env.chunk),
             Err(_) => {
                 let alive = self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
-                return (alive, Some(frame));
+                return Ok((alive, frame));
             }
         };
         if stage == StageTag::Abort {
             let alive = self.drop_from_chunks(st, peers, id, DropKind::Aborted);
-            return (alive, Some(frame));
+            return Ok((alive, frame));
         }
         // Same round gate as `Envelope::check_round` (aborts already
         // handled above, so a round mismatch here is never abort-exempt).
@@ -996,19 +1041,43 @@ impl RoundMachine {
                 // rather than misparse it into this round's state. The
                 // client's current-round stream continues.
                 self.stale_frames += 1;
-                return (true, Some(frame));
+                return Ok((true, frame));
             }
             let alive = self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
-            return (alive, Some(frame));
+            return Ok((alive, frame));
         }
         if stage == StageTag::MaskedInput && usize::from(chunk) < m {
             let c = usize::from(chunk);
-            st.pendings[c].remove(&id);
-            st.bodies[c].insert(id, frame);
-            (true, None)
+            let ctx = FrameContext {
+                stage: StageTag::MaskedInput,
+                round: self.round,
+                chunk,
+            };
+            match decode_masked_input(
+                &frame[HEADER_BYTES..],
+                self.plan.bit_width(),
+                self.plan.chunk_len(c),
+                ctx,
+            ) {
+                Ok(mi) if mi.client == id => {
+                    self.server
+                        .collect_masked_chunk(c, vec![mi])
+                        .map_err(NetError::SecAgg)?;
+                    if st.pendings[c].remove(&id) {
+                        if let Some(left) = st.remaining.get_mut(&id) {
+                            *left = left.saturating_sub(1);
+                        }
+                    }
+                    Ok((true, frame))
+                }
+                _ => {
+                    let alive = self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
+                    Ok((alive, frame))
+                }
+            }
         } else {
             let alive = self.drop_from_chunks(st, peers, id, DropKind::ProtocolViolation);
-            (alive, Some(frame))
+            Ok((alive, frame))
         }
     }
 
@@ -1034,62 +1103,16 @@ impl RoundMachine {
         false
     }
 
-    /// Aggregates the active chunk into the server (its pending set must
-    /// be empty) and advances to the next one.
-    fn aggregate_active(
-        &mut self,
-        st: &mut ChunkCollect,
-        peers: &mut Peers,
-        cfg: &CoordinatorConfig,
-    ) -> Result<(), NetError> {
+    /// Closes the active chunk (its pending set must be empty) and
+    /// advances to the next one. The chunk's frames were decoded and
+    /// fed to the server at arrival, so only the pipeline bookkeeping
+    /// remains: the chunk span and the injected per-chunk compute cost.
+    fn aggregate_active(&mut self, st: &mut ChunkCollect, cfg: &CoordinatorConfig) {
         let _span = cfg
             .telemetry
             .span("chunk", "chunk", self.round, Some(st.active as u16));
-        let chunk_frames = std::mem::take(&mut st.bodies[st.active]);
-        let ctx = FrameContext {
-            stage: StageTag::MaskedInput,
-            round: self.round,
-            chunk: st.active as u16,
-        };
-        let mut inputs = Vec::with_capacity(chunk_frames.len());
-        for (id, frame) in chunk_frames {
-            if !peers.contains_key(&id) {
-                continue;
-            }
-            // Stolen whole frames: the bit-packed payload decodes in
-            // place past the envelope header — no body copy was made.
-            match decode_masked_input(
-                &frame[HEADER_BYTES..],
-                self.plan.bit_width(),
-                self.plan.chunk_len(st.active),
-                ctx,
-            ) {
-                Ok(mi) if mi.client == id => {
-                    inputs.push(mi);
-                    if let Some(chan) = peers.get_mut(&id) {
-                        chan.recycle_frame(frame);
-                    }
-                }
-                _ => {
-                    let chunk = st.active as u16;
-                    st.remove_everywhere(id);
-                    drop_peer(
-                        peers,
-                        id,
-                        "MaskedInputCollection",
-                        Some(chunk),
-                        DropKind::ProtocolViolation,
-                        &mut self.dropouts,
-                    );
-                }
-            }
-        }
-        self.server
-            .collect_masked_chunk(st.active, inputs)
-            .map_err(NetError::SecAgg)?;
         chunk_sleep(cfg.chunk_compute, &self.plan, st.active);
         st.active += 1;
-        Ok(())
     }
 
     /// The per-(stage, chunk) masked-input collector — blocking-sweep
@@ -1116,7 +1139,7 @@ impl RoundMachine {
             if st.pendings[st.active].is_empty() {
                 // Chunk complete: aggregate it while later chunks keep
                 // arriving into the transport buffers.
-                self.aggregate_active(&mut st, peers, cfg)?;
+                self.aggregate_active(&mut st, cfg);
                 deadline = Instant::now() + cfg.stage_timeout;
                 continue;
             }
@@ -1145,11 +1168,11 @@ impl RoundMachine {
                 let slice = (Instant::now() + cfg.tick).min(deadline);
                 match chan.recv_deadline(slice) {
                     Ok(frame) => {
-                        let (_, leftover) = self.file_chunk_frame(&mut st, peers, id, frame);
-                        if let Some(frame) = leftover {
-                            if let Some(chan) = peers.get_mut(&id) {
-                                chan.recycle_frame(frame);
-                            }
+                        let (_, frame) = self.file_chunk_frame(&mut st, peers, id, frame)?;
+                        // Decoded (or rejected) at arrival either way:
+                        // the allocation goes straight back to the pool.
+                        if let Some(chan) = peers.get_mut(&id) {
+                            chan.recycle_frame(frame);
                         }
                     }
                     Err(NetError::Timeout) => {}
@@ -1193,8 +1216,17 @@ impl RoundMachine {
         // been consumed by an earlier poll.
         let ids: Vec<ClientId> = st.pendings[0].iter().copied().collect();
         for id in ids {
-            self.drain_chunk_frames(&mut st, peers, id);
+            self.drain_chunk_frames(&mut st, peers, id)?;
         }
+
+        // Budget-driven admission: with an ingress budget set, only a
+        // window of clients streams its masked input at a time — a
+        // stream's decoded chunks are retained until it completes and
+        // folds into the running sums, so concurrent streams (not wire
+        // buffering, which the byte accounts already bound) are what
+        // set the coordinator's peak memory during the burst.
+        let mut admission =
+            Admission::start(cfg.ingress_budget, self.plan.vector_len(), &st, peers);
 
         let (mut events, mut expired) = (Vec::new(), Vec::new());
         loop {
@@ -1206,7 +1238,7 @@ impl RoundMachine {
                 if !st.pendings[st.active].is_empty() {
                     break;
                 }
-                self.aggregate_active(&mut st, peers, cfg)?;
+                self.aggregate_active(&mut st, cfg);
                 aggregated = true;
             }
             if st.active == m {
@@ -1216,18 +1248,36 @@ impl RoundMachine {
                 reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
             }
             reactor.poll(&mut events, &mut expired, cfg.stage_timeout)?;
+            let mut admitted_more = false;
             for ev in &events {
                 handle_write_event(peers, ev, stage_name, &mut self.dropouts);
                 let Some(id) = client_of(ev.token) else {
                     continue;
                 };
-                if !(ev.readable || ev.closed) || !peers.contains_key(&id) {
-                    continue;
+                if (ev.readable || ev.closed) && peers.contains_key(&id) {
+                    self.drain_chunk_frames(&mut st, peers, id)?;
                 }
-                self.drain_chunk_frames(&mut st, peers, id);
+                if let Some(adm) = &mut admission {
+                    if st.completed(id) || !peers.contains_key(&id) {
+                        admitted_more |= adm.settle(id, &st, peers);
+                    }
+                }
+            }
+            if admitted_more {
+                // The admission window advanced: the stage is making
+                // progress, so the deadline restarts like a completed
+                // chunk would restart it.
+                reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
             }
             if expired.contains(&STAGE_TOKEN) {
-                let late: Vec<ClientId> = st.pendings[st.active].iter().copied().collect();
+                // Under admission only the *admitted* laggards are at
+                // fault — clients still held by the window were never
+                // allowed to stream.
+                let late: Vec<ClientId> = st.pendings[st.active]
+                    .iter()
+                    .copied()
+                    .filter(|&id| admission.as_ref().is_none_or(|a| a.is_admitted(id)))
+                    .collect();
                 for id in late {
                     let chunk = st.active as u16;
                     st.remove_everywhere(id);
@@ -1239,9 +1289,15 @@ impl RoundMachine {
                         DropKind::DeadlineMissed,
                         &mut self.dropouts,
                     );
+                    if let Some(adm) = &mut admission {
+                        adm.settle(id, &st, peers);
+                    }
                 }
                 reactor.arm_deadline(STAGE_TOKEN, Instant::now() + cfg.stage_timeout);
             }
+        }
+        if let Some(adm) = admission {
+            adm.finish(peers);
         }
         reactor.cancel_deadline(STAGE_TOKEN);
         Ok(st.uplink())
@@ -1250,27 +1306,34 @@ impl RoundMachine {
     /// Drains every currently available frame from `id`'s channel into
     /// the chunk state, detecting stream death (disconnect / abort /
     /// garbage).
-    fn drain_chunk_frames(&mut self, st: &mut ChunkCollect, peers: &mut Peers, id: ClientId) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates server-side collection failures (protocol aborts).
+    fn drain_chunk_frames(
+        &mut self,
+        st: &mut ChunkCollect,
+        peers: &mut Peers,
+        id: ClientId,
+    ) -> Result<(), NetError> {
         loop {
             let Some(chan) = peers.get_mut(&id) else {
-                return;
+                return Ok(());
             };
             match chan.try_recv() {
                 Ok(Some(frame)) => {
-                    let (alive, leftover) = self.file_chunk_frame(st, peers, id, frame);
-                    // Only frames that were NOT stolen come back for
-                    // immediate recycling; stolen masked-input frames
-                    // return to their channel after aggregation.
-                    if let Some(frame) = leftover {
-                        if let Some(chan) = peers.get_mut(&id) {
-                            chan.recycle_frame(frame);
-                        }
+                    let (alive, frame) = self.file_chunk_frame(st, peers, id, frame)?;
+                    // The decode copied the payload into the server's
+                    // chunk state (or the frame was rejected); the
+                    // allocation goes straight back to the pool.
+                    if let Some(chan) = peers.get_mut(&id) {
+                        chan.recycle_frame(frame);
                     }
                     if !alive {
-                        return;
+                        return Ok(());
                     }
                 }
-                Ok(None) => return,
+                Ok(None) => return Ok(()),
                 Err(_) => {
                     let chunk = st.died_at(id);
                     st.remove_everywhere(id);
@@ -1282,7 +1345,7 @@ impl RoundMachine {
                         DropKind::Disconnected,
                         &mut self.dropouts,
                     );
-                    return;
+                    return Ok(());
                 }
             }
         }
@@ -1445,6 +1508,11 @@ impl RoundMachine {
                             stage_name,
                             up,
                         );
+                        // The body was copied out during decode; the
+                        // frame allocation goes back to the pool.
+                        if let Some(chan) = peers.get_mut(&id) {
+                            chan.recycle_frame(frame);
+                        }
                     }
                     Err(NetError::Timeout) => {}
                     Err(_) => {
@@ -1655,9 +1723,9 @@ fn chunk_sleep(chunk_compute: Option<Duration>, plan: &ChunkPlan, chunk: usize) 
 struct ChunkCollect {
     /// Clients still owing each chunk.
     pendings: Vec<BTreeSet<ClientId>>,
-    /// Stolen whole frames (envelope header + bit-packed payload)
-    /// awaiting aggregation; the payload decodes in place, zero-copy.
-    bodies: Vec<BTreeMap<ClientId, Vec<u8>>>,
+    /// Distinct chunks each live client still owes; `0` means the whole
+    /// stream landed (feeds the budget admission window).
+    remaining: BTreeMap<ClientId, usize>,
     /// Uplink bytes per client (the per-stage max is over whole chunk
     /// streams, not individual frames).
     per_client: BTreeMap<ClientId, u64>,
@@ -1673,11 +1741,16 @@ impl ChunkCollect {
             .filter(|id| peers.contains_key(id))
             .collect();
         ChunkCollect {
+            remaining: base.iter().map(|&id| (id, m)).collect(),
             pendings: vec![base; m],
-            bodies: vec![BTreeMap::new(); m],
             per_client: BTreeMap::new(),
             active: 0,
         }
+    }
+
+    /// Whether `id`'s whole chunk stream has been filed.
+    fn completed(&self, id: ClientId) -> bool {
+        self.remaining.get(&id) == Some(&0)
     }
 
     /// First chunk `id` still owes (where its stream died), for dropout
@@ -1701,6 +1774,98 @@ impl ChunkCollect {
             up.add(bytes);
         }
         up
+    }
+}
+
+/// Budget-driven admission window over the masked-input burst.
+///
+/// Wire buffering is already bounded by the byte accounts, but a
+/// client's *decoded* chunks are retained (8 B/element) until its whole
+/// stream lands and folds into the running sums. With every client
+/// streaming at once that retention peaks at `cohort x vector x 8`
+/// bytes regardless of budget. The window caps how many streams are in
+/// flight: held clients keep their ingress paused
+/// ([`EventedChannel::set_ingress_hold`]) — their uploads sit in kernel
+/// socket buffers, pushed back by TCP flow control — and each is
+/// released as an admitted stream completes (or its client drops).
+struct Admission {
+    /// Clients not yet admitted; their ingress is held.
+    queue: VecDeque<ClientId>,
+    /// Admitted clients whose streams are still incomplete.
+    admitted: BTreeSet<ClientId>,
+}
+
+impl Admission {
+    /// Builds the window and holds everyone outside it. `None` (no
+    /// admission) when there is no budget or the whole cohort fits.
+    fn start(
+        budget: u64,
+        vector_len: usize,
+        st: &ChunkCollect,
+        peers: &mut Peers,
+    ) -> Option<Admission> {
+        if budget == 0 {
+            return None;
+        }
+        // Decoded retention cost of one in-flight stream.
+        let per_client = (vector_len as u64).saturating_mul(8).max(1);
+        let window = usize::try_from((budget / per_client).max(1)).unwrap_or(usize::MAX);
+        let roster: Vec<ClientId> = st.remaining.keys().copied().collect();
+        if window >= roster.len() {
+            return None;
+        }
+        let mut adm = Admission {
+            queue: roster.into_iter().collect(),
+            admitted: BTreeSet::new(),
+        };
+        for _ in 0..window {
+            adm.admit_next(st, peers);
+        }
+        for &id in &adm.queue {
+            if let Some(chan) = peers.get_mut(&id) {
+                let _ = chan.set_ingress_hold(true);
+            }
+        }
+        Some(adm)
+    }
+
+    fn is_admitted(&self, id: ClientId) -> bool {
+        self.admitted.contains(&id)
+    }
+
+    /// Retires `id` from the window (stream complete or client gone)
+    /// and backfills its slot. Returns whether the window advanced.
+    fn settle(&mut self, id: ClientId, st: &ChunkCollect, peers: &mut Peers) -> bool {
+        if !self.admitted.remove(&id) {
+            return false;
+        }
+        self.admit_next(st, peers)
+    }
+
+    fn admit_next(&mut self, st: &ChunkCollect, peers: &mut Peers) -> bool {
+        while let Some(id) = self.queue.pop_front() {
+            if st.completed(id) {
+                // Streamed through despite the hold (a transport that
+                // doesn't implement holds, or frames already buffered).
+                continue;
+            }
+            let Some(chan) = peers.get_mut(&id) else {
+                continue; // dropped while held
+            };
+            let _ = chan.set_ingress_hold(false);
+            self.admitted.insert(id);
+            return true;
+        }
+        false
+    }
+
+    /// Releases every hold still outstanding (stage end).
+    fn finish(self, peers: &mut Peers) {
+        for id in self.queue {
+            if let Some(chan) = peers.get_mut(&id) {
+                let _ = chan.set_ingress_hold(false);
+            }
+        }
     }
 }
 
@@ -1751,21 +1916,32 @@ pub(crate) fn drop_peer(
 
 /// Broadcasts an envelope to every live peer; send failures become
 /// detected dropouts (a write timeout is a deadline miss, anything else
-/// a disconnect). On the reactor engine `send` only queues — callers
+/// a disconnect). On the reactor engine the sends only queue — callers
 /// follow up with [`flush_sends`]. Returns downlink traffic.
+///
+/// The frame is encoded exactly **once** per broadcast (counted in
+/// `dordis_broadcast_encodes_total`) into a refcounted wire message;
+/// reactor-registered TCP channels queue the shared allocation instead
+/// of copying it per peer, so a Setup carrying the model payload costs
+/// one encoding for the whole cohort.
 pub(crate) fn broadcast(
     peers: &mut Peers,
     env: &Envelope,
     dropouts: &mut Vec<DetectedDropout>,
     stage: &'static str,
+    telemetry: &Telemetry,
 ) -> Traffic {
-    let frame = env.encode();
+    let wire = wire_message(&env.encode());
+    telemetry
+        .counter("dordis_broadcast_encodes_total", &[])
+        .inc();
+    let frame_len = (wire.len() - 4) as u64;
     let mut down = Traffic::default();
     let ids: Vec<ClientId> = peers.keys().copied().collect();
     for id in ids {
         if let Some(chan) = peers.get_mut(&id) {
-            match chan.send(&frame) {
-                Ok(()) => down.add(frame.len() as u64),
+            match chan.send_wire_shared(&wire) {
+                Ok(()) => down.add(frame_len),
                 Err(e) => drop_peer(peers, id, stage, None, send_failure_kind(&e), dropouts),
             }
         }
@@ -1853,9 +2029,9 @@ fn abort_all(peers: &mut Peers, round: u64, err: &SecAggError) {
         round,
         codec::encode_abort(&err.to_string()),
     );
-    let frame = env.encode();
+    let wire = wire_message(&env.encode());
     for chan in peers.values_mut() {
-        let _ = chan.send(&frame);
+        let _ = chan.send_wire_shared(&wire);
         let _ = chan.try_flush();
     }
 }

@@ -19,6 +19,12 @@
 //!   blocking I/O with deadlines until registered with the reactor,
 //!   non-blocking with partial-read frame reassembly and partial-write
 //!   backpressure buffers after).
+//! - [`pool`]: the reactor's memory plane — one shared, size-classed,
+//!   byte-accounted frame pool per reactor, with per-connection
+//!   accounting handles. With a non-zero ingress budget, a connection
+//!   that crosses its fair share is read-paused (its `Interest` drops
+//!   `readable`) until the coordinator drains below the low-water mark,
+//!   so bursts degrade to pacing instead of unbounded buffering.
 //! - [`reactor`]: a readiness-driven event loop (direct-syscall epoll
 //!   poller, deadline timer wheel, loopback waker) so one coordinator
 //!   thread serves hundreds of chunk-streaming clients with `O(events)`
@@ -57,6 +63,7 @@ pub mod codec;
 pub mod compute;
 pub mod coordinator;
 pub mod figure12;
+pub mod pool;
 pub mod reactor;
 pub mod runtime;
 pub mod session;

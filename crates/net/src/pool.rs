@@ -1,0 +1,583 @@
+//! The reactor's memory plane: a shared, size-classed, byte-accounted
+//! frame pool ([`BytePool`]) plus the cheap per-connection accounting
+//! handles ([`ChannelAccount`]) every registered channel charges its
+//! buffered bytes through.
+//!
+//! Before this module, each connection owned a private recycle pool of
+//! at most 8 frames and nothing bounded the *total* bytes a reactor
+//! could buffer: a burst of early masked-input frames from 1k clients
+//! multiplied the round's vector size by the cohort and ballooned the
+//! process. Now one pool per reactor is both
+//!
+//! 1. the **allocation reservoir**: recycled frame `Vec`s land in
+//!    size-classed free lists shared by every connection, so a drain
+//!    burst on one channel reuses the allocations another channel just
+//!    released (bounded by [`BytePool::retain_cap`]); and
+//! 2. the **byte ledger**: every buffered ingress byte (stream buffer +
+//!    decoded frames in flight) and egress byte (write backlog) is
+//!    charged to the owning connection's [`ChannelAccount`] and credited
+//!    back when consumed, recycled, or the channel drops — so
+//!    `charges − credits` is exactly the reactor's live buffered bytes.
+//!
+//! Backpressure keys off the ledger: with a non-zero budget
+//! (`CoordinatorConfig::ingress_budget`), a connection whose ingress
+//! charge crosses its fair share — or any charged connection while the
+//! reactor is past its global budget — reports
+//! [`ChannelAccount::should_pause`], and the owning channel drops its
+//! read [`Interest`](crate::reactor::Interest) so TCP flow control
+//! pushes back on the peer. Credits re-arm it below the low-water mark
+//! ([`ChannelAccount::should_resume`]). Budget `0` disables pausing but
+//! keeps the ledger running, so the unlimited path stays the bit-equal
+//! reference while the gauges still tell the truth.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dordis_telemetry::{Counter, Gauge, Telemetry};
+
+/// Free-list size classes (by `Vec` capacity). A recycled buffer joins
+/// the largest class whose size its capacity covers; a `get` scans from
+/// the smallest class that guarantees the requested capacity upward.
+const CLASS_SIZES: [usize; 7] = [
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+];
+
+/// Retained free-list bytes never exceed this when no budget is set
+/// (with a budget, the cap is the budget itself — the reservoir should
+/// never hold more than the reactor is allowed to buffer).
+const DEFAULT_RETAIN_CAP: u64 = 8 * 1024 * 1024;
+
+/// A connection's fair share never drops below this, however many
+/// connections share the budget — one socket read's worth of headroom,
+/// so control-plane stage messages always get through while a paused
+/// connection still parks at a frame boundary. (A higher floor defeats
+/// tight budgets at large cohorts: `floor × connections` becomes the
+/// real memory ceiling.)
+pub const MIN_FAIR_SHARE: u64 = 16 * 1024;
+
+/// Size-classed recycled allocations, cleared and ready for reuse.
+#[derive(Debug, Default)]
+struct FreeList {
+    classes: [Vec<Vec<u8>>; CLASS_SIZES.len()],
+    /// Sum of retained capacities across all classes.
+    bytes: u64,
+}
+
+/// Shared state behind every [`BytePool`] clone and every
+/// [`ChannelAccount`] on the reactor.
+#[derive(Debug)]
+struct PoolShared {
+    /// Ingress byte budget; `0` means unlimited (accounting only).
+    budget: AtomicU64,
+    /// Live buffered ingress bytes (stream buffers + decoded frames).
+    live_in: AtomicU64,
+    /// Live buffered egress bytes (write backlogs).
+    live_out: AtomicU64,
+    /// High-water marks of the two ledgers.
+    hw_in: AtomicU64,
+    hw_out: AtomicU64,
+    /// Open accounts (≈ registered connections) — the fair-share divisor.
+    conns: AtomicU64,
+    /// Accounts currently read-paused by backpressure.
+    paused: AtomicU64,
+    free: Mutex<FreeList>,
+    // Registry cells (no-op when telemetry is disabled).
+    g_live_in: Gauge,
+    g_live_out: Gauge,
+    g_hw_in: Gauge,
+    g_hw_out: Gauge,
+    g_paused: Gauge,
+    c_hits: Counter,
+    c_misses: Counter,
+    c_pauses: Counter,
+}
+
+/// Cheap (`Arc`) handle to a reactor's shared frame pool and byte
+/// ledger. Cloning shares the same pool.
+#[derive(Clone, Debug)]
+pub struct BytePool {
+    shared: Arc<PoolShared>,
+}
+
+impl BytePool {
+    /// A pool with `budget` ingress bytes (`0` = unlimited) and no
+    /// telemetry.
+    #[must_use]
+    pub fn new(budget: u64) -> BytePool {
+        BytePool::with_telemetry(budget, &Telemetry::disabled())
+    }
+
+    /// A pool whose gauges and counters record into `telemetry`.
+    #[must_use]
+    pub fn with_telemetry(budget: u64, telemetry: &Telemetry) -> BytePool {
+        BytePool {
+            shared: Arc::new(PoolShared {
+                budget: AtomicU64::new(budget),
+                live_in: AtomicU64::new(0),
+                live_out: AtomicU64::new(0),
+                hw_in: AtomicU64::new(0),
+                hw_out: AtomicU64::new(0),
+                conns: AtomicU64::new(0),
+                paused: AtomicU64::new(0),
+                free: Mutex::new(FreeList::default()),
+                g_live_in: telemetry.gauge("dordis_buffered_bytes", &[("direction", "in")]),
+                g_live_out: telemetry.gauge("dordis_buffered_bytes", &[("direction", "out")]),
+                g_hw_in: telemetry
+                    .gauge("dordis_buffered_bytes_high_water", &[("direction", "in")]),
+                g_hw_out: telemetry
+                    .gauge("dordis_buffered_bytes_high_water", &[("direction", "out")]),
+                g_paused: telemetry.gauge("dordis_paused_connections", &[]),
+                c_hits: telemetry.counter("dordis_frames_recycled_total", &[]),
+                c_misses: telemetry.counter("dordis_frames_allocated_total", &[]),
+                c_pauses: telemetry.counter("dordis_ingress_pauses_total", &[]),
+            }),
+        }
+    }
+
+    /// Replaces the ingress budget (`0` = unlimited). Existing accounts
+    /// observe the new value on their next charge/credit.
+    pub fn set_budget(&self, budget: u64) {
+        self.shared.budget.store(budget, Ordering::Relaxed);
+    }
+
+    /// The ingress budget (`0` = unlimited).
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.shared.budget.load(Ordering::Relaxed)
+    }
+
+    /// True when both handles point at the same shared reservoir —
+    /// used at re-registration to detect a channel crossing reactors.
+    #[must_use]
+    pub fn same_as(&self, other: &BytePool) -> bool {
+        Arc::ptr_eq(&self.shared, &other.shared)
+    }
+
+    /// Opens a per-connection accounting handle.
+    #[must_use]
+    pub fn account(&self) -> ChannelAccount {
+        self.shared.conns.fetch_add(1, Ordering::Relaxed);
+        ChannelAccount {
+            inner: Arc::new(AccountInner {
+                pool: self.clone(),
+                charged_in: AtomicU64::new(0),
+                charged_out: AtomicU64::new(0),
+                paused: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Pops a cleared buffer of capacity ≥ `min` from the reservoir, or
+    /// allocates fresh (counted as a miss).
+    #[must_use]
+    pub fn get(&self, min: usize) -> Vec<u8> {
+        let start = CLASS_SIZES.iter().position(|&s| s >= min);
+        if let Some(start) = start {
+            if let Ok(mut free) = self.shared.free.lock() {
+                for class in &mut free.classes[start..] {
+                    if let Some(buf) = class.pop() {
+                        let cap = buf.capacity() as u64;
+                        free.bytes = free.bytes.saturating_sub(cap);
+                        self.shared.c_hits.inc();
+                        return buf;
+                    }
+                }
+            }
+        }
+        self.shared.c_misses.inc();
+        Vec::with_capacity(min.max(CLASS_SIZES[0]))
+    }
+
+    /// Returns a buffer to the reservoir (cleared). Buffers that would
+    /// push retained bytes past [`retain_cap`](BytePool::retain_cap),
+    /// or are too small to classify, are dropped.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let cap = buf.capacity();
+        let Some(class) = CLASS_SIZES
+            .iter()
+            .rposition(|&s| s <= cap)
+            .filter(|_| cap >= CLASS_SIZES[0])
+        else {
+            return;
+        };
+        let cap = cap as u64;
+        let retain = self.retain_cap();
+        if let Ok(mut free) = self.shared.free.lock() {
+            if free.bytes + cap <= retain {
+                free.bytes += cap;
+                free.classes[class].push(buf);
+            }
+        }
+    }
+
+    /// Bound on retained free-list bytes: the budget when one is set,
+    /// otherwise a fixed default.
+    #[must_use]
+    pub fn retain_cap(&self) -> u64 {
+        match self.budget() {
+            0 => DEFAULT_RETAIN_CAP,
+            b => b.max(MIN_FAIR_SHARE),
+        }
+    }
+
+    /// Bytes currently retained in the free lists.
+    #[must_use]
+    pub fn pooled_bytes(&self) -> u64 {
+        self.shared.free.lock().map_or(0, |f| f.bytes)
+    }
+
+    /// Live buffered ingress bytes (charges − credits).
+    #[must_use]
+    pub fn live_ingress(&self) -> u64 {
+        self.shared.live_in.load(Ordering::Relaxed)
+    }
+
+    /// Live buffered egress bytes.
+    #[must_use]
+    pub fn live_egress(&self) -> u64 {
+        self.shared.live_out.load(Ordering::Relaxed)
+    }
+
+    /// Ingress high-water mark.
+    #[must_use]
+    pub fn high_water_ingress(&self) -> u64 {
+        self.shared.hw_in.load(Ordering::Relaxed)
+    }
+
+    /// Open accounts (≈ registered connections).
+    #[must_use]
+    pub fn connections(&self) -> u64 {
+        self.shared.conns.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently read-paused by backpressure.
+    #[must_use]
+    pub fn paused_connections(&self) -> u64 {
+        self.shared.paused.load(Ordering::Relaxed)
+    }
+
+    fn charge(&self, ledger: Ledger, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let s = &self.shared;
+        let (live, hw, g_live, g_hw) = match ledger {
+            Ledger::In => (&s.live_in, &s.hw_in, &s.g_live_in, &s.g_hw_in),
+            Ledger::Out => (&s.live_out, &s.hw_out, &s.g_live_out, &s.g_hw_out),
+        };
+        let now = live.fetch_add(n, Ordering::Relaxed) + n;
+        g_live.set(now);
+        let mut seen = hw.load(Ordering::Relaxed);
+        while now > seen {
+            match hw.compare_exchange_weak(seen, now, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => {
+                    g_hw.set(now);
+                    break;
+                }
+                Err(cur) => seen = cur,
+            }
+        }
+    }
+
+    fn credit(&self, ledger: Ledger, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let s = &self.shared;
+        let (live, g_live) = match ledger {
+            Ledger::In => (&s.live_in, &s.g_live_in),
+            Ledger::Out => (&s.live_out, &s.g_live_out),
+        };
+        let prev = live.fetch_sub(n, Ordering::Relaxed);
+        debug_assert!(prev >= n, "pool credit {n} exceeds live {prev}");
+        g_live.set(prev.saturating_sub(n));
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Ledger {
+    In,
+    Out,
+}
+
+/// Per-connection accounting state (shared between a channel and its
+/// buffers; the last clone's drop settles the ledger).
+#[derive(Debug)]
+struct AccountInner {
+    pool: BytePool,
+    charged_in: AtomicU64,
+    charged_out: AtomicU64,
+    paused: AtomicBool,
+}
+
+impl Drop for AccountInner {
+    fn drop(&mut self) {
+        // No leak on channel drop: whatever this connection still has
+        // charged (unconsumed stream bytes, un-recycled decoded frames,
+        // backlogged writes) is credited back, and a paused connection
+        // stops counting as paused.
+        self.pool
+            .credit(Ledger::In, self.charged_in.load(Ordering::Relaxed));
+        self.pool
+            .credit(Ledger::Out, self.charged_out.load(Ordering::Relaxed));
+        if self.paused.swap(false, Ordering::Relaxed) {
+            let s = &self.pool.shared;
+            let prev = s.paused.fetch_sub(1, Ordering::Relaxed);
+            s.g_paused.set(prev.saturating_sub(1));
+        }
+        self.pool.shared.conns.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One connection's handle into the reactor's [`BytePool`]: charge and
+/// credit buffered bytes, draw/return frame allocations, and consult
+/// the backpressure thresholds. Clones share the same account (a
+/// channel and its frame buffer hold one each).
+#[derive(Clone, Debug)]
+pub struct ChannelAccount {
+    inner: Arc<AccountInner>,
+}
+
+impl ChannelAccount {
+    /// The pool this account charges into.
+    #[must_use]
+    pub fn pool(&self) -> &BytePool {
+        &self.inner.pool
+    }
+
+    /// Charges `n` buffered ingress bytes to this connection.
+    pub fn charge_ingress(&self, n: usize) {
+        self.inner.charged_in.fetch_add(n as u64, Ordering::Relaxed);
+        self.inner.pool.charge(Ledger::In, n as u64);
+    }
+
+    /// Credits `n` ingress bytes back (saturating: crediting more than
+    /// was charged settles at zero, so a stray recycle cannot corrupt
+    /// the global ledger).
+    pub fn credit_ingress(&self, n: usize) {
+        let actual = saturating_take(&self.inner.charged_in, n as u64);
+        self.inner.pool.credit(Ledger::In, actual);
+    }
+
+    /// Charges `n` backlogged egress bytes.
+    pub fn charge_egress(&self, n: usize) {
+        self.inner
+            .charged_out
+            .fetch_add(n as u64, Ordering::Relaxed);
+        self.inner.pool.charge(Ledger::Out, n as u64);
+    }
+
+    /// Credits `n` egress bytes back (saturating).
+    pub fn credit_egress(&self, n: usize) {
+        let actual = saturating_take(&self.inner.charged_out, n as u64);
+        self.inner.pool.credit(Ledger::Out, actual);
+    }
+
+    /// This connection's live ingress charge.
+    #[must_use]
+    pub fn charged_ingress(&self) -> u64 {
+        self.inner.charged_in.load(Ordering::Relaxed)
+    }
+
+    /// This connection's live egress charge.
+    #[must_use]
+    pub fn charged_egress(&self) -> u64 {
+        self.inner.charged_out.load(Ordering::Relaxed)
+    }
+
+    /// This connection's ingress byte allowance: an equal split of the
+    /// budget across open accounts, floored at [`MIN_FAIR_SHARE`].
+    #[must_use]
+    pub fn fair_share(&self) -> u64 {
+        let budget = self.inner.pool.budget();
+        if budget == 0 {
+            return u64::MAX;
+        }
+        let conns = self.inner.pool.connections().max(1);
+        (budget / conns).max(MIN_FAIR_SHARE)
+    }
+
+    /// True when backpressure should drop this connection's read
+    /// interest: its own charge crossed its fair share, or the reactor
+    /// is past its global budget and this connection is carrying a
+    /// meaningful part of it. Always false with budget `0`.
+    #[must_use]
+    pub fn should_pause(&self) -> bool {
+        let pool = &self.inner.pool;
+        let budget = pool.budget();
+        if budget == 0 {
+            return false;
+        }
+        let share = self.fair_share();
+        let own = self.charged_ingress();
+        own > share || (pool.live_ingress() > budget && own > share / 2)
+    }
+
+    /// True when a paused connection has drained below the low-water
+    /// mark (a quarter of its fair share) and should re-arm its read
+    /// interest.
+    ///
+    /// Deliberately a **local** condition: a resume check only fires
+    /// when one of *this* connection's frames is recycled, so a global
+    /// "pool back under budget" clause would strand any connection
+    /// whose own custody drained to zero while the pool was still over
+    /// budget — nothing would ever re-check it. The global budget
+    /// instead acts on the pause side ([`Self::should_pause`]'s second
+    /// clause tightens every connection's allowance to half its share
+    /// while the pool is over), and the quarter-share low-water mark
+    /// gives that clause hysteresis.
+    #[must_use]
+    pub fn should_resume(&self) -> bool {
+        if self.inner.pool.budget() == 0 {
+            return true;
+        }
+        self.charged_ingress() <= self.fair_share() / 4
+    }
+
+    /// Records this connection's pause state (idempotent); keeps the
+    /// pool's paused-connection gauge and pause counter in sync.
+    pub fn set_paused(&self, paused: bool) {
+        if self.inner.paused.swap(paused, Ordering::Relaxed) == paused {
+            return;
+        }
+        let s = &self.inner.pool.shared;
+        if paused {
+            let now = s.paused.fetch_add(1, Ordering::Relaxed) + 1;
+            s.g_paused.set(now);
+            s.c_pauses.inc();
+        } else {
+            let prev = s.paused.fetch_sub(1, Ordering::Relaxed);
+            s.g_paused.set(prev.saturating_sub(1));
+        }
+    }
+
+    /// Pops a cleared buffer of capacity ≥ `min` from the shared
+    /// reservoir (see [`BytePool::get`]).
+    #[must_use]
+    pub fn get(&self, min: usize) -> Vec<u8> {
+        self.inner.pool.get(min)
+    }
+
+    /// Returns a buffer to the shared reservoir (see [`BytePool::put`]).
+    pub fn put(&self, buf: Vec<u8>) {
+        self.inner.pool.put(buf);
+    }
+}
+
+/// Subtracts up to `n` from `cell`, returning how much was actually
+/// subtracted (never underflows).
+fn saturating_take(cell: &AtomicU64, n: u64) -> u64 {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let take = cur.min(n);
+        match cell.compare_exchange_weak(cur, cur - take, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return take,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_balances_and_tracks_high_water() {
+        let pool = BytePool::new(0);
+        let a = pool.account();
+        let b = pool.account();
+        a.charge_ingress(100);
+        b.charge_ingress(50);
+        assert_eq!(pool.live_ingress(), 150);
+        assert_eq!(pool.high_water_ingress(), 150);
+        a.credit_ingress(100);
+        assert_eq!(pool.live_ingress(), 50);
+        assert_eq!(pool.high_water_ingress(), 150, "high water is sticky");
+        drop(b);
+        assert_eq!(pool.live_ingress(), 0, "drop settles the ledger");
+        assert_eq!(pool.connections(), 1);
+    }
+
+    #[test]
+    fn credit_saturates_instead_of_underflowing() {
+        let pool = BytePool::new(0);
+        let a = pool.account();
+        a.charge_ingress(10);
+        a.credit_ingress(1000);
+        assert_eq!(pool.live_ingress(), 0);
+        assert_eq!(a.charged_ingress(), 0);
+    }
+
+    #[test]
+    fn reservoir_reuses_and_respects_retain_cap() {
+        let pool = BytePool::new(0);
+        pool.put(Vec::with_capacity(4096));
+        assert_eq!(pool.pooled_bytes(), 4096);
+        let buf = pool.get(1000);
+        assert!(buf.capacity() >= 4096, "reused the pooled allocation");
+        assert_eq!(pool.pooled_bytes(), 0);
+        // A too-big buffer for the remaining cap is dropped, not pooled.
+        let tiny = BytePool::new(1024);
+        assert_eq!(tiny.retain_cap(), MIN_FAIR_SHARE);
+        tiny.put(Vec::with_capacity(2 * MIN_FAIR_SHARE as usize));
+        assert_eq!(tiny.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn get_never_returns_undersized_buffers() {
+        let pool = BytePool::new(0);
+        pool.put(Vec::with_capacity(512));
+        let buf = pool.get(100_000);
+        assert!(buf.capacity() >= 100_000);
+        // The small pooled buffer is still there for a small request.
+        assert_eq!(pool.pooled_bytes(), 512);
+        assert!(pool.get(256).capacity() >= 256);
+        assert_eq!(pool.pooled_bytes(), 0);
+    }
+
+    #[test]
+    fn pause_thresholds_follow_budget_and_fair_share() {
+        let pool = BytePool::new(1 << 20);
+        let a = pool.account();
+        let _b = pool.account();
+        // share = max(1MiB / 2, MIN_FAIR_SHARE) = 512 KiB.
+        assert_eq!(a.fair_share(), 512 * 1024);
+        assert!(!a.should_pause());
+        a.charge_ingress(512 * 1024 + 1);
+        assert!(a.should_pause());
+        assert!(!a.should_resume());
+        a.credit_ingress(512 * 1024 + 1 - 200 * 1024);
+        assert!(
+            !a.should_resume(),
+            "200 KiB is still above the quarter-share low-water mark"
+        );
+        a.credit_ingress(100 * 1024);
+        assert!(a.should_resume(), "below a quarter of the share");
+        // Budget 0: never pause, always resume.
+        pool.set_budget(0);
+        a.charge_ingress(10 << 20);
+        assert!(!a.should_pause());
+        assert!(a.should_resume());
+    }
+
+    #[test]
+    fn paused_gauge_is_idempotent_and_settles_on_drop() {
+        let pool = BytePool::new(1);
+        let a = pool.account();
+        a.set_paused(true);
+        a.set_paused(true);
+        assert_eq!(pool.paused_connections(), 1);
+        let a2 = a.clone();
+        drop(a);
+        assert_eq!(pool.paused_connections(), 1, "clone keeps the account");
+        drop(a2);
+        assert_eq!(pool.paused_connections(), 0);
+    }
+}

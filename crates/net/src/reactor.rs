@@ -42,6 +42,7 @@ use std::time::{Duration, Instant};
 
 use dordis_telemetry::{Counter, Telemetry};
 
+use crate::pool::BytePool;
 use crate::transport::Channel;
 use crate::NetError;
 
@@ -638,6 +639,9 @@ pub struct Reactor {
     m_events: Counter,
     m_timer_fires: Counter,
     metrics: Option<MetricsServer>,
+    /// The reactor's memory plane: shared frame reservoir + byte ledger
+    /// every registered channel draws an account from.
+    pool: BytePool,
 }
 
 impl Reactor {
@@ -668,6 +672,7 @@ impl Reactor {
         let m_polls = telemetry.counter("dordis_reactor_polls_total", &[]);
         let m_events = telemetry.counter("dordis_reactor_events_total", &[]);
         let m_timer_fires = telemetry.counter("dordis_reactor_timer_fires_total", &[]);
+        let pool = BytePool::with_telemetry(0, &telemetry);
         Ok(Reactor {
             poller,
             wheel: TimerWheel::new(tick),
@@ -679,7 +684,23 @@ impl Reactor {
             m_events,
             m_timer_fires,
             metrics: None,
+            pool,
         })
+    }
+
+    /// A handle to this reactor's shared frame pool / byte ledger.
+    /// Channels call this at [`EventedChannel::register`] time to open
+    /// their [`ChannelAccount`](crate::pool::ChannelAccount).
+    #[must_use]
+    pub fn pool(&self) -> BytePool {
+        self.pool.clone()
+    }
+
+    /// Sets the reactor's ingress byte budget (`0` = unlimited): past
+    /// it, charged connections drop their read interest and TCP flow
+    /// control paces the peers (see [`crate::pool`]).
+    pub fn set_ingress_budget(&self, bytes: u64) {
+        self.pool.set_budget(bytes);
     }
 
     /// The telemetry handle this reactor records into (disabled unless
@@ -1032,6 +1053,22 @@ pub trait EventedChannel: Channel {
 
     /// Whether backlogged bytes are waiting on write readiness.
     fn wants_write(&self) -> bool;
+
+    /// Administratively holds (or releases) this connection's ingress.
+    /// While held, read interest stays dropped regardless of the byte
+    /// account's thresholds, and release re-arms it immediately — the
+    /// coordinator's budget-driven admission window uses this to bound
+    /// how many clients stream a bulk upload concurrently. Transports
+    /// without evented flow control may ignore it (the default): a
+    /// hold is a memory optimization, never a correctness requirement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller re-registration failures.
+    fn set_ingress_hold(&mut self, hold: bool) -> Result<(), NetError> {
+        let _ = hold;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

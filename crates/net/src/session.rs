@@ -87,7 +87,7 @@ use crate::coordinator::{
     JOIN_BASE,
 };
 use crate::reactor::{EventedChannel, Reactor, ReactorStats, Token};
-use crate::transport::{recv_env, send_env, Acceptor};
+use crate::transport::{recv_env, send_env, wire_message, Acceptor};
 use crate::NetError;
 
 /// Who a round's seating verifier admitted and who it threw out.
@@ -160,6 +160,11 @@ pub struct SessionConfig<'a> {
     /// A partition that would leave any shard below the secagg minimum
     /// of 2 clients falls back to the single machine for that round.
     pub shards: usize,
+    /// Global ingress budget in bytes for the reactor's shared frame
+    /// pool (`0` = unlimited, the bit-equal reference; see
+    /// [`CoordinatorConfig::ingress_budget`]). A sharded round splits
+    /// the budget evenly across the shard reactors.
+    pub ingress_budget: u64,
     /// Whether to broadcast [`StageTag::RoundAnnounce`] at each round
     /// start (required for multi-round sessions; the single-round
     /// legacy wrapper runs without it, clients join eagerly).
@@ -226,10 +231,14 @@ impl<'a> Session<'a> {
     /// Reactor construction failures, scrape-listener bind failures,
     /// and a `metrics_addr` configured without the reactor engine.
     pub fn new(acceptor: &'a mut dyn Acceptor, cfg: SessionConfig<'a>) -> Result<Self, NetError> {
+        acceptor.set_telemetry(&cfg.telemetry);
         let mut engine = match cfg.mode {
             CollectMode::Reactor => Some(Reactor::with_telemetry(cfg.tick, cfg.telemetry.clone())?),
             CollectMode::PollSweep => None,
         };
+        if let Some(reactor) = engine.as_ref() {
+            reactor.set_ingress_budget(cfg.ingress_budget);
+        }
         let metrics_bound = match (&cfg.metrics_addr, engine.as_mut()) {
             (Some(addr), Some(reactor)) => Some(reactor.serve_metrics(addr)?),
             (Some(_), None) => {
@@ -394,6 +403,7 @@ impl<'a> Session<'a> {
                 workers: self.cfg.workers,
                 telemetry: self.cfg.telemetry.clone(),
                 cohort,
+                ingress_budget: self.cfg.ingress_budget,
             };
             let machine = RoundMachine::new(&cc)?;
             machine.run(
@@ -483,6 +493,14 @@ impl<'a> Session<'a> {
         // deregistering would re-key the fd on the *old* poller); one
         // that cannot is dropped and becomes a detected dropout.
         let mut work: Vec<(CoordinatorConfig, Peers)> = Vec::with_capacity(shards);
+        // Each shard reactor gets an even slice of the session budget
+        // (floored at the fair-share minimum so a tiny budget over many
+        // shards cannot silently become "unlimited").
+        let shard_budget = if self.cfg.ingress_budget == 0 {
+            0
+        } else {
+            (self.cfg.ingress_budget / shards as u64).max(crate::pool::MIN_FAIR_SHARE)
+        };
         for (s, roster) in rosters.iter().enumerate() {
             let cc = CoordinatorConfig {
                 params: shard_params(params, roster),
@@ -495,6 +513,7 @@ impl<'a> Session<'a> {
                 workers: self.cfg.workers,
                 telemetry: self.cfg.telemetry.shard_scope(s as u16),
                 cohort,
+                ingress_budget: shard_budget,
             };
             let mut peers: Peers = BTreeMap::new();
             for &id in roster {
@@ -636,9 +655,15 @@ impl<'a> Session<'a> {
     /// then drops them all.
     pub fn finish(mut self) {
         let env = Envelope::new(StageTag::SessionEnd, self.next_round, Vec::new());
-        let frame = env.encode();
+        // One encode for the whole cohort: registered channels enqueue
+        // the shared frame by reference (see `wire_message`).
+        let wire = wire_message(&env.encode());
+        self.cfg
+            .telemetry
+            .counter("dordis_broadcast_encodes_total", &[])
+            .inc();
         for chan in self.parked.values_mut() {
-            let _ = chan.send(&frame);
+            let _ = chan.send_wire_shared(&wire);
             let _ = chan.try_flush();
         }
         // Already-queued connections are drained either way; the
@@ -650,7 +675,7 @@ impl<'a> Session<'a> {
             Instant::now()
         };
         while let Ok(mut chan) = self.acceptor.accept(drain_deadline) {
-            let _ = chan.send(&frame);
+            let _ = chan.send_wire_shared(&wire);
             let _ = chan.try_flush();
         }
     }
@@ -673,11 +698,17 @@ impl<'a> Session<'a> {
         let mut stale = 0u64;
 
         if self.cfg.announce {
-            let frame = announce_frame(round, claims_mode);
+            // Encoded once per round; every parked peer queues the same
+            // refcounted wire message.
+            let wire = wire_message(&announce_frame(round, claims_mode));
+            self.cfg
+                .telemetry
+                .counter("dordis_broadcast_encodes_total", &[])
+                .inc();
             let ids: Vec<ClientId> = self.parked.keys().copied().collect();
             for id in ids {
                 if let Some(chan) = self.parked.get_mut(&id) {
-                    if chan.send(&frame).is_err() || chan.try_flush().is_err() {
+                    if chan.send_wire_shared(&wire).is_err() || chan.try_flush().is_err() {
                         self.parked.remove(&id);
                     }
                 }
@@ -725,6 +756,11 @@ impl<'a> Session<'a> {
     ) -> Result<(), NetError> {
         let deadline = Instant::now() + self.cfg.join_timeout;
         let mut awaiting: BTreeMap<u64, Box<dyn EventedChannel>> = BTreeMap::new();
+        // One announce encoding covers every (re)connection this round.
+        let announce_wire = self
+            .cfg
+            .announce
+            .then(|| wire_message(&announce_frame(round, claims_mode)));
 
         // Initial sweep of parked peers: answers may already be buffered
         // and their readiness consumed by a previous round's poll.
@@ -763,8 +799,8 @@ impl<'a> Session<'a> {
                             token,
                             (Instant::now() + self.cfg.stage_timeout).min(deadline),
                         );
-                        if self.cfg.announce {
-                            if chan.send(&announce_frame(round, claims_mode)).is_err() {
+                        if let Some(wire) = &announce_wire {
+                            if chan.send_wire_shared(wire).is_err() {
                                 continue; // connection already dead
                             }
                             let _ = chan.try_flush();
@@ -799,6 +835,9 @@ impl<'a> Session<'a> {
                                     answers,
                                     stale,
                                 );
+                                // The decode copied the body out; the
+                                // frame allocation goes back to the pool.
+                                chan.recycle_frame(frame);
                                 match verdict {
                                     Verdict::Admit(id, answer) => {
                                         let reactor = self.engine.as_mut().expect("reactor engine");
@@ -870,14 +909,16 @@ impl<'a> Session<'a> {
             }
             // Drain through stale frames here too (see the loop above).
             while let Ok(Some(frame)) = chan.try_recv() {
-                match self.vet_first_frame(
+                let verdict = self.vet_first_frame(
                     Envelope::decode(&frame),
                     round,
                     roster,
                     claims_mode,
                     answers,
                     stale,
-                ) {
+                );
+                chan.recycle_frame(frame);
+                match verdict {
                     Verdict::Admit(id, answer) => {
                         let reactor = self.engine.as_mut().expect("reactor engine");
                         chan.register(reactor, client_token(id))?;
@@ -932,7 +973,12 @@ impl<'a> Session<'a> {
                 };
                 let slice = (Instant::now() + self.cfg.tick).min(deadline);
                 match chan.recv_deadline(slice) {
-                    Ok(frame) => self.file_parked_frame(round, *id, &frame, answers, stale),
+                    Ok(frame) => {
+                        self.file_parked_frame(round, *id, &frame, answers, stale);
+                        if let Some(chan) = self.parked.get_mut(id) {
+                            chan.recycle_frame(frame);
+                        }
+                    }
                     Err(NetError::Timeout) => {}
                     Err(_) => {
                         self.parked.remove(id);
@@ -1201,6 +1247,9 @@ impl<'a> Session<'a> {
                     if !self.parked.contains_key(&id) {
                         return false; // the frame itself was fatal
                     }
+                    if let Some(chan) = self.parked.get_mut(&id) {
+                        chan.recycle_frame(frame);
+                    }
                 }
                 Some(Ok(None)) => return true,
                 Some(Err(_)) | None => return false,
@@ -1302,6 +1351,9 @@ fn run_one_shard(
         CollectMode::Reactor => Some(Reactor::with_telemetry(cc.tick, cc.telemetry.clone())?),
         CollectMode::PollSweep => None,
     };
+    if let Some(reactor) = engine.as_ref() {
+        reactor.set_ingress_budget(cc.ingress_budget);
+    }
     let mut compute = (cc.workers > 0)
         .then(|| ComputePlane::new(cc.workers, engine.as_ref().map(Reactor::waker)));
     if let Some(reactor) = engine.as_mut() {

@@ -3,16 +3,27 @@
 //! with the [`reactor`](crate::reactor); non-blocking afterwards, with
 //! partial-read frame reassembly ([`FrameBuffer`]) and partial-write
 //! backpressure buffering ([`WriteBuffer`]).
+//!
+//! Registered channels participate in the reactor's memory plane
+//! ([`crate::pool`]): every buffered ingress byte (stream buffer +
+//! decoded frames in flight) and egress byte (write backlog) is charged
+//! to the connection's [`ChannelAccount`], frame allocations come from
+//! the reactor-shared [`BytePool`](crate::pool::BytePool) reservoir, and
+//! with a non-zero ingress budget a connection that crosses its fair
+//! share drops its read interest — TCP flow control paces the peer —
+//! until the coordinator's recycles drain it below the low-water mark.
 
 use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dordis_telemetry::Counter;
+use dordis_telemetry::{Counter, Telemetry};
 
 use crate::codec::MAX_FRAME_BYTES;
+use crate::pool::ChannelAccount;
 use crate::reactor::{EventedChannel, Interest, PollerHandle, Reactor, Token};
 use crate::transport::{Acceptor, Channel};
 use crate::NetError;
@@ -35,10 +46,18 @@ pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 ///
 /// Allocation reuse: consumed bytes advance a read cursor instead of
 /// `drain`-shifting the stream buffer per frame, and frames handed back
-/// via [`recycle`](FrameBuffer::recycle) join a small pool that
-/// [`take_frame`](FrameBuffer::take_frame) draws from — a coordinator
-/// that recycles after decoding stops allocating a fresh `Vec` per
-/// chunk frame per client.
+/// via [`recycle`](FrameBuffer::recycle) return to the reactor-shared
+/// [`BytePool`](crate::pool::BytePool) once an account is attached (a
+/// small local pool covers the unregistered blocking path) — a
+/// coordinator that recycles after decoding stops allocating a fresh
+/// `Vec` per chunk frame per client.
+///
+/// Accounting: with an attached [`ChannelAccount`], `push` charges the
+/// arriving bytes, `take_frame` moves a frame's bytes from stream
+/// custody to decoded-frame custody (crediting only the 4-byte prefix),
+/// and `recycle` credits the frame back — so the account's charge is
+/// always exactly `len() + outstanding decoded bytes`, and dropping the
+/// buffer settles the ledger.
 #[derive(Debug, Default)]
 pub struct FrameBuffer {
     /// Raw stream bytes (length prefixes included); everything before
@@ -46,15 +65,15 @@ pub struct FrameBuffer {
     buf: Vec<u8>,
     /// Read cursor into `buf`.
     pos: usize,
-    /// Recycled frame allocations, cleared and ready for reuse.
-    pool: Vec<Vec<u8>>,
-    /// Frames served from the reuse pool (default-constructed = no-op).
-    recycled: Counter,
-    /// Frames that needed a fresh allocation.
-    allocated: Counter,
+    /// Local recycled-frame fallback for unregistered channels.
+    local_pool: Vec<Vec<u8>>,
+    /// Bytes of decoded frames handed out and not yet recycled.
+    outstanding: usize,
+    /// Shared-pool account (attached at reactor registration).
+    account: Option<ChannelAccount>,
 }
 
-/// Recycled-frame pool bound: enough to cover a drain burst, small
+/// Local fallback pool bound: enough to cover a drain burst, small
 /// enough that a dropped peer's buffers don't linger.
 const FRAME_POOL_MAX: usize = 8;
 
@@ -76,6 +95,9 @@ impl FrameBuffer {
             self.pos = 0;
         }
         self.buf.extend_from_slice(bytes);
+        if let Some(acct) = &self.account {
+            acct.charge_ingress(bytes.len());
+        }
     }
 
     /// Stream position target for the next read: enough for the length
@@ -103,18 +125,31 @@ impl FrameBuffer {
         self.len() == 0
     }
 
-    /// Points the buffer's pool-hit/fresh-allocation accounting at
-    /// registry counters (the channel wires this up when it joins a
-    /// telemetry-carrying reactor).
-    pub fn set_counters(&mut self, recycled: Counter, allocated: Counter) {
-        self.recycled = recycled;
-        self.allocated = allocated;
+    /// Routes this buffer's accounting and allocation reuse through a
+    /// reactor's shared pool: current custody (unconsumed stream bytes +
+    /// outstanding decoded frames) is charged to the new account, and
+    /// the replaced account's drop credits the pool it came from — so a
+    /// channel handed between reactors never double-counts.
+    pub fn attach_account(&mut self, account: ChannelAccount) {
+        account.charge_ingress(self.len() + self.outstanding);
+        self.account = Some(account);
     }
 
-    /// Returns a decoded frame's allocation to the reuse pool.
+    /// Returns a decoded frame's allocation to the pool and credits its
+    /// bytes back to the connection's ingress charge.
     pub fn recycle(&mut self, frame: Vec<u8>) {
-        if self.pool.len() < FRAME_POOL_MAX && frame.capacity() > 0 {
-            self.pool.push(frame);
+        let credit = frame.len().min(self.outstanding);
+        self.outstanding -= credit;
+        match &self.account {
+            Some(acct) => {
+                acct.credit_ingress(credit);
+                acct.put(frame);
+            }
+            None => {
+                if self.local_pool.len() < FRAME_POOL_MAX && frame.capacity() > 0 {
+                    self.local_pool.push(frame);
+                }
+            }
         }
     }
 
@@ -137,17 +172,14 @@ impl FrameBuffer {
         if self.len() < 4 + len {
             return Ok(None);
         }
-        let mut frame = match self.pool.pop() {
-            Some(reused) => {
-                self.recycled.inc();
-                reused
-            }
+        let mut frame = match &self.account {
+            Some(acct) => acct.get(len),
             None => {
-                self.allocated.inc();
-                Vec::new()
+                let mut local = self.local_pool.pop().unwrap_or_default();
+                local.clear();
+                local
             }
         };
-        frame.clear();
         frame.extend_from_slice(&self.buf[p + 4..p + 4 + len]);
         self.pos += 4 + len;
         if self.pos == self.buf.len() {
@@ -155,19 +187,43 @@ impl FrameBuffer {
             self.buf.clear();
             self.pos = 0;
         }
+        // The frame's bytes move from stream custody to decoded-frame
+        // custody; only the length prefix leaves the ledger.
+        self.outstanding += len;
+        if let Some(acct) = &self.account {
+            acct.credit_ingress(4);
+        }
         Ok(Some(frame))
     }
 }
 
-/// Backpressure buffer for the non-blocking write path: frames are
-/// queued with their length prefix, and [`write_to`](WriteBuffer::write_to)
-/// drains as many bytes as the socket accepts, keeping the rest for the
-/// next write-readiness event. Partial writes therefore never tear a
-/// frame — the stream position is the buffer's front.
+/// One queued egress segment: a refcounted, already length-prefixed wire
+/// message and the drain position within it. Broadcast frames are
+/// encoded once and the same `Arc` is queued on every channel.
+#[derive(Debug)]
+struct Segment {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+/// Backpressure buffer for the non-blocking write path: a queue of
+/// refcounted segments drained with vectored writes. Frames queued via
+/// [`queue_frame`](WriteBuffer::queue_frame) are copied once (prefix +
+/// payload into one allocation); broadcast frames arrive pre-encoded
+/// via [`queue_shared`](WriteBuffer::queue_shared) and are shared across
+/// all channels — zero per-peer copies. Partial writes never tear a
+/// frame: the front segment's position is the stream cursor.
 #[derive(Debug, Default)]
 pub struct WriteBuffer {
-    queue: VecDeque<u8>,
+    segs: VecDeque<Segment>,
+    /// Total unsent bytes across all segments.
+    len: usize,
+    /// Shared-pool account (attached at reactor registration).
+    account: Option<ChannelAccount>,
 }
+
+/// Most segments gathered into one vectored write.
+const MAX_WRITEV_SEGMENTS: usize = 16;
 
 impl WriteBuffer {
     /// An empty buffer.
@@ -176,49 +232,99 @@ impl WriteBuffer {
         WriteBuffer::default()
     }
 
-    /// Queues one frame (length prefix + payload).
+    /// Queues one frame (length prefix + payload, copied into one owned
+    /// segment).
     pub fn queue_frame(&mut self, frame: &[u8]) {
-        self.queue.extend((frame.len() as u32).to_le_bytes());
-        self.queue.extend(frame.iter().copied());
+        let mut msg = Vec::with_capacity(4 + frame.len());
+        msg.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        msg.extend_from_slice(frame);
+        self.queue_shared(&msg.into());
+    }
+
+    /// Queues an already-encoded wire message (length prefix included)
+    /// by reference count — the broadcast path queues one `Arc` on N
+    /// channels instead of copying the frame N times.
+    pub fn queue_shared(&mut self, msg: &Arc<[u8]>) {
+        self.len += msg.len();
+        if let Some(acct) = &self.account {
+            acct.charge_egress(msg.len());
+        }
+        self.segs.push_back(Segment {
+            data: Arc::clone(msg),
+            pos: 0,
+        });
     }
 
     /// Bytes still waiting to drain.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.queue.len()
+        self.len
     }
 
     /// True when everything has drained.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len == 0
     }
 
-    /// Writes as much as `w` accepts. `Ok(true)` means drained;
-    /// `Ok(false)` means `w` signalled `WouldBlock` (or accepted only
-    /// part) and the remainder waits for the next readiness event.
+    /// Routes this buffer's egress accounting through a reactor's
+    /// shared pool (see [`FrameBuffer::attach_account`]).
+    pub fn attach_account(&mut self, account: ChannelAccount) {
+        account.charge_egress(self.len);
+        self.account = Some(account);
+    }
+
+    /// Advances the queue past `n` written bytes and credits them back.
+    fn consume(&mut self, mut n: usize) {
+        self.len -= n;
+        if let Some(acct) = &self.account {
+            acct.credit_egress(n);
+        }
+        while n > 0 {
+            let front = self.segs.front_mut().expect("consumed past queue");
+            let remaining = front.data.len() - front.pos;
+            if n >= remaining {
+                n -= remaining;
+                self.segs.pop_front();
+            } else {
+                front.pos += n;
+                n = 0;
+            }
+        }
+    }
+
+    /// Writes as much as `w` accepts, gathering up to
+    /// [`MAX_WRITEV_SEGMENTS`] segments per vectored write. `Ok(true)`
+    /// means drained; `Ok(false)` means `w` signalled `WouldBlock` (or
+    /// accepted only part) and the remainder waits for the next
+    /// readiness event.
     ///
     /// # Errors
     ///
     /// Propagates non-`WouldBlock` I/O failures (`Interrupted` is
     /// retried, a zero-byte write is reported as `WriteZero`).
     pub fn write_to(&mut self, w: &mut impl Write) -> std::io::Result<bool> {
-        while !self.queue.is_empty() {
-            let (front, _) = self.queue.as_slices();
-            match w.write(front) {
+        while !self.segs.is_empty() {
+            let slices: Vec<IoSlice<'_>> = self
+                .segs
+                .iter()
+                .take(MAX_WRITEV_SEGMENTS)
+                .map(|seg| IoSlice::new(&seg.data[seg.pos..]))
+                .collect();
+            let written = match w.write_vectored(&slices) {
                 Ok(0) => {
                     return Err(std::io::Error::new(
                         ErrorKind::WriteZero,
                         "socket accepted zero bytes",
                     ))
                 }
-                Ok(n) => {
-                    self.queue.drain(..n);
-                }
+                Ok(n) => n,
                 Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
-                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
-            }
+            };
+            drop(slices);
+            self.consume(written);
         }
         Ok(true)
     }
@@ -230,7 +336,8 @@ struct Registration {
     handle: PollerHandle,
     token: Token,
     /// Interest currently installed in the poller (write interest is
-    /// flipped on outbox empty↔backlogged transitions).
+    /// flipped on outbox empty↔backlogged transitions, read interest on
+    /// backpressure pause↔resume).
     interest: Interest,
 }
 
@@ -249,6 +356,13 @@ pub struct TcpChannel {
     /// Peer hung up: serve remaining buffered frames, then `Closed`.
     eof: bool,
     write_timeout: Duration,
+    /// Shared-pool account, opened at registration.
+    account: Option<ChannelAccount>,
+    /// Read interest dropped by backpressure; re-armed by recycles.
+    paused: bool,
+    /// Administrative ingress hold (admission window): keeps the pause
+    /// latched until explicitly released, regardless of the account.
+    held: bool,
 }
 
 impl TcpChannel {
@@ -280,6 +394,9 @@ impl TcpChannel {
             registration: None,
             eof: false,
             write_timeout: DEFAULT_WRITE_TIMEOUT,
+            account: None,
+            paused: false,
+            held: false,
         })
     }
 
@@ -287,6 +404,13 @@ impl TcpChannel {
     /// [`DEFAULT_WRITE_TIMEOUT`]).
     pub fn set_write_timeout(&mut self, timeout: Duration) {
         self.write_timeout = timeout;
+    }
+
+    /// True while backpressure has this connection's read interest
+    /// dropped (diagnostics/tests).
+    #[must_use]
+    pub fn is_paused(&self) -> bool {
+        self.paused
     }
 
     /// Reads toward a target `inbox` length, returning `false` on a
@@ -330,6 +454,48 @@ impl TcpChannel {
         Ok(())
     }
 
+    /// Re-derives and installs the interest implied by the current
+    /// pause state and outbox backlog.
+    fn sync_interest(&mut self) -> Result<(), NetError> {
+        self.set_interest(Interest {
+            readable: !self.paused,
+            writable: !self.outbox.is_empty(),
+        })
+    }
+
+    /// Drops read interest if the connection's ingress charge crossed
+    /// its budget thresholds (see [`ChannelAccount::should_pause`]).
+    fn maybe_pause(&mut self) -> Result<(), NetError> {
+        if self.paused || self.registration.is_none() {
+            return Ok(());
+        }
+        if let Some(acct) = &self.account {
+            if acct.should_pause() {
+                acct.set_paused(true);
+                self.paused = true;
+                self.sync_interest()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-arms read interest once a paused connection has drained below
+    /// the low-water mark. An administrative hold keeps the pause
+    /// latched no matter what the account says.
+    fn maybe_resume(&mut self) -> Result<(), NetError> {
+        if !self.paused || self.held {
+            return Ok(());
+        }
+        if let Some(acct) = &self.account {
+            if acct.should_resume() {
+                acct.set_paused(false);
+                self.paused = false;
+                self.sync_interest()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Flushes the outbox and keeps write interest in sync with whether
     /// a backlog remains.
     fn flush_outbox(&mut self) -> Result<bool, NetError> {
@@ -340,11 +506,7 @@ impl TcpChannel {
             }
             Err(e) => return Err(e.into()),
         };
-        self.set_interest(if drained {
-            Interest::READ
-        } else {
-            Interest::READ_WRITE
-        })?;
+        self.sync_interest()?;
         Ok(drained)
     }
 }
@@ -405,6 +567,17 @@ impl Channel for TcpChannel {
         Ok(())
     }
 
+    fn send_wire_shared(&mut self, msg: &Arc<[u8]>) -> Result<(), NetError> {
+        if self.registration.is_some() {
+            // Zero-copy broadcast: the shared encoding is queued by
+            // refcount, not copied into a per-connection buffer.
+            self.outbox.queue_shared(msg);
+            self.flush_outbox()?;
+            return Ok(());
+        }
+        self.send(&msg[4..])
+    }
+
     fn recv_deadline(&mut self, deadline: Instant) -> Result<Vec<u8>, NetError> {
         loop {
             if let Some(frame) = self.inbox.take_frame()? {
@@ -421,6 +594,10 @@ impl Channel for TcpChannel {
 
     fn recycle_frame(&mut self, frame: Vec<u8>) {
         self.inbox.recycle(frame);
+        // Recycles are the credit stream that re-arms a paused
+        // connection; a reregister failure here means the fd is broken
+        // and the next poll/IO on it will surface the real error.
+        let _ = self.maybe_resume();
     }
 
     fn peer(&self) -> String {
@@ -430,19 +607,33 @@ impl Channel for TcpChannel {
 
 impl EventedChannel for TcpChannel {
     fn register(&mut self, reactor: &mut Reactor, token: Token) -> Result<(), NetError> {
-        let telemetry = reactor.telemetry();
-        if telemetry.is_enabled() {
-            self.inbox.set_counters(
-                telemetry.counter("dordis_frames_recycled_total", &[]),
-                telemetry.counter("dordis_frames_allocated_total", &[]),
-            );
+        let pool = reactor.pool();
+        let fresh = match &self.account {
+            Some(acct) => !acct.pool().same_as(&pool),
+            None => true,
+        };
+        if fresh {
+            // First registration, or handed to a different reactor:
+            // open an account on the new pool and charge the bytes this
+            // channel is currently holding. The replaced account clones
+            // drop with the old buffers' handles, crediting the pool
+            // they came from — no double counting, no leak.
+            let acct = pool.account();
+            if self.paused {
+                self.paused = false;
+            }
+            // A leaked hold must not survive a reactor handoff — the
+            // replaced account settles the old pool's paused gauge.
+            self.held = false;
+            self.inbox.attach_account(acct.clone());
+            self.outbox.attach_account(acct.clone());
+            self.account = Some(acct);
         }
         self.stream.set_nonblocking(true)?;
         let fd = self.stream.as_raw_fd();
-        let interest = if self.outbox.is_empty() {
-            Interest::READ
-        } else {
-            Interest::READ_WRITE
+        let interest = Interest {
+            readable: !self.paused,
+            writable: !self.outbox.is_empty(),
         };
         match &mut self.registration {
             Some(reg) => {
@@ -470,18 +661,34 @@ impl EventedChannel for TcpChannel {
         }
         // The stream stays non-blocking: a deregistered channel is in
         // transit between reactors, and the next `register` call binds
-        // it fresh on the destination's poller.
+        // it fresh on the destination's poller. The account stays too —
+        // re-registration on a different reactor rebinds it.
         Ok(())
     }
 
     fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
         // Drain the kernel buffer first so level-triggered epoll goes
-        // quiet once everything available has been reassembled.
+        // quiet once everything available has been reassembled. A
+        // paused connection only finishes the frame in flight (so the
+        // stream parks at a frame boundary and every charged byte can
+        // be recycled back), then leaves the rest to TCP flow control.
         let mut buf = [0u8; 16 * 1024];
         while !self.eof {
-            match self.stream.read(&mut buf) {
+            let want = if self.paused {
+                let buffered = self.inbox.len();
+                if buffered == 0 || buffered >= self.inbox.needed() {
+                    break;
+                }
+                (self.inbox.needed() - buffered).min(buf.len())
+            } else {
+                buf.len()
+            };
+            match self.stream.read(&mut buf[..want]) {
                 Ok(0) => self.eof = true,
-                Ok(n) => self.inbox.push(&buf[..n]),
+                Ok(n) => {
+                    self.inbox.push(&buf[..n]);
+                    self.maybe_pause()?;
+                }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) if is_disconnect(&e) => self.eof = true,
@@ -504,27 +711,72 @@ impl EventedChannel for TcpChannel {
     fn wants_write(&self) -> bool {
         !self.outbox.is_empty()
     }
+
+    fn set_ingress_hold(&mut self, hold: bool) -> Result<(), NetError> {
+        if self.held == hold {
+            return Ok(());
+        }
+        self.held = hold;
+        if hold {
+            // Latch the pause through the same plumbing backpressure
+            // uses, so the pool's paused gauge stays truthful.
+            if !self.paused {
+                if let Some(acct) = &self.account {
+                    acct.set_paused(true);
+                }
+                self.paused = true;
+                self.sync_interest()?;
+            }
+        } else if self.paused {
+            // Release re-arms immediately unless the byte account still
+            // has this connection over its own low-water mark.
+            let over_water = self
+                .account
+                .as_ref()
+                .is_some_and(|acct| !acct.should_resume());
+            if !over_water {
+                if let Some(acct) = &self.account {
+                    acct.set_paused(false);
+                }
+                self.paused = false;
+                self.sync_interest()?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Listening socket yielding [`TcpChannel`]s.
 pub struct TcpAcceptor {
     listener: TcpListener,
     local: String,
+    /// Connections accepted (no-op counter until telemetry attaches).
+    accepts: Counter,
+    /// Accept attempts that failed with a transient error.
+    rejections: Counter,
 }
 
 impl TcpAcceptor {
     /// Binds to `addr` (use port 0 for an OS-assigned port, reported by
-    /// [`Acceptor::local_addr`]).
+    /// [`Acceptor::local_addr`]). The listener is non-blocking from the
+    /// start — `accept` polls it instead of re-arming the socket option
+    /// on every iteration.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn bind(addr: impl ToSocketAddrs) -> Result<TcpAcceptor, NetError> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener
             .local_addr()
             .map_or_else(|_| "unknown".into(), |a| a.to_string());
-        Ok(TcpAcceptor { listener, local })
+        Ok(TcpAcceptor {
+            listener,
+            local,
+            accepts: Counter::default(),
+            rejections: Counter::default(),
+        })
     }
 }
 
@@ -532,11 +784,11 @@ impl Acceptor for TcpAcceptor {
     fn accept(&mut self, deadline: Instant) -> Result<Box<dyn EventedChannel>, NetError> {
         // Poll with a short accept window so the deadline is honored
         // without platform-specific listener timeouts.
-        self.listener.set_nonblocking(true)?;
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     stream.set_nonblocking(false)?;
+                    self.accepts.inc();
                     return Ok(Box::new(TcpChannel::from_stream(stream)?));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -545,9 +797,17 @@ impl Acceptor for TcpAcceptor {
                     }
                     std::thread::sleep(Duration::from_millis(5));
                 }
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    self.rejections.inc();
+                    return Err(e.into());
+                }
             }
         }
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.accepts = telemetry.counter("dordis_accepts_total", &[]);
+        self.rejections = telemetry.counter("dordis_accept_rejections_total", &[]);
     }
 
     fn local_addr(&self) -> String {
@@ -614,6 +874,52 @@ mod tests {
         }
         assert_eq!(got, frames);
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn frame_buffer_accounts_custody_through_shared_pool() {
+        use crate::pool::BytePool;
+
+        let pool = BytePool::new(0);
+        let mut buf = FrameBuffer::new();
+        buf.attach_account(pool.account());
+        let payload = vec![7u8; 100];
+        let mut stream = (payload.len() as u32).to_le_bytes().to_vec();
+        stream.extend_from_slice(&payload);
+        buf.push(&stream);
+        assert_eq!(pool.live_ingress(), 104, "stream bytes charged");
+        let frame = buf.take_frame().unwrap().expect("frame");
+        assert_eq!(
+            pool.live_ingress(),
+            100,
+            "prefix credited, frame still in custody"
+        );
+        buf.recycle(frame);
+        assert_eq!(pool.live_ingress(), 0, "recycle settles the frame");
+        assert!(pool.pooled_bytes() > 0, "allocation joined the reservoir");
+    }
+
+    #[test]
+    fn write_buffer_shares_broadcast_segments() {
+        // One pre-encoded wire message queued on two buffers: both
+        // drain the identical stream, and the bytes live in one shared
+        // allocation (Arc refcount 3: ours + 2 queues).
+        let frame = b"broadcast-payload".to_vec();
+        let mut msg = (frame.len() as u32).to_le_bytes().to_vec();
+        msg.extend_from_slice(&frame);
+        let wire: Arc<[u8]> = msg.clone().into();
+        let mut a = WriteBuffer::new();
+        let mut b = WriteBuffer::new();
+        a.queue_shared(&wire);
+        b.queue_shared(&wire);
+        assert_eq!(Arc::strong_count(&wire), 3, "queued by refcount");
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        assert!(a.write_to(&mut out_a).unwrap());
+        assert!(b.write_to(&mut out_b).unwrap());
+        assert_eq!(out_a, msg);
+        assert_eq!(out_b, msg);
+        assert!(a.is_empty() && b.is_empty());
     }
 
     #[test]
@@ -796,5 +1102,146 @@ mod tests {
             server.try_flush().unwrap();
         }
         assert_eq!(client.join().unwrap(), b"echo");
+    }
+
+    #[test]
+    fn backpressure_pauses_and_rearms_without_losing_frames() {
+        use crate::reactor::{Reactor, Token};
+
+        const FRAMES: usize = 64;
+        const LEN: usize = 8 * 1024;
+        // Budget well below the burst (64 × 8 KiB = 512 KiB), above the
+        // fair-share floor so one connection's share is the budget.
+        const BUDGET: u64 = 96 * 1024;
+
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let client = std::thread::spawn(move || {
+            let mut chan = TcpChannel::connect(addr).unwrap();
+            // Backpressure stalls the kernel send path on purpose; the
+            // write deadline just has to outlive the test.
+            chan.set_write_timeout(Duration::from_secs(30));
+            for i in 0..FRAMES {
+                let frame = vec![i as u8; LEN];
+                chan.send(&frame).unwrap();
+            }
+            // Hold the connection open until the server confirms.
+            chan.recv_deadline(deadline_in(Duration::from_secs(30)))
+                .unwrap()
+        });
+
+        let mut reactor = Reactor::new(Duration::from_millis(5)).unwrap();
+        reactor.set_ingress_budget(BUDGET);
+        let pool = reactor.pool();
+        let mut server = acceptor
+            .accept(deadline_in(Duration::from_secs(5)))
+            .unwrap();
+        server.register(&mut reactor, Token(1)).unwrap();
+        // Phase 1: drain *without recycling* until backpressure trips
+        // (the pool's paused gauge is the public view of the channel's
+        // pause state).
+        let (mut events, mut expired) = (Vec::new(), Vec::new());
+        let mut held: Vec<Vec<u8>> = Vec::new();
+        let start = Instant::now();
+        while pool.paused_connections() == 0 {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "backpressure never paused the connection \
+                 ({} frames drained, {} live bytes)",
+                held.len(),
+                pool.live_ingress()
+            );
+            reactor
+                .poll(&mut events, &mut expired, Duration::from_millis(50))
+                .unwrap();
+            for ev in &events {
+                if ev.readable {
+                    while let Some(f) = server.try_recv().unwrap() {
+                        held.push(f);
+                    }
+                }
+            }
+        }
+        assert!(
+            held.len() < FRAMES,
+            "paused only after the whole burst was buffered"
+        );
+        assert!(pool.live_ingress() > BUDGET / 2);
+
+        // Phase 2: a paused connection produces no further events even
+        // though the client is still pushing — the reactor's polls stay
+        // O(events), it does not spin on suppressed readiness.
+        for _ in 0..3 {
+            reactor
+                .poll(&mut events, &mut expired, Duration::from_millis(30))
+                .unwrap();
+            assert!(
+                events.is_empty(),
+                "paused connection leaked events: {events:?}"
+            );
+        }
+
+        // Phase 3: verify + recycle everything held so far — the credit
+        // stream must re-arm read interest.
+        let verified = held.len();
+        for (i, frame) in held.drain(..).enumerate() {
+            assert_eq!(frame.len(), LEN);
+            assert!(
+                frame.iter().all(|&b| b == i as u8),
+                "frame {i} corrupted across the pause"
+            );
+            server.recycle_frame(frame);
+        }
+        assert_eq!(
+            pool.paused_connections(),
+            0,
+            "recycling everything did not re-arm the connection"
+        );
+
+        // Phase 4: the rest of the burst arrives, in order — nothing
+        // lost or duplicated across the pause/resume cycle. Recycle as
+        // we go so the connection stays under budget.
+        let mut next = verified;
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while next < FRAMES {
+            assert!(
+                Instant::now() < deadline,
+                "burst stalled after resume at frame {next}"
+            );
+            reactor
+                .poll(&mut events, &mut expired, Duration::from_millis(50))
+                .unwrap();
+            for ev in &events {
+                if ev.readable {
+                    while let Some(frame) = server.try_recv().unwrap() {
+                        assert_eq!(frame.len(), LEN);
+                        assert!(
+                            frame.iter().all(|&b| b == next as u8),
+                            "frame {next} lost or reordered across the pause"
+                        );
+                        next += 1;
+                        server.recycle_frame(frame);
+                    }
+                }
+            }
+        }
+
+        // Release the client and make sure the ledger settled.
+        server.send(b"done").unwrap();
+        assert_eq!(client.join().unwrap(), b"done");
+        drop(server);
+        assert_eq!(pool.live_ingress(), 0, "ingress ledger leaked");
+        assert_eq!(pool.paused_connections(), 0);
+
+        // Backpressure must not degrade the reactor to spinning: the
+        // poll count stays in the order of delivered events.
+        let stats = reactor.stats;
+        assert!(
+            stats.polls <= stats.events + stats.timer_fires + 64,
+            "polls {} not O(events {} + timer fires {})",
+            stats.polls,
+            stats.events,
+            stats.timer_fires
+        );
     }
 }

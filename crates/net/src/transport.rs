@@ -13,7 +13,10 @@
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use dordis_telemetry::Telemetry;
+
 use crate::codec::Envelope;
+use crate::pool::ChannelAccount;
 use crate::reactor::{EventedChannel, Reactor, Token, WakeQueue};
 use crate::NetError;
 
@@ -53,8 +56,34 @@ pub trait Channel: Send {
         drop(frame);
     }
 
+    /// Sends an already-encoded wire message — 4-byte little-endian
+    /// length prefix followed by the frame (see [`wire_message`]). The
+    /// broadcast path encodes a frame *once* and calls this on every
+    /// channel; transports with a refcount-aware egress queue (TCP
+    /// registered with a reactor) share the allocation across all peers
+    /// instead of copying it N times. The default re-sends the embedded
+    /// frame through [`send`](Channel::send), which is always correct.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`send`](Channel::send).
+    fn send_wire_shared(&mut self, msg: &Arc<[u8]>) -> Result<(), NetError> {
+        self.send(&msg[4..])
+    }
+
     /// Human-readable peer address for diagnostics.
     fn peer(&self) -> String;
+}
+
+/// Encodes a frame into its on-the-wire form (4-byte little-endian
+/// length prefix + payload) as a refcounted allocation, ready for
+/// [`Channel::send_wire_shared`] fan-out.
+#[must_use]
+pub fn wire_message(frame: &[u8]) -> Arc<[u8]> {
+    let mut msg = Vec::with_capacity(4 + frame.len());
+    msg.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+    msg.extend_from_slice(frame);
+    msg.into()
 }
 
 /// Server-side half of a transport: yields one [`EventedChannel`] per
@@ -68,6 +97,12 @@ pub trait Acceptor {
     /// [`NetError::Timeout`] when the deadline passes, [`NetError::Io`] /
     /// [`NetError::Closed`] on transport failure.
     fn accept(&mut self, deadline: Instant) -> Result<Box<dyn EventedChannel>, NetError>;
+
+    /// Wires the acceptor's counters (accepts, rejections) into a
+    /// metrics registry. Default: no instrumentation.
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let _ = telemetry;
+    }
 
     /// The address clients should connect to.
     fn local_addr(&self) -> String;
@@ -110,6 +145,16 @@ pub struct LoopbackChannel {
     my_reg: RegSlot,
     /// The peer end's registration (we wake it on send/drop).
     peer_reg: RegSlot,
+    /// Shared-pool account, opened at reactor registration — loopback
+    /// charges the same ingress budget as TCP so driver-equivalence
+    /// tests and loopback benches exercise the backpressure path.
+    account: Option<ChannelAccount>,
+    /// Bytes of delivered frames not yet recycled.
+    outstanding: usize,
+    /// Backpressure: `try_recv` refuses to pull until recycles drain
+    /// the charge below the low-water mark (the loopback analogue of
+    /// dropping read interest).
+    paused: bool,
 }
 
 impl LoopbackChannel {
@@ -127,6 +172,9 @@ impl LoopbackChannel {
                 label: format!("loopback:{label}:a"),
                 my_reg: Arc::clone(&a_reg),
                 peer_reg: Arc::clone(&b_reg),
+                account: None,
+                outstanding: 0,
+                paused: false,
             },
             LoopbackChannel {
                 tx: Some(b_tx),
@@ -134,6 +182,9 @@ impl LoopbackChannel {
                 label: format!("loopback:{label}:b"),
                 my_reg: b_reg,
                 peer_reg: a_reg,
+                account: None,
+                outstanding: 0,
+                paused: false,
             },
         )
     }
@@ -144,6 +195,24 @@ impl LoopbackChannel {
             if let Some((waker, token)) = guard.as_ref() {
                 waker.wake(*token);
             }
+        }
+    }
+
+    /// Wakes *this* end's reactor — used on backpressure resume, when
+    /// frames may already sit in the queue with no new send coming.
+    fn wake_self(&self) {
+        if let Ok(guard) = self.my_reg.lock() {
+            if let Some((waker, token)) = guard.as_ref() {
+                waker.wake(*token);
+            }
+        }
+    }
+
+    /// Records a delivered frame against the ingress budget.
+    fn charge_delivery(&mut self, len: usize) {
+        if let Some(acct) = &self.account {
+            acct.charge_ingress(len);
+            self.outstanding += len;
         }
     }
 }
@@ -160,9 +229,28 @@ impl Channel for LoopbackChannel {
         let now = Instant::now();
         let wait = deadline.saturating_duration_since(now);
         match self.rx.recv_timeout(wait) {
-            Ok(frame) => Ok(frame),
+            Ok(frame) => {
+                self.charge_delivery(frame.len());
+                Ok(frame)
+            }
             Err(mpsc::RecvTimeoutError::Timeout) => Err(NetError::Timeout),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(NetError::Closed),
+        }
+    }
+
+    fn recycle_frame(&mut self, frame: Vec<u8>) {
+        let credit = frame.len().min(self.outstanding);
+        self.outstanding -= credit;
+        if let Some(acct) = &self.account {
+            acct.credit_ingress(credit);
+            acct.put(frame);
+            if self.paused && acct.should_resume() {
+                acct.set_paused(false);
+                self.paused = false;
+                // Frames may already be queued with no new send coming:
+                // schedule our own readiness sweep.
+                self.wake_self();
+            }
         }
     }
 
@@ -173,6 +261,19 @@ impl Channel for LoopbackChannel {
 
 impl EventedChannel for LoopbackChannel {
     fn register(&mut self, reactor: &mut Reactor, token: Token) -> Result<(), NetError> {
+        let pool = reactor.pool();
+        let fresh = match &self.account {
+            Some(acct) => !acct.pool().same_as(&pool),
+            None => true,
+        };
+        if fresh {
+            // Same rebind semantics as TCP: charge current custody to
+            // the new pool; the replaced account's drop credits the old.
+            let acct = pool.account();
+            acct.charge_ingress(self.outstanding);
+            self.paused = false;
+            self.account = Some(acct);
+        }
         let waker = reactor.waker();
         if let Ok(mut guard) = self.my_reg.lock() {
             *guard = Some((Arc::clone(&waker), token));
@@ -194,8 +295,22 @@ impl EventedChannel for LoopbackChannel {
     }
 
     fn try_recv(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        if self.paused {
+            // Backpressure: leave queued frames where they are until
+            // recycles drain the charge (recycle_frame re-arms us).
+            return Ok(None);
+        }
         match self.rx.try_recv() {
-            Ok(frame) => Ok(Some(frame)),
+            Ok(frame) => {
+                self.charge_delivery(frame.len());
+                if let Some(acct) = &self.account {
+                    if acct.should_pause() {
+                        acct.set_paused(true);
+                        self.paused = true;
+                    }
+                }
+                Ok(Some(frame))
+            }
             Err(mpsc::TryRecvError::Empty) => Ok(None),
             Err(mpsc::TryRecvError::Disconnected) => Err(NetError::Closed),
         }
@@ -416,5 +531,69 @@ mod tests {
             }
         }
         assert!(matches!(server.try_recv(), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn budgeted_loopback_pauses_and_resumes() {
+        const FRAMES: usize = 40;
+        const LEN: usize = 4 * 1024;
+
+        let mut reactor = Reactor::new(Duration::from_millis(5)).unwrap();
+        // One connection → fair share = max(budget, floor) = 64 KiB,
+        // well below the 160 KiB burst.
+        reactor.set_ingress_budget(64 * 1024);
+        let pool = reactor.pool();
+        let (mut client, mut server) = LoopbackChannel::pair("budget");
+        server.register(&mut reactor, Token(1)).unwrap();
+        for i in 0..FRAMES {
+            client.send(&vec![i as u8; LEN]).unwrap();
+        }
+
+        // Drain without recycling: the charge crosses the budget and
+        // the channel pauses with frames still queued.
+        let mut held = Vec::new();
+        while let Some(frame) = server.try_recv().unwrap() {
+            held.push(frame);
+        }
+        assert!(
+            held.len() < FRAMES,
+            "loopback never paused ({} frames pulled)",
+            held.len()
+        );
+        assert_eq!(pool.paused_connections(), 1);
+        assert!(pool.live_ingress() > 64 * 1024 / 2);
+
+        // Recycling re-arms the channel and self-wakes the reactor.
+        let mut next = 0usize;
+        for frame in held.drain(..) {
+            assert!(frame.iter().all(|&b| b == next as u8));
+            next += 1;
+            server.recycle_frame(frame);
+        }
+        assert_eq!(pool.paused_connections(), 0, "recycles did not re-arm");
+
+        // The self-wake surfaces the queued remainder through a poll.
+        let (mut events, mut expired) = (Vec::new(), Vec::new());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while next < FRAMES {
+            assert!(Instant::now() < deadline, "stalled at frame {next}");
+            reactor
+                .poll(&mut events, &mut expired, Duration::from_millis(50))
+                .unwrap();
+            for ev in &events {
+                assert_eq!(ev.token, Token(1));
+                while let Some(frame) = server.try_recv().unwrap() {
+                    assert!(
+                        frame.iter().all(|&b| b == next as u8),
+                        "frame {next} lost or reordered across the pause"
+                    );
+                    next += 1;
+                    server.recycle_frame(frame);
+                }
+            }
+        }
+        drop(client);
+        drop(server);
+        assert_eq!(pool.live_ingress(), 0, "loopback ledger leaked");
     }
 }

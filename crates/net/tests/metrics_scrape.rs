@@ -105,6 +105,7 @@ fn live_scrape_mid_round_with_full_trace_coverage() {
         mode: CollectMode::Reactor,
         workers: 2,
         shards: 1,
+        ingress_budget: 0,
         announce: true,
         population: (0..N).collect(),
         seating: Seating::Roster,
@@ -275,6 +276,7 @@ fn sharded_session_federates_shard_metrics_through_one_endpoint() {
         mode: CollectMode::Reactor,
         workers: 0,
         shards: 2,
+        ingress_budget: 0,
         announce: true,
         population: (0..SN).collect(),
         seating: Seating::Roster,

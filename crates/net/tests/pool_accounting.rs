@@ -1,0 +1,216 @@
+//! Ledger balance of the shared byte pool under arbitrary schedules.
+//!
+//! The memory plane's core claim is an accounting identity: at every
+//! point in time, the pool's live ingress gauge equals the bytes each
+//! connection genuinely holds custody of (stream buffer + decoded
+//! frames not yet recycled), no matter how pushes, frame takes,
+//! recycles, pauses, and disconnects interleave — and a dropped
+//! connection settles its whole ledger, so nothing leaks. These
+//! properties drive the backpressure decisions (`should_pause`), so a
+//! drift here silently turns the budget into fiction.
+
+use dordis_net::pool::{BytePool, ChannelAccount};
+use dordis_net::tcp::FrameBuffer;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Deterministic payload bytes for frame `i` of length `len`.
+fn payload(seed: u64, i: usize, len: usize) -> Vec<u8> {
+    let mut x = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (0..len)
+        .map(|_| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 56) as u8
+        })
+        .collect()
+}
+
+/// Length-prefixes and concatenates frames into one raw stream.
+fn stream_of(frames: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        out.extend_from_slice(&(f.len() as u32).to_le_bytes());
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+/// One simulated connection: a real `FrameBuffer` charged to a real
+/// `ChannelAccount`, plus the test's shadow ledger.
+struct Conn {
+    buf: FrameBuffer,
+    acct: ChannelAccount,
+    /// Scripted wire bytes not yet pushed.
+    stream: Vec<u8>,
+    fed: usize,
+    /// Frames taken but not yet recycled (custody still charged).
+    held: Vec<Vec<u8>>,
+    /// Shadow ledger: what this connection should have charged.
+    live: u64,
+    paused: bool,
+}
+
+impl Conn {
+    fn new(pool: &BytePool, seed: u64, frames: &[Vec<u8>]) -> Conn {
+        let acct = pool.account();
+        let mut buf = FrameBuffer::new();
+        buf.attach_account(acct.clone());
+        let _ = seed;
+        Conn {
+            buf,
+            acct,
+            stream: stream_of(frames),
+            fed: 0,
+            held: Vec::new(),
+            live: 0,
+            paused: false,
+        }
+    }
+}
+
+/// Decodes one schedule step out of a raw u64 (the vendored proptest
+/// has no tuple strategies): `(connection index, op, size hint)`.
+///
+/// op 0..=2: push up to `hint` scripted bytes; 3: take one frame;
+/// 4: recycle the oldest held frame; 5: toggle pause; 6: disconnect.
+fn decode_op(x: u64) -> (usize, u8, usize) {
+    let idx = (x & 0xFF) as usize;
+    let op = ((x >> 8) % 7) as u8;
+    let hint = ((x >> 16) & 0x1FF) as usize + 1;
+    (idx, op, hint)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary interleavings of push / take / recycle / park /
+    /// disconnect keep the pool's ledger balanced: live ingress always
+    /// equals the surviving connections' shadow ledgers, retained pool
+    /// bytes never exceed the retain cap, the paused gauge tracks the
+    /// paused set, and dropping every connection settles to zero.
+    #[test]
+    fn interleaved_custody_keeps_the_ledger_balanced(
+        seed in any::<u64>(),
+        budget_raw in 0u64..262_144,
+        per_conn_lens in collection::vec(
+            collection::vec(0usize..400, 1..6), 2..5),
+        raw_ops in collection::vec(any::<u64>(), 1..120),
+    ) {
+        // Small draws collapse to 0 = unlimited, so both budget regimes
+        // are exercised.
+        let budget = if budget_raw < 1024 { 0 } else { budget_raw };
+        let pool = BytePool::new(budget);
+        let mut conns: Vec<Option<Conn>> = per_conn_lens
+            .iter()
+            .enumerate()
+            .map(|(c, lens)| {
+                let frames: Vec<Vec<u8>> = lens
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &len)| payload(seed ^ c as u64, i, len))
+                    .collect();
+                Some(Conn::new(&pool, seed, &frames))
+            })
+            .collect();
+
+        for (idx, op, hint) in raw_ops.into_iter().map(decode_op) {
+            let slot = idx % conns.len();
+            let Some(conn) = conns[slot].as_mut() else {
+                continue; // already disconnected
+            };
+            match op {
+                0..=2 => {
+                    let n = hint.min(conn.stream.len() - conn.fed);
+                    if n > 0 {
+                        conn.buf.push(&conn.stream[conn.fed..conn.fed + n]);
+                        conn.fed += n;
+                        conn.live += n as u64;
+                    }
+                }
+                3 => {
+                    if let Some(frame) = conn.buf.take_frame().expect("valid stream") {
+                        // The 4-byte prefix is consumed outright; the
+                        // payload's custody moves into the held frame.
+                        conn.live -= 4;
+                        conn.held.push(frame);
+                    }
+                }
+                4 => {
+                    if !conn.held.is_empty() {
+                        let frame = conn.held.remove(0);
+                        conn.live -= frame.len() as u64;
+                        conn.buf.recycle(frame);
+                    }
+                }
+                5 => {
+                    conn.paused = !conn.paused;
+                    conn.acct.set_paused(conn.paused);
+                }
+                6 => {
+                    // Disconnect with frames still held and bytes still
+                    // buffered: the account drop must settle it all.
+                    conns[slot] = None;
+                }
+                _ => unreachable!("op range is 0..7"),
+            }
+
+            let expected: u64 = conns
+                .iter()
+                .flatten()
+                .map(|c| c.live)
+                .sum();
+            prop_assert_eq!(pool.live_ingress(), expected);
+            prop_assert!(
+                pool.pooled_bytes() <= pool.retain_cap(),
+                "retained {} bytes exceeds cap {}",
+                pool.pooled_bytes(),
+                pool.retain_cap()
+            );
+            let paused: u64 = conns
+                .iter()
+                .flatten()
+                .filter(|c| c.paused)
+                .count() as u64;
+            prop_assert_eq!(pool.paused_connections(), paused);
+        }
+
+        // Everything disconnects — even with un-recycled frames and
+        // half-parsed streams in flight, the ledger settles to zero.
+        conns.clear();
+        prop_assert_eq!(pool.live_ingress(), 0);
+        prop_assert_eq!(pool.connections(), 0);
+        prop_assert_eq!(pool.paused_connections(), 0);
+    }
+}
+
+/// A taken frame recycled *after* its producing buffer is gone still
+/// settles: the account outlives the `FrameBuffer` only through the
+/// test's clone, and dropping both zeroes the ledger even though the
+/// held frame never went back.
+#[test]
+fn late_drop_of_held_frames_settles_ledger() {
+    let pool = BytePool::new(0);
+    let acct = pool.account();
+    let mut buf = FrameBuffer::new();
+    buf.attach_account(acct.clone());
+
+    let frames = vec![payload(7, 0, 100), payload(7, 1, 50)];
+    buf.push(&stream_of(&frames));
+    let first = buf.take_frame().unwrap().unwrap();
+    assert_eq!(first, frames[0]);
+    // 158 pushed, one 4-byte prefix consumed.
+    assert_eq!(pool.live_ingress(), 154);
+
+    drop(buf); // second frame still buffered, first still held
+    assert_eq!(
+        pool.live_ingress(),
+        154,
+        "the test's account clone keeps the ledger open"
+    );
+    drop(acct); // last clone: settles buffered and held custody alike
+    assert_eq!(pool.live_ingress(), 0, "leak on account drop");
+    assert_eq!(pool.connections(), 0);
+    drop(first);
+}

@@ -142,6 +142,7 @@ fn run_session(
         mode,
         workers,
         shards: 1,
+        ingress_budget: 0,
         announce: true,
         population: (0..N).collect(),
         seating: Seating::Roster,

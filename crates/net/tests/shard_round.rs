@@ -174,6 +174,7 @@ fn run_sharded_session(
         mode,
         workers,
         shards,
+        ingress_budget: 0,
         announce: true,
         population: (0..N).collect(),
         seating: Seating::Roster,
@@ -430,6 +431,7 @@ fn shard_discards_stale_frame_and_merged_report_counts_it() {
             mode: CollectMode::Reactor,
             workers: 0,
             shards,
+            ingress_budget: 0,
             announce: true,
             population: (0..N).collect(),
             seating: Seating::Roster,
@@ -576,6 +578,7 @@ fn sparse_shards_match_unsharded_driver() {
         mode: CollectMode::Reactor,
         workers: 0,
         shards: 2,
+        ingress_budget: 0,
         announce: true,
         population: (0..BIG_N).collect(),
         seating: Seating::Roster,

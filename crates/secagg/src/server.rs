@@ -200,10 +200,24 @@ pub struct Server {
     u2: Vec<ClientId>,
     u3: Vec<ClientId>,
     u5: Vec<ClientId>,
-    /// Per-chunk masked inputs: `masked[c][client]` is the client's
-    /// chunk-`c` slice. A client only enters U3 once every chunk arrived;
-    /// partial deliveries linger here but never reach a sum.
+    /// Per-chunk masked inputs of clients whose streams are still
+    /// *incomplete*: `masked[c][client]` is the client's chunk-`c`
+    /// slice. Once every chunk has arrived the client's vectors are
+    /// folded into [`Server::fold_sums`] and freed — so this map never
+    /// holds more than the in-flight streams, not the whole cohort's
+    /// decoded upload. Partial deliveries linger here but never reach
+    /// a sum; `finalize_masked` discards them.
     masked: Vec<BTreeMap<ClientId, Vec<u64>>>,
+    /// Clients whose complete masked input has been folded into
+    /// [`Server::fold_sums`]. This *is* U3 at `finalize_masked` time.
+    folded: BTreeSet<ClientId>,
+    /// Per-chunk running sums (in `Z_{2^b}`) over the folded clients.
+    /// Addition in `Z_{2^b}` commutes, so folding clients in completion
+    /// order is bit-equal to summing them in sorted U3 order at unmask
+    /// time — while peak memory drops from the cohort's whole decoded
+    /// upload (`O(clients × dim)` u64s) to the running sums plus the
+    /// in-flight streams.
+    fold_sums: Vec<Vec<u64>>,
     /// Per-chunk unmasked aggregates (None until `unmask_chunk`).
     chunk_sums: Vec<Option<Vec<u64>>>,
     /// Full-length mask correction (`−Σ p_u ± Σ PRG(s_{u,v})`) built by
@@ -253,6 +267,7 @@ impl Server {
             )));
         }
         let m = plan.chunks();
+        let fold_sums = (0..m).map(|c| vec![0u64; plan.chunk_len(c)]).collect();
         Ok(Server {
             params,
             plan,
@@ -262,6 +277,8 @@ impl Server {
             u3: Vec::new(),
             u5: Vec::new(),
             masked: vec![BTreeMap::new(); m],
+            folded: BTreeSet::new(),
+            fold_sums,
             chunk_sums: vec![None; m],
             correction: None,
             recon_b: BTreeSet::new(),
@@ -336,6 +353,12 @@ impl Server {
     /// this is the entry point the pipelined coordinator drives while
     /// chunk `c+1` is still in flight.
     ///
+    /// The moment a client's *last* outstanding chunk lands, its whole
+    /// vector is folded into the per-chunk running sums and its decoded
+    /// chunks are freed — the server never holds the full cohort's
+    /// decoded upload at once. A frame arriving for an already-folded
+    /// client (a duplicate) is discarded.
+    ///
     /// # Errors
     ///
     /// Rejects unknown chunk indices, wrong chunk lengths, and senders
@@ -351,6 +374,7 @@ impl Server {
                 self.plan.chunks()
             )));
         }
+        let bits = self.params.bit_width;
         for m in msgs {
             if m.vector.len() != self.plan.chunk_len(chunk) {
                 return Err(SecAggError::Config(format!(
@@ -364,7 +388,18 @@ impl Server {
                     m.client
                 )));
             }
-            self.masked[chunk].insert(m.client, m.vector);
+            if self.folded.contains(&m.client) {
+                continue;
+            }
+            let client = m.client;
+            self.masked[chunk].insert(client, m.vector);
+            if self.masked.iter().all(|c| c.contains_key(&client)) {
+                for (c, store) in self.masked.iter_mut().enumerate() {
+                    let v = store.remove(&client).expect("all chunks present");
+                    mask::add_signed_assign(&mut self.fold_sums[c], &v, true, bits);
+                }
+                self.folded.insert(client);
+            }
         }
         Ok(())
     }
@@ -377,17 +412,20 @@ impl Server {
     ///
     /// Aborts below threshold.
     pub fn finalize_masked(&mut self) -> Result<Vec<ClientId>, SecAggError> {
-        let u3: Vec<ClientId> = self.masked[0]
-            .keys()
-            .copied()
-            .filter(|id| self.masked.iter().all(|chunk| chunk.contains_key(id)))
-            .collect();
+        // Folded = delivered every chunk; the BTreeSet iterates sorted,
+        // matching the sorted per-chunk map order U3 historically had.
+        let u3: Vec<ClientId> = self.folded.iter().copied().collect();
         if u3.len() < self.params.threshold {
             return Err(SecAggError::BelowThreshold {
                 stage: "MaskedInputCollection",
                 live: u3.len(),
                 threshold: self.params.threshold,
             });
+        }
+        // Partial streams are dropouts: their chunks never reached a
+        // fold sum, and nothing reads them past this point.
+        for store in &mut self.masked {
+            store.clear();
         }
         self.u3 = u3;
         Ok(self.u3.clone())
@@ -599,9 +637,10 @@ impl Server {
     }
 
     /// Compute-plane form of [`Server::unmask_chunk`], step 1: moves
-    /// the survivors' chunk-`c` vectors (in U3 order) out of the server
-    /// so a worker thread can own them. Pair with
-    /// [`unmask_chunk_task`] and [`Server::install_chunk_sum`].
+    /// the survivors' folded chunk-`c` running sum out of the server so
+    /// a worker thread can own it (every U3 member's vector was already
+    /// folded in at collection time). Pair with [`unmask_chunk_task`]
+    /// and [`Server::install_chunk_sum`].
     ///
     /// # Errors
     ///
@@ -620,12 +659,7 @@ impl Server {
                 "take_chunk_inputs before plan_unmasking".into(),
             ));
         }
-        let store = &mut self.masked[chunk];
-        Ok(self
-            .u3
-            .iter()
-            .map(|u| store.remove(u).expect("U3 members delivered every chunk"))
-            .collect())
+        Ok(vec![std::mem::take(&mut self.fold_sums[chunk])])
     }
 
     /// Compute-plane form of [`Server::unmask_chunk`], step 3: installs
@@ -675,13 +709,10 @@ impl Server {
         };
         let bits = self.params.bit_width;
         let range = self.plan.range(chunk);
-        let mut sum = vec![0u64; range.len()];
-        for u in &self.u3 {
-            let v = self.masked[chunk]
-                .get(u)
-                .expect("U3 members delivered every chunk");
-            mask::add_signed_assign(&mut sum, v, true, bits);
-        }
+        // Every U3 member's chunk was folded into the running sum at
+        // collection time (addition in `Z_{2^b}` commutes, so the fold
+        // order is immaterial); only the correction remains.
+        let mut sum = std::mem::take(&mut self.fold_sums[chunk]);
         mask::add_signed_assign(&mut sum, &correction[range], true, bits);
         self.chunk_sums[chunk] = Some(sum);
         Ok(())
