@@ -35,6 +35,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use dordis_net::coordinator::{CollectMode, CoordinatorConfig};
+use dordis_net::faults::FaultPlan;
 use dordis_net::runtime::{round_rng_seed, run_session_client, SessionClientOptions};
 use dordis_net::session::{Seating, Session, SessionConfig};
 use dordis_net::tcp::{TcpAcceptor, TcpChannel};
@@ -155,6 +156,8 @@ fn coordinator_child(s: &Scale) {
         }),
         telemetry: telemetry.clone(),
         metrics_addr: None,
+        replica: None,
+        faults: FaultPlan::none(),
     };
     let mut session = Session::new(&mut acceptor, cfg).expect("session");
     let start = Instant::now();

@@ -23,6 +23,7 @@
 use std::time::{Duration, Instant};
 
 use dordis_net::coordinator::{run_coordinator, CollectMode, CoordinatorConfig};
+use dordis_net::faults::FaultPlan;
 use dordis_net::runtime::{
     round_rng_seed, run_client, run_session_client, ClientOptions, SessionClientOptions,
     SessionEndKind,
@@ -112,6 +113,8 @@ fn persistent(rounds: u64, dim: usize, telemetry: Telemetry) -> Duration {
         params_for: Box::new(move |round, _| params_for_round(round, dim)),
         telemetry,
         metrics_addr: None,
+        replica: None,
+        faults: FaultPlan::none(),
     };
     let mut session = Session::new(&mut acceptor, cfg).expect("session");
     for _ in 0..rounds {

@@ -34,6 +34,7 @@
 use std::time::{Duration, Instant};
 
 use dordis_net::coordinator::{CollectMode, CoordinatorConfig};
+use dordis_net::faults::FaultPlan;
 use dordis_net::runtime::{run_session_client, SessionClientOptions, SessionEndKind};
 use dordis_net::session::{Seating, Session, SessionConfig};
 use dordis_net::transport::LoopbackHub;
@@ -135,6 +136,8 @@ fn run_at(shards: usize, n: u32, rounds: u64, dim: usize) -> (Duration, f64) {
         params_for: Box::new(move |round, _| params_for_round(round, n, dim)),
         telemetry: Telemetry::disabled(),
         metrics_addr: None,
+        replica: None,
+        faults: FaultPlan::none(),
     };
     let mut session = Session::new(&mut acceptor, cfg).expect("session");
     for _ in 0..rounds {

@@ -10,6 +10,12 @@
 //! # R rounds over persistent connections):
 //! dordis serve --listen 127.0.0.1:7700 --clients 5 --threshold 3 --rounds 3
 //! dordis join --connect 127.0.0.1:7700 --id 0   # ... one per client
+//!
+//! # Replicated pair: a standby installs round-boundary checkpoints and
+//! # takes over if the primary dies; clients redial with --failover.
+//! dordis serve --listen 127.0.0.1:7701 --backup 127.0.0.1:7800 ...   # standby
+//! dordis serve --listen 127.0.0.1:7700 --replica 127.0.0.1:7800 ...  # primary
+//! dordis join --connect 127.0.0.1:7700 --failover 127.0.0.1:7701 --id 0
 //! ```
 
 use std::process::ExitCode;
@@ -21,12 +27,17 @@ use dordis_core::trainer::train;
 use dordis_dp::accountant::Mechanism;
 use dordis_dp::planner::{plan, PlannerConfig};
 use dordis_net::coordinator::{CollectMode, CoordinatorConfig, NetRoundReport};
+use dordis_net::faults::FaultPlan;
+use dordis_net::reactor::EventedChannel;
+use dordis_net::replication::{run_backup, BackupOutcome};
 use dordis_net::runtime::{
-    run_session_client, FailAction, FailPoint, FailStage, SessionClientOptions, SessionEndKind,
+    run_session_client, Backoff, FailAction, FailPoint, FailStage, SessionClientOptions,
+    SessionEndKind,
 };
 use dordis_net::session::{Seating, Session, SessionConfig};
 use dordis_net::tcp::{TcpAcceptor, TcpChannel};
-use dordis_net::transport::Acceptor as _;
+use dordis_net::transport::{deadline_in, Acceptor as _};
+use dordis_net::NetError;
 use dordis_secagg::client::ClientInput;
 use dordis_secagg::graph::MaskingGraph;
 use dordis_secagg::{RoundParams, ThreatModel};
@@ -49,8 +60,10 @@ fn main() -> ExitCode {
                  [--noise-components T] [--chunks M] [--workers N] [--shards S] \
                  [--ingress-budget BYTES] [--stage-timeout-ms MS] \
                  [--join-timeout-ms MS] [--collect reactor|sweep] [--verify-demo] \
-                 [--trace FILE] [--metrics-addr ADDR]\n  \
-                 dordis join --connect <addr> --id <k> [--seed S] [--fail-round R] \
+                 [--trace FILE] [--metrics-addr ADDR] \
+                 [--replica ADDR | --backup ADDR] [--lease-ms MS]\n  \
+                 dordis join --connect <addr> --id <k> [--seed S] [--failover ADDR] \
+                 [--fail-round R] \
                  [--drop-at advertise|share-keys|masked-input|consistency|unmasking|noise-shares] \
                  [--drop-after-chunks K] [--drop-mode disconnect|silent] [--timeout-ms MS]"
             );
@@ -134,6 +147,18 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     if rounds == 0 {
         return Err("--rounds must be at least 1".into());
     }
+    let replica_addr = flag_value(args, "--replica");
+    let backup_listen = flag_value(args, "--backup");
+    if replica_addr.is_some() && backup_listen.is_some() {
+        return Err("--replica and --backup are mutually exclusive (pick a role)".into());
+    }
+    // Default lease: long enough that a slow round cannot be mistaken
+    // for a dead primary (checkpoints renew it every round boundary).
+    let lease_ms: u64 = flag_parse(
+        args,
+        "--lease-ms",
+        join_timeout.saturating_add(stage_timeout.saturating_mul(4)),
+    )?;
 
     let params = RoundParams {
         round: first_round,
@@ -156,6 +181,74 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     let mut acceptor = TcpAcceptor::bind(listen).map_err(|e| e.to_string())?;
     // The OS-assigned port must be announced before clients can join.
     println!("listening on {}", acceptor.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Standby role: install checkpoints from the primary until its
+    // lease lapses, then take over the session from the last committed
+    // round boundary. The client listener is already bound above, so
+    // redialing clients find the socket the moment the view changes.
+    let mut first_round = first_round;
+    let mut rounds = rounds;
+    if let Some(repl) = backup_listen {
+        let mut repl_acceptor = TcpAcceptor::bind(repl).map_err(|e| e.to_string())?;
+        println!(
+            "standby:   replication endpoint {} (lease {lease_ms} ms)",
+            repl_acceptor.local_addr()
+        );
+        let _ = std::io::stdout().flush();
+        let mut link = repl_acceptor
+            .accept(deadline_in(Duration::from_secs(600)))
+            .map_err(|e| format!("awaiting primary: {e}"))?;
+        match run_backup(&mut *link, Duration::from_millis(lease_ms), &telemetry)
+            .map_err(|e| e.to_string())?
+        {
+            BackupOutcome::SessionEnded(_) => {
+                println!("standby:   primary retired cleanly; nothing to take over");
+                return Ok(ExitCode::SUCCESS);
+            }
+            BackupOutcome::Takeover(t) => {
+                let done = t.checkpoint.as_ref().map_or(0, |c| c.rounds_done);
+                println!(
+                    "view change: promoted to view {} ({done} round(s) already committed)",
+                    t.view
+                );
+                let _ = std::io::stdout().flush();
+                if done >= rounds {
+                    println!("session already complete at takeover");
+                    return Ok(ExitCode::SUCCESS);
+                }
+                if let Some(c) = &t.checkpoint {
+                    first_round = c.round + 1;
+                }
+                rounds -= done;
+            }
+        }
+    }
+
+    // Primary role: dial the standby (briefly retried — the pair races
+    // at startup) and gate every round commit on its checkpoint ack.
+    let replica: Option<Box<dyn EventedChannel>> = match replica_addr {
+        None => None,
+        Some(addr) => {
+            let mut dial = Backoff::new(
+                0xD0D1,
+                Duration::from_millis(50),
+                Duration::from_millis(500),
+            );
+            let chan = loop {
+                match TcpChannel::connect(addr) {
+                    Ok(c) => break c,
+                    Err(_) if dial.attempts() < 40 => dial.sleep(),
+                    Err(e) => return Err(format!("replica {addr}: {e}")),
+                }
+            };
+            println!("replica:   checkpointing to {addr} (commits gated on its ack)");
+            Some(Box::new(chan))
+        }
+    };
+    let replicated = replica.is_some();
+
     println!(
         "session:   {rounds} round(s), {chunks} chunk(s) requested, {}{}",
         if workers == 0 {
@@ -172,7 +265,6 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     if ingress_budget > 0 {
         println!("ingress:   {ingress_budget} byte budget (over-budget connections pause)");
     }
-    use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
     let cfg = SessionConfig {
@@ -197,6 +289,8 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
         }),
         telemetry: telemetry.clone(),
         metrics_addr,
+        replica,
+        faults: FaultPlan::none(),
     };
     let mut session = Session::new(&mut acceptor, cfg).map_err(|e| e.to_string())?;
     if let Some(addr) = session.metrics_addr() {
@@ -206,6 +300,15 @@ fn serve_inner(args: &[String]) -> Result<ExitCode, String> {
     let mut failed = false;
     for _ in 0..rounds {
         let report = session.run_round(&[]).map_err(|e| e.to_string())?;
+        if replicated {
+            // The CLI demo carries no driver-side ledger, so the
+            // checkpoint's app payload is empty — the round boundary,
+            // view, and parked-roster state still replicate, and the
+            // round only counts once the standby has acked it.
+            session
+                .commit_round(report.round, &[])
+                .map_err(|e| format!("checkpoint round {}: {e}", report.round))?;
+        }
         if !print_round(&report, dim, bits, verify_demo) {
             failed = true;
         }
@@ -335,42 +438,85 @@ fn join_inner(args: &[String]) -> Result<ExitCode, String> {
     // Scripted failures fire in this round of the session; run `join`
     // again afterwards to rejoin from the next round's announce.
     let fail_round: u64 = flag_parse(args, "--fail-round", 1)?;
+    // Second coordinator address: on a dead connection the client
+    // alternates between the two with jittered backoff until one of
+    // them (primary, or the promoted standby) seats it again.
+    let failover = flag_value(args, "--failover");
 
-    let mut chan = TcpChannel::connect(connect).map_err(|e| e.to_string())?;
     let opts = SessionClientOptions {
         id,
         rng_seed: seed,
         recv_timeout: Duration::from_millis(timeout),
         silent_linger: Duration::from_millis(timeout),
     };
-    let report = run_session_client(
-        &mut chan,
-        &opts,
-        |_| None, // roster sessions are claim-free
-        |round| fail.filter(|_| round == fail_round),
-        |round, params, _cohort, _payload| {
-            println!("client {id}: seated in round {round}");
-            Ok(ClientInput {
-                vector: demo_update(id, params.vector_len, params.bit_width),
-                noise_seeds: if params.noise_components == 0 {
-                    Vec::new()
-                } else {
-                    (0..=params.noise_components)
-                        .map(|k| {
-                            let mut s = [0u8; 32];
-                            s[..8].copy_from_slice(&seed.to_le_bytes());
-                            s[8..12].copy_from_slice(&id.to_le_bytes());
-                            s[12] = k as u8;
-                            s[31] = 0xd3;
-                            s
-                        })
-                        .collect()
-                },
-            })
-        },
-        |_| None,
-    )
-    .map_err(|e| e.to_string())?;
+    let mut addrs = vec![connect];
+    addrs.extend(failover);
+    let mut redial = Backoff::new(
+        u64::from(id),
+        Duration::from_millis(50),
+        Duration::from_millis(2000),
+    );
+    let mut which = 0usize;
+    let report = loop {
+        if redial.attempts() > 400 {
+            return Err(format!(
+                "giving up after {} dial attempts",
+                redial.attempts()
+            ));
+        }
+        let addr = addrs[which % addrs.len()];
+        let mut chan = match TcpChannel::connect(addr) {
+            Ok(c) => c,
+            Err(e) => {
+                if failover.is_none() {
+                    return Err(e.to_string());
+                }
+                which += 1;
+                redial.sleep();
+                continue;
+            }
+        };
+        let outcome = run_session_client(
+            &mut chan,
+            &opts,
+            |_| None, // roster sessions are claim-free
+            |round| fail.filter(|_| round == fail_round),
+            |round, params, _cohort, _payload| {
+                println!("client {id}: seated in round {round}");
+                Ok(ClientInput {
+                    vector: demo_update(id, params.vector_len, params.bit_width),
+                    noise_seeds: if params.noise_components == 0 {
+                        Vec::new()
+                    } else {
+                        (0..=params.noise_components)
+                            .map(|k| {
+                                let mut s = [0u8; 32];
+                                s[..8].copy_from_slice(&seed.to_le_bytes());
+                                s[8..12].copy_from_slice(&id.to_le_bytes());
+                                s[12] = k as u8;
+                                s[31] = 0xd3;
+                                s
+                            })
+                            .collect()
+                    },
+                })
+            },
+            |_| None,
+        );
+        match outcome {
+            Ok(report) => break report,
+            // A dead coordinator, not a protocol failure: flip to the
+            // other address and try again.
+            Err(NetError::Closed | NetError::Timeout | NetError::Unavailable)
+                if failover.is_some() =>
+            {
+                println!("client {id}: coordinator at {addr} lost; failing over");
+                which += 1;
+                redial.sleep();
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    };
 
     for r in &report.rounds {
         println!("client {id}: round {} -> {:?}", r.round, r.outcome);

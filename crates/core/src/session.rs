@@ -24,6 +24,7 @@
 //! are bit-equal and the reports match field for field — the
 //! session-level analogue of the single-round equivalence pins.
 
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -38,11 +39,15 @@ use dordis_fl::data::{dirichlet_partition, synthetic_classification, train_test_
 use dordis_fl::eval::{accuracy, perplexity};
 use dordis_fl::fedavg::apply_update;
 use dordis_net::coordinator::CollectMode;
+use dordis_net::faults::{FaultPlan, KillPoint};
+use dordis_net::reactor::EventedChannel;
+use dordis_net::replication::{run_backup, BackupOutcome};
 use dordis_net::runtime::{
-    run_session_client, FailAction, FailPoint, FailStage, SessionClientOptions, SessionEndKind,
+    run_session_client, Backoff, FailAction, FailPoint, FailStage, SessionClientOptions,
+    SessionEndKind,
 };
 use dordis_net::session::{Seating, SeatingOutcome, Session, SessionConfig};
-use dordis_net::transport::LoopbackHub;
+use dordis_net::transport::{LoopbackChannel, LoopbackHub};
 use dordis_net::NetError;
 use dordis_secagg::client::ClientInput;
 use dordis_secagg::driver::{round_rng_seed, run_round, DropStage, DropoutSchedule, RoundSpec};
@@ -51,6 +56,7 @@ use dordis_secagg::{ClientId, RoundParams, ThreatModel};
 use dordis_telemetry::Telemetry;
 use dordis_xnoise::decomposition::XNoisePlan;
 use dordis_xnoise::enforcement::{derive_component_seeds, perturb, remove_excess};
+use serde::{Deserialize, Serialize};
 
 use crate::config::{TaskSpec, Variant};
 use crate::protocol::client_round_seed;
@@ -130,7 +136,7 @@ impl FlSessionOptions {
 
 /// One session round's aggregate-level outcome (the bit-equality
 /// surface of the equivalence tests).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SessionRoundOutcome {
     /// 0-based round index.
     pub round: u32,
@@ -164,6 +170,52 @@ pub struct FlSessionReport {
 #[must_use]
 pub fn wire_round(index: u32) -> u64 {
     u64::from(index) + 1
+}
+
+/// The driver's durable round-boundary state: everything a successor
+/// coordinator needs to resume the session exactly where the committed
+/// prefix ended. Travels as the opaque `app_state` of a
+/// [`SessionCheckpoint`](dordis_net::replication::SessionCheckpoint).
+///
+/// The ledger inside carries its replay watermark, so a resumed driver
+/// that tried to re-record an already-committed round would be rejected
+/// — losing or double-counting ledger state is a *privacy* bug, not
+/// just a bookkeeping one.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriverCheckpoint {
+    /// 0-based index of the first round the successor must run.
+    pub next_round: u32,
+    /// Privacy ledger with every committed round recorded.
+    pub ledger: PrivacyLedger,
+    /// Global model after the last committed round's FedAvg step.
+    pub global: Vec<f32>,
+    /// Trainer-level records for the committed prefix.
+    pub records: Vec<RoundRecord>,
+    /// Aggregate-level outcomes for the committed prefix.
+    pub rounds: Vec<SessionRoundOutcome>,
+}
+
+impl DriverCheckpoint {
+    /// Serializes for the replication channel (JSON: float fields
+    /// round-trip bit-exactly through the vendored codec).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("driver checkpoint serializes")
+            .into_bytes()
+    }
+
+    /// Restores a checkpoint shipped by a former primary.
+    ///
+    /// # Errors
+    ///
+    /// Malformed UTF-8 or JSON.
+    pub fn from_bytes(bytes: &[u8]) -> Result<DriverCheckpoint, DordisError> {
+        let text = core::str::from_utf8(bytes)
+            .map_err(|_| DordisError::Config("driver checkpoint is not UTF-8".into()))?;
+        serde_json::from_str(text)
+            .map_err(|e| DordisError::Config(format!("driver checkpoint parse: {e}")))
+    }
 }
 
 /// Deterministic per-client VRF key (stands in for PKI key
@@ -423,6 +475,34 @@ struct RoundNet {
 fn run_fl_session(
     st: &Statics,
     opts: &FlSessionOptions,
+    exec: impl FnMut(
+        &Statics,
+        u32,
+        u64,
+        &[ClientId],
+        Option<&XNoisePlan>,
+        &[f32],
+    ) -> Result<RoundNet, DordisError>,
+) -> Result<FlSessionReport, DordisError> {
+    run_fl_session_at(st, opts, None, None, exec)
+}
+
+/// Round-commit callback: `(wire_round, serialized candidate
+/// checkpoint)`; an `Err` unwinds the round before it takes effect.
+type CommitFn<'a> = &'a mut dyn FnMut(u64, &[u8]) -> Result<(), DordisError>;
+
+/// The resumable driver behind [`run_fl_session`]: optionally starts
+/// from a restored [`DriverCheckpoint`] instead of round 0, and
+/// optionally gates every round on a `commit` callback (checkpoint
+/// replication). The commit is called with the serialized candidate
+/// state *before* that state is installed — a round whose commit errors
+/// leaves no trace in the ledger, the model, or the records, which is
+/// exactly the crash-consistency contract the failover path relies on.
+fn run_fl_session_at(
+    st: &Statics,
+    opts: &FlSessionOptions,
+    resume: Option<DriverCheckpoint>,
+    mut commit: Option<CommitFn<'_>>,
     mut exec: impl FnMut(
         &Statics,
         u32,
@@ -435,19 +515,36 @@ fn run_fl_session(
     let spec = &st.spec;
     let enc_cfg = &spec.privacy.encoding;
     let bits = enc_cfg.bit_width;
-    let mechanism = Mechanism::Skellam {
-        l1_per_l2: enc_cfg.l1_per_l2(st.dim),
-    };
-    let mut ledger = PrivacyLedger::new(mechanism, spec.privacy.epsilon, spec.privacy.delta)?;
     let rate = opts.sample.target_sample as f64 / spec.population as f64;
     let cohorts = planned_cohorts(spec, opts);
 
     let mut model = build_model(spec, &st.data);
-    let mut global = model.params();
-    let mut records = Vec::new();
-    let mut rounds = Vec::new();
+    let (start, mut ledger, mut global, mut records, mut rounds) = match resume {
+        Some(ckpt) => {
+            if ckpt.next_round > opts.rounds {
+                return Err(DordisError::Config(format!(
+                    "checkpoint resumes at round {} past the {}-round horizon",
+                    ckpt.next_round, opts.rounds
+                )));
+            }
+            (
+                ckpt.next_round,
+                ckpt.ledger,
+                ckpt.global,
+                ckpt.records,
+                ckpt.rounds,
+            )
+        }
+        None => {
+            let mechanism = Mechanism::Skellam {
+                l1_per_l2: enc_cfg.l1_per_l2(st.dim),
+            };
+            let ledger = PrivacyLedger::new(mechanism, spec.privacy.epsilon, spec.privacy.delta)?;
+            (0, ledger, model.params(), Vec::new(), Vec::new())
+        }
+    };
 
-    for i in 0..opts.rounds {
+    for i in start..opts.rounds {
         let r = wire_round(i);
         let cohort = &cohorts[i as usize];
         if cohort.len() < 2 {
@@ -475,7 +572,12 @@ fn run_fl_session(
             net.survivors.len(),
             xplan.as_ref(),
         );
-        ledger.record_round(rate, achieved);
+        // The watermark-guarded record: a resumed driver that replayed
+        // an already-committed round would be rejected here instead of
+        // double-counting privacy budget.
+        ledger
+            .record_round_at(r, rate, achieved)
+            .map_err(DordisError::Dp)?;
 
         // FedAvg over survivors, then evaluate on the cadence.
         let mean: Vec<f32> = decoded
@@ -515,6 +617,22 @@ fn run_fl_session(
             sum,
             stale_frames: net.stale_frames,
         });
+
+        // Checkpoint-then-commit: ship the round's candidate state and
+        // only treat it as durable once the commit callback returns. A
+        // commit error unwinds the whole session — the caller must
+        // discard this driver (a backup may already hold a divergent
+        // view), so nothing recorded above ever escapes uncommitted.
+        if let Some(cb) = commit.as_mut() {
+            let ckpt = DriverCheckpoint {
+                next_round: i + 1,
+                ledger: ledger.clone(),
+                global: global.clone(),
+                records: records.clone(),
+                rounds: rounds.clone(),
+            };
+            cb(r, &ckpt.to_bytes())?;
+        }
     }
 
     model.set_params(&global);
@@ -611,6 +729,107 @@ fn bytes_to_global(payload: &[u8]) -> Result<Vec<f32>, NetError> {
         .collect())
 }
 
+/// Builds the coordinator `SessionConfig` shared by the networked
+/// drivers: VRF-claim seating, round params derived from the shared
+/// statics — and, for the failover path, a replication link plus an
+/// injected-crash plan. `first_index` is the 0-based session round the
+/// coordinator starts at (a takeover successor starts past the
+/// committed prefix).
+fn networked_session_cfg(
+    st: &Arc<Statics>,
+    opts: &FlSessionOptions,
+    first_index: u32,
+    replica: Option<Box<dyn EventedChannel>>,
+    faults: FaultPlan,
+) -> SessionConfig<'static> {
+    let population = st.spec.population as u32;
+    let sample = opts.sample;
+    let registry = vrf_registry(st.spec.seed, population);
+    let params_st = Arc::clone(st);
+    SessionConfig {
+        first_round: wire_round(first_index),
+        rounds: u64::from(opts.rounds - first_index),
+        join_timeout: opts.join_timeout,
+        stage_timeout: opts.stage_timeout,
+        chunks: opts.chunks,
+        chunk_compute: None,
+        tick: dordis_net::coordinator::CoordinatorConfig::DEFAULT_TICK,
+        mode: opts.mode,
+        workers: opts.workers,
+        shards: opts.shards,
+        ingress_budget: opts.ingress_budget,
+        announce: true,
+        population: (0..population).collect(),
+        seating: Seating::Claims(Box::new(move |r, raw_claims| {
+            let mut claims = Vec::new();
+            let mut rejected = Vec::new();
+            for (id, bytes) in raw_claims {
+                match decode_claim(bytes) {
+                    Ok(c) if c.client == *id => claims.push(c),
+                    Ok(_) => rejected.push((*id, "claim names another client".to_string())),
+                    Err(why) => rejected.push((*id, why)),
+                }
+            }
+            let SeatedCohort {
+                seated,
+                rejected: invalid,
+            } = seat_claims(&claims, &registry, r, &sample);
+            rejected.extend(invalid);
+            SeatingOutcome { seated, rejected }
+        })),
+        params_for: Box::new(move |r, seated| round_params(&params_st, r, seated)),
+        telemetry: opts.telemetry.clone(),
+        metrics_addr: None,
+        replica,
+        faults,
+    }
+}
+
+/// Executes one networked round through `session` and validates what
+/// the coordinator seated against the driver's planned VRF cohort.
+///
+/// The driver's noise plan, removal, and ledger entry are all derived
+/// from the *planned* cohort — if the coordinator seated anything else
+/// (a slow claim missed the join window), those derivations are wrong
+/// for what actually ran, so fail loudly instead of recording a
+/// corrupted round.
+fn networked_round(
+    session: &mut Session,
+    r: u64,
+    cohort: &[ClientId],
+    global: &[f32],
+) -> Result<RoundNet, NetError> {
+    let report = session.run_round(&global_to_bytes(global))?;
+    if report.round != r {
+        return Err(NetError::Protocol(format!(
+            "session executed round {} where the driver expected {r}",
+            report.round
+        )));
+    }
+    let mut seated: Vec<ClientId> = report
+        .outcome
+        .survivors
+        .iter()
+        .chain(report.outcome.dropped.iter())
+        .copied()
+        .collect();
+    seated.sort_unstable();
+    let mut planned = cohort.to_vec();
+    planned.sort_unstable();
+    if seated != planned {
+        return Err(NetError::Protocol(format!(
+            "round {r}: seated cohort {seated:?} diverged from the planned VRF cohort \
+             {planned:?} (a claim missed the join window?)"
+        )));
+    }
+    Ok(RoundNet {
+        sum: report.outcome.sum,
+        survivors: report.outcome.survivors,
+        removal_seeds: report.outcome.removal_seeds,
+        stale_frames: report.stale_frames,
+    })
+}
+
 /// Runs the session over `dordis-net`: a session coordinator on this
 /// thread, one persistent loopback connection per population member,
 /// per-round VRF claims verified-and-trimmed at the join stage, the
@@ -699,83 +918,13 @@ pub fn train_session_networked(
     }
 
     // ---- The session coordinator. ----
-    let registry = vrf_registry(seed, population);
-    let params_st = Arc::clone(&st);
-    let session_cfg = SessionConfig {
-        first_round: wire_round(0),
-        rounds: u64::from(opts.rounds),
-        join_timeout: opts.join_timeout,
-        stage_timeout: opts.stage_timeout,
-        chunks: opts.chunks,
-        chunk_compute: None,
-        tick: dordis_net::coordinator::CoordinatorConfig::DEFAULT_TICK,
-        mode: opts.mode,
-        workers: opts.workers,
-        shards: opts.shards,
-        ingress_budget: opts.ingress_budget,
-        announce: true,
-        population: (0..population).collect(),
-        seating: Seating::Claims(Box::new(move |r, raw_claims| {
-            let mut claims = Vec::new();
-            let mut rejected = Vec::new();
-            for (id, bytes) in raw_claims {
-                match decode_claim(bytes) {
-                    Ok(c) if c.client == *id => claims.push(c),
-                    Ok(_) => rejected.push((*id, "claim names another client".to_string())),
-                    Err(why) => rejected.push((*id, why)),
-                }
-            }
-            let SeatedCohort {
-                seated,
-                rejected: invalid,
-            } = seat_claims(&claims, &registry, r, &sample);
-            rejected.extend(invalid);
-            SeatingOutcome { seated, rejected }
-        })),
-        params_for: Box::new(move |r, seated| round_params(&params_st, r, seated)),
-        telemetry: opts.telemetry.clone(),
-        metrics_addr: None,
-    };
+    let session_cfg = networked_session_cfg(&st, opts, 0, None, FaultPlan::none());
     let mut session = Session::new(&mut acceptor, session_cfg)
         .map_err(|e| DordisError::Config(format!("session: {e}")))?;
 
     let result = run_fl_session(&st, opts, |_st, _i, r, cohort, _xplan, global| {
-        let report = session
-            .run_round(&global_to_bytes(global))
-            .map_err(|e| DordisError::Config(format!("networked round {r}: {e}")))?;
-        if report.round != r {
-            return Err(DordisError::Config(format!(
-                "session executed round {} where the driver expected {r}",
-                report.round
-            )));
-        }
-        // The driver's noise plan, removal, and ledger entry are all
-        // derived from the *planned* cohort — if the coordinator seated
-        // anything else (a slow claim missed the join window), those
-        // derivations are wrong for what actually ran, so fail loudly
-        // instead of recording a corrupted round.
-        let mut seated: Vec<ClientId> = report
-            .outcome
-            .survivors
-            .iter()
-            .chain(report.outcome.dropped.iter())
-            .copied()
-            .collect();
-        seated.sort_unstable();
-        let mut planned = cohort.to_vec();
-        planned.sort_unstable();
-        if seated != planned {
-            return Err(DordisError::Config(format!(
-                "round {r}: seated cohort {seated:?} diverged from the planned VRF cohort \
-                 {planned:?} (a claim missed the join window?)"
-            )));
-        }
-        Ok(RoundNet {
-            sum: report.outcome.sum,
-            survivors: report.outcome.survivors,
-            removal_seeds: report.outcome.removal_seeds,
-            stale_frames: report.stale_frames,
-        })
+        networked_round(&mut session, r, cohort, global)
+            .map_err(|e| DordisError::Config(format!("networked round {r}: {e}")))
     });
     session.finish();
     for h in handles {
@@ -784,4 +933,286 @@ pub fn train_session_networked(
             .map_err(DordisError::Config)?;
     }
     result
+}
+
+// ---------------------------------------------------------------------
+// Failover path: replicated primary, backup takeover, client redial.
+// ---------------------------------------------------------------------
+
+/// A scripted coordinator crash for the failover harness.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashSpec {
+    /// 0-based session round index the kill fires in.
+    pub round: u32,
+    /// Where inside that round the primary dies.
+    pub point: KillPoint,
+}
+
+/// Runs a *replicated* networked session and (optionally) kills the
+/// primary coordinator partway through: a primary on one loopback
+/// address ships a [`DriverCheckpoint`] to a backup at every round
+/// boundary through [`Session::commit_round`]; clients redial with
+/// bounded jittered [`Backoff`], flipping between the two addresses
+/// until one answers; on the primary's death the backup takes over from
+/// the last acked checkpoint and serves the remaining rounds.
+///
+/// With `crash: None` the session still runs fully replicated (every
+/// round gated on the backup's ack) and retires cleanly — the overhead
+/// path. With a [`CrashSpec`] the primary dies at the scripted
+/// [`KillPoint`] and the report is produced by the successor. Either
+/// way the result is bit-equal to [`train_session_networked`] /
+/// [`train_session`]: a crash mid-round re-runs that round from the
+/// committed prefix (same VRF cohort, seeds, and global model ⇒ same
+/// aggregate), a crash between the ack and the commit resumes *past*
+/// the round the backup already holds, and the ledger's watermark
+/// rejects any double-record across the hand-off.
+///
+/// # Errors
+///
+/// Invalid configuration, unrecoverable protocol/transport failures,
+/// checkpoint corruption.
+pub fn train_session_networked_failover(
+    spec: &TaskSpec,
+    opts: &FlSessionOptions,
+    crash: Option<CrashSpec>,
+) -> Result<FlSessionReport, DordisError> {
+    let st = Arc::new(statics(spec, opts)?);
+    let population = spec.population as u32;
+    let sample = opts.sample;
+    let seed = spec.seed;
+    let droppers: Arc<Vec<MidStreamDrop>> = Arc::new(opts.droppers.clone());
+    let shutdown = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let (hub_a, mut acceptor_a) = LoopbackHub::new();
+    let (hub_b, mut acceptor_b) = LoopbackHub::new();
+    let (repl_primary, mut repl_backup) = LoopbackChannel::pair("replication");
+
+    // ---- The backup coordinator's watch thread. The lease is generous
+    // — takeover here is driven by the replication channel closing with
+    // the crashed primary, which the backup sees immediately. ----
+    let lease = opts.join_timeout + opts.stage_timeout * 4;
+    let backup_telemetry = opts.telemetry.clone();
+    let backup_handle =
+        std::thread::spawn(move || run_backup(&mut repl_backup, lease, &backup_telemetry));
+
+    // ---- Client threads: redial with jittered backoff, flipping
+    // between the two coordinator addresses on every connect failure or
+    // transport death, so orphans of the crash find the successor
+    // within a few backoff steps. ----
+    let mut handles = Vec::new();
+    for id in 0..population {
+        let hub_a = hub_a.clone();
+        let hub_b = hub_b.clone();
+        let st = Arc::clone(&st);
+        let droppers = Arc::clone(&droppers);
+        let shutdown = Arc::clone(&shutdown);
+        handles.push(std::thread::spawn(move || -> Result<(), String> {
+            let key = vrf_key_for(seed, id);
+            let mut on_backup = false;
+            let mut backoff = Backoff::new(
+                u64::from(id),
+                Duration::from_millis(2),
+                Duration::from_millis(200),
+            );
+            loop {
+                if backoff.attempts() > 2_000 {
+                    return Err(format!("client {id}: no coordinator reachable"));
+                }
+                let hub = if on_backup { &hub_b } else { &hub_a };
+                let mut chan = match hub.connect(&format!("client-{id}")) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        if shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+                            return Ok(());
+                        }
+                        on_backup = !on_backup;
+                        backoff.sleep();
+                        continue;
+                    }
+                };
+                let client_opts = SessionClientOptions {
+                    id,
+                    rng_seed: seed,
+                    // Short enough that a client parked on a dead-but-
+                    // accepting address re-enters the redial loop well
+                    // inside the takeover window.
+                    recv_timeout: Duration::from_secs(5),
+                    silent_linger: Duration::from_secs(1),
+                };
+                let outcome = run_session_client(
+                    &mut chan,
+                    &client_opts,
+                    |r| self_select(&key, id, r, &sample).map(|c| encode_claim(&c)),
+                    |r| {
+                        droppers
+                            .iter()
+                            .find(|d| wire_round(d.round) == r && d.client == id)
+                            .map(|d| FailPoint {
+                                stage: FailStage::MaskedInputAfterChunks(d.after_chunks),
+                                action: FailAction::Disconnect,
+                            })
+                    },
+                    |r, _params, cohort, payload| {
+                        let global = bytes_to_global(payload)?;
+                        let i = (r - 1) as u32;
+                        let n = usize::from(cohort);
+                        let update = client_update(&st, i, id, &global);
+                        let xplan = xplan_for(&st, n)
+                            .map_err(|e| NetError::Protocol(format!("xnoise plan: {e}")))?;
+                        encoded_input(&st, r, id, &update, n, xplan.as_ref())
+                            .map_err(|e| NetError::Protocol(format!("encode: {e}")))
+                    },
+                    |_| None,
+                );
+                match outcome {
+                    Ok(report) => match report.end {
+                        SessionEndKind::Ended => return Ok(()),
+                        // Scripted dropout: rejoin the same coordinator
+                        // from the next round's announce.
+                        SessionEndKind::Failed { .. } => continue,
+                        SessionEndKind::Aborted { round, reason } => {
+                            return Err(format!("client {id} aborted in round {round}: {reason}"))
+                        }
+                        SessionEndKind::ServerAborted { reason } => {
+                            return Err(format!("client {id}: server aborted: {reason}"))
+                        }
+                    },
+                    // The coordinator died under us (or we out-waited a
+                    // takeover window): flip addresses and redial.
+                    Err(NetError::Closed | NetError::Timeout | NetError::Unavailable) => {
+                        on_backup = !on_backup;
+                        backoff.sleep();
+                        continue;
+                    }
+                    Err(e) => return Err(format!("client {id}: {e}")),
+                }
+            }
+        }));
+    }
+
+    // ---- Primary, then (after a scripted crash) the successor. Runs
+    // in a move closure so every coordinator-side resource is dropped
+    // by the time the client threads are reaped below. ----
+    let backup_res = std::cell::OnceCell::new();
+    let outcome = (|| -> Result<FlSessionReport, DordisError> {
+        let crashed = Cell::new(false);
+        let coord_faults = match crash {
+            Some(CrashSpec { round, point }) if point != KillPoint::BetweenAckAndCommit => {
+                FaultPlan::kill_at(wire_round(round), point)
+            }
+            _ => FaultPlan::none(),
+        };
+        let commit_faults = match crash {
+            Some(CrashSpec {
+                round,
+                point: KillPoint::BetweenAckAndCommit,
+            }) => FaultPlan::kill_at(wire_round(round), KillPoint::BetweenAckAndCommit),
+            _ => FaultPlan::none(),
+        };
+        let cfg_a = networked_session_cfg(&st, opts, 0, Some(Box::new(repl_primary)), coord_faults);
+        let session = RefCell::new(
+            Session::new(&mut acceptor_a, cfg_a)
+                .map_err(|e| DordisError::Config(format!("primary session: {e}")))?,
+        );
+        let mut commit_cb = |r: u64, bytes: &[u8]| -> Result<(), DordisError> {
+            session
+                .borrow_mut()
+                .commit_round(r, bytes)
+                .map_err(|e| DordisError::Config(format!("commit round {r}: {e}")))?;
+            // The ack is in: the backup now holds round `r`. A kill
+            // here proves the successor resumes *past* r instead of
+            // double-recording it.
+            commit_faults
+                .trip(KillPoint::BetweenAckAndCommit, r)
+                .map_err(|e| {
+                    crashed.set(true);
+                    DordisError::Config(format!("{e}"))
+                })
+        };
+        let primary_run = run_fl_session_at(
+            &st,
+            opts,
+            None,
+            Some(&mut commit_cb),
+            |_st, _i, r, cohort, _xplan, global| {
+                networked_round(&mut session.borrow_mut(), r, cohort, global).map_err(|e| {
+                    if FaultPlan::is_injected(&e) {
+                        crashed.set(true);
+                    }
+                    DordisError::Config(format!("networked round {r}: {e}"))
+                })
+            },
+        );
+        match primary_run {
+            Ok(report) => {
+                // Clean end: retire the primary role (the backup sees
+                // SessionEnd, not a lease break) and wrap up.
+                session.into_inner().finish();
+                let _ = backup_res.set(backup_handle.join());
+                return Ok(report);
+            }
+            Err(e) if !crashed.get() => {
+                drop(session);
+                let _ = backup_res.set(backup_handle.join());
+                return Err(e);
+            }
+            Err(_) => {}
+        }
+
+        // ---- Failover. Dropping the dead primary closes every client
+        // channel and the replication link — no SessionEnd, no retire:
+        // exactly what a SIGKILL looks like from the outside. ----
+        drop(session);
+        drop(acceptor_a);
+        let takeover = match backup_handle.join() {
+            Ok(Ok(BackupOutcome::Takeover(t))) => t,
+            Ok(Ok(BackupOutcome::SessionEnded(_))) => {
+                return Err(DordisError::Config(
+                    "backup saw a clean session end after a scripted crash".into(),
+                ))
+            }
+            Ok(Err(e)) => return Err(DordisError::Config(format!("backup failed: {e}"))),
+            Err(_) => return Err(DordisError::Config("backup thread panicked".into())),
+        };
+        let resume = takeover
+            .checkpoint
+            .as_ref()
+            .map(|c| DriverCheckpoint::from_bytes(&c.app_state))
+            .transpose()?;
+        // Died before the first commit ⇒ no checkpoint ⇒ the successor
+        // starts the whole session from scratch.
+        let next = resume.as_ref().map_or(0, |c| c.next_round);
+        let cfg_b = networked_session_cfg(&st, opts, next, None, FaultPlan::none());
+        let session_b = RefCell::new(
+            Session::new(&mut acceptor_b, cfg_b)
+                .map_err(|e| DordisError::Config(format!("successor session: {e}")))?,
+        );
+        let result = run_fl_session_at(
+            &st,
+            opts,
+            resume,
+            None,
+            |_st, _i, r, cohort, _xplan, global| {
+                networked_round(&mut session_b.borrow_mut(), r, cohort, global)
+                    .map_err(|e| DordisError::Config(format!("failover round {r}: {e}")))
+            },
+        );
+        if result.is_ok() {
+            session_b.into_inner().finish();
+        }
+        result
+    })();
+
+    // Coordinator-side resources are gone; release any still-dialing
+    // clients and reap the threads.
+    shutdown.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in handles {
+        let joined = h
+            .join()
+            .map_err(|_| DordisError::Config("client thread panicked".into()))?;
+        if outcome.is_ok() {
+            joined.map_err(DordisError::Config)?;
+        }
+    }
+    outcome
 }

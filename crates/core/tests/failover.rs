@@ -1,0 +1,168 @@
+//! Coordinator crash recovery: a replicated networked session — primary
+//! shipping round-boundary checkpoints to a backup, clients redialing
+//! with jittered backoff — killed at every scripted [`KillPoint`] must
+//! finish on the backup with a `TrainingReport` bit-equal to the
+//! uninterrupted in-memory reference: same per-round aggregates, same
+//! `epsilon_consumed` (no round lost from or double-counted in the
+//! privacy ledger), same final model.
+
+use dordis_core::config::TaskSpec;
+use dordis_core::sampling::SamplingConfig;
+use dordis_core::session::{
+    train_session, train_session_networked_failover, CrashSpec, FlSessionOptions, FlSessionReport,
+};
+use dordis_net::faults::KillPoint;
+
+const ROUNDS: u32 = 4;
+
+fn spec() -> TaskSpec {
+    TaskSpec::tiny_for_tests(20_240_517)
+}
+
+fn opts() -> FlSessionOptions {
+    let spec = spec();
+    FlSessionOptions::new(
+        ROUNDS,
+        SamplingConfig {
+            target_sample: 8,
+            population: spec.population,
+            over_selection: 1.5,
+        },
+    )
+}
+
+fn assert_reports_equal(got: &FlSessionReport, want: &FlSessionReport, label: &str) {
+    assert_eq!(got.rounds.len(), want.rounds.len(), "{label}: round count");
+    for (g, w) in got.rounds.iter().zip(want.rounds.iter()) {
+        assert_eq!(g.round, w.round, "{label}: round index");
+        assert_eq!(g.cohort, w.cohort, "{label}: cohort r{}", g.round);
+        assert_eq!(g.survivors, w.survivors, "{label}: survivors r{}", g.round);
+        assert_eq!(
+            g.sum, w.sum,
+            "{label}: aggregate not bit-equal r{}",
+            g.round
+        );
+    }
+    // The records are the ledger's audit trail: one entry per round,
+    // strictly increasing indexes — a double-recorded round after
+    // failover would show up right here.
+    let indexes: Vec<u32> = got.training.records.iter().map(|r| r.round).collect();
+    assert_eq!(
+        indexes,
+        (0..ROUNDS).collect::<Vec<_>>(),
+        "{label}: record per round, none lost, none doubled"
+    );
+    for (g, w) in got
+        .training
+        .records
+        .iter()
+        .zip(want.training.records.iter())
+    {
+        assert_eq!(g.epsilon, w.epsilon, "{label}: epsilon r{}", g.round);
+        assert_eq!(
+            g.achieved_multiplier, w.achieved_multiplier,
+            "{label}: achieved multiplier r{}",
+            g.round
+        );
+        assert_eq!(g.accuracy, w.accuracy, "{label}: accuracy r{}", g.round);
+    }
+    assert_eq!(
+        got.training.epsilon_consumed, want.training.epsilon_consumed,
+        "{label}: epsilon consumed not bit-equal"
+    );
+    assert_eq!(
+        got.training.final_accuracy, want.training.final_accuracy,
+        "{label}: final accuracy"
+    );
+    assert_eq!(
+        got.training.final_perplexity, want.training.final_perplexity,
+        "{label}: final perplexity"
+    );
+}
+
+/// Replication enabled, no crash: every round gated on the backup's
+/// ack, clean retirement — still bit-equal to the unreplicated
+/// reference (the checkpoint plane must not perturb the protocol).
+#[test]
+fn replicated_session_without_crash_matches_reference() {
+    let o = opts();
+    let want = train_session(&spec(), &o).expect("reference session");
+    let got = train_session_networked_failover(&spec(), &o, None).expect("replicated session");
+    assert_reports_equal(&got, &want, "replicated-no-crash");
+}
+
+/// SIGKILL mid-masked-stage: the crashed round never reached a
+/// checkpoint, so the successor re-runs it from the committed prefix —
+/// same VRF cohort, seeds, and global model ⇒ bit-equal aggregate.
+#[test]
+fn kill_mid_masked_stage_recovers_bit_equal() {
+    let o = opts();
+    let want = train_session(&spec(), &o).expect("reference session");
+    let got = train_session_networked_failover(
+        &spec(),
+        &o,
+        Some(CrashSpec {
+            round: 2,
+            point: KillPoint::MidMaskedStage,
+        }),
+    )
+    .expect("failover session");
+    assert_reports_equal(&got, &want, "mid-masked-stage");
+}
+
+/// SIGKILL during the Setup broadcast: clients already hold round r's
+/// model when the primary dies; they must abandon it, redial, and
+/// re-run r on the successor.
+#[test]
+fn kill_during_broadcast_recovers_bit_equal() {
+    let o = opts();
+    let want = train_session(&spec(), &o).expect("reference session");
+    let got = train_session_networked_failover(
+        &spec(),
+        &o,
+        Some(CrashSpec {
+            round: 1,
+            point: KillPoint::DuringBroadcast,
+        }),
+    )
+    .expect("failover session");
+    assert_reports_equal(&got, &want, "during-broadcast");
+}
+
+/// SIGKILL between the backup's ack and the primary's commit — the
+/// nastiest window: the backup already holds round r, so the successor
+/// must resume *past* it, and the ledger's watermark must reject any
+/// attempt to record r again.
+#[test]
+fn kill_between_ack_and_commit_recovers_bit_equal() {
+    let o = opts();
+    let want = train_session(&spec(), &o).expect("reference session");
+    let got = train_session_networked_failover(
+        &spec(),
+        &o,
+        Some(CrashSpec {
+            round: 2,
+            point: KillPoint::BetweenAckAndCommit,
+        }),
+    )
+    .expect("failover session");
+    assert_reports_equal(&got, &want, "between-ack-and-commit");
+}
+
+/// A crash in round 0, before any checkpoint exists: the takeover
+/// carries no state and the successor starts the session from scratch.
+#[test]
+fn kill_before_first_checkpoint_restarts_from_scratch() {
+    let o = opts();
+    let want = train_session(&spec(), &o).expect("reference session");
+    let got = train_session_networked_failover(
+        &spec(),
+        &o,
+        Some(CrashSpec {
+            round: 0,
+            point: KillPoint::MidMaskedStage,
+        }),
+    )
+    .expect("failover session");
+    assert_reports_equal(&got, &want, "first-round-crash");
+}

@@ -25,7 +25,13 @@ pub enum Mechanism {
 }
 
 /// Composes per-round RDP costs across a training run.
-#[derive(Clone, Debug)]
+///
+/// Serializable so a coordinator checkpoint can carry the exact
+/// accountant state across a failover: the restored accountant composes
+/// bit-identically to the original (the RDP accumulator is a plain
+/// `Vec<f64>` and JSON floats round-trip exactly through the shortest
+/// round-trip `Display` form).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RdpAccountant {
     orders: Vec<f64>,
     accum: Vec<f64>,

@@ -46,13 +46,19 @@ pub struct LedgerEntry {
 /// }
 /// assert!(dropped.realized_epsilon() > enforced.realized_epsilon());
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct PrivacyLedger {
     mechanism: Mechanism,
     delta: f64,
     budget_epsilon: f64,
     accountant: RdpAccountant,
     entries: Vec<LedgerEntry>,
+    /// Highest *wire* round id recorded so far (0 = nothing recorded;
+    /// wire rounds start at 1). The double-count guard: a restored
+    /// ledger refuses to record any round at or below the watermark, so
+    /// a round that was committed before a coordinator failover can
+    /// never be accounted twice by the successor.
+    watermark: u64,
 }
 
 impl PrivacyLedger {
@@ -74,6 +80,7 @@ impl PrivacyLedger {
             budget_epsilon,
             accountant: RdpAccountant::new(),
             entries: Vec::new(),
+            watermark: 0,
         })
     }
 
@@ -83,6 +90,41 @@ impl PrivacyLedger {
     /// released aggregate (`σ_achieved / Δ₂`). A zero multiplier (e.g. all
     /// noise lost) is recorded as (near-)infinite privacy loss.
     pub fn record_round(&mut self, sample_rate: f64, achieved_multiplier: f64) {
+        let next = self.watermark + 1;
+        self.record_inner(sample_rate, achieved_multiplier);
+        self.watermark = next;
+    }
+
+    /// Records a completed round pinned to an explicit wire round id.
+    ///
+    /// This is the failover-safe entry point: the coordinator passes the
+    /// round id it is committing, and the ledger refuses to account any
+    /// round at or below its watermark. Replaying an already-recorded
+    /// round — exactly what a naive restart after a crash between
+    /// checkpoint and commit would do — is rejected instead of silently
+    /// double-counting privacy loss.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::BadParameter`] when `wire_round` is at or below the
+    /// watermark (the round was already recorded).
+    pub fn record_round_at(
+        &mut self,
+        wire_round: u64,
+        sample_rate: f64,
+        achieved_multiplier: f64,
+    ) -> Result<(), DpError> {
+        if wire_round <= self.watermark {
+            return Err(DpError::BadParameter(
+                "round already recorded in ledger (watermark replay guard)",
+            ));
+        }
+        self.record_inner(sample_rate, achieved_multiplier);
+        self.watermark = wire_round;
+        Ok(())
+    }
+
+    fn record_inner(&mut self, sample_rate: f64, achieved_multiplier: f64) {
         // Guard against a degenerate zero-noise release: clamp far below
         // any useful multiplier so ε blows up visibly but finitely.
         let z = achieved_multiplier.max(1e-6);
@@ -94,6 +136,36 @@ impl PrivacyLedger {
             achieved_multiplier,
             epsilon_after: eps,
         });
+    }
+
+    /// Highest wire round id recorded so far (0 = nothing recorded).
+    #[must_use]
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Serializes the complete ledger state (accountant accumulator,
+    /// entries, watermark) for a coordinator checkpoint. The encoding is
+    /// exact: floats round-trip bit-identically, so a restored ledger
+    /// continues composing ε as if the crash never happened.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("ledger state is always serializable")
+            .into_bytes()
+    }
+
+    /// Restores a ledger from [`PrivacyLedger::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`DpError::BadParameter`] when the bytes do not parse as a ledger
+    /// checkpoint.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DpError> {
+        let s = core::str::from_utf8(bytes)
+            .map_err(|_| DpError::BadParameter("ledger checkpoint is not utf-8"))?;
+        serde_json::from_str(s)
+            .map_err(|_| DpError::BadParameter("ledger checkpoint failed to parse"))
     }
 
     /// Realized ε so far.

@@ -42,7 +42,12 @@ use crate::NetError;
 /// client seated in one aggregation shard still derives its XNoise
 /// plan and encoding from the full sampled cohort, not the shard
 /// roster in `RoundParams::clients`.
-pub const WIRE_VERSION: u8 = 4;
+/// v5: coordinator replication — three replication-control stages
+/// ([`StageTag::CheckpointInstall`], [`StageTag::CheckpointAck`],
+/// [`StageTag::ViewChange`]) carry round-boundary session checkpoints
+/// from a primary coordinator to its backup and signal view changes
+/// after a failover.
+pub const WIRE_VERSION: u8 = 5;
 
 /// Envelope header bytes: version, stage, round, chunk.
 pub const HEADER_BYTES: usize = 1 + 1 + 8 + 2;
@@ -94,6 +99,17 @@ pub enum StageTag {
     Decline = 16,
     /// Server → client: the session is over; close the connection.
     SessionEnd = 17,
+    /// Primary → backup: a round-boundary session checkpoint; the body
+    /// is a serialized `net::replication::SessionCheckpoint`. The
+    /// envelope round is the checkpointed round id.
+    CheckpointInstall = 18,
+    /// Backup → primary: the checkpoint for the envelope round is
+    /// durably installed; the primary may now commit the round.
+    CheckpointAck = 19,
+    /// Candidate → old primary (best effort): the backup's lease on the
+    /// primary expired and it is taking over; the envelope round is the
+    /// new view number. A primary that receives this must stand down.
+    ViewChange = 20,
 }
 
 impl StageTag {
@@ -120,6 +136,9 @@ impl StageTag {
             15 => RoundAnnounce,
             16 => Decline,
             17 => SessionEnd,
+            18 => CheckpointInstall,
+            19 => CheckpointAck,
+            20 => ViewChange,
             _ => return None,
         })
     }

@@ -64,6 +64,7 @@ use dordis_secagg::{ClientId, RoundParams, SecAggError, ThreatModel};
 use dordis_telemetry::{MetricsSnapshot, Telemetry};
 
 use crate::compute::ComputePlane;
+use crate::faults::{FaultPlan, KillPoint};
 
 use crate::codec::{
     self, decode_advertised_keys, decode_consistency_signature, decode_encrypted_shares,
@@ -146,6 +147,9 @@ pub struct CoordinatorConfig {
     /// recycles drain it below the low-water mark, so a frame burst
     /// degrades to pacing instead of unbounded memory.
     pub ingress_budget: u64,
+    /// Injected coordinator crashes for the failover test harness
+    /// ([`FaultPlan::none`], the default, is a no-op on every hook).
+    pub faults: FaultPlan,
 }
 
 impl CoordinatorConfig {
@@ -174,6 +178,7 @@ impl CoordinatorConfig {
             telemetry: Telemetry::disabled(),
             cohort,
             ingress_budget: 0,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -367,6 +372,8 @@ pub fn run_coordinator(
         population: Vec::new(),
         seating: Seating::Roster,
         params_for: Box::new(move |_, _| params.clone()),
+        replica: None,
+        faults: cfg.faults.clone(),
     };
     let mut session = Session::new(acceptor, session_cfg)?;
     session.run_round(&[])
@@ -485,6 +492,11 @@ impl RoundMachine {
             "Setup",
             cfg,
         );
+        // Fault hook: the primary dies right after the Setup broadcast
+        // reached every seated client — they hold round state the
+        // coordinator loses. Propagated directly (never through the
+        // abort path): an injected kill must look like crash silence.
+        cfg.faults.trip(KillPoint::DuringBroadcast, round)?;
         drop(stage_span);
 
         let joined: Vec<ClientId> = peers.keys().copied().collect();
@@ -602,6 +614,10 @@ impl RoundMachine {
             .span("stage", "MaskedInputCollection", round, None);
         let u2: BTreeSet<ClientId> = self.server.u2().iter().copied().collect();
         let expected: Vec<ClientId> = peers.keys().copied().filter(|id| u2.contains(id)).collect();
+        // Fault hook: the primary dies while the data plane is
+        // mid-flight — the hardest crash, nothing of this round exists
+        // outside the dying process.
+        cfg.faults.trip(KillPoint::MidMaskedStage, round)?;
         let up = match engine.as_deref_mut() {
             Some(reactor) => self.collect_masked_chunks_reactor(reactor, peers, &expected, cfg),
             None => self.collect_masked_chunks_sweep(peers, &expected, cfg),

@@ -62,9 +62,11 @@
 pub mod codec;
 pub mod compute;
 pub mod coordinator;
+pub mod faults;
 pub mod figure12;
 pub mod pool;
 pub mod reactor;
+pub mod replication;
 pub mod runtime;
 pub mod session;
 pub mod tcp;
@@ -110,6 +112,16 @@ pub enum NetError {
     SecAgg(SecAggError),
     /// The remote side reported an abort.
     Aborted(String),
+    /// The peer actively refused the connection (nothing is listening
+    /// yet, or the listener just died). Typed so reconnect loops can
+    /// tell "back off and redial" apart from hard I/O failures: during
+    /// a coordinator failover thousands of clients hit this at once and
+    /// must retry with jittered backoff, not hammer the backup.
+    Unavailable,
+    /// A fault-injection hook fired ([`faults::FaultPlan`]). Only ever
+    /// produced by test/bench harnesses; carries the kill-point label so
+    /// the failover driver can assert *which* crash it simulated.
+    Injected(String),
 }
 
 impl core::fmt::Display for NetError {
@@ -134,6 +146,8 @@ impl core::fmt::Display for NetError {
             NetError::Protocol(e) => write!(f, "protocol violation: {e}"),
             NetError::SecAgg(e) => write!(f, "secagg: {e}"),
             NetError::Aborted(why) => write!(f, "round aborted: {why}"),
+            NetError::Unavailable => write!(f, "peer unavailable (connection refused)"),
+            NetError::Injected(point) => write!(f, "injected fault: {point}"),
         }
     }
 }

@@ -631,6 +631,81 @@ where
     }
 }
 
+// ---------------------------------------------------------------------
+// Reconnect backoff.
+// ---------------------------------------------------------------------
+
+/// Bounded exponential backoff with jitter for reconnect loops.
+///
+/// When a coordinator dies, every one of its clients notices within one
+/// stage deadline of each other; naive immediate retry turns the backup
+/// (or the restarted primary) into its own thundering-herd victim. Each
+/// attempt `k` waits `frac · min(cap, base · 2^k)` where `frac ∈
+/// [0.5, 1.0)` is a deterministic splitmix64 hash of `(key, k)` — use
+/// the client id as the key and a thousand clients spread across the
+/// window instead of arriving in one burst, while any single client's
+/// retry schedule stays reproducible in tests.
+#[derive(Clone, Debug)]
+pub struct Backoff {
+    key: u64,
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A backoff schedule keyed on `key` (e.g. the client id), starting
+    /// at `base` and never exceeding `cap` per wait.
+    #[must_use]
+    pub fn new(key: u64, base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            key,
+            base: base.max(Duration::from_millis(1)),
+            cap: cap.max(base),
+            attempt: 0,
+        }
+    }
+
+    /// Attempts made so far (`next_delay` calls since the last reset).
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Forgets the attempt count — call after a successful connection,
+    /// so a much later disconnect starts fresh from `base`.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The next wait in the schedule (advances the attempt counter).
+    #[must_use]
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20); // 2^20 · base saturates any sane cap
+        self.attempt = self.attempt.wrapping_add(1);
+        let ceiling = self
+            .base
+            .checked_mul(1u32 << exp)
+            .map_or(self.cap, |d| d.min(self.cap));
+        // frac ∈ [0.5, 1.0): full jitter halves herd correlation while
+        // keeping every wait within 2x of its neighbor's.
+        let mut z = self
+            .key
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(exp).wrapping_add(u64::from(self.attempt)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let frac = 0.5 + 0.5 * ((z >> 11) as f64 / (1u64 << 53) as f64);
+        ceiling.mul_f64(frac)
+    }
+
+    /// Sleeps for [`Backoff::next_delay`].
+    pub fn sleep(&mut self) {
+        std::thread::sleep(self.next_delay());
+    }
+}
+
 fn recv_until(chan: &mut dyn Channel, timeout: Duration) -> Result<Envelope, NetError> {
     recv_env(chan, Instant::now() + timeout)
 }
@@ -668,4 +743,43 @@ fn abort(
         &Envelope::new(StageTag::Abort, round, codec::encode_abort(&reason)),
     );
     Ok(ClientRunOutcome::Aborted { reason })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_respects_the_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        let mut b = Backoff::new(42, base, cap);
+        let delays: Vec<Duration> = (0..12).map(|_| b.next_delay()).collect();
+        assert_eq!(b.attempts(), 12);
+        for (k, d) in delays.iter().enumerate() {
+            // Every wait sits in [0.5, 1.0) of its exponential ceiling.
+            let ceiling = base
+                .checked_mul(1u32 << k.min(20) as u32)
+                .map_or(cap, |c| c.min(cap));
+            assert!(*d >= ceiling / 2, "attempt {k}: {d:?} under half ceiling");
+            assert!(*d < ceiling, "attempt {k}: {d:?} at/over ceiling");
+            assert!(*d <= cap, "attempt {k}: {d:?} over cap");
+        }
+        // The schedule really grows before the cap bites.
+        assert!(delays[4] > delays[0]);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay() < base, "post-reset wait not back at base");
+    }
+
+    #[test]
+    fn backoff_jitter_decorrelates_clients() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(5);
+        let first: Vec<Duration> = (0..8u64)
+            .map(|id| Backoff::new(id, base, cap).next_delay())
+            .collect();
+        let distinct: std::collections::BTreeSet<Duration> = first.iter().copied().collect();
+        assert!(distinct.len() >= 6, "jitter barely spreads: {first:?}");
+    }
 }

@@ -86,7 +86,9 @@ use crate::coordinator::{
     client_of, client_token, CollectMode, CoordinatorConfig, NetRoundReport, Peers, RoundMachine,
     JOIN_BASE,
 };
+use crate::faults::FaultPlan;
 use crate::reactor::{EventedChannel, Reactor, ReactorStats, Token};
+use crate::replication::{Primary, SessionCheckpoint};
 use crate::transport::{recv_env, send_env, wire_message, Acceptor};
 use crate::NetError;
 
@@ -186,6 +188,16 @@ pub struct SessionConfig<'a> {
     /// Requires [`CollectMode::Reactor`]; the sweep has no poller to
     /// hang a listener on.
     pub metrics_addr: Option<String>,
+    /// Dedicated channel to a backup coordinator. When set, every
+    /// [`Session::commit_round`] ships a [`SessionCheckpoint`] and
+    /// blocks until the backup's ack — the checkpoint-then-commit
+    /// ordering that makes the privacy ledger failover-safe. `None`
+    /// (the default everywhere) is the bit-equal zero-overhead
+    /// reference: `commit_round` returns immediately.
+    pub replica: Option<Box<dyn EventedChannel>>,
+    /// Injected coordinator crashes for the failover harness
+    /// ([`FaultPlan::none`] is a no-op on every hook).
+    pub faults: FaultPlan,
 }
 
 /// A client's answer to one round's announce: a claim (empty bytes for
@@ -220,6 +232,18 @@ pub struct Session<'a> {
     /// Timeline bookkeeping: when the inter-round park window opened
     /// (telemetry clock). The next round's start closes the span.
     parked_since: Option<u64>,
+    /// The replication link, when this session runs as a replicated
+    /// primary. `role` is `None` only transiently inside
+    /// [`Session::commit_round`] — or permanently once deposed by a
+    /// view change, after which no further round can commit.
+    replica: Option<ReplicaLink>,
+}
+
+/// The primary's half of the replication protocol: the channel to the
+/// backup and the typed role that gates every commit.
+struct ReplicaLink {
+    chan: Box<dyn EventedChannel>,
+    role: Option<Primary>,
 }
 
 impl<'a> Session<'a> {
@@ -230,8 +254,19 @@ impl<'a> Session<'a> {
     ///
     /// Reactor construction failures, scrape-listener bind failures,
     /// and a `metrics_addr` configured without the reactor engine.
-    pub fn new(acceptor: &'a mut dyn Acceptor, cfg: SessionConfig<'a>) -> Result<Self, NetError> {
+    pub fn new(
+        acceptor: &'a mut dyn Acceptor,
+        mut cfg: SessionConfig<'a>,
+    ) -> Result<Self, NetError> {
         acceptor.set_telemetry(&cfg.telemetry);
+        // The replication link stays *unregistered*: checkpoint traffic
+        // happens at round boundaries, where the session thread is
+        // between collection loops, so the blocking Channel API is
+        // exactly right (and works identically under both engines).
+        let replica = cfg.replica.take().map(|chan| ReplicaLink {
+            chan,
+            role: Some(Primary::new()),
+        });
         let mut engine = match cfg.mode {
             CollectMode::Reactor => Some(Reactor::with_telemetry(cfg.tick, cfg.telemetry.clone())?),
             CollectMode::PollSweep => None,
@@ -267,7 +302,75 @@ impl<'a> Session<'a> {
             metrics_bound,
             seen: BTreeSet::new(),
             parked_since: None,
+            replica,
         })
+    }
+
+    /// Whether this session ships round-boundary checkpoints to a
+    /// backup (and therefore gates every commit on its ack).
+    #[must_use]
+    pub fn is_replicated(&self) -> bool {
+        self.replica.is_some()
+    }
+
+    /// Commits the round that just completed: ships a
+    /// [`SessionCheckpoint`] carrying `app_state` (the driver's opaque
+    /// durable state — ledger, model, records) to the backup and blocks
+    /// until the ack, bounded by the session's stage timeout.
+    ///
+    /// Without a replica this returns immediately — the unreplicated
+    /// session is the bit-equal zero-overhead reference. With one, the
+    /// caller must treat an error as fatal for the primary role: a
+    /// round whose checkpoint was never acked **must not** have its
+    /// effects applied (ledger recorded, model advanced), because the
+    /// backup may already be serving a divergent view.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetError::Aborted`] when the backup answered with a
+    ///   `ViewChange` (this primary is deposed — now or in a previous
+    ///   commit) — stand down.
+    /// - [`NetError::Timeout`] / [`NetError::Closed`] when the backup
+    ///   is unreachable: the primary halts rather than advance
+    ///   unreplicated state.
+    pub fn commit_round(&mut self, round: u64, app_state: &[u8]) -> Result<(), NetError> {
+        let Some(link) = self.replica.as_mut() else {
+            return Ok(());
+        };
+        let role = link
+            .role
+            .take()
+            .ok_or_else(|| NetError::Aborted("deposed by view change".into()))?;
+        let ckpt = SessionCheckpoint {
+            round,
+            rounds_done: self.rounds_done,
+            view: role.view(),
+            parked: self.parked.keys().copied().collect(),
+            app_state: app_state.to_vec(),
+        };
+        let span = self
+            .cfg
+            .telemetry
+            .span("session", "checkpoint", round, None);
+        self.cfg
+            .telemetry
+            .histogram("dordis_checkpoint_bytes", &[])
+            .observe(ckpt.encode().len() as u64);
+        // Typed hand-off: `ship` consumes the Primary, so nothing can
+        // commit until `complete` returns it — and a ViewChange frame
+        // destroys it instead.
+        let waiting = role.ship(&ckpt, link.chan.as_mut())?;
+        let frame = link
+            .chan
+            .recv_deadline(Instant::now() + self.cfg.stage_timeout)?;
+        let primary = waiting.complete(&Envelope::decode(&frame)?)?;
+        link.role = Some(primary);
+        drop(span);
+        self.cfg
+            .telemetry
+            .counter("dordis_checkpoints_total", &[("role", "primary")])
+            .inc();
+        Ok(())
     }
 
     /// Where the Prometheus scrape endpoint bound, when one was
@@ -404,6 +507,7 @@ impl<'a> Session<'a> {
                 telemetry: self.cfg.telemetry.clone(),
                 cohort,
                 ingress_budget: self.cfg.ingress_budget,
+                faults: self.cfg.faults.clone(),
             };
             let machine = RoundMachine::new(&cc)?;
             machine.run(
@@ -514,6 +618,7 @@ impl<'a> Session<'a> {
                 telemetry: self.cfg.telemetry.shard_scope(s as u16),
                 cohort,
                 ingress_budget: shard_budget,
+                faults: self.cfg.faults.clone(),
             };
             let mut peers: Peers = BTreeMap::new();
             for &id in roster {
@@ -654,6 +759,14 @@ impl<'a> Session<'a> {
     /// round and reconnected does not hang waiting for an announce —
     /// then drops them all.
     pub fn finish(mut self) {
+        // Retire the primary role first: the backup learns the session
+        // ended cleanly and will not call a view change when the
+        // replication channel drops with this session.
+        if let Some(mut link) = self.replica.take() {
+            if let Some(role) = link.role.take() {
+                role.retire(link.chan.as_mut());
+            }
+        }
         let env = Envelope::new(StageTag::SessionEnd, self.next_round, Vec::new());
         // One encode for the whole cohort: registered channels enqueue
         // the shared frame by reference (see `wire_message`).

@@ -370,9 +370,17 @@ impl TcpChannel {
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
+    /// [`NetError::Unavailable`] when the peer actively refuses (nothing
+    /// listening — the typed signal reconnect loops back off on);
+    /// propagates other connection failures as [`NetError::Io`].
     pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpChannel, NetError> {
-        let stream = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect(addr).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                NetError::Unavailable
+            } else {
+                NetError::from(e)
+            }
+        })?;
         Self::from_stream(stream)
     }
 

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dordis_net::coordinator::{CollectMode, CoordinatorConfig};
+use dordis_net::faults::FaultPlan;
 use dordis_net::runtime::{run_session_client, SessionClientOptions, SessionEndKind};
 use dordis_net::session::{Seating, Session, SessionConfig};
 use dordis_net::transport::LoopbackHub;
@@ -112,6 +113,8 @@ fn live_scrape_mid_round_with_full_trace_coverage() {
         params_for: Box::new(|round, _| params_for_round(round)),
         telemetry: telemetry.clone(),
         metrics_addr: Some("127.0.0.1:0".to_string()),
+        replica: None,
+        faults: FaultPlan::none(),
     };
     let mut session = Session::new(&mut acceptor, cfg).expect("session");
     let addr = session.metrics_addr().expect("scrape endpoint bound");
@@ -292,6 +295,8 @@ fn sharded_session_federates_shard_metrics_through_one_endpoint() {
         }),
         telemetry: telemetry.clone(),
         metrics_addr: Some("127.0.0.1:0".to_string()),
+        replica: None,
+        faults: FaultPlan::none(),
     };
     let mut session = Session::new(&mut acceptor, cfg).expect("session");
     let addr = session.metrics_addr().expect("scrape endpoint bound");

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 use dordis_crypto::prg::Seed;
 use dordis_net::codec::{Envelope, StageTag};
 use dordis_net::coordinator::{CollectMode, CoordinatorConfig, DropKind, NetRoundReport};
+use dordis_net::faults::FaultPlan;
 use dordis_net::runtime::{
     round_rng_seed, run_session_client, FailAction, FailPoint, FailStage, SessionClientOptions,
     SessionEndKind,
@@ -181,6 +182,8 @@ fn run_sharded_session(
         params_for: Box::new(move |round, _| params_for_round(round, noise)),
         telemetry: Telemetry::enabled(),
         metrics_addr: None,
+        replica: None,
+        faults: FaultPlan::none(),
     };
     let mut session = Session::new(&mut acceptor, cfg).expect("session");
     let mut reports = Vec::new();
@@ -438,6 +441,8 @@ fn shard_discards_stale_frame_and_merged_report_counts_it() {
             params_for: Box::new(|round, _| params_for_round(round, false)),
             telemetry: Telemetry::enabled(),
             metrics_addr: None,
+            replica: None,
+            faults: FaultPlan::none(),
         };
         let mut session = Session::new(&mut acceptor, cfg).expect("session");
         let report = session.run_round(&[]).expect("round");
@@ -585,6 +590,8 @@ fn sparse_shards_match_unsharded_driver() {
         params_for: Box::new(|round, _| big_params(round)),
         telemetry: Telemetry::enabled(),
         metrics_addr: None,
+        replica: None,
+        faults: FaultPlan::none(),
     };
     let mut session = Session::new(&mut acceptor, cfg).expect("session");
     let mut reports = Vec::new();

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Failover smoke: a replicated coordinator pair over real TCP, the
+# primary SIGKILLed mid-session, eight clients redialing with
+# --failover. Asserts the standby promotes, finishes the session, and
+# produces the same aggregate as an uninterrupted reference run.
+#
+# The CLI demo path carries no privacy ledger, so epsilon bit-equality
+# after failover is asserted by the in-process test matrix
+# (crates/core/tests/failover.rs); this smoke pins the operator-facing
+# path: processes, sockets, kill -9, and the printed aggregates.
+#
+# Usage: scripts/failover_smoke.sh [path-to-dordis-binary]
+set -euo pipefail
+
+BIN=${1:-./target/release/dordis}
+DIR=$(mktemp -d failover-smoke.XXXXXX)
+cleanup() {
+  local pids
+  pids=$(jobs -p)
+  [ -n "$pids" ] && kill $pids 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+CLIENTS=8
+THRESHOLD=5
+ROUNDS=50
+
+# --- Reference: one unreplicated session, same cohort and rounds. ----
+"$BIN" serve --listen 127.0.0.1:0 --clients $CLIENTS --threshold $THRESHOLD \
+  --rounds $ROUNDS > "$DIR/ref_serve.log" 2>&1 &
+REF=$!
+for _ in $(seq 100); do
+  grep -q '^listening on' "$DIR/ref_serve.log" && break
+  sleep 0.1
+done
+RPORT=$(sed -n 's/^listening on .*:\([0-9]*\)$/\1/p' "$DIR/ref_serve.log")
+for id in $(seq 0 $((CLIENTS - 1))); do
+  "$BIN" join --connect "127.0.0.1:$RPORT" --id "$id" \
+    > "$DIR/ref_join$id.log" 2>&1 &
+done
+wait "$REF"
+grep -q "^session complete" "$DIR/ref_serve.log"
+
+# --- Replicated pair: standby first, then the primary dials it. ------
+"$BIN" serve --listen 127.0.0.1:17701 --backup 127.0.0.1:17800 \
+  --clients $CLIENTS --threshold $THRESHOLD --rounds $ROUNDS \
+  --lease-ms 2000 > "$DIR/backup_serve.log" 2>&1 &
+BACKUP=$!
+for _ in $(seq 100); do
+  grep -q '^standby:' "$DIR/backup_serve.log" && break
+  sleep 0.1
+done
+grep -q '^standby:' "$DIR/backup_serve.log"
+
+"$BIN" serve --listen 127.0.0.1:17700 --replica 127.0.0.1:17800 \
+  --clients $CLIENTS --threshold $THRESHOLD --rounds $ROUNDS \
+  > "$DIR/primary_serve.log" 2>&1 &
+PRIMARY=$!
+
+declare -a CLIENT_PIDS
+for id in $(seq 0 $((CLIENTS - 1))); do
+  "$BIN" join --connect 127.0.0.1:17700 --failover 127.0.0.1:17701 \
+    --id "$id" --timeout-ms 10000 > "$DIR/join$id.log" 2>&1 &
+  CLIENT_PIDS[$id]=$!
+done
+
+# kill -9 the primary as soon as round 2 has committed: mid-session,
+# with the bulk of the rounds still owed to the clients.
+for _ in $(seq 600); do
+  grep -q '^round 2 complete' "$DIR/primary_serve.log" && break
+  sleep 0.05
+done
+grep -q '^round 2 complete' "$DIR/primary_serve.log"
+kill -9 "$PRIMARY" 2>/dev/null
+
+wait "$BACKUP"
+for id in $(seq 0 $((CLIENTS - 1))); do
+  wait "${CLIENT_PIDS[$id]}"
+  grep -q "^client $id: session ended" "$DIR/join$id.log"
+done
+
+grep -q '^view change: promoted' "$DIR/backup_serve.log"
+grep -q "^round $ROUNDS complete" "$DIR/backup_serve.log"
+grep -q '^session complete' "$DIR/backup_serve.log"
+
+# The aggregate after failover must be bit-equal to the uninterrupted
+# reference (demo inputs are deterministic per client id).
+REF_SUM=$(grep '^sum' "$DIR/ref_serve.log" | tail -1)
+GOT_SUM=$(grep '^sum' "$DIR/backup_serve.log" | tail -1)
+if [ "$REF_SUM" != "$GOT_SUM" ]; then
+  echo "aggregate mismatch after failover:" >&2
+  echo "  reference: $REF_SUM" >&2
+  echo "  failover:  $GOT_SUM" >&2
+  exit 1
+fi
+
+TAKEN_AT=$(sed -n 's/^view change: promoted to view [0-9]* (\([0-9]*\) round(s).*/\1/p' \
+  "$DIR/backup_serve.log")
+echo "failover smoke OK: primary killed after round $TAKEN_AT," \
+  "standby finished rounds $((TAKEN_AT + 1))..$ROUNDS, aggregate bit-equal"
